@@ -1,0 +1,1 @@
+examples/courses.ml: Pb_core Pb_paql Pb_relation Pb_sql Pb_workload Printf

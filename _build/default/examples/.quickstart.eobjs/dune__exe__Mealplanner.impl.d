@@ -1,0 +1,1 @@
+examples/mealplanner.ml: List Pb_core Pb_explore Pb_paql Pb_sql Pb_workload Printf String

@@ -1,0 +1,1 @@
+examples/quickstart.ml: List Pb_core Pb_explore Pb_paql Pb_sql Pb_workload Printf

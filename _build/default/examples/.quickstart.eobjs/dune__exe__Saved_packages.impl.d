@@ -1,0 +1,1 @@
+examples/saved_packages.ml: List Pb_core Pb_explore Pb_paql Pb_relation Pb_sql Pb_workload Printf String

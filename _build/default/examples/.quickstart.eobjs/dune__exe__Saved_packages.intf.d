@@ -1,0 +1,1 @@
+examples/saved_packages.mli:

@@ -1,0 +1,1 @@
+examples/vacation.ml: Array Float List Pb_core Pb_paql Pb_relation Pb_sql Pb_workload Printf String

@@ -1,0 +1,119 @@
+(* Meal planner — the paper's §7 demo scenario, scripted.
+
+   Walks through what a booth visitor would do: see the package template,
+   get constraint suggestions from highlighted cells, refine the query,
+   navigate the visual summary, and run adaptive exploration.
+
+   Run with:  dune exec examples/mealplanner.exe *)
+
+module Suggest = Pb_explore.Suggest
+module Session = Pb_explore.Session
+module Template = Pb_explore.Template
+module Package = Pb_paql.Package
+
+let banner title =
+  Printf.printf "\n======== %s ========\n" title
+
+let () =
+  let db = Pb_sql.Database.create () in
+  Pb_workload.Workload.install ~seed:21 ~recipes_n:80 db;
+
+  (* A visitor starts from a loose specification. *)
+  let query =
+    Pb_paql.Parser.parse
+      "SELECT PACKAGE(R) AS P FROM recipes R WHERE R.gluten = 'free' SUCH \
+       THAT COUNT(*) = 3 AND SUM(P.calories) BETWEEN 2000 AND 2500 MAXIMIZE \
+       SUM(P.protein)"
+  in
+
+  banner "Package template (sec 3.1)";
+  let template = Template.create db query in
+  print_string (Template.render db template);
+
+  let sample =
+    match template.Template.sample with
+    | Some pkg -> pkg
+    | None -> failwith "no sample package"
+  in
+
+  banner "Constraint suggestions for the 'fat' column (sec 3.1)";
+  (* "when the user selects a cell within the fats column, the system
+     proposes several constraints that would restrict the amount of fat in
+     each meal, and objectives that would minimize the total amount of
+     fat" *)
+  let suggestions =
+    Suggest.suggest query ~sample (Suggest.Cell { row = 0; column = "fat" })
+  in
+  List.iter
+    (fun s ->
+      Printf.printf "  [%s] %s\n        %s\n"
+        (match s.Suggest.kind with
+        | Suggest.Base_constraint -> "base"
+        | Suggest.Global_constraint -> "global"
+        | Suggest.Objective -> "objective")
+        s.Suggest.paql_fragment s.Suggest.description)
+    suggestions;
+
+  banner "Applying the MINIMIZE-fat objective";
+  let minimize_fat =
+    List.find
+      (fun s ->
+        s.Suggest.kind = Suggest.Objective
+        &&
+        let frag = s.Suggest.paql_fragment in
+        String.length frag >= 8 && String.sub frag 0 8 = "MINIMIZE")
+      suggestions
+  in
+  let refined = minimize_fat.Suggest.refined in
+  Printf.printf "refined query: %s\n" (Pb_paql.Ast.to_string refined);
+  let report = Pb_core.Engine.evaluate db refined in
+  (match report.Pb_core.Engine.package with
+  | Some pkg -> print_string (Package.to_string pkg)
+  | None -> print_endline "no valid package");
+
+  banner "Visual summary of the result space (sec 3.2)";
+  let summary =
+    Pb_explore.Summary.build ?current:report.Pb_core.Engine.package db refined
+  in
+  print_string (Pb_explore.Summary.render summary);
+
+  banner "Adaptive exploration (sec 3.3)";
+  (match Session.start ~seed:3 db query with
+  | Error e -> Printf.printf "session error: %s\n" e
+  | Ok session ->
+      let show label session =
+        Printf.printf "%s\n%s" label
+          (Package.to_string (Session.current session))
+      in
+      show "Initial sample:" session;
+      (* The visitor likes the first meal and asks for a new plan around
+         it. *)
+      let keep =
+        match Package.support (Session.current session) with
+        | first :: _ -> [ first ]
+        | [] -> []
+      in
+      Printf.printf "\nKeeping tuple(s) %s and resampling...\n"
+        (String.concat ", " (List.map string_of_int keep));
+      let session, status = Session.keep_and_resample session ~keep in
+      (match status with
+      | `Fresh -> show "New sample (kept tuples pinned):" session
+      | `Exhausted -> print_endline "no other package extends the kept tuples");
+      (* The system infers what the kept tuples have in common. *)
+      let inferred = Session.infer_constraints session ~keep in
+      if inferred <> [] then begin
+        print_endline "\nInferred constraint suggestions:";
+        List.iter
+          (fun s -> Printf.printf "  %s -- %s\n" s.Suggest.paql_fragment s.Suggest.description)
+          inferred
+      end);
+
+  banner "Next-best packages (sec 5, no-good cuts)";
+  List.iteri
+    (fun i pkg ->
+      Printf.printf "#%d objective=%s  meals=%s\n" (i + 1)
+        (match Pb_paql.Semantics.objective_value ~db query pkg with
+        | Some v -> Printf.sprintf "%g" v
+        | None -> "-")
+        (String.concat ", " (List.map string_of_int (Package.support pkg))))
+    (Pb_core.Engine.next_packages ~limit:5 db query)

@@ -1,0 +1,100 @@
+(* Vacation planner — the paper's second motivating scenario.
+
+   "A couple wants to organize a relaxing vacation at a tropical
+   destination. They do not want to spend more than $2,000 on flights and
+   hotels combined. They also want to be in walking distance from the
+   beach, unless their budget can fit a rental car, in which case they
+   are willing to stay farther away."
+
+   The package mixes heterogeneous items (flights, hotels, cars) from one
+   relation with 0/1 indicator columns, and the beach-unless-car clause is
+   a genuine disjunction over global constraints — it exercises the
+   indicator-variable ILP translation.
+
+   Run with:  dune exec examples/vacation.exe *)
+
+let () =
+  let db = Pb_sql.Database.create () in
+  Pb_workload.Workload.install ~seed:33 ~destinations:6 db;
+
+  (* Exactly one flight and one hotel; at most one car; total <= $2000;
+     within 1.5 km of the beach OR a rental car in the package. *)
+  let base_query destination =
+    Printf.sprintf
+      "SELECT PACKAGE(T) AS V FROM travel_items T WHERE T.destination = '%s' \
+       SUCH THAT SUM(V.is_flight) = 1 AND SUM(V.is_hotel) = 1 AND \
+       SUM(V.is_car) <= 1 AND SUM(V.price) <= 2000 AND (MAX(V.beach_distance) \
+       <= 1.5 OR SUM(V.is_car) = 1) MAXIMIZE SUM(V.rating)"
+      destination
+  in
+
+  (* Which destinations exist in this workload? Ask the SQL engine. *)
+  let destinations =
+    match
+      Pb_sql.Executor.execute_sql db
+        "SELECT DISTINCT destination FROM travel_items ORDER BY destination"
+    with
+    | Pb_sql.Executor.Rows rel ->
+        List.map
+          (fun row -> Pb_relation.Value.to_string row.(0))
+          (Pb_relation.Relation.to_list rel)
+    | _ -> []
+  in
+  Printf.printf "destinations: %s\n\n" (String.concat ", " destinations);
+
+  (* Evaluate the package query per destination and keep the best trip. *)
+  let best = ref None in
+  List.iter
+    (fun dest ->
+      let query = Pb_paql.Parser.parse (base_query dest) in
+      let report = Pb_core.Engine.evaluate db query in
+      match (report.Pb_core.Engine.package, report.Pb_core.Engine.objective) with
+      | Some pkg, Some rating ->
+          Printf.printf "%-12s rating %-5g $%-8g %s\n" dest rating
+            (Pb_paql.Package.sum_column pkg "price")
+            (if Pb_paql.Package.sum_column pkg "is_car" > 0.5 then
+               "(with rental car)"
+             else "(walking distance)");
+          (match !best with
+          | Some (_, _, r) when r >= rating -> ()
+          | _ -> best := Some (dest, pkg, rating))
+      | _ -> Printf.printf "%-12s no package within budget\n" dest)
+    destinations;
+
+  match !best with
+  | None -> print_endline "\nno feasible vacation"
+  | Some (dest, pkg, rating) ->
+      Printf.printf "\nBest vacation: %s (total rating %g)\n" dest rating;
+      print_string (Pb_paql.Package.to_string pkg);
+      (* Show the paper's trade-off concretely: what happens if the
+         budget cannot fit a car? *)
+      let tight =
+        Pb_paql.Parser.parse
+          (Printf.sprintf
+             "SELECT PACKAGE(T) AS V FROM travel_items T WHERE T.destination \
+              = '%s' SUCH THAT SUM(V.is_flight) = 1 AND SUM(V.is_hotel) = 1 \
+              AND SUM(V.is_car) <= 1 AND SUM(V.price) <= 1500 AND \
+              (MAX(V.beach_distance) <= 1.5 OR SUM(V.is_car) = 1) MAXIMIZE \
+              SUM(V.rating)"
+             dest)
+      in
+      let report = Pb_core.Engine.evaluate db tight in
+      print_endline "\nSame trip with a $1,500 budget:";
+      (match report.Pb_core.Engine.package with
+      | Some pkg2 ->
+          Printf.printf "%s"
+            (Pb_paql.Package.to_string pkg2);
+          Printf.printf "car included: %b  max beach distance: %g km\n"
+            (Pb_paql.Package.sum_column pkg2 "is_car" > 0.5)
+            (List.fold_left
+               (fun acc i ->
+                 match
+                   Pb_relation.Value.to_float
+                     (Pb_relation.Relation.get
+                        (Pb_paql.Package.base pkg2) i "beach_distance")
+                 with
+                 | Some d -> Float.max acc d
+                 | None -> acc)
+               0.0
+               (Pb_paql.Package.support pkg2))
+      | None -> print_endline "no package fits $1,500")

@@ -1,0 +1,1 @@
+lib/core/annealing.ml: Array Coeffs Float List Option Pb_paql Pb_util Pruning

@@ -1,0 +1,1 @@
+lib/core/annealing.mli: Coeffs Pb_paql

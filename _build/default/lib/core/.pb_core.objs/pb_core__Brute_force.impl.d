@@ -1,0 +1,1 @@
+lib/core/brute_force.ml: Array Coeffs List Option Pb_paql Pruning

@@ -1,0 +1,1 @@
+lib/core/brute_force.mli: Coeffs Pb_paql

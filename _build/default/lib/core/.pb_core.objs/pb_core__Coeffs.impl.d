@@ -1,0 +1,1 @@
+lib/core/coeffs.ml: Array Float List Logs Pb_paql Pb_relation Pb_sql

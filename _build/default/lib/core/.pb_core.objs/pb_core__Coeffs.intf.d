@@ -1,0 +1,1 @@
+lib/core/coeffs.mli: Pb_paql Pb_relation Pb_sql

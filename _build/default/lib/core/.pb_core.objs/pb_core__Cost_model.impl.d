@@ -1,0 +1,1 @@
+lib/core/cost_model.ml: Coeffs Float List Local_search Pb_util Printf Pruning Result

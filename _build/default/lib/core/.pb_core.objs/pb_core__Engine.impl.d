@@ -1,0 +1,1 @@
+lib/core/engine.ml: Annealing Array Brute_force Coeffs Cost_model Float List Local_search Option Pb_lp Pb_paql Pb_util Printf Result Sql_generate Translate

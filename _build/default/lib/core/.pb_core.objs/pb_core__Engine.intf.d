@@ -1,0 +1,1 @@
+lib/core/engine.mli: Annealing Coeffs Local_search Pb_paql Pb_sql Sql_generate

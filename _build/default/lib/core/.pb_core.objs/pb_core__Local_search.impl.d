@@ -1,0 +1,1 @@
+lib/core/local_search.ml: Array Coeffs Float Fun Hashtbl List Option Pb_paql Pb_relation Pb_sql Pb_util Printf Pruning Result String

@@ -1,0 +1,1 @@
+lib/core/pruning.ml: Array Coeffs Float List Pb_paql Pb_util Printf

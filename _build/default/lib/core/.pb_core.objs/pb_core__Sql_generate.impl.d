@@ -1,0 +1,1 @@
+lib/core/sql_generate.ml: Array Coeffs Fun List Option Pb_paql Pb_relation Pb_sql Printf Pruning String

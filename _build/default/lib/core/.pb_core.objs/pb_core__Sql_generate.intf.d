@@ -1,0 +1,1 @@
+lib/core/sql_generate.mli: Coeffs Pb_paql Pb_sql

@@ -1,0 +1,1 @@
+lib/core/translate.ml: Array Coeffs Float List Pb_lp Pb_paql Printf

@@ -1,0 +1,1 @@
+lib/core/translate.mli: Coeffs Pb_lp Pb_paql

@@ -1,0 +1,215 @@
+module Ast = Pb_paql.Ast
+module Semantics = Pb_paql.Semantics
+module Prng = Pb_util.Prng
+
+type params = {
+  seed : int;
+  steps : int;
+  initial_temperature : float;
+  cooling : float;
+  objective_weight : float;
+}
+
+let default_params =
+  {
+    seed = 42;
+    steps = 20_000;
+    initial_temperature = 1.0;
+    cooling = 0.9995;
+    objective_weight = 0.1;
+  }
+
+type outcome = {
+  best : Pb_paql.Package.t option;
+  best_objective : float option;
+  steps_taken : int;
+  accepted : int;
+  valid_visits : int;
+}
+
+(* Violation measured with the same normalization as Local_search, but
+   recomputed from scratch: annealing steps are cheap (single-tuple
+   deltas) and n is the only scale factor. *)
+let violation (c : Coeffs.t) mult =
+  match c.formula with
+  | Error _ -> if Coeffs.check_mult c mult then 0.0 else 1.0
+  | Ok f ->
+      let card = Array.fold_left ( + ) 0 mult in
+      let rec go = function
+        | Coeffs.C_true -> 0.0
+        | Coeffs.C_false -> 1.0
+        | Coeffs.C_and fs -> List.fold_left (fun a f -> a +. go f) 0.0 fs
+        | Coeffs.C_or fs ->
+            List.fold_left (fun a f -> Float.min a (go f)) infinity fs
+        | Coeffs.C_atom atom -> atom_violation atom card
+      and atom_violation atom card =
+        let dist cmp lhs rhs =
+          let raw =
+            match cmp with
+            | Pb_paql.Analyze.Le -> lhs -. rhs
+            | Pb_paql.Analyze.Lt -> lhs -. rhs +. 1e-12
+            | Pb_paql.Analyze.Ge -> rhs -. lhs
+            | Pb_paql.Analyze.Gt -> rhs -. lhs +. 1e-12
+          in
+          Float.max 0.0 (raw /. (1.0 +. Float.abs rhs))
+        in
+        match atom with
+        | Coeffs.C_linear { coef; cmp; rhs; has_sum } ->
+            if card = 0 && has_sum then 1.0
+            else begin
+              let s = ref 0.0 in
+              Array.iteri
+                (fun i m -> if m > 0 then s := !s +. (float_of_int m *. coef.(i)))
+                mult;
+              dist cmp !s rhs
+            end
+        | Coeffs.C_avg { arg; cmp; rhs } ->
+            if card = 0 then 1.0
+            else begin
+              let s = ref 0.0 in
+              Array.iteri
+                (fun i m -> if m > 0 then s := !s +. (float_of_int m *. arg.(i)))
+                mult;
+              dist cmp (!s /. float_of_int card) rhs
+            end
+        | Coeffs.C_ext { maximum; arg; cmp; rhs } ->
+            let best = ref nan and seen = ref false in
+            Array.iteri
+              (fun i m ->
+                if m > 0 then
+                  if not !seen then (best := arg.(i); seen := true)
+                  else if maximum then best := Float.max !best arg.(i)
+                  else best := Float.min !best arg.(i))
+              mult;
+            if not !seen then 1.0 else dist cmp !best rhs
+      in
+      go f
+
+let objective_term (c : Coeffs.t) mult =
+  match c.objective with
+  | None | Some None -> 0.0
+  | Some (Some (dir, coef)) ->
+      let s = ref 0.0 and scale = ref 1.0 in
+      Array.iter (fun x -> scale := Float.max !scale (Float.abs x)) coef;
+      Array.iteri
+        (fun i m -> if m > 0 then s := !s +. (float_of_int m *. coef.(i)))
+        mult;
+      let normalized = !s /. (!scale *. float_of_int (max 1 c.n)) in
+      (match dir with Ast.Maximize -> -.normalized | Ast.Minimize -> normalized)
+
+let energy params c mult =
+  violation c mult +. (params.objective_weight *. objective_term c mult)
+
+let search ?(params = default_params) (c : Coeffs.t) =
+  let rng = Prng.create params.seed in
+  let n = c.Coeffs.n in
+  if n = 0 then
+    { best = None; best_objective = None; steps_taken = 0; accepted = 0; valid_visits = 0 }
+  else begin
+    let bounds = Pruning.cardinality_bounds c in
+    let lo = max 0 bounds.Pruning.lo
+    and hi = min (n * c.Coeffs.max_mult) bounds.Pruning.hi in
+    if lo > hi then
+      { best = None; best_objective = None; steps_taken = 0; accepted = 0; valid_visits = 0 }
+    else begin
+      (* Random start within the pruning bounds. *)
+      let mult = Array.make n 0 in
+      let start_card = if lo >= hi then lo else Prng.int_in rng lo (min hi (lo + 32)) in
+      let placed = ref 0 and attempts = ref 0 in
+      while !placed < start_card && !attempts < 50 * (start_card + 1) do
+        incr attempts;
+        let i = Prng.int rng n in
+        if mult.(i) < c.Coeffs.max_mult then begin
+          mult.(i) <- mult.(i) + 1;
+          incr placed
+        end
+      done;
+      let temperature = ref params.initial_temperature in
+      let current_energy = ref (energy params c mult) in
+      let accepted = ref 0 and valid_visits = ref 0 in
+      let best_mult = ref None and best_obj = ref None in
+      let consider () =
+        if Coeffs.check_mult c mult then begin
+          incr valid_visits;
+          let obj = Coeffs.objective_of_mult c mult in
+          let dir =
+            match c.Coeffs.query.Ast.objective with
+            | Some (d, _) -> Some d
+            | None -> None
+          in
+          match (dir, obj, !best_obj) with
+          | None, _, _ -> if !best_mult = None then best_mult := Some (Array.copy mult)
+          | Some _, None, _ ->
+              if !best_mult = None then best_mult := Some (Array.copy mult)
+          | Some d, Some v, prev ->
+              let better =
+                match prev with None -> true | Some p -> Semantics.better d v p
+              in
+              if better then begin
+                best_mult := Some (Array.copy mult);
+                best_obj := Some v
+              end
+        end
+      in
+      consider ();
+      let card = ref (Array.fold_left ( + ) 0 mult) in
+      for _step = 1 to params.steps do
+        (* Propose: replace (common), add, or remove. *)
+        let kind = Prng.int rng 4 in
+        let proposal =
+          if kind <= 1 && !card > 0 then begin
+            (* replacement: random selected out, random in *)
+            let outs = ref [] in
+            Array.iteri (fun i m -> if m > 0 then outs := i :: !outs) mult;
+            let out = List.nth !outs (Prng.int rng (List.length !outs)) in
+            let inn = Prng.int rng n in
+            if inn <> out && mult.(inn) < c.Coeffs.max_mult then
+              Some ([ out ], [ inn ])
+            else None
+          end
+          else if kind = 2 && !card < hi then begin
+            let inn = Prng.int rng n in
+            if mult.(inn) < c.Coeffs.max_mult then Some ([], [ inn ]) else None
+          end
+          else if !card > lo && !card > 0 then begin
+            let outs = ref [] in
+            Array.iteri (fun i m -> if m > 0 then outs := i :: !outs) mult;
+            Some ([ List.nth !outs (Prng.int rng (List.length !outs)) ], [])
+          end
+          else None
+        in
+        (match proposal with
+        | None -> ()
+        | Some (outs, ins) ->
+            List.iter (fun i -> mult.(i) <- mult.(i) - 1) outs;
+            List.iter (fun i -> mult.(i) <- mult.(i) + 1) ins;
+            let delta_card = List.length ins - List.length outs in
+            card := !card + delta_card;
+            let proposed_energy = energy params c mult in
+            let delta = proposed_energy -. !current_energy in
+            let accept =
+              delta <= 0.0
+              || Prng.float rng 1.0 < exp (-.delta /. Float.max 1e-9 !temperature)
+            in
+            if accept then begin
+              incr accepted;
+              current_energy := proposed_energy;
+              consider ()
+            end
+            else begin
+              (* undo *)
+              List.iter (fun i -> mult.(i) <- mult.(i) + 1) outs;
+              List.iter (fun i -> mult.(i) <- mult.(i) - 1) ins;
+              card := !card - delta_card
+            end);
+        temperature := !temperature *. params.cooling
+      done;
+      {
+        best = Option.map (Coeffs.package_of_mult c) !best_mult;
+        best_objective = !best_obj;
+        steps_taken = params.steps;
+        accepted = !accepted;
+        valid_visits = !valid_visits;
+      }
+    end
+  end

@@ -1,0 +1,34 @@
+(** Simulated annealing over packages — an alternative heuristic to the
+    §4.2 greedy local search, provided for the ablation study (the paper:
+    "each of the evaluation techniques we adopted have different
+    strengths and weaknesses").
+
+    The state space is the multiplicity vector; moves are the same
+    replacement / add / remove set as {!Local_search}. The energy of a
+    state combines normalized constraint violation with a (scaled,
+    negated for MAXIMIZE) objective term, so the walk first finds the
+    feasible region and then drifts toward good objectives while still
+    escaping the local optima that stop hill climbing. Geometric cooling;
+    the best {e valid} state visited is returned, never the final one. *)
+
+type params = {
+  seed : int;
+  steps : int;  (** total proposals (default 20_000) *)
+  initial_temperature : float;  (** default 1.0 *)
+  cooling : float;  (** geometric factor per step (default 0.9995) *)
+  objective_weight : float;
+      (** weight of the objective in the energy relative to one unit of
+          constraint violation (default 0.1) *)
+}
+
+val default_params : params
+
+type outcome = {
+  best : Pb_paql.Package.t option;
+  best_objective : float option;
+  steps_taken : int;
+  accepted : int;  (** proposals accepted *)
+  valid_visits : int;  (** states passing the compiled validity check *)
+}
+
+val search : ?params:params -> Coeffs.t -> outcome

@@ -1,0 +1,112 @@
+module Ast = Pb_paql.Ast
+module Semantics = Pb_paql.Semantics
+
+type outcome = {
+  best : Pb_paql.Package.t option;
+  best_objective : float option;
+  examined : int;
+  complete : bool;
+}
+
+exception Stop
+
+type walk_state = {
+  mutable examined : int;
+  mutable best_mult : int array option;
+  mutable best_obj : float option;
+  mutable truncated : bool;
+}
+
+(* Enumerate multiplicity vectors of total cardinality within [lo, hi]
+   and call [visit] on each. Branches that cannot reach [lo] with the
+   remaining positions are cut. *)
+let walk ~n ~max_mult ~lo ~hi visit =
+  let mult = Array.make n 0 in
+  let rec go i total =
+    let remaining = (n - i) * max_mult in
+    if total > hi || total + remaining < lo then ()
+    else if i = n then visit mult
+    else
+      for m = 0 to max_mult do
+        mult.(i) <- m;
+        go (i + 1) (total + m);
+        mult.(i) <- 0
+      done
+  in
+  if lo <= hi then go 0 0
+
+let objective_dir (c : Coeffs.t) =
+  match c.query.objective with Some (dir, _) -> Some dir | None -> None
+
+(* Objective of a candidate multiplicity vector, by compiled coefficients
+   when linear, otherwise through the semantic oracle. *)
+let objective_of c mult =
+  match (c : Coeffs.t).objective with
+  | None -> None
+  | Some (Some _) -> Coeffs.objective_of_mult c mult
+  | Some None -> Semantics.objective_value ~db:c.Coeffs.db c.query (Coeffs.package_of_mult c mult)
+
+let search ?(use_pruning = true) ?(max_examined = 5_000_000) (c : Coeffs.t) =
+  let nm = c.n * c.max_mult in
+  let b =
+    if use_pruning then Pruning.cardinality_bounds c
+    else { Pruning.lo = 0; hi = nm }
+  in
+  let st =
+    { examined = 0; best_mult = None; best_obj = None; truncated = false }
+  in
+  let dir = objective_dir c in
+  let visit mult =
+    if st.examined >= max_examined then begin
+      st.truncated <- true;
+      raise Stop
+    end;
+    st.examined <- st.examined + 1;
+    if Coeffs.check_mult c mult then begin
+      match dir with
+      | None ->
+          st.best_mult <- Some (Array.copy mult);
+          raise Stop
+      | Some dir -> (
+          let obj = objective_of c mult in
+          match (obj, st.best_obj) with
+          | None, _ ->
+              (* NULL objective (e.g. empty package): keep only if nothing
+                 else was found. *)
+              if st.best_mult = None then st.best_mult <- Some (Array.copy mult)
+          | Some v, None ->
+              st.best_mult <- Some (Array.copy mult);
+              st.best_obj <- Some v
+          | Some v, Some best ->
+              if Semantics.better dir v best then begin
+                st.best_mult <- Some (Array.copy mult);
+                st.best_obj <- Some v
+              end)
+    end
+  in
+  (try walk ~n:c.n ~max_mult:c.max_mult ~lo:(max 0 b.lo) ~hi:(min nm b.hi) visit
+   with Stop -> ());
+  {
+    best = Option.map (Coeffs.package_of_mult c) st.best_mult;
+    best_objective = st.best_obj;
+    examined = st.examined;
+    complete = not st.truncated;
+  }
+
+let enumerate_valid ?(use_pruning = true) ?(limit = 10_000) (c : Coeffs.t) =
+  let nm = c.n * c.max_mult in
+  let b =
+    if use_pruning then Pruning.cardinality_bounds c
+    else { Pruning.lo = 0; hi = nm }
+  in
+  let out = ref [] and count = ref 0 in
+  let visit mult =
+    if Coeffs.check_mult c mult then begin
+      out := Coeffs.package_of_mult c (Array.copy mult) :: !out;
+      incr count;
+      if !count >= limit then raise Stop
+    end
+  in
+  (try walk ~n:c.n ~max_mult:c.max_mult ~lo:(max 0 b.lo) ~hi:(min nm b.hi) visit
+   with Stop -> ());
+  List.rev !out

@@ -1,0 +1,36 @@
+(** Exhaustive package enumeration — the paper's strawman ("a brute-force
+    approach that generates and evaluates all candidate packages is thus
+    impractical"), kept both as a correctness oracle for the other
+    strategies and as the baseline of experiments T1/T2.
+
+    With [use_pruning] the enumeration only visits cardinalities inside
+    the §4.1 bounds and cuts branches that cannot reach the lower bound;
+    without, it walks the full multiplicity space. *)
+
+type outcome = {
+  best : Pb_paql.Package.t option;
+      (** a valid package, objective-optimal among those examined *)
+  best_objective : float option;
+  examined : int;  (** candidate packages fully checked *)
+  complete : bool;
+      (** false when [max_examined] stopped the walk early, in which case
+          [best] is only best-so-far *)
+}
+
+val search :
+  ?use_pruning:bool ->
+  ?max_examined:int ->
+  Coeffs.t ->
+  outcome
+(** [use_pruning] defaults to true; [max_examined] (default 5_000_000)
+    bounds the number of candidate packages checked. For queries without
+    an objective the walk stops at the first valid package. *)
+
+val enumerate_valid :
+  ?use_pruning:bool ->
+  ?limit:int ->
+  Coeffs.t ->
+  Pb_paql.Package.t list
+(** All valid packages (up to [limit], default 10_000), in enumeration
+    order. Intended for small candidate sets: tests and the visual
+    summary of the exploration interface. *)

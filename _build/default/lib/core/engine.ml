@@ -1,0 +1,293 @@
+module Ast = Pb_paql.Ast
+module Package = Pb_paql.Package
+module Semantics = Pb_paql.Semantics
+module Model = Pb_lp.Model
+module Milp = Pb_lp.Milp
+
+type strategy =
+  | Brute_force of { use_pruning : bool }
+  | Ilp
+  | Local_search of Local_search.params
+  | Anneal of Annealing.params
+  | Sql_generation of Sql_generate.params
+  | Hybrid
+
+let strategy_name = function
+  | Brute_force { use_pruning = true } -> "brute-force+pruning"
+  | Brute_force { use_pruning = false } -> "brute-force"
+  | Ilp -> "ilp"
+  | Local_search _ -> "local-search"
+  | Anneal _ -> "annealing"
+  | Sql_generation _ -> "sql-generation"
+  | Hybrid -> "hybrid"
+
+type report = {
+  package : Package.t option;
+  objective : float option;
+  proven_optimal : bool;
+  strategy_used : string;
+  elapsed : float;
+  stats : (string * string) list;
+}
+
+let linearizable (c : Coeffs.t) =
+  Result.is_ok c.formula
+  && match c.objective with None | Some (Some _) -> true | Some None -> false
+
+(* Final safety net: never hand the user a package the reference
+   semantics rejects. *)
+let verified db (c : Coeffs.t) report =
+  match report.package with
+  | None -> report
+  | Some pkg ->
+      if Semantics.is_valid ~db c.query pkg then report
+      else
+        {
+          report with
+          package = None;
+          objective = None;
+          proven_optimal = false;
+          stats = ("verification", "answer failed semantic check") :: report.stats;
+        }
+
+let objective_of db (c : Coeffs.t) pkg =
+  match c.query.objective with
+  | None -> None
+  | Some _ -> Semantics.objective_value ~db c.query pkg
+
+let run_brute_force ~use_pruning ~max_examined (c : Coeffs.t) =
+  let out = Brute_force.search ~use_pruning ~max_examined c in
+  {
+    package = out.best;
+    objective = out.best_objective;
+    proven_optimal = out.complete;
+    strategy_used =
+      (if use_pruning then "brute-force+pruning" else "brute-force");
+    elapsed = 0.0;
+    stats =
+      [
+        ("candidates_examined", string_of_int out.examined);
+        ("complete", string_of_bool out.complete);
+      ];
+  }
+
+let run_ilp ~max_nodes db (c : Coeffs.t) =
+  if not (linearizable c) then
+    let reason =
+      match c.formula with
+      | Error r -> r
+      | Ok _ -> "objective is not linearizable"
+    in
+    {
+      package = None;
+      objective = None;
+      proven_optimal = false;
+      strategy_used = "ilp";
+      elapsed = 0.0;
+      stats = [ ("not_applicable", reason) ];
+    }
+  else begin
+    let t = Translate.build c in
+    let sol = Milp.solve ~max_nodes t.model in
+    let package, proven =
+      match sol.status with
+      | Milp.Optimal -> (Some (Translate.package_of_solution c t sol.x), true)
+      | Milp.Feasible when Array.length sol.x > 0 ->
+          (Some (Translate.package_of_solution c t sol.x), false)
+      | Milp.Feasible | Milp.Unbounded -> (None, false)
+      | Milp.Infeasible -> (None, true)
+    in
+    {
+      package;
+      objective = Option.map (fun _ -> sol.objective) package;
+      proven_optimal = proven;
+      strategy_used = "ilp";
+      elapsed = 0.0;
+      stats =
+        [
+          ("bb_nodes", string_of_int sol.nodes);
+          ("lp_iterations", string_of_int sol.lp_iterations);
+          ( "milp_status",
+            match sol.status with
+            | Milp.Optimal -> "optimal"
+            | Milp.Feasible -> "feasible"
+            | Milp.Infeasible -> "infeasible"
+            | Milp.Unbounded -> "unbounded" );
+        ];
+    }
+    |> fun report ->
+    match report.package with
+    | Some pkg -> { report with objective = objective_of db c pkg }
+    | None -> report
+  end
+
+let run_local_search ~params db (c : Coeffs.t) =
+  let out = Local_search.search ~params db c in
+  let objective =
+    match out.best with Some pkg -> objective_of db c pkg | None -> None
+  in
+  {
+    package = out.best;
+    objective;
+    proven_optimal = false;
+    strategy_used = "local-search";
+    elapsed = 0.0;
+    stats =
+      [
+        ("rounds", string_of_int out.stats.rounds);
+        ("sql_queries", string_of_int out.stats.sql_queries);
+        ("pairs_examined", string_of_int out.stats.pairs_examined);
+        ("restarts", string_of_int out.stats.restarts_used);
+      ];
+  }
+
+let run_anneal ~params db (c : Coeffs.t) =
+  let out = Annealing.search ~params c in
+  let objective =
+    match out.Annealing.best with
+    | Some pkg -> objective_of db c pkg
+    | None -> None
+  in
+  {
+    package = out.Annealing.best;
+    objective;
+    proven_optimal = false;
+    strategy_used = "annealing";
+    elapsed = 0.0;
+    stats =
+      [
+        ("steps", string_of_int out.Annealing.steps_taken);
+        ("accepted", string_of_int out.Annealing.accepted);
+        ("valid_visits", string_of_int out.Annealing.valid_visits);
+      ];
+  }
+
+let run_sql_generation ~params db (c : Coeffs.t) =
+  let out = Sql_generate.search ~params db c in
+  {
+    package = out.Sql_generate.best;
+    objective = out.Sql_generate.best_objective;
+    (* The per-cardinality queries enumerate the pruned space exhaustively, so an
+       applicable run is exact — including proving infeasibility. *)
+    proven_optimal = out.Sql_generate.applicable;
+    strategy_used = "sql-generation";
+    elapsed = 0.0;
+    stats =
+      (("queries_issued", string_of_int out.Sql_generate.queries_issued)
+      ::
+      (if out.Sql_generate.applicable then []
+       else [ ("not_applicable", out.Sql_generate.reason) ]));
+  }
+
+let better_report (c : Coeffs.t) a b =
+  match (a.package, b.package) with
+  | _, None -> a
+  | None, _ -> b
+  | Some pa, Some pb ->
+      if Pb_paql.Semantics.compare_quality c.query pa pb >= 0 then a else b
+
+let run_hybrid ~ilp_max_nodes ~bf_max_examined db (c : Coeffs.t) =
+  let tag report reason =
+    { report with stats = ("hybrid_choice", reason) :: report.stats }
+  in
+  if Cost_model.proven_infeasible c then
+    {
+      package = None;
+      objective = None;
+      proven_optimal = true;
+      strategy_used = "hybrid(pruning)";
+      elapsed = 0.0;
+      stats = [ ("hybrid_choice", "pruning bounds empty: proven infeasible") ];
+    }
+  else begin
+    (* Sec 5 "optimizing PaQL queries": choose by cost estimate rather
+       than fixed thresholds. *)
+    let choice = Cost_model.pick c in
+    let reason =
+      Printf.sprintf "cost model chose %s (%s)" choice.Cost_model.strategy_label
+        choice.Cost_model.note
+    in
+    let run = function
+      | "brute-force" ->
+          run_brute_force ~use_pruning:false ~max_examined:bf_max_examined c
+      | "brute-force+pruning" ->
+          run_brute_force ~use_pruning:true ~max_examined:bf_max_examined c
+      | "ilp" -> run_ilp ~max_nodes:ilp_max_nodes db c
+      | _ -> run_local_search ~params:Local_search.default_params db c
+    in
+    let report = run choice.Cost_model.strategy_label in
+    if choice.Cost_model.exact && not report.proven_optimal then
+      (* Budget ran out before a proof: keep the better of the partial
+         answer and a local-search pass. *)
+      let ls = run_local_search ~params:Local_search.default_params db c in
+      tag (better_report c report ls)
+        (reason ^ "; budget exhausted, kept best of it and local-search")
+    else tag report reason
+  end
+
+let evaluate_coeffs ?(strategy = Hybrid) ?(ilp_max_nodes = 200_000)
+    ?(bf_max_examined = 5_000_000) db (c : Coeffs.t) =
+  let report, elapsed =
+    Pb_util.Stats.timeit (fun () ->
+        match strategy with
+        | Brute_force { use_pruning } ->
+            run_brute_force ~use_pruning ~max_examined:bf_max_examined c
+        | Ilp -> run_ilp ~max_nodes:ilp_max_nodes db c
+        | Local_search params -> run_local_search ~params db c
+        | Anneal params -> run_anneal ~params db c
+        | Sql_generation params -> run_sql_generation ~params db c
+        | Hybrid -> run_hybrid ~ilp_max_nodes ~bf_max_examined db c)
+  in
+  verified db c { report with elapsed }
+
+let evaluate ?strategy ?ilp_max_nodes ?bf_max_examined db query =
+  evaluate_coeffs ?strategy ?ilp_max_nodes ?bf_max_examined db
+    (Coeffs.make db query)
+
+let next_packages ?(limit = 5) ?(ilp_max_nodes = 200_000) db query =
+  let c = Coeffs.make db query in
+  if linearizable c && c.max_mult = 1 then begin
+    let t = Translate.build c in
+    let cut_count = ref 0 in
+    let rec loop acc k =
+      if k = 0 then List.rev acc
+      else
+        let sol = Milp.solve ~max_nodes:ilp_max_nodes t.model in
+        match sol.status with
+        | Milp.Optimal | Milp.Feasible when Array.length sol.x > 0 ->
+            let pkg = Translate.package_of_solution c t sol.x in
+            if not (Semantics.is_valid ~db query pkg) then List.rev acc
+            else begin
+              (* No-good cut over the tuple variables only, so that two
+                 solver points differing only in indicator variables do
+                 not yield the same package twice. *)
+              let terms = ref [] and ones = ref 0 in
+              Array.iter
+                (fun v ->
+                  if Float.round sol.x.(v) >= 0.5 then begin
+                    terms := (-1.0, v) :: !terms;
+                    incr ones
+                  end
+                  else terms := (1.0, v) :: !terms)
+                t.vars;
+              incr cut_count;
+              Model.add_constr t.model
+                ~name:(Printf.sprintf "pkg_nogood%d" !cut_count)
+                !terms Model.Ge
+                (1.0 -. float_of_int !ones);
+              loop (pkg :: acc) (k - 1)
+            end
+        | _ -> List.rev acc
+    in
+    loop [] limit
+  end
+  else begin
+    (* Enumeration fallback: collect valid packages and sort by quality. *)
+    let all = Brute_force.enumerate_valid ~limit:50_000 c in
+    let sorted =
+      List.stable_sort
+        (fun a b -> Semantics.compare_quality query b a)
+        all
+    in
+    List.filteri (fun i _ -> i < limit) sorted
+  end

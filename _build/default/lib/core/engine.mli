@@ -1,0 +1,74 @@
+(** Package-query evaluation engine.
+
+    Entry point for running a PaQL query against a database with one of
+    the paper's strategies, or with the hybrid policy that "heuristically
+    combines all of them" (§5):
+
+    + derive §4.1 cardinality bounds — an empty interval proves
+      infeasibility outright;
+    + otherwise ask {!Cost_model} for per-strategy cost estimates and run
+      the cheapest exact strategy when one is affordable (within 10× of
+      the overall cheapest), else the cheapest heuristic;
+    + when the chosen strategy exhausts its budget without a proof, fall
+      back to heuristic local search and keep the better answer. *)
+
+type strategy =
+  | Brute_force of { use_pruning : bool }
+  | Ilp
+  | Local_search of Local_search.params
+  | Anneal of Annealing.params
+      (** simulated annealing (ablation alternative to local search) *)
+  | Sql_generation of Sql_generate.params
+      (** §4 option (i): enumerate candidate packages with SQL self-joins;
+          exact but only applicable for narrow cardinality bounds *)
+  | Hybrid
+
+val strategy_name : strategy -> string
+
+type report = {
+  package : Pb_paql.Package.t option;  (** None: no valid package found *)
+  objective : float option;
+  proven_optimal : bool;
+      (** true when the strategy proves optimality (or, for objective-less
+          queries, when a package is found / infeasibility is proven) *)
+  strategy_used : string;  (** strategy that produced the answer *)
+  elapsed : float;  (** wall-clock seconds *)
+  stats : (string * string) list;  (** per-strategy counters for display *)
+}
+
+val evaluate :
+  ?strategy:strategy ->
+  ?ilp_max_nodes:int ->
+  ?bf_max_examined:int ->
+  Pb_sql.Database.t ->
+  Pb_paql.Ast.t ->
+  report
+(** Parse-tree-in, package-out evaluation ([strategy] defaults to
+    [Hybrid]). Every returned package has been re-checked against the
+    {!Pb_paql.Semantics} oracle; a strategy whose answer fails the oracle
+    is reported as having found nothing (with a ["verification"] stat),
+    rather than returning a wrong package. *)
+
+val evaluate_coeffs :
+  ?strategy:strategy ->
+  ?ilp_max_nodes:int ->
+  ?bf_max_examined:int ->
+  Pb_sql.Database.t ->
+  Coeffs.t ->
+  report
+(** Same, reusing a prepared {!Coeffs.t} (benchmarks call this to keep
+    candidate generation out of the measured region). *)
+
+val next_packages :
+  ?limit:int ->
+  ?ilp_max_nodes:int ->
+  Pb_sql.Database.t ->
+  Pb_paql.Ast.t ->
+  Pb_paql.Package.t list
+(** Successive packages, best first (§5 "retrieving more packages
+    requires modifying and re-evaluating the query"): re-solves the ILP
+    adding a no-good cut over the tuple variables after each answer, so
+    indicator variables never spuriously differentiate packages. Falls
+    back to pruned enumeration when the query is not linearizable.
+    [limit] defaults to 5. Requires a query without REPEAT for the ILP
+    path (cuts are binary); REPEAT queries use the enumeration path. *)

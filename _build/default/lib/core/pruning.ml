@@ -1,0 +1,137 @@
+module Analyze = Pb_paql.Analyze
+
+type bounds = { lo : int; hi : int }
+
+let bounds_to_string b =
+  if b.lo > b.hi then "[empty]" else Printf.sprintf "[%d, %d]" b.lo b.hi
+
+let eps = 1e-9
+
+let clamp nm b = { lo = max 0 b.lo; hi = min nm b.hi }
+let full nm = { lo = 0; hi = nm }
+let empty_bounds = { lo = 1; hi = 0 }
+let inter a b = { lo = max a.lo b.lo; hi = min a.hi b.hi }
+let hull a b =
+  if a.lo > a.hi then b
+  else if b.lo > b.hi then a
+  else { lo = min a.lo b.lo; hi = max a.hi b.hi }
+
+(* Largest integer k with k*c <= r (c > 0). *)
+let floor_div r c = int_of_float (Float.floor ((r /. c) +. eps))
+
+(* Smallest integer k with k*c >= r (c > 0). *)
+let ceil_div r c = int_of_float (Float.ceil ((r /. c) -. eps))
+
+let array_min a = Array.fold_left Float.min infinity a
+let array_max a = Array.fold_left Float.max neg_infinity a
+
+(* Keep cardinalities k such that a package of cardinality k can possibly
+   satisfy the atom; see the .mli for the soundness argument. *)
+let atom_bounds nm atom =
+  match atom with
+  | Coeffs.C_avg _ | Coeffs.C_ext _ ->
+      (* AVG/MIN/MAX of an empty package is NULL, hence unsatisfied. *)
+      { lo = 1; hi = nm }
+  | Coeffs.C_linear { coef; cmp; rhs; has_sum } -> (
+      let raise_lo b = if has_sum then { b with lo = max 1 b.lo } else b in
+      if Array.length coef = 0 then
+        (* No candidates: only the empty package exists. *)
+        if
+          Analyze.eval_cmp cmp 0.0 rhs
+        then { lo = 0; hi = 0 }
+        else empty_bounds
+      else
+        let minc = array_min coef and maxc = array_max coef in
+        let strict = match cmp with Analyze.Lt | Analyze.Gt -> true | _ -> false in
+        match cmp with
+        | Analyze.Le | Analyze.Lt ->
+            (* feasible k: k * minc (cmp) rhs *)
+            let rhs = if strict then rhs -. eps else rhs in
+            raise_lo
+              (if minc > eps then { lo = 0; hi = floor_div rhs minc }
+               else if minc < -.eps then { lo = ceil_div rhs minc; hi = nm }
+               else if 0.0 <= rhs then full nm
+               else { lo = 1; hi = nm })
+            (* minc = 0, rhs < 0: the k = 0 package has sum 0 > rhs, so at
+               least one tuple with a negative-able sum is needed; only
+               k = 0 can be pruned soundly. *)
+        | Analyze.Ge | Analyze.Gt ->
+            let rhs = if strict then rhs +. eps else rhs in
+            raise_lo
+              (if maxc > eps then { lo = ceil_div rhs maxc; hi = nm }
+               else if maxc < -.eps then { lo = 0; hi = floor_div rhs maxc }
+               else if 0.0 >= rhs then full nm
+               else { lo = 1; hi = nm }))
+
+let rec formula_bounds nm f =
+  match f with
+  | Coeffs.C_true -> full nm
+  | Coeffs.C_false -> empty_bounds
+  | Coeffs.C_atom a -> clamp nm (atom_bounds nm a)
+  | Coeffs.C_and fs ->
+      List.fold_left (fun acc f -> inter acc (formula_bounds nm f)) (full nm) fs
+  | Coeffs.C_or fs ->
+      List.fold_left
+        (fun acc f -> hull acc (formula_bounds nm f))
+        empty_bounds fs
+
+let cardinality_bounds (c : Coeffs.t) =
+  let nm = c.n * c.max_mult in
+  match c.formula with
+  | Ok f -> formula_bounds nm f
+  | Error _ -> full nm
+
+let log2_unpruned (c : Coeffs.t) =
+  float_of_int c.n *. (log (float_of_int (c.max_mult + 1)) /. log 2.0)
+
+(* Number of multisets of cardinality k over n items, each used at most m
+   times, in log space: coefficient of z^k in (1 + z + ... + z^m)^n. *)
+let log_bounded_multisets n m k =
+  if k = 0 then 0.0
+  else if m = 1 then Pb_util.Stats.log_binomial n k
+  else if m >= k then
+    (* Bound never binds: plain multiset count C(n+k-1, k). *)
+    Pb_util.Stats.log_binomial (n + k - 1) k
+  else begin
+    (* Inclusion–exclusion:
+       Σ_j (-1)^j C(n,j) C(n + k - j(m+1) - 1, n - 1), combined as a
+       signed log-sum-exp to stay in range. *)
+    let terms = ref [] in
+    let j = ref 0 in
+    while !j * (m + 1) <= k do
+      let sign = if !j mod 2 = 0 then 1.0 else -1.0 in
+      let t =
+        Pb_util.Stats.log_binomial n !j
+        +. Pb_util.Stats.log_binomial (n + k - (!j * (m + 1)) - 1) (n - 1)
+      in
+      terms := (sign, t) :: !terms;
+      incr j
+    done;
+    let peak = List.fold_left (fun acc (_, t) -> Float.max acc t) neg_infinity !terms in
+    if peak = neg_infinity then neg_infinity
+    else
+      let scaled =
+        List.fold_left (fun acc (s, t) -> acc +. (s *. exp (t -. peak))) 0.0 !terms
+      in
+      if scaled <= 0.0 then neg_infinity else peak +. log scaled
+  end
+
+let log2_pruned (c : Coeffs.t) b =
+  let nm = c.n * c.max_mult in
+  let lo = max 0 b.lo and hi = min nm b.hi in
+  if lo > hi then neg_infinity
+  else if c.max_mult = 1 then
+    Pb_util.Stats.binomial_range_log c.n lo hi /. log 2.0
+  else begin
+    let terms = ref [] in
+    for k = lo to hi do
+      terms := log_bounded_multisets c.n c.max_mult k :: !terms
+    done;
+    Pb_util.Stats.log_sum_exp !terms /. log 2.0
+  end
+
+let reduction_factor_log10 c b =
+  let unpruned = log2_unpruned c *. log 2.0 in
+  let pruned = log2_pruned c b *. log 2.0 in
+  if pruned = neg_infinity then infinity
+  else (unpruned -. pruned) /. log 10.0

@@ -1,0 +1,40 @@
+(** Cardinality-based pruning (§4.1).
+
+    For every global constraint the strategy derives lower/upper bounds on
+    the cardinality of any package that can satisfy it, then combines the
+    bounds across the Boolean structure: intersection under AND, convex
+    hull under OR. The derivations generalize the paper's two examples:
+
+    - a ≤ COUNT ≤ b gives [a, b] directly;
+    - L ≤ SUM(attr) ≤ U over positive attributes gives
+      [ceil(L / max(attr)), floor(U / min(attr))].
+
+    For a linear atom Σ cᵢ·xᵢ ≤ U the same argument uses the smallest and
+    largest per-tuple coefficients; bounds are only claimed when the sign
+    conditions make them sound (e.g. no upper bound is derived from a ≤
+    constraint whose coefficients can be ≤ 0), so pruning never loses a
+    valid package — the property test in the suite checks exactly this. *)
+
+type bounds = { lo : int; hi : int }
+(** Inclusive cardinality interval; [lo > hi] denotes the empty interval
+    (the constraints are unsatisfiable at every cardinality). [hi] is
+    always clamped to n·max_mult. *)
+
+val bounds_to_string : bounds -> string
+
+val cardinality_bounds : Coeffs.t -> bounds
+(** Bounds for the query's formula; opaque formulas yield the trivial
+    [0, n·max_mult]. *)
+
+val log2_unpruned : Coeffs.t -> float
+(** log₂ of the unpruned candidate-package count: 2ⁿ without REPEAT,
+    (max_mult+1)ⁿ with. *)
+
+val log2_pruned : Coeffs.t -> bounds -> float
+(** log₂ of Σ_{c=lo..hi} (number of packages of cardinality c).
+    Exact binomial sums without REPEAT; with REPEAT, counts bounded
+    multisets via a dynamic program in log space. [neg_infinity] for the
+    empty interval. *)
+
+val reduction_factor_log10 : Coeffs.t -> bounds -> float
+(** log₁₀(unpruned / pruned) — the headline number for experiment T1. *)

@@ -1,0 +1,250 @@
+module Analyze = Pb_paql.Analyze
+module Ast = Pb_paql.Ast
+module Semantics = Pb_paql.Semantics
+module Relation = Pb_relation.Relation
+module Schema = Pb_relation.Schema
+module Value = Pb_relation.Value
+
+type params = { max_width : int; max_join_rows : float }
+
+let default_params = { max_width = 4; max_join_rows = 2e6 }
+
+type outcome = {
+  best : Pb_paql.Package.t option;
+  best_objective : float option;
+  queries_issued : int;
+  sql : string list;
+  applicable : bool;
+  reason : string;
+}
+
+let not_applicable reason =
+  {
+    best = None;
+    best_objective = None;
+    queries_issued = 0;
+    sql = [];
+    applicable = false;
+    reason;
+  }
+
+let tmp_table = "__pb_gen"
+
+let acol j = Printf.sprintf "a%d" j
+
+let fnum x = Printf.sprintf "%.12g" x
+
+(* Flatten the compiled formula's atoms so each gets a value column. *)
+let rec collect_atoms acc = function
+  | Coeffs.C_true | Coeffs.C_false -> acc
+  | Coeffs.C_atom a -> a :: acc
+  | Coeffs.C_and fs | Coeffs.C_or fs -> List.fold_left collect_atoms acc fs
+
+let atom_values atom =
+  match atom with
+  | Coeffs.C_linear { coef; _ } -> coef
+  | Coeffs.C_avg { arg; _ } -> arg
+  | Coeffs.C_ext { arg; _ } -> arg
+
+(* SQL condition for a formula over aliases r1..rc; [atom_id] maps the
+   physical atom to its column index. *)
+let rec condition_of ~atom_col ~card formula =
+  match formula with
+  | Coeffs.C_true -> "TRUE"
+  | Coeffs.C_false -> "FALSE"
+  | Coeffs.C_and fs ->
+      "("
+      ^ String.concat " AND " (List.map (condition_of ~atom_col ~card) fs)
+      ^ ")"
+  | Coeffs.C_or fs ->
+      "("
+      ^ String.concat " OR " (List.map (condition_of ~atom_col ~card) fs)
+      ^ ")"
+  | Coeffs.C_atom atom -> (
+      let j = atom_col atom in
+      let sum =
+        String.concat " + "
+          (List.init card (fun t -> Printf.sprintf "r%d.%s" (t + 1) (acol j)))
+      in
+      match atom with
+      | Coeffs.C_linear { cmp; rhs; _ } ->
+          Printf.sprintf "(%s %s %s)" sum (Analyze.cmp_to_string cmp) (fnum rhs)
+      | Coeffs.C_avg { cmp; rhs; _ } ->
+          Printf.sprintf "(%s %s %s)" sum (Analyze.cmp_to_string cmp)
+            (fnum (rhs *. float_of_int card))
+      | Coeffs.C_ext { maximum; cmp; rhs; _ } ->
+          let witness_side =
+            match (maximum, cmp) with
+            | false, (Analyze.Le | Analyze.Lt) -> true
+            | true, (Analyze.Ge | Analyze.Gt) -> true
+            | _ -> false
+          in
+          let per_alias t =
+            Printf.sprintf "r%d.%s %s %s" (t + 1) (acol j)
+              (Analyze.cmp_to_string cmp) (fnum rhs)
+          in
+          let parts = List.init card per_alias in
+          if witness_side then "(" ^ String.concat " OR " parts ^ ")"
+          else "(" ^ String.concat " AND " parts ^ ")")
+
+let search ?(params = default_params) db (c : Coeffs.t) =
+  match c.Coeffs.formula with
+  | Error reason -> not_applicable ("formula not linearizable: " ^ reason)
+  | Ok formula -> (
+      if c.Coeffs.max_mult > 1 then not_applicable "REPEAT not supported"
+      else
+        match c.Coeffs.objective with
+        | Some None -> not_applicable "objective not linearizable"
+        | (None | Some (Some _)) as objective -> (
+            let bounds = Pruning.cardinality_bounds c in
+            let lo = max 0 bounds.Pruning.lo
+            and hi = min c.Coeffs.n bounds.Pruning.hi in
+            if lo > hi then
+              {
+                (not_applicable "") with
+                applicable = true;
+                reason = "pruning bounds empty";
+              }
+            else if hi > params.max_width then
+              not_applicable
+                (Printf.sprintf "cardinality bound %d exceeds max join width %d"
+                   hi params.max_width)
+            else if
+              float_of_int c.Coeffs.n ** float_of_int hi > params.max_join_rows
+            then
+              not_applicable
+                (Printf.sprintf "n^%d exceeds the join-row budget" hi)
+            else begin
+              (* Install the candidate table with per-atom value columns
+                 and the objective column. *)
+              let atoms = List.rev (collect_atoms [] formula) in
+              let atom_col atom =
+                let rec find i = function
+                  | [] -> assert false
+                  | a :: rest -> if a == atom then i else find (i + 1) rest
+                in
+                find 0 atoms
+              in
+              let natoms = List.length atoms in
+              let obj_coef =
+                match objective with
+                | Some (Some (_, coef)) -> Some coef
+                | _ -> None
+              in
+              let columns =
+                { Schema.name = "cand"; ty = Value.T_int }
+                :: List.init natoms (fun j ->
+                       { Schema.name = acol j; ty = Value.T_float })
+                @ [ { Schema.name = "obj"; ty = Value.T_float } ]
+              in
+              let values = List.map atom_values atoms in
+              let rows =
+                List.init c.Coeffs.n (fun i ->
+                    Array.of_list
+                      (Value.Int i
+                      :: List.map (fun v -> Value.Float v.(i)) values
+                      @ [
+                          Value.Float
+                            (match obj_coef with
+                            | Some coef -> coef.(i)
+                            | None -> 0.0);
+                        ]))
+              in
+              Pb_sql.Database.put db tmp_table
+                (Relation.create (Schema.make columns) rows);
+              let issued = ref [] in
+              let best_mult = ref None and best_obj = ref None in
+              let dir =
+                match c.Coeffs.query.Ast.objective with
+                | Some (d, _) -> Some d
+                | None -> None
+              in
+              let consider mult =
+                if Coeffs.check_mult c mult then begin
+                  let obj = Coeffs.objective_of_mult c mult in
+                  match (dir, obj, !best_obj) with
+                  | None, _, _ ->
+                      if !best_mult = None then best_mult := Some mult
+                  | Some _, None, _ ->
+                      if !best_mult = None then best_mult := Some mult
+                  | Some d, Some v, prev ->
+                      let better =
+                        match prev with
+                        | None -> true
+                        | Some p -> Semantics.better d v p
+                      in
+                      if better then begin
+                        best_mult := Some mult;
+                        best_obj := Some v
+                      end
+                end
+              in
+              Fun.protect
+                ~finally:(fun () -> Pb_sql.Database.drop db tmp_table)
+                (fun () ->
+                  for card = lo to hi do
+                    if card = 0 then
+                      (* The empty package needs no query. *)
+                      consider (Array.make c.Coeffs.n 0)
+                    else begin
+                      let aliases =
+                        List.init card (fun t ->
+                            Printf.sprintf "%s r%d" tmp_table (t + 1))
+                      in
+                      let selects =
+                        List.init card (fun t ->
+                            Printf.sprintf "r%d.cand AS c%d" (t + 1) (t + 1))
+                      in
+                      let dedup =
+                        List.init (card - 1) (fun t ->
+                            Printf.sprintf "r%d.cand < r%d.cand" (t + 1) (t + 2))
+                      in
+                      let where =
+                        String.concat " AND "
+                          (condition_of ~atom_col ~card formula :: dedup)
+                      in
+                      let order =
+                        match dir with
+                        | Some Ast.Maximize ->
+                            Printf.sprintf " ORDER BY %s DESC"
+                              (String.concat " + "
+                                 (List.init card (fun t ->
+                                      Printf.sprintf "r%d.obj" (t + 1))))
+                        | Some Ast.Minimize ->
+                            Printf.sprintf " ORDER BY %s ASC"
+                              (String.concat " + "
+                                 (List.init card (fun t ->
+                                      Printf.sprintf "r%d.obj" (t + 1))))
+                        | None -> ""
+                      in
+                      let sql =
+                        Printf.sprintf "SELECT %s FROM %s WHERE %s%s LIMIT 1"
+                          (String.concat ", " selects)
+                          (String.concat ", " aliases)
+                          where order
+                      in
+                      issued := sql :: !issued;
+                      match Pb_sql.Executor.execute_sql db sql with
+                      | Pb_sql.Executor.Rows rel
+                        when Relation.cardinality rel > 0 ->
+                          let row = Relation.row rel 0 in
+                          let mult = Array.make c.Coeffs.n 0 in
+                          Array.iter
+                            (fun v ->
+                              match Value.to_int v with
+                              | Some i -> mult.(i) <- mult.(i) + 1
+                              | None -> ())
+                            row;
+                          consider mult
+                      | _ -> ()
+                    end
+                  done);
+              {
+                best = Option.map (Coeffs.package_of_mult c) !best_mult;
+                best_objective = !best_obj;
+                queries_issued = List.length !issued;
+                sql = List.rev !issued;
+                applicable = true;
+                reason = "";
+              }
+            end))

@@ -1,0 +1,44 @@
+(** SQL-based candidate-package generation — the paper's evaluation
+    option (i): "The system either: (i) uses SQL statements to generate
+    and validate candidate packages; or (ii) translates package queries
+    to constraint optimization problems" (§4).
+
+    For each cardinality c inside the §4.1 pruning bounds, one SQL query
+    enumerates the valid packages of that cardinality directly in the
+    DBMS: a c-way self-join of the candidate relation with
+    [r1.cand < r2.cand < ...] to avoid permutations, the global
+    constraints rewritten over per-alias aggregate columns
+    ([r1.a0 + r2.a0 + r3.a0 BETWEEN 2000 AND 2500]), and
+    [ORDER BY objective LIMIT 1] to fetch the best package per
+    cardinality. The best answer across cardinalities is exact.
+
+    Applicability is the method's point — and its weakness, which is why
+    the paper pairs it with solvers: the join materializes O(n^c) rows,
+    so the strategy declines when the §4.1 bounds allow cardinalities
+    above [max_width] or when n^c exceeds [max_join_rows]; it also
+    requires a linearized formula (MIN/MAX atoms become per-alias
+    conjunctions / disjunctions, so the whole compiled formula class is
+    expressible) and no REPEAT. Experiment T9 measures the crossover
+    against the ILP path. *)
+
+type params = {
+  max_width : int;  (** largest cardinality attempted (default 4) *)
+  max_join_rows : float;  (** n^c budget per query (default 2e6) *)
+}
+
+val default_params : params
+
+type outcome = {
+  best : Pb_paql.Package.t option;
+  best_objective : float option;
+  queries_issued : int;
+  sql : string list;  (** the generation queries, for EXPLAIN/tests *)
+  applicable : bool;
+  reason : string;  (** why not applicable, or "" *)
+}
+
+val search :
+  ?params:params -> Pb_sql.Database.t -> Coeffs.t -> outcome
+(** Exact when [applicable] is true: every cardinality within the pruning
+    bounds is enumerated by a query. Temporary tables are installed under
+    [__pb_gen] and dropped afterwards. *)

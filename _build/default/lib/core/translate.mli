@@ -1,0 +1,39 @@
+(** PaQL → integer linear program (the §4 solver path: "a PaQL query is
+    translated into a linear program and then solved using existing
+    constraint solvers").
+
+    One integer decision variable per candidate tuple holds its package
+    multiplicity (binary without REPEAT, [0, 1+k] with REPEAT k). The
+    SUCH THAT formula maps to rows as follows:
+
+    - a linear atom becomes one constraint whose coefficients are the
+      precomputed per-tuple aggregate contributions;
+    - AVG(e) cmp c becomes Σ (eᵢ - c)·xᵢ cmp 0 together with COUNT ≥ 1;
+    - MIN(e) ≥ c (resp. MAX(e) ≤ c) zeroes out the variables of tuples
+      violating the bound, plus COUNT ≥ 1;
+    - MIN(e) ≤ c (resp. MAX(e) ≥ c) requires a witness:
+      Σ_{i : eᵢ ≤ c} xᵢ ≥ 1;
+    - disjunctions introduce one binary indicator per branch with
+      Σ indicators ≥ 1, and every atom inside a branch is big-M-relaxed
+      against its indicator (the big-M is computed per atom from the
+      variable bounds, so the relaxation stays as tight as the data
+      allows). Nested And/Or structures recurse with indicator linking.
+
+    Strict comparisons are tightened by a small epsilon (1e-6); with
+    integer-valued data this is exact.
+
+    Raises [Failure] when the formula or the objective is not
+    linearizable — callers check {!Coeffs.t.formula} first. *)
+
+type t = {
+  model : Pb_lp.Model.t;
+  vars : int array;  (** vars.(i) = model variable of candidate tuple i *)
+}
+
+val build : Coeffs.t -> t
+(** Model with multiplicity variables, all constraint rows, and the
+    (possibly zero) objective. *)
+
+val package_of_solution : Coeffs.t -> t -> float array -> Pb_paql.Package.t
+(** Round the solver point's tuple variables to a package (indicator
+    variables are ignored). *)

@@ -1,0 +1,1 @@
+lib/explore/complete.ml: List Option Pb_relation Pb_sql Printf String

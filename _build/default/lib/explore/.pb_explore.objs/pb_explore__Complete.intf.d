@@ -1,0 +1,1 @@
+lib/explore/complete.mli: Pb_sql

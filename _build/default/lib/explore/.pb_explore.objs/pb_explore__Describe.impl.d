@@ -1,0 +1,1 @@
+lib/explore/describe.ml: Buffer List Pb_paql Pb_relation Pb_sql Printf String

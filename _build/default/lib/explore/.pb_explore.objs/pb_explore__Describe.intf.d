@@ -1,0 +1,1 @@
+lib/explore/describe.mli: Pb_paql Pb_sql

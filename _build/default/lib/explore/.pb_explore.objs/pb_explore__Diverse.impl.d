@@ -1,0 +1,1 @@
+lib/explore/diverse.ml: Float Int List Option Pb_core Pb_paql Set

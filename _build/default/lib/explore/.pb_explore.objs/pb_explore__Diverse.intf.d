@@ -1,0 +1,1 @@
+lib/explore/diverse.mli: Pb_paql Pb_sql

@@ -1,0 +1,1 @@
+lib/explore/session.ml: Array Float List Pb_core Pb_lp Pb_paql Pb_relation Pb_sql Pb_util Printf Result String Suggest

@@ -1,0 +1,1 @@
+lib/explore/session.mli: Pb_paql Pb_sql Suggest

@@ -1,0 +1,1 @@
+lib/explore/suggest.ml: Float Hashtbl List Option Pb_paql Pb_relation Pb_sql Pb_util Printf String

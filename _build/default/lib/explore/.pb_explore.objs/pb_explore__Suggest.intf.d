@@ -1,0 +1,1 @@
+lib/explore/suggest.mli: Pb_paql Pb_sql

@@ -1,0 +1,1 @@
+lib/explore/summary.ml: Array Buffer Float List Option Pb_core Pb_paql Pb_relation Pb_sql Pb_util Printf String

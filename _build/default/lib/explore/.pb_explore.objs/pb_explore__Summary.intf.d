@@ -1,0 +1,1 @@
+lib/explore/summary.mli: Pb_paql Pb_sql

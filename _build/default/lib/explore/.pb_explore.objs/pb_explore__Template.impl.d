@@ -1,0 +1,1 @@
+lib/explore/template.ml: Buffer Describe List Pb_core Pb_paql Pb_sql Printf Summary

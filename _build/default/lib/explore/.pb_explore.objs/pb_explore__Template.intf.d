@@ -1,0 +1,1 @@
+lib/explore/template.mli: Pb_paql Pb_sql

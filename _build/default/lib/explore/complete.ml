@@ -1,0 +1,169 @@
+module Lexer = Pb_sql.Lexer
+module Schema = Pb_relation.Schema
+module Relation = Pb_relation.Relation
+
+(* Clause the cursor sits in, tracked by the last structural keyword. *)
+type clause =
+  | At_start
+  | After_select
+  | After_package_open  (* inside PACKAGE( *)
+  | After_package_close
+  | After_as
+  | In_from
+  | After_table
+  | After_alias
+  | After_repeat
+  | In_where
+  | In_such_that
+  | In_objective
+
+type context = {
+  mutable clause : clause;
+  mutable table : string option;
+  mutable alias : string option;
+  mutable package_alias : string option;
+  mutable last : Lexer.token;
+}
+
+let is_word_char ch =
+  (ch >= 'a' && ch <= 'z') || (ch >= 'A' && ch <= 'Z') || (ch >= '0' && ch <= '9')
+  || ch = '_'
+
+(* Split the prefix into the completed part and a trailing partial word. *)
+let split_word text =
+  let n = String.length text in
+  let rec back i = if i > 0 && is_word_char text.[i - 1] then back (i - 1) else i in
+  let start = back n in
+  (* A partial word glued to a '.' (e.g. "r.cal") keeps the qualifier in
+     the word so column filtering sees it. *)
+  let start =
+    if start > 0 && text.[start - 1] = '.' then
+      let q = back (start - 1) in
+      if q < start - 1 then q else start
+    else start
+  in
+  (String.sub text 0 start, String.sub text start (n - start))
+
+let scan text =
+  match Lexer.tokenize text with
+  | exception Lexer.Lex_error _ -> None
+  | tokens ->
+      let ctx =
+        {
+          clause = At_start;
+          table = None;
+          alias = None;
+          package_alias = None;
+          last = Lexer.Eof;
+        }
+      in
+      let expecting_package_alias = ref false in
+      List.iter
+        (fun token ->
+          (match token with
+          | Lexer.Keyword "SELECT" -> ctx.clause <- After_select
+          | Lexer.Keyword "PACKAGE" -> ()
+          | Lexer.Lparen when ctx.clause = After_select ->
+              ctx.clause <- After_package_open
+          | Lexer.Rparen when ctx.clause = After_package_open ->
+              ctx.clause <- After_package_close
+          | Lexer.Keyword "AS" when ctx.clause = After_package_close ->
+              ctx.clause <- After_as;
+              expecting_package_alias := true
+          | Lexer.Keyword "FROM" -> ctx.clause <- In_from
+          | Lexer.Keyword "REPEAT" -> ctx.clause <- After_repeat
+          | Lexer.Keyword "WHERE" -> ctx.clause <- In_where
+          | Lexer.Keyword "THAT" -> ctx.clause <- In_such_that
+          | Lexer.Keyword "SUCH" -> ()
+          | Lexer.Keyword ("MAXIMIZE" | "MINIMIZE") -> ctx.clause <- In_objective
+          | Lexer.Ident name -> (
+              match ctx.clause with
+              | After_as when !expecting_package_alias ->
+                  ctx.package_alias <- Some name;
+                  expecting_package_alias := false
+              | In_from when ctx.table = None -> (
+                  ctx.table <- Some name;
+                  ctx.clause <- After_table;
+                  (* default alias = table name until an alias appears *)
+                  match ctx.alias with None -> ctx.alias <- Some name | Some _ -> ())
+              | After_table ->
+                  ctx.alias <- Some name;
+                  ctx.clause <- After_alias
+              | _ -> ())
+          | _ -> ());
+          if token <> Lexer.Eof then ctx.last <- token)
+        tokens;
+      Some ctx
+
+let table_columns db table =
+  match Pb_sql.Database.find db table with
+  | Some rel -> Schema.names (Relation.schema rel)
+  | None -> []
+
+let qualified_columns db ctx qualifier =
+  match ctx.table with
+  | None -> []
+  | Some table ->
+      List.map
+        (fun col -> Printf.sprintf "%s.%s" qualifier col)
+        (table_columns db table)
+
+let comparison_follow = [ "="; "<"; "<="; ">"; ">="; "<>"; "BETWEEN"; "IN" ]
+
+let connectives = [ "AND"; "OR" ]
+
+let aggregates = [ "COUNT(*)"; "SUM("; "AVG("; "MIN("; "MAX(" ]
+
+(* Is the previous token a complete value/expression end, so that an
+   operator or connective comes next? *)
+let after_value = function
+  | Lexer.Ident _ | Lexer.Int_lit _ | Lexer.Float_lit _ | Lexer.Str_lit _
+  | Lexer.Rparen | Lexer.Star ->
+      true
+  | _ -> false
+
+let candidates db ctx =
+  match ctx.clause with
+  | At_start -> [ "SELECT" ]
+  | After_select -> [ "PACKAGE(" ]
+  | After_package_open -> [ ")" ]
+  | After_package_close -> [ "AS"; "FROM" ]
+  | After_as -> [ "FROM" ]
+  | In_from -> Pb_sql.Database.table_names db
+  | After_table | After_alias | After_repeat ->
+      let tail =
+        [ "WHERE"; "SUCH THAT"; "MAXIMIZE"; "MINIMIZE" ]
+        @ (if ctx.clause = After_table then [ "REPEAT" ] else [])
+      in
+      tail
+  | In_where ->
+      let qualifier =
+        Option.value ctx.alias ~default:(Option.value ctx.table ~default:"r")
+      in
+      if after_value ctx.last then
+        comparison_follow @ connectives
+        @ [ "SUCH THAT"; "MAXIMIZE"; "MINIMIZE" ]
+      else qualified_columns db ctx qualifier
+  | In_such_that ->
+      let qualifier = Option.value ctx.package_alias ~default:"package" in
+      if after_value ctx.last then
+        comparison_follow @ connectives @ [ "MAXIMIZE"; "MINIMIZE" ]
+      else aggregates @ qualified_columns db ctx qualifier
+  | In_objective ->
+      let qualifier = Option.value ctx.package_alias ~default:"package" in
+      if after_value ctx.last then []
+      else aggregates @ qualified_columns db ctx qualifier
+
+let suggest db text =
+  let head, word = split_word text in
+  match scan head with
+  | None -> []
+  | Some ctx ->
+      let all = candidates db ctx in
+      let matches_word s =
+        word = ""
+        ||
+        let w = String.lowercase_ascii word and s = String.lowercase_ascii s in
+        String.length s >= String.length w && String.sub s 0 (String.length w) = w
+      in
+      List.sort_uniq String.compare (List.filter matches_word all)

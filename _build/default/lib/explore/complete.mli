@@ -1,0 +1,24 @@
+(** PaQL auto-suggest — Figure 1's "An auto-suggest feature helps with
+    syntax": given the text typed so far, propose what can come next.
+
+    Suggestions are grammatical (keywords for the current clause),
+    catalog-aware (table names after FROM, column references inside
+    constraints, qualified by the query's aliases) and prefix-filtered
+    when the text ends mid-word. The engine is a deliberate
+    approximation: it tracks the clause structure with a token scan
+    rather than full parsing, so it degrades gracefully on partial or
+    slightly wrong input — exactly what an interactive text box needs. *)
+
+val suggest : Pb_sql.Database.t -> string -> string list
+(** [suggest db prefix] — completions sorted alphabetically, keywords
+    upper-case, identifiers lower-case. Examples:
+
+    - [""] → [["SELECT"]]
+    - ["SELECT "] → [["PACKAGE("]]
+    - ["... FROM "] → table names
+    - ["... WHERE r."] → columns of the FROM table, as [r.col]
+    - ["... SUCH THAT "] → aggregate templates (COUNT, SUM, AVG, ...)
+    - ["... SUCH THAT COUNT(x) "] → comparison operators
+    - ["... SU"] → [["SUCH THAT"]] (prefix filtering)
+
+    An unlexable prefix yields []. *)

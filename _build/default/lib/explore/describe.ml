@@ -1,0 +1,127 @@
+module Sql = Pb_sql.Ast
+module Value = Pb_relation.Value
+
+let base_name col =
+  match String.rindex_opt col '.' with
+  | Some i -> String.sub col (i + 1) (String.length col - i - 1)
+  | None -> col
+
+(* Split a conjunction into its top-level conjuncts. *)
+let rec conjuncts = function
+  | Sql.Binop (Sql.And, a, b) -> conjuncts a @ conjuncts b
+  | e -> [ e ]
+
+let value_phrase v =
+  match v with Value.Str s -> "'" ^ s ^ "'" | _ -> Value.to_string v
+
+let rec scalar_phrase e =
+  match e with
+  | Sql.Col c -> base_name c
+  | Sql.Lit v -> value_phrase v
+  | Sql.Agg (Sql.Count_star, _) -> "the number of tuples"
+  | Sql.Agg (Sql.Sum, Some a) -> "the total of " ^ scalar_phrase a
+  | Sql.Agg (Sql.Avg, Some a) -> "the average " ^ scalar_phrase a
+  | Sql.Agg (Sql.Min, Some a) -> "the smallest " ^ scalar_phrase a
+  | Sql.Agg (Sql.Max, Some a) -> "the largest " ^ scalar_phrase a
+  | Sql.Binop (Sql.Add, a, b) -> scalar_phrase a ^ " plus " ^ scalar_phrase b
+  | Sql.Binop (Sql.Sub, a, b) -> scalar_phrase a ^ " minus " ^ scalar_phrase b
+  | Sql.Binop (Sql.Mul, a, b) -> scalar_phrase a ^ " times " ^ scalar_phrase b
+  | Sql.Binop (Sql.Div, a, b) -> scalar_phrase a ^ " over " ^ scalar_phrase b
+  | Sql.Unary_minus a -> "minus " ^ scalar_phrase a
+  | e -> Sql.expr_to_string e
+
+let cmp_phrase op a b =
+  match op with
+  | Sql.Eq -> a ^ " equal to " ^ b
+  | Sql.Neq -> a ^ " different from " ^ b
+  | Sql.Lt -> a ^ " below " ^ b
+  | Sql.Le -> a ^ " at most " ^ b
+  | Sql.Gt -> a ^ " above " ^ b
+  | Sql.Ge -> a ^ " at least " ^ b
+  | Sql.Add | Sql.Sub | Sql.Mul | Sql.Div | Sql.And | Sql.Or ->
+      a ^ " " ^ Sql.binop_to_string op ^ " " ^ b
+
+let rec predicate_phrase e =
+  match e with
+  | Sql.Binop (((Sql.Eq | Sql.Neq | Sql.Lt | Sql.Le | Sql.Gt | Sql.Ge) as op), a, b)
+    ->
+      cmp_phrase op (scalar_phrase a) (scalar_phrase b)
+  | Sql.Between (x, lo, hi) ->
+      Printf.sprintf "%s between %s and %s" (scalar_phrase x)
+        (scalar_phrase lo) (scalar_phrase hi)
+  | Sql.In_list (x, items, neg) ->
+      Printf.sprintf "%s %s %s" (scalar_phrase x)
+        (if neg then "not one of" else "one of")
+        (String.concat ", " (List.map scalar_phrase items))
+  | Sql.Is_null (x, neg) ->
+      scalar_phrase x ^ if neg then " present" else " missing"
+  | Sql.Like (x, pat, neg) ->
+      Printf.sprintf "%s %s '%s'" (scalar_phrase x)
+        (if neg then "not matching" else "matching")
+        pat
+  | Sql.Not inner -> "not (" ^ predicate_phrase inner ^ ")"
+  | Sql.Binop (Sql.Or, a, b) ->
+      "either " ^ predicate_phrase a ^ " or " ^ predicate_phrase b
+  | Sql.Binop (Sql.And, a, b) ->
+      predicate_phrase a ^ " and " ^ predicate_phrase b
+  | e -> Sql.expr_to_string e
+
+(* Special-case the constraint shapes the template produces most often so
+   they read idiomatically. *)
+let global_sentence e =
+  match e with
+  | Sql.Binop (Sql.Eq, Sql.Agg (Sql.Count_star, _), Sql.Lit v)
+  | Sql.Binop (Sql.Eq, Sql.Lit v, Sql.Agg (Sql.Count_star, _)) ->
+      Printf.sprintf "the package must contain exactly %s tuples"
+        (Value.to_string v)
+  | Sql.Between (Sql.Agg (Sql.Count_star, _), lo, hi) ->
+      Printf.sprintf "the package must contain between %s and %s tuples"
+        (scalar_phrase lo) (scalar_phrase hi)
+  | e -> "the package must have " ^ predicate_phrase e
+
+let describe_base ~input_alias e =
+  List.map
+    (fun conjunct ->
+      Printf.sprintf "every %s must have %s" input_alias
+        (predicate_phrase conjunct))
+    (conjuncts e)
+
+let describe_global e = List.map global_sentence (conjuncts e)
+
+let strip_article s =
+  if String.length s > 4 && String.sub s 0 4 = "the " then
+    String.sub s 4 (String.length s - 4)
+  else s
+
+let describe_objective (dir, e) =
+  Printf.sprintf "among valid packages, prefer the %s %s"
+    (match dir with Pb_paql.Ast.Maximize -> "largest" | Minimize -> "smallest")
+    (strip_article (scalar_phrase e))
+
+let describe_query (q : Pb_paql.Ast.t) =
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf
+    (Printf.sprintf "Build a package of tuples from %s (as %s).\n"
+       q.input_relation q.input_alias);
+  (match q.repeat with
+  | None ->
+      Buffer.add_string buf "Each tuple may be used at most once.\n"
+  | Some k ->
+      Buffer.add_string buf
+        (Printf.sprintf "Each tuple may be repeated up to %d extra time(s).\n" k));
+  (match q.where with
+  | None -> ()
+  | Some e ->
+      List.iter
+        (fun s -> Buffer.add_string buf ("- " ^ s ^ "\n"))
+        (describe_base ~input_alias:q.input_alias e));
+  (match q.such_that with
+  | None -> ()
+  | Some e ->
+      List.iter
+        (fun s -> Buffer.add_string buf ("- " ^ s ^ "\n"))
+        (describe_global e));
+  (match q.objective with
+  | None -> ()
+  | Some obj -> Buffer.add_string buf ("- " ^ describe_objective obj ^ "\n"));
+  Buffer.contents buf

@@ -1,0 +1,23 @@
+(** Natural-language rendering of PaQL queries — the "Natural language
+    descriptions" panel of the PackageBuilder interface (Figure 1).
+
+    The goal is readable, not generative, English: every constraint form
+    the parser accepts has a deterministic phrasing, so the same query
+    always describes itself the same way. *)
+
+val describe_base : input_alias:string -> Pb_sql.Ast.expr -> string list
+(** One sentence per conjunct of the WHERE clause, e.g.
+    ["every r must have gluten equal to 'free'"]. *)
+
+val describe_global : Pb_sql.Ast.expr -> string list
+(** One sentence per conjunct of the SUCH THAT clause, e.g.
+    ["the package must contain exactly 3 tuples";
+     "the total of calories must be between 2000 and 2500"].
+    Disjunctions render as a single "either ... or ..." sentence. *)
+
+val describe_objective : (Pb_paql.Ast.direction * Pb_sql.Ast.expr) -> string
+(** e.g. ["among valid packages, prefer the largest total of protein"]. *)
+
+val describe_query : Pb_paql.Ast.t -> string
+(** Full multi-line description: data source, base constraints, global
+    constraints, objective, repetition policy. *)

@@ -1,0 +1,207 @@
+module Sql = Pb_sql.Ast
+module Value = Pb_relation.Value
+module Schema = Pb_relation.Schema
+module Relation = Pb_relation.Relation
+module Ast = Pb_paql.Ast
+module Package = Pb_paql.Package
+
+type highlight =
+  | Cell of { row : int; column : string }
+  | Column of string
+  | Row of int
+
+type kind = Base_constraint | Global_constraint | Objective
+
+type suggestion = {
+  kind : kind;
+  paql_fragment : string;
+  description : string;
+  refined : Ast.t;
+}
+
+let conjoin existing extra =
+  match existing with
+  | None -> Some extra
+  | Some e -> Some (Sql.Binop (Sql.And, e, extra))
+
+let apply_base (q : Ast.t) pred = { q with where = conjoin q.where pred }
+
+let apply_global (q : Ast.t) pred =
+  { q with such_that = conjoin q.such_that pred }
+
+let apply_objective (q : Ast.t) obj = { q with objective = Some obj }
+
+let qualified alias col = Sql.Col (alias ^ "." ^ col)
+
+let round_value v =
+  (* Suggest friendly thresholds rather than raw fractional values. *)
+  match v with
+  | Value.Float f -> Value.Float (Float.round f)
+  | v -> v
+
+let numeric_column schema col =
+  match Schema.column_ty schema col with
+  | Some (Value.T_int | Value.T_float) -> true
+  | Some (Value.T_bool | Value.T_str) | None -> false
+
+let base_suggestion q ~alias ~col op v =
+  let pred = Sql.Binop (op, qualified alias col, Sql.Lit v) in
+  {
+    kind = Base_constraint;
+    paql_fragment = Sql.expr_to_string pred;
+    description =
+      Printf.sprintf "every %s must have %s %s %s" alias col
+        (match op with
+        | Sql.Le -> "at most"
+        | Sql.Ge -> "at least"
+        | Sql.Eq -> "equal to"
+        | _ -> Sql.binop_to_string op)
+        (Value.to_string v);
+    refined = apply_base q pred;
+  }
+
+let global_suggestion q ~pkg_alias ~col ~agg op v phrase =
+  let agg_expr =
+    match agg with
+    | `Sum -> Sql.Agg (Sql.Sum, Some (qualified pkg_alias col))
+    | `Avg -> Sql.Agg (Sql.Avg, Some (qualified pkg_alias col))
+  in
+  let pred = Sql.Binop (op, agg_expr, Sql.Lit v) in
+  {
+    kind = Global_constraint;
+    paql_fragment = Sql.expr_to_string pred;
+    description = phrase;
+    refined = apply_global q pred;
+  }
+
+let objective_suggestion q ~pkg_alias ~col dir =
+  let expr = Sql.Agg (Sql.Sum, Some (qualified pkg_alias col)) in
+  {
+    kind = Objective;
+    paql_fragment =
+      (match dir with
+      | Ast.Maximize -> "MAXIMIZE " ^ Sql.expr_to_string expr
+      | Ast.Minimize -> "MINIMIZE " ^ Sql.expr_to_string expr);
+    description =
+      Printf.sprintf "%s the total %s of the package"
+        (match dir with Ast.Maximize -> "maximize" | Ast.Minimize -> "minimize")
+        col;
+    refined = apply_objective q (dir, expr);
+  }
+
+let sample_column_values sample col =
+  List.filter_map Value.to_float
+    (Pb_relation.Relation.column_values (Package.materialize sample) col)
+
+let suggest (q : Ast.t) ~sample highlight =
+  let base_rel = Package.base sample in
+  let schema = Relation.schema base_rel in
+  let alias = q.input_alias and pkg_alias = q.package_alias in
+  let col_of name =
+    match Schema.index_of schema name with
+    | Some _ ->
+        (* Normalize to the base name so both r.col and p.col qualify. *)
+        (match String.rindex_opt name '.' with
+        | Some i -> String.sub name (i + 1) (String.length name - i - 1)
+        | None -> String.lowercase_ascii name)
+    | None -> failwith ("Suggest: unknown column " ^ name)
+  in
+  match highlight with
+  | Cell { row; column } ->
+      let col = col_of column in
+      let materialized = Package.materialize sample in
+      if row < 0 || row >= Relation.cardinality materialized then
+        failwith "Suggest: sample row out of range";
+      let v = round_value (Relation.get materialized row col) in
+      if numeric_column schema col then begin
+        let vf = Option.value (Value.to_float v) ~default:0.0 in
+        let card = max 1 (Package.cardinality sample) in
+        let total = Value.Float (Float.round (vf *. float_of_int card)) in
+        [
+          base_suggestion q ~alias ~col Sql.Le v;
+          base_suggestion q ~alias ~col Sql.Ge v;
+          global_suggestion q ~pkg_alias ~col ~agg:`Sum Sql.Le total
+            (Printf.sprintf
+               "the total %s must stay at most %s (the selected value \
+                scaled to the whole package)"
+               col (Value.to_string total));
+          global_suggestion q ~pkg_alias ~col ~agg:`Avg Sql.Le v
+            (Printf.sprintf "the average %s must stay at most %s" col
+               (Value.to_string v));
+          objective_suggestion q ~pkg_alias ~col Ast.Minimize;
+          objective_suggestion q ~pkg_alias ~col Ast.Maximize;
+        ]
+      end
+      else [ base_suggestion q ~alias ~col Sql.Eq v ]
+  | Column column ->
+      let col = col_of column in
+      if not (numeric_column schema col) then
+        (* Categorical column: propose pinning to its most common value. *)
+        let values =
+          Pb_relation.Relation.column_values (Package.materialize sample) col
+        in
+        let tally = Hashtbl.create 8 in
+        List.iter
+          (fun v ->
+            let k = Value.to_string v in
+            Hashtbl.replace tally k
+              (1 + Option.value (Hashtbl.find_opt tally k) ~default:0))
+          values;
+        let mode =
+          Hashtbl.fold
+            (fun k n acc ->
+              match acc with
+              | Some (_, best) when best >= n -> acc
+              | _ -> Some (k, n))
+            tally None
+        in
+        (match mode with
+        | Some (v, _) -> [ base_suggestion q ~alias ~col Sql.Eq (Value.Str v) ]
+        | None -> [])
+      else begin
+        let values = sample_column_values sample col in
+        let total = List.fold_left ( +. ) 0.0 values in
+        let mean = Pb_util.Stats.mean values in
+        let lo = Value.Float (Float.round (total *. 0.9)) in
+        let hi = Value.Float (Float.round (total *. 1.1)) in
+        [
+          {
+            kind = Global_constraint;
+            paql_fragment =
+              Printf.sprintf "SUM(%s.%s) BETWEEN %s AND %s" pkg_alias col
+                (Value.to_string lo) (Value.to_string hi);
+            description =
+              Printf.sprintf
+                "keep the total %s within 10%% of the sample's %s" col
+                (Pb_util.Table.float_cell ~digits:0 total);
+            refined =
+              apply_global q
+                (Sql.Between
+                   ( Sql.Agg (Sql.Sum, Some (qualified pkg_alias col)),
+                     Sql.Lit lo,
+                     Sql.Lit hi ));
+          };
+          global_suggestion q ~pkg_alias ~col ~agg:`Avg Sql.Le
+            (Value.Float (Float.round mean))
+            (Printf.sprintf "the average %s must stay at most %s" col
+               (Pb_util.Table.float_cell ~digits:0 mean));
+          objective_suggestion q ~pkg_alias ~col Ast.Minimize;
+          objective_suggestion q ~pkg_alias ~col Ast.Maximize;
+        ]
+      end
+  | Row row ->
+      let materialized = Package.materialize sample in
+      if row < 0 || row >= Relation.cardinality materialized then
+        failwith "Suggest: sample row out of range";
+      (* Generalize the tuple's categorical attributes into base
+         constraints ("more meals like this one"). *)
+      List.filter_map
+        (fun { Schema.name; ty } ->
+          let col = col_of name in
+          match ty with
+          | Value.T_str ->
+              let v = Relation.get materialized row col in
+              if Value.is_null v then None
+              else Some (base_suggestion q ~alias ~col Sql.Eq v)
+          | Value.T_bool | Value.T_int | Value.T_float -> None)
+        (Schema.columns schema)

@@ -1,0 +1,1 @@
+lib/lp/lp_format.ml: Array Buffer Float Fun Hashtbl List Model Printf String

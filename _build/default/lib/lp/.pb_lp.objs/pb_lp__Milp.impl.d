@@ -1,0 +1,1 @@
+lib/lp/milp.ml: Array Float List Model Presolve Printf Simplex Unix

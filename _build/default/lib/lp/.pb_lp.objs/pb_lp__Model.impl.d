@@ -1,0 +1,1 @@
+lib/lp/model.ml: Array Float Format List Printf String

@@ -1,0 +1,1 @@
+lib/lp/presolve.ml: Array Float Hashtbl List Model Option

@@ -1,0 +1,89 @@
+let sanitize name =
+  String.map
+    (fun c ->
+      if
+        (c >= 'a' && c <= 'z')
+        || (c >= 'A' && c <= 'Z')
+        || (c >= '0' && c <= '9')
+        || c = '_'
+      then c
+      else '_')
+    name
+
+let var_names model =
+  let n = Model.num_vars model in
+  let seen = Hashtbl.create n in
+  Array.init n (fun i ->
+      let base = sanitize (Model.var_name model i) in
+      let base = if base = "" then Printf.sprintf "v%d" i else base in
+      if Hashtbl.mem seen base then begin
+        let fresh = Printf.sprintf "%s_%d" base i in
+        Hashtbl.add seen fresh ();
+        fresh
+      end
+      else begin
+        Hashtbl.add seen base ();
+        base
+      end)
+
+let linear_to_string names terms =
+  match terms with
+  | [] -> "0"
+  | _ ->
+      String.concat " "
+        (List.mapi
+           (fun i (c, v) ->
+             let sign, mag =
+               if c >= 0.0 then ((if i = 0 then "" else "+ "), c)
+               else ("- ", Float.abs c)
+             in
+             Printf.sprintf "%s%g %s" sign mag names.(v))
+           terms)
+
+let to_string model =
+  let names = var_names model in
+  let buf = Buffer.create 1024 in
+  let objective_terms, maximize =
+    match Model.objective model with
+    | Model.Maximize terms -> (terms, true)
+    | Model.Minimize terms -> (terms, false)
+  in
+  Buffer.add_string buf (if maximize then "Maximize\n" else "Minimize\n");
+  Buffer.add_string buf (" obj: " ^ linear_to_string names objective_terms ^ "\n");
+  Buffer.add_string buf "Subject To\n";
+  List.iter
+    (fun (c : Model.constr) ->
+      let op =
+        match c.sense with Model.Le -> "<=" | Model.Ge -> ">=" | Model.Eq -> "="
+      in
+      Buffer.add_string buf
+        (Printf.sprintf " %s: %s %s %g\n" (sanitize c.name)
+           (linear_to_string names c.terms)
+           op c.rhs))
+    (Model.constraints model);
+  Buffer.add_string buf "Bounds\n";
+  for i = 0 to Model.num_vars model - 1 do
+    let lo, hi = Model.bounds model i in
+    let lo_s = if lo = neg_infinity then "-inf" else Printf.sprintf "%g" lo in
+    let hi_s = if hi = infinity then "+inf" else Printf.sprintf "%g" hi in
+    Buffer.add_string buf
+      (Printf.sprintf " %s <= %s <= %s\n" lo_s names.(i) hi_s)
+  done;
+  let integers =
+    List.filter
+      (fun i -> Model.is_integer model i)
+      (List.init (Model.num_vars model) Fun.id)
+  in
+  if integers <> [] then begin
+    Buffer.add_string buf "Generals\n ";
+    Buffer.add_string buf
+      (String.concat " " (List.map (fun i -> names.(i)) integers));
+    Buffer.add_char buf '\n'
+  end;
+  Buffer.add_string buf "End\n";
+  Buffer.contents buf
+
+let write_file path model =
+  let oc = open_out path in
+  output_string oc (to_string model);
+  close_out oc

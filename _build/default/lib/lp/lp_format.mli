@@ -1,0 +1,13 @@
+(** CPLEX-LP-format serialization of models.
+
+    PackageBuilder's EXPLAIN path and the test suite use this to inspect
+    translated PaQL queries; the format is accepted by standard solvers
+    (CPLEX, Gurobi, GLPK, CBC), so models can also be exported for
+    cross-checking against an external solver. *)
+
+val to_string : Model.t -> string
+(** Render with [Maximize/Subject To/Bounds/Generals/End] sections.
+    Variable names are sanitized (characters outside [A-Za-z0-9_] become
+    [_]) and uniquified by index when sanitization collides. *)
+
+val write_file : string -> Model.t -> unit

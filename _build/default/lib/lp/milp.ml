@@ -1,0 +1,261 @@
+type status = Optimal | Feasible | Infeasible | Unbounded
+
+type solution = {
+  status : status;
+  x : float array;
+  objective : float;
+  nodes : int;
+  lp_iterations : int;
+}
+
+type node_order = Dfs | Best_bound
+
+(* A node is a set of tightened bounds layered over the base model,
+   carrying its parent's relaxation bound for best-first selection. *)
+type node = {
+  nbounds : (int * float * float) list;
+  depth : int;
+  parent_bound : float;  (* in maximization sense *)
+}
+
+let fractional_part x = Float.abs (x -. Float.round x)
+
+let most_fractional model ~eps x =
+  let best = ref (-1) and best_frac = ref eps in
+  for i = 0 to Array.length x - 1 do
+    if Model.is_integer model i then begin
+      let f = fractional_part x.(i) in
+      if f > !best_frac then begin
+        best_frac := f;
+        best := i
+      end
+    end
+  done;
+  !best
+
+(* Try to turn an LP point into an integral feasible point by rounding
+   each integer variable both ways greedily. *)
+let rounding_heuristic model ~eps x =
+  let n = Array.length x in
+  let candidate = Array.copy x in
+  for i = 0 to n - 1 do
+    if Model.is_integer model i then begin
+      let lo, hi = Model.bounds model i in
+      let r = Float.round candidate.(i) in
+      (* Clamp onto the integer lattice inside the bounds. *)
+      let r = Float.max (Float.ceil lo) (Float.min (Float.floor hi) r) in
+      candidate.(i) <- r
+    end
+  done;
+  if
+    (* The feasibility tolerance here must stay below any strict-
+       inequality epsilon a translator bakes into the rhs (pb_core uses
+       1e-6), or rounding could admit points that violate a strict
+       constraint by exactly that margin. *)
+    Model.check_feasible ~eps:1e-7 model candidate
+    && Model.check_integral ~eps model candidate
+  then Some candidate
+  else None
+
+let maximization_sense model =
+  match Model.objective model with
+  | Model.Maximize _ -> true
+  | Model.Minimize _ -> false
+
+let rec solve ?(max_nodes = 200_000) ?time_limit ?(eps = 1e-6)
+    ?(node_order = Dfs) ?(presolve = false) model =
+  if presolve then
+    match Presolve.presolve model with
+    | Presolve.Proven_infeasible ->
+        {
+          status = Infeasible;
+          x = [||];
+          objective = nan;
+          nodes = 0;
+          lp_iterations = 0;
+        }
+    | Presolve.Reduced { model = reduced; _ } ->
+        solve ~max_nodes ?time_limit ~eps ~node_order ~presolve:false reduced
+  else
+  let n = Model.num_vars model in
+  let saved_bounds = Array.init n (Model.bounds model) in
+  let restore () =
+    Array.iteri (fun i (lo, hi) -> Model.set_bounds model i lo hi) saved_bounds
+  in
+  let deadline =
+    match time_limit with
+    | Some s -> Some (Unix.gettimeofday () +. s)
+    | None -> None
+  in
+  let out_of_time () =
+    match deadline with
+    | Some d -> Unix.gettimeofday () > d
+    | None -> false
+  in
+  let maximize = maximization_sense model in
+  let better a b = if maximize then a > b +. 1e-9 else a < b -. 1e-9 in
+  let incumbent = ref None in
+  let incumbent_obj = ref (if maximize then neg_infinity else infinity) in
+  let nodes_explored = ref 0 in
+  let lp_iterations = ref 0 in
+  let saw_unbounded = ref false in
+  let budget_hit = ref false in
+  let record x =
+    let obj = Model.objective_value model x in
+    if better obj !incumbent_obj then begin
+      incumbent := Some (Array.copy x);
+      incumbent_obj := obj
+    end
+  in
+  let apply node =
+    restore ();
+    (* nbounds is child-first; apply ancestors before descendants so the
+       tightest (deepest) bound on a re-branched variable wins. *)
+    List.iter
+      (fun (i, lo, hi) -> Model.set_bounds model i lo hi)
+      (List.rev node.nbounds)
+  in
+  let root_bound = if maximize then infinity else neg_infinity in
+  let stack = ref [ { nbounds = []; depth = 0; parent_bound = root_bound } ] in
+  (* Pop according to the node order: head for DFS, best parent bound for
+     best-first (maximization sense; parent_bound is already signed). *)
+  let pop () =
+    match (node_order, !stack) with
+    | _, [] -> None
+    | Dfs, node :: rest ->
+        stack := rest;
+        Some node
+    | Best_bound, first :: _ ->
+        let better_bound a b =
+          if maximize then a.parent_bound > b.parent_bound
+          else a.parent_bound < b.parent_bound
+        in
+        let best =
+          List.fold_left
+            (fun acc node -> if better_bound node acc then node else acc)
+            first !stack
+        in
+        stack := List.filter (fun node -> node != best) !stack;
+        Some best
+  in
+  while !stack <> [] && (not !budget_hit) do
+    match pop () with
+    | None -> ()
+    | Some node ->
+        if !nodes_explored >= max_nodes || out_of_time () then budget_hit := true
+        else begin
+          incr nodes_explored;
+          apply node;
+          let relax = Simplex.solve model in
+          lp_iterations := !lp_iterations + relax.iterations;
+          match relax.status with
+          | Simplex.Infeasible -> ()
+          | Simplex.Iteration_limit -> budget_hit := true
+          | Simplex.Unbounded ->
+              (* An unbounded relaxation at the root means the MILP is
+                 unbounded or infeasible; deeper down we conservatively
+                 treat it the same way. *)
+              saw_unbounded := true;
+              budget_hit := true
+          | Simplex.Optimal ->
+              let bound = relax.objective in
+              let dominated =
+                !incumbent <> None && not (better bound !incumbent_obj)
+              in
+              if not dominated then begin
+                let branch_var = most_fractional model ~eps relax.x in
+                (* An "integral within tolerance" point must be snapped to
+                   the lattice and re-verified: the snapped point can
+                   violate a strict-inequality row by its epsilon (the
+                   relaxation answered e.g. x = 0.9999997 to stay inside
+                   rhs - 1e-6). When the snap is infeasible, branch on the
+                   least-integral variable instead of recording. *)
+                let branch_var =
+                  if branch_var >= 0 then branch_var
+                  else
+                    match rounding_heuristic model ~eps relax.x with
+                    | Some snapped ->
+                        record snapped;
+                        -1
+                    | None -> most_fractional model ~eps:1e-12 relax.x
+                in
+                if branch_var < 0 then ()
+                else begin
+                  (match rounding_heuristic model ~eps relax.x with
+                  | Some point -> record point
+                  | None -> ());
+                  let v = relax.x.(branch_var) in
+                  let lo, hi = Model.bounds model branch_var in
+                  let fl = Float.floor v and ce = Float.ceil v in
+                  (* Children with an empty domain are dropped outright. *)
+                  let child lo hi =
+                    {
+                      nbounds = (branch_var, lo, hi) :: node.nbounds;
+                      depth = node.depth + 1;
+                      parent_bound = bound;
+                    }
+                  in
+                  let down = if fl < lo then [] else [ child lo fl ] in
+                  let up = if ce > hi then [] else [ child ce hi ] in
+                  (* Explore the rounding-preferred side first. *)
+                  if v -. fl > 0.5 then stack := up @ down @ !stack
+                  else stack := down @ up @ !stack
+                end
+              end
+        end
+  done;
+  restore ();
+  let nodes = !nodes_explored and lp_iterations = !lp_iterations in
+  match !incumbent with
+  | Some x ->
+      {
+        status = (if !budget_hit then Feasible else Optimal);
+        x;
+        objective = !incumbent_obj;
+        nodes;
+        lp_iterations;
+      }
+  | None ->
+      let status =
+        if !saw_unbounded then Unbounded
+        else if !budget_hit then Feasible
+        else Infeasible
+      in
+      { status; x = [||]; objective = nan; nodes; lp_iterations }
+
+let solve_all ?(max_solutions = 10) ?max_nodes ?time_limit model =
+  let n = Model.num_vars model in
+  for i = 0 to n - 1 do
+    if Model.is_integer model i then begin
+      let lo, hi = Model.bounds model i in
+      if not (lo >= -1e-9 && hi <= 1.0 +. 1e-9) then
+        invalid_arg "Milp.solve_all: integer variables must be binary"
+    end
+  done;
+  let added = ref 0 in
+  let rec loop acc k =
+    if k = 0 then List.rev acc
+    else
+      let sol = solve ?max_nodes ?time_limit model in
+      match sol.status with
+      | Optimal | Feasible when Array.length sol.x > 0 ->
+          (* No-good cut: sum of selected complements + unselected vars
+             >= 1 excludes exactly this 0/1 point. *)
+          let terms = ref [] and ones = ref 0 in
+          for i = 0 to n - 1 do
+            if Model.is_integer model i then
+              if Float.round sol.x.(i) >= 0.5 then begin
+                terms := (-1.0, i) :: !terms;
+                incr ones
+              end
+              else terms := (1.0, i) :: !terms
+          done;
+          incr added;
+          Model.add_constr model
+            ~name:(Printf.sprintf "nogood%d" !added)
+            !terms Model.Ge
+            (1.0 -. float_of_int !ones);
+          loop ((sol.x, sol.objective) :: acc) (k - 1)
+      | _ -> List.rev acc
+  in
+  loop [] max_solutions

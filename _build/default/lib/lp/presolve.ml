@@ -1,0 +1,128 @@
+type outcome =
+  | Reduced of {
+      model : Model.t;
+      rows_dropped : int;
+      bounds_tightened : int;
+    }
+  | Proven_infeasible
+
+let eps = 1e-9
+
+exception Infeasible_found
+
+(* Sum duplicate variables within a row up front so activity bounds and
+   singleton detection see one coefficient per variable. *)
+let normalize_terms terms =
+  let tbl = Hashtbl.create 8 in
+  List.iter
+    (fun (c, v) ->
+      Hashtbl.replace tbl v
+        (c +. Option.value (Hashtbl.find_opt tbl v) ~default:0.0))
+    terms;
+  Hashtbl.fold
+    (fun v c acc -> if c = 0.0 then acc else (c, v) :: acc)
+    tbl []
+
+let presolve ?(max_passes = 10) model =
+  let n = Model.num_vars model in
+  let lower = Array.make n 0.0 and upper = Array.make n 0.0 in
+  for i = 0 to n - 1 do
+    let lo, hi = Model.bounds model i in
+    lower.(i) <- lo;
+    upper.(i) <- hi
+  done;
+  let rows =
+    ref
+      (List.map
+         (fun (c : Model.constr) -> { c with Model.terms = normalize_terms c.terms })
+         (Model.constraints model))
+  in
+  let rows_dropped = ref 0 and bounds_tightened = ref 0 in
+  let tighten v lo hi =
+    let lo = Float.max lo lower.(v) and hi = Float.min hi upper.(v) in
+    let lo, hi =
+      if Model.is_integer model v then (Float.ceil (lo -. eps), Float.floor (hi +. eps))
+      else (lo, hi)
+    in
+    if lo > hi +. eps then raise Infeasible_found;
+    if lo > lower.(v) +. eps || hi < upper.(v) -. eps then incr bounds_tightened;
+    lower.(v) <- Float.max lower.(v) lo;
+    upper.(v) <- Float.min upper.(v) hi
+  in
+  let activity_bounds terms =
+    List.fold_left
+      (fun (amin, amax) (c, v) ->
+        if c >= 0.0 then
+          (amin +. (c *. lower.(v)), amax +. (c *. upper.(v)))
+        else (amin +. (c *. upper.(v)), amax +. (c *. lower.(v))))
+      (0.0, 0.0) terms
+  in
+  let process_row (c : Model.constr) =
+    match c.terms with
+    | [] ->
+        (* Constant row: decide it now. *)
+        let ok =
+          match c.sense with
+          | Model.Le -> 0.0 <= c.rhs +. eps
+          | Model.Ge -> 0.0 >= c.rhs -. eps
+          | Model.Eq -> Float.abs c.rhs <= eps
+        in
+        if ok then (incr rows_dropped; None) else raise Infeasible_found
+    | [ (coef, v) ] ->
+        (* Singleton: becomes a bound. *)
+        incr rows_dropped;
+        (match (c.sense, coef > 0.0) with
+        | Model.Le, true -> tighten v neg_infinity (c.rhs /. coef)
+        | Model.Le, false -> tighten v (c.rhs /. coef) infinity
+        | Model.Ge, true -> tighten v (c.rhs /. coef) infinity
+        | Model.Ge, false -> tighten v neg_infinity (c.rhs /. coef)
+        | Model.Eq, _ -> tighten v (c.rhs /. coef) (c.rhs /. coef));
+        None
+    | terms -> (
+        let amin, amax = activity_bounds terms in
+        match c.sense with
+        | Model.Le ->
+            if amin > c.rhs +. eps then raise Infeasible_found
+            else if amax <= c.rhs +. eps then (incr rows_dropped; None)
+            else Some c
+        | Model.Ge ->
+            if amax < c.rhs -. eps then raise Infeasible_found
+            else if amin >= c.rhs -. eps then (incr rows_dropped; None)
+            else Some c
+        | Model.Eq ->
+            if amin > c.rhs +. eps || amax < c.rhs -. eps then
+              raise Infeasible_found
+            else if
+              Float.abs (amin -. c.rhs) <= eps && Float.abs (amax -. c.rhs) <= eps
+            then (incr rows_dropped; None)
+            else Some c)
+  in
+  match
+    let pass = ref 0 and changed = ref true in
+    while !changed && !pass < max_passes do
+      incr pass;
+      let before = (!rows_dropped, !bounds_tightened) in
+      rows := List.filter_map process_row !rows;
+      changed := before <> (!rows_dropped, !bounds_tightened)
+    done
+  with
+  | () ->
+      let reduced = Model.create () in
+      for i = 0 to n - 1 do
+        ignore
+          (Model.add_var reduced
+             ~integer:(Model.is_integer model i)
+             ~lower:lower.(i) ~upper:upper.(i) (Model.var_name model i))
+      done;
+      List.iter
+        (fun (c : Model.constr) ->
+          Model.add_constr reduced ~name:c.name c.terms c.sense c.rhs)
+        !rows;
+      Model.set_objective reduced (Model.objective model);
+      Reduced
+        {
+          model = reduced;
+          rows_dropped = !rows_dropped;
+          bounds_tightened = !bounds_tightened;
+        }
+  | exception Infeasible_found -> Proven_infeasible

@@ -1,0 +1,30 @@
+(** MILP presolve: cheap, solution-preserving model reductions applied
+    before branch & bound.
+
+    Three classic rules run to a fixpoint:
+
+    - {b activity-based row analysis}: a row whose worst-case activity
+      already satisfies it is dropped; one whose best-case activity cannot
+      reach it proves infeasibility;
+    - {b singleton rows} become variable-bound tightenings and are
+      dropped;
+    - {b integer bound rounding}: fractional bounds on integer variables
+      tighten to the nearest lattice point (which may itself expose
+      infeasibility).
+
+    Variables are never eliminated, so a solution of the reduced model is
+    a solution of the original with the same vector; only rows and bounds
+    change. The PaQL translations benefit directly: cardinality windows
+    become singleton-free but the per-tuple forbid rows (x_i <= 0) from
+    MIN/MAX constraints all fold into bounds. *)
+
+type outcome =
+  | Reduced of {
+      model : Model.t;  (** fresh model; same variable indexing *)
+      rows_dropped : int;
+      bounds_tightened : int;
+    }
+  | Proven_infeasible
+
+val presolve : ?max_passes:int -> Model.t -> outcome
+(** [max_passes] defaults to 10. The input model is not modified. *)

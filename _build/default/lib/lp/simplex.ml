@@ -1,0 +1,331 @@
+type status = Optimal | Infeasible | Unbounded | Iteration_limit
+
+type solution = {
+  status : status;
+  x : float array;
+  objective : float;
+  iterations : int;
+}
+
+let eps_pivot = 1e-9
+let eps_cost = 1e-7
+let eps_feas = 1e-7
+
+(* Internal tableau state. Columns: structural vars, then one slack per
+   row, then artificials appended as needed. *)
+type tableau = {
+  m : int;
+  ncols : int;
+  a : float array array;      (* m x ncols, kept as B^-1 * A *)
+  lo : float array;
+  hi : float array;
+  xval : float array;         (* current value of every column *)
+  basis : int array;          (* m basic column indices *)
+  is_basic : bool array;
+  at_upper : bool array;      (* for nonbasic columns *)
+}
+
+let build model =
+  let n = Model.num_vars model in
+  let constrs = Model.constraints model in
+  let m = List.length constrs in
+  let base_cols = n + m in
+  (* Artificials are at most one per row. *)
+  let ncols_max = base_cols + m in
+  let a = Array.make_matrix m ncols_max 0.0 in
+  let lo = Array.make ncols_max 0.0 in
+  let hi = Array.make ncols_max infinity in
+  let xval = Array.make ncols_max 0.0 in
+  let basis = Array.make m (-1) in
+  let is_basic = Array.make ncols_max false in
+  let at_upper = Array.make ncols_max false in
+  (* Structural variables: nonbasic at the finite bound nearest zero. *)
+  for j = 0 to n - 1 do
+    let l, u = Model.bounds model j in
+    lo.(j) <- l;
+    hi.(j) <- u;
+    if Float.is_finite l then (
+      xval.(j) <- l;
+      at_upper.(j) <- false)
+    else if Float.is_finite u then (
+      xval.(j) <- u;
+      at_upper.(j) <- true)
+    else
+      invalid_arg
+        (Printf.sprintf "Simplex: variable %s is free on both sides"
+           (Model.var_name model j))
+  done;
+  let rhs = Array.make m 0.0 in
+  List.iteri
+    (fun i (c : Model.constr) ->
+      List.iter (fun (coef, v) -> a.(i).(v) <- a.(i).(v) +. coef) c.terms;
+      rhs.(i) <- c.rhs;
+      let slack = n + i in
+      a.(i).(slack) <- 1.0;
+      (match c.sense with
+      | Model.Le ->
+          lo.(slack) <- 0.0;
+          hi.(slack) <- infinity
+      | Model.Ge ->
+          lo.(slack) <- neg_infinity;
+          hi.(slack) <- 0.0
+      | Model.Eq ->
+          lo.(slack) <- 0.0;
+          hi.(slack) <- 0.0))
+    constrs;
+  (* Choose an initial basis row by row: use the slack when the residual
+     fits its bounds, otherwise clamp the slack and add an artificial. *)
+  let next_art = ref base_cols in
+  for i = 0 to m - 1 do
+    let residual = ref rhs.(i) in
+    for j = 0 to n - 1 do
+      if a.(i).(j) <> 0.0 then residual := !residual -. (a.(i).(j) *. xval.(j))
+    done;
+    let slack = n + i in
+    if !residual >= lo.(slack) -. eps_feas && !residual <= hi.(slack) +. eps_feas
+    then begin
+      basis.(i) <- slack;
+      is_basic.(slack) <- true;
+      xval.(slack) <- !residual
+    end
+    else begin
+      (* Clamp the slack to its nearest bound, keep it nonbasic there. *)
+      let clamped =
+        if !residual < lo.(slack) then lo.(slack) else hi.(slack)
+      in
+      xval.(slack) <- clamped;
+      at_upper.(slack) <- clamped = hi.(slack) && Float.is_finite hi.(slack);
+      let leftover = !residual -. clamped in
+      let art = !next_art in
+      incr next_art;
+      a.(i).(art) <- (if leftover >= 0.0 then 1.0 else -1.0);
+      (* The tableau must carry B^-1·A: with the artificial basic, its
+         column has to be +1, so scale the whole row by its sign. *)
+      if leftover < 0.0 then
+        for k = 0 to ncols_max - 1 do
+          a.(i).(k) <- -.a.(i).(k)
+        done;
+      lo.(art) <- 0.0;
+      hi.(art) <- infinity;
+      xval.(art) <- Float.abs leftover;
+      basis.(i) <- art;
+      is_basic.(art) <- true
+    end
+  done;
+  let ncols = !next_art in
+  ( { m; ncols; a; lo; hi; xval; basis; is_basic; at_upper },
+    n,
+    base_cols )
+
+(* One simplex phase: maximize cost over the current tableau. Returns
+   `Optimal | `Unbounded | `Limit and the pivot count. *)
+let run_phase t cost max_iterations =
+  let m = t.m and ncols = t.ncols in
+  let iterations = ref 0 in
+  let bland_threshold = (max_iterations / 2) + 100 in
+  let reduced = Array.make ncols 0.0 in
+  let finished = ref None in
+  while !finished = None do
+    if !iterations >= max_iterations then finished := Some `Limit
+    else begin
+      (* Reduced costs d_j = c_j - c_B . (column j of the tableau). *)
+      for j = 0 to ncols - 1 do
+        reduced.(j) <- cost.(j)
+      done;
+      for i = 0 to m - 1 do
+        let cb = cost.(t.basis.(i)) in
+        if cb <> 0.0 then begin
+          let row = t.a.(i) in
+          for j = 0 to ncols - 1 do
+            reduced.(j) <- reduced.(j) -. (cb *. row.(j))
+          done
+        end
+      done;
+      (* Entering variable. *)
+      let use_bland = !iterations > bland_threshold in
+      let enter = ref (-1) and enter_dir = ref 1.0 and best = ref eps_cost in
+      (try
+         for j = 0 to ncols - 1 do
+           if not t.is_basic.(j) then begin
+             let d = reduced.(j) in
+             let eligible_up = (not t.at_upper.(j)) && d > eps_cost in
+             let eligible_down =
+               t.at_upper.(j) && d < -.eps_cost
+             in
+             if eligible_up || eligible_down then
+               if use_bland then begin
+                 enter := j;
+                 enter_dir := (if eligible_up then 1.0 else -1.0);
+                 raise Exit
+               end
+               else if Float.abs d > !best then begin
+                 best := Float.abs d;
+                 enter := j;
+                 enter_dir := (if eligible_up then 1.0 else -1.0)
+               end
+           end
+         done
+       with Exit -> ());
+      if !enter < 0 then finished := Some `Optimal
+      else begin
+        let j = !enter and dir = !enter_dir in
+        (* Ratio test: entering moves by t >= 0 in direction dir; basic i
+           changes at rate -dir * a.(i).(j). *)
+        let t_best = ref (t.hi.(j) -. t.lo.(j)) in
+        let leave_row = ref (-1) in
+        for i = 0 to m - 1 do
+          let rate = -.dir *. t.a.(i).(j) in
+          let b = t.basis.(i) in
+          if rate < -.eps_pivot then begin
+            let room = t.xval.(b) -. t.lo.(b) in
+            if Float.is_finite t.lo.(b) then begin
+              let ti = room /. -.rate in
+              if ti < !t_best -. eps_pivot
+                 || (ti < !t_best +. eps_pivot
+                     && (!leave_row < 0 || b < t.basis.(!leave_row)))
+              then begin
+                t_best := max 0.0 ti;
+                leave_row := i
+              end
+            end
+          end
+          else if rate > eps_pivot then begin
+            if Float.is_finite t.hi.(b) then begin
+              let room = t.hi.(b) -. t.xval.(b) in
+              let ti = room /. rate in
+              if ti < !t_best -. eps_pivot
+                 || (ti < !t_best +. eps_pivot
+                     && (!leave_row < 0 || b < t.basis.(!leave_row)))
+              then begin
+                t_best := max 0.0 ti;
+                leave_row := i
+              end
+            end
+          end
+        done;
+        if Float.is_finite !t_best = false then finished := Some `Unbounded
+        else begin
+          let step = !t_best in
+          (* Move entering variable and update basic values. *)
+          t.xval.(j) <- t.xval.(j) +. (dir *. step);
+          for i = 0 to m - 1 do
+            let rate = -.dir *. t.a.(i).(j) in
+            if rate <> 0.0 then
+              t.xval.(t.basis.(i)) <- t.xval.(t.basis.(i)) +. (rate *. step)
+          done;
+          if !leave_row < 0 then begin
+            (* Bound flip: entering stays nonbasic at the other bound. *)
+            t.at_upper.(j) <- not t.at_upper.(j);
+            t.xval.(j) <- (if t.at_upper.(j) then t.hi.(j) else t.lo.(j))
+          end
+          else begin
+            let r = !leave_row in
+            let leaving = t.basis.(r) in
+            (* Snap the leaving variable exactly onto the bound it hit. *)
+            let rate = -.dir *. t.a.(r).(j) in
+            if rate < 0.0 then begin
+              t.xval.(leaving) <- t.lo.(leaving);
+              t.at_upper.(leaving) <- false
+            end
+            else begin
+              t.xval.(leaving) <- t.hi.(leaving);
+              t.at_upper.(leaving) <- true
+            end;
+            t.is_basic.(leaving) <- false;
+            t.is_basic.(j) <- true;
+            t.basis.(r) <- j;
+            (* Gauss-Jordan pivot on (r, j). *)
+            let pivot = t.a.(r).(j) in
+            let row_r = t.a.(r) in
+            if Float.abs pivot < eps_pivot then
+              (* Numerically degenerate; treat as stalled iteration. *)
+              ()
+            else begin
+              for k = 0 to ncols - 1 do
+                row_r.(k) <- row_r.(k) /. pivot
+              done;
+              for i = 0 to m - 1 do
+                if i <> r then begin
+                  let f = t.a.(i).(j) in
+                  if f <> 0.0 then begin
+                    let row_i = t.a.(i) in
+                    for k = 0 to ncols - 1 do
+                      row_i.(k) <- row_i.(k) -. (f *. row_r.(k))
+                    done
+                  end
+                end
+              done
+            end
+          end;
+          incr iterations
+        end
+      end
+    end
+  done;
+  (Option.get !finished, !iterations)
+
+let solve ?max_iterations model =
+  let n = Model.num_vars model in
+  let crossed = ref false in
+  for i = 0 to n - 1 do
+    let lo, hi = Model.bounds model i in
+    if lo > hi then crossed := true
+  done;
+  if !crossed then
+    (* Branch-and-bound can tighten a variable into an empty domain. *)
+    { status = Infeasible; x = Array.make n 0.0; objective = nan; iterations = 0 }
+  else
+  let t, nstruct, base_cols = build model in
+  assert (nstruct = n);
+  let max_iterations =
+    match max_iterations with
+    | Some k -> k
+    | None -> (200 * (t.m + n)) + 1000
+  in
+  let extract status iters =
+    let x = Array.sub t.xval 0 n in
+    { status; x; objective = Model.objective_value model x; iterations = iters }
+  in
+  (* Phase 1: drive artificials to zero (maximize their negated sum). *)
+  let iters1 =
+    if t.ncols > base_cols then begin
+      let cost = Array.make t.ncols 0.0 in
+      for j = base_cols to t.ncols - 1 do
+        cost.(j) <- -1.0
+      done;
+      let outcome, iters = run_phase t cost max_iterations in
+      let infeasibility = ref 0.0 in
+      for j = base_cols to t.ncols - 1 do
+        infeasibility := !infeasibility +. t.xval.(j)
+      done;
+      match outcome with
+      | `Limit -> Error (extract Iteration_limit iters)
+      | `Unbounded ->
+          (* Phase-1 objective is bounded by construction. *)
+          Error (extract Infeasible iters)
+      | `Optimal ->
+          if !infeasibility > 1e-6 then Error (extract Infeasible iters)
+          else begin
+            (* Pin artificials at zero for phase 2. *)
+            for j = base_cols to t.ncols - 1 do
+              t.lo.(j) <- 0.0;
+              t.hi.(j) <- 0.0;
+              if not t.is_basic.(j) then t.at_upper.(j) <- false
+            done;
+            Ok iters
+          end
+    end
+    else Ok 0
+  in
+  match iters1 with
+  | Error sol -> sol
+  | Ok iters1 ->
+      let cost = Array.make t.ncols 0.0 in
+      let dense = Model.objective_terms model in
+      Array.blit dense 0 cost 0 n;
+      let outcome, iters2 = run_phase t cost max_iterations in
+      let total = iters1 + iters2 in
+      (match outcome with
+      | `Optimal -> extract Optimal total
+      | `Unbounded -> extract Unbounded total
+      | `Limit -> extract Iteration_limit total)

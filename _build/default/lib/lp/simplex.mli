@@ -1,0 +1,28 @@
+(** Two-phase primal simplex for linear programs with bounded variables.
+
+    The solver keeps the tableau at [m] rows (one per constraint):
+    variable bounds are handled by the bounded-variable pivot rules rather
+    than by extra rows, which is what makes PaQL relaxations with
+    thousands of binary columns and a handful of global constraints cheap
+    to solve. Dantzig pricing with a Bland's-rule fallback guards against
+    cycling. *)
+
+type status =
+  | Optimal
+  | Infeasible
+  | Unbounded
+  | Iteration_limit
+
+type solution = {
+  status : status;
+  x : float array;       (** structural variable values (model order) *)
+  objective : float;     (** original-sense objective value at [x] *)
+  iterations : int;      (** total pivots across both phases *)
+}
+
+val solve : ?max_iterations:int -> Model.t -> solution
+(** Solve the LP relaxation of [model] (integrality markers are ignored).
+    [max_iterations] defaults to [200 * (m + n) + 1000].
+
+    Raises [Invalid_argument] if some variable has no finite bound on
+    either side (the package translator never produces such variables). *)

@@ -1,0 +1,1 @@
+lib/paql/analyze.ml: Ast List Option Pb_relation Pb_sql Printf Result String

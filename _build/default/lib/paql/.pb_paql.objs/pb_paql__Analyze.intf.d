@@ -1,0 +1,1 @@
+lib/paql/analyze.mli: Ast Pb_sql

@@ -1,0 +1,1 @@
+lib/paql/ast.ml: Buffer Format Option Pb_sql Printf

@@ -1,0 +1,1 @@
+lib/paql/ast.mli: Format Pb_sql

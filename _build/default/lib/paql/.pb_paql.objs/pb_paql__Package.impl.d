@@ -1,0 +1,1 @@
+lib/paql/package.ml: Array List Pb_relation Printf

@@ -1,0 +1,1 @@
+lib/paql/package.mli: Pb_relation

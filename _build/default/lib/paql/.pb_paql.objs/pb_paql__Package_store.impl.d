@@ -1,0 +1,1 @@
+lib/paql/package_store.ml: Array Ast List Option Package Parser Pb_relation Pb_sql Printf Semantics String

@@ -1,0 +1,1 @@
+lib/paql/package_store.mli: Ast Package Pb_relation Pb_sql

@@ -1,0 +1,1 @@
+lib/paql/parser.ml: Ast Pb_sql Printf String

@@ -1,0 +1,1 @@
+lib/paql/parser.mli: Ast

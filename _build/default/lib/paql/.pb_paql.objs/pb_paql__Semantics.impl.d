@@ -1,0 +1,1 @@
+lib/paql/semantics.ml: Ast List Package Pb_relation Pb_sql

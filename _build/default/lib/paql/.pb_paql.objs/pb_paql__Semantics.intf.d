@@ -1,0 +1,1 @@
+lib/paql/semantics.mli: Ast Package Pb_relation Pb_sql

@@ -1,0 +1,160 @@
+module Relation = Pb_relation.Relation
+module Schema = Pb_relation.Schema
+module Value = Pb_relation.Value
+
+let metadata_table = "__pb_packages"
+
+let data_table name = "pkg_" ^ name
+
+let valid_name name =
+  name <> ""
+  && String.for_all
+       (fun ch -> (ch >= 'a' && ch <= 'z') || (ch >= '0' && ch <= '9') || ch = '_')
+       name
+
+let metadata_schema =
+  Schema.make
+    [
+      { Schema.name = "name"; ty = Value.T_str };
+      { Schema.name = "query"; ty = Value.T_str };
+      { Schema.name = "source"; ty = Value.T_str };
+      { Schema.name = "cardinality"; ty = Value.T_int };
+    ]
+
+let metadata db =
+  match Pb_sql.Database.find db metadata_table with
+  | Some rel -> rel
+  | None -> Relation.empty metadata_schema
+
+let base_name col =
+  match String.rindex_opt col '.' with
+  | Some i -> String.sub col (i + 1) (String.length col - i - 1)
+  | None -> col
+
+let save db ~name ~(query : Ast.t) pkg =
+  let name = String.lowercase_ascii name in
+  if not (valid_name name) then
+    failwith
+      (Printf.sprintf
+         "Package_store.save: invalid name %S (use lower-case letters, \
+          digits, underscores)"
+         name);
+  (* Store rows under unqualified column names plus a position column. *)
+  let materialized = Package.materialize pkg in
+  let stored_schema =
+    Schema.make
+      ({ Schema.name = "pkg_pos"; ty = Value.T_int }
+      :: List.map
+           (fun { Schema.name; ty } -> { Schema.name = base_name name; ty })
+           (Schema.columns (Relation.schema materialized)))
+  in
+  let rows =
+    List.mapi
+      (fun pos row -> Array.append [| Value.Int pos |] row)
+      (Relation.to_list materialized)
+  in
+  Pb_sql.Database.put db (data_table name) (Relation.create stored_schema rows);
+  let existing =
+    Relation.filter
+      (fun row -> not (Value.equal row.(0) (Value.Str name)))
+      (metadata db)
+  in
+  let entry_row =
+    [|
+      Value.Str name;
+      Value.Str (Ast.to_string query);
+      Value.Str query.Ast.input_relation;
+      Value.Int (Package.cardinality pkg);
+    |]
+  in
+  Pb_sql.Database.put db metadata_table (Relation.append existing [ entry_row ])
+
+type entry = {
+  name : string;
+  query_text : string;
+  source_relation : string;
+  cardinality : int;
+}
+
+let entry_of_row row =
+  {
+    name = Value.to_string row.(0);
+    query_text = Value.to_string row.(1);
+    source_relation = Value.to_string row.(2);
+    cardinality = Option.value (Value.to_int row.(3)) ~default:0;
+  }
+
+let list_saved db =
+  List.sort
+    (fun a b -> String.compare a.name b.name)
+    (List.map entry_of_row (Relation.to_list (metadata db)))
+
+let find_entry db name =
+  List.find_opt (fun e -> e.name = name) (list_saved db)
+
+let load db ~name =
+  let name = String.lowercase_ascii name in
+  match (find_entry db name, Pb_sql.Database.find db (data_table name)) with
+  | Some entry, Some rows -> Some (entry, rows)
+  | _ -> None
+
+let delete db ~name =
+  let name = String.lowercase_ascii name in
+  match find_entry db name with
+  | None -> false
+  | Some _ ->
+      Pb_sql.Database.drop db (data_table name);
+      Pb_sql.Database.put db metadata_table
+        (Relation.filter
+           (fun row -> not (Value.equal row.(0) (Value.Str name)))
+           (metadata db));
+      true
+
+let revalidate db ~name =
+  let name = String.lowercase_ascii name in
+  match load db ~name with
+  | None -> Error (Printf.sprintf "no saved package named %s" name)
+  | Some (entry, stored) -> (
+      match Parser.parse entry.query_text with
+      | exception Parser.Parse_error msg ->
+          Error ("stored query no longer parses: " ^ msg)
+      | query -> (
+          match Semantics.candidates db query with
+          | exception Failure msg -> Error msg
+          | candidates ->
+              let cand_rows = Relation.rows candidates in
+              let arity = Schema.arity (Relation.schema candidates) in
+              (* Match each stored row (sans pkg_pos) against the current
+                 candidates by full-tuple equality. *)
+              let match_row stored_row =
+                let payload = Array.sub stored_row 1 (Array.length stored_row - 1) in
+                if Array.length payload <> arity then None
+                else
+                  let found = ref None in
+                  Array.iteri
+                    (fun i cand ->
+                      if !found = None && Array.for_all2 Value.equal payload cand
+                      then found := Some i)
+                    cand_rows;
+                  !found
+              in
+              let mult = Array.make (Relation.cardinality candidates) 0 in
+              let missing = ref 0 in
+              List.iter
+                (fun row ->
+                  match match_row row with
+                  | Some i -> mult.(i) <- mult.(i) + 1
+                  | None -> incr missing)
+                (Relation.to_list stored);
+              if !missing > 0 then
+                Error
+                  (Printf.sprintf
+                     "%d stored tuple(s) no longer satisfy the base \
+                      constraints or vanished from %s"
+                     !missing entry.source_relation)
+              else
+                let pkg =
+                  Package.of_multiplicities candidates
+                    ~alias:query.Ast.package_alias mult
+                in
+                Ok (Semantics.is_valid ~db query pkg)))

@@ -1,0 +1,54 @@
+module Relation = Pb_relation.Relation
+module Value = Pb_relation.Value
+module Executor = Pb_sql.Executor
+
+let candidates db (q : Ast.t) =
+  let rel = Pb_sql.Database.find_exn db q.input_relation in
+  let qualified = Relation.rename q.input_alias rel in
+  match q.where with
+  | None -> qualified
+  | Some pred ->
+      let schema = Relation.schema qualified in
+      Relation.filter
+        (fun row -> Value.truthy (Executor.eval_expr ~db schema row pred))
+        qualified
+
+let empty_package db (q : Ast.t) =
+  Package.create (candidates db q) ~alias:q.package_alias
+
+let respects_multiplicity (q : Ast.t) pkg =
+  let cap = Ast.max_multiplicity q in
+  List.for_all (fun i -> Package.multiplicity pkg i <= cap) (Package.support pkg)
+
+let eval_over_package ?db (q : Ast.t) pkg expr =
+  ignore q;
+  let materialized = Package.materialize pkg in
+  let schema = Relation.schema materialized in
+  let group = Relation.to_list materialized in
+  Executor.eval_agg_expr ?db schema group expr
+
+let satisfies_global ?db (q : Ast.t) pkg =
+  match q.such_that with
+  | None -> true
+  | Some pred -> Value.truthy (eval_over_package ?db q pkg pred)
+
+let is_valid ?db q pkg = respects_multiplicity q pkg && satisfies_global ?db q pkg
+
+let objective_value ?db (q : Ast.t) pkg =
+  match q.objective with
+  | None -> None
+  | Some (_, e) -> Value.to_float (eval_over_package ?db q pkg e)
+
+let better dir a b =
+  match dir with Ast.Maximize -> a > b | Ast.Minimize -> a < b
+
+let compare_quality (q : Ast.t) a b =
+  match q.objective with
+  | None -> 0
+  | Some (dir, _) -> (
+      match (objective_value q a, objective_value q b) with
+      | None, None -> 0
+      | None, Some _ -> -1
+      | Some _, None -> 1
+      | Some va, Some vb ->
+          if better dir va vb then 1 else if better dir vb va then -1 else 0)

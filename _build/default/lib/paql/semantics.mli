@@ -1,0 +1,42 @@
+(** Reference semantics of PaQL: candidate generation, package validation
+    and objective evaluation.
+
+    Validation evaluates the SUCH THAT clause with SQL aggregate semantics
+    by treating the whole package as a single group — exactly how the
+    paper's system "uses SQL statements to generate and validate candidate
+    packages" (§4 option i). Every evaluation strategy in pb_core is
+    checked against this oracle in the test suite. *)
+
+val candidates : Pb_sql.Database.t -> Ast.t -> Pb_relation.Relation.t
+(** Input relation restricted to rows satisfying the base constraints,
+    with the schema qualified by the input alias. Row order (hence
+    candidate indices) follows the stored relation. Raises [Failure] if
+    the input table does not exist. *)
+
+val empty_package : Pb_sql.Database.t -> Ast.t -> Package.t
+(** Empty package over [candidates]. *)
+
+val respects_multiplicity : Ast.t -> Package.t -> bool
+(** Every multiplicity is at most {!Ast.max_multiplicity}. *)
+
+val satisfies_global : ?db:Pb_sql.Database.t -> Ast.t -> Package.t -> bool
+(** SUCH THAT holds (vacuously true when absent). NULL-valued constraints
+    (e.g. SUM over an empty package) count as not satisfied, following SQL
+    filter semantics. [db] is needed only for subqueries. *)
+
+val is_valid : ?db:Pb_sql.Database.t -> Ast.t -> Package.t -> bool
+(** Multiplicity bound + global constraints. Base constraints hold by
+    construction for packages built over [candidates]. *)
+
+val objective_value : ?db:Pb_sql.Database.t -> Ast.t -> Package.t -> float option
+(** Value of the MAXIMIZE/MINIMIZE expression over the package; [None]
+    when the query has no objective or the aggregate is NULL (empty
+    package). *)
+
+val better : Ast.direction -> float -> float -> bool
+(** [better dir a b]: is objective [a] strictly preferable to [b]? *)
+
+val compare_quality : Ast.t -> Package.t -> Package.t -> int
+(** Order two {e valid} packages by the query's objective (positive when
+    the first is better); 0 for objective-less queries. Uses SQL NULL
+    semantics: a package with a NULL objective loses. *)

@@ -1,0 +1,1 @@
+lib/relation/value.ml: Bool Float Format Int Printf String

@@ -1,0 +1,72 @@
+type column = { name : string; ty : Value.ty }
+
+type t = { cols : column array }
+
+let normalize name = String.lowercase_ascii name
+
+let make cols =
+  let cols = List.map (fun c -> { c with name = normalize c.name }) cols in
+  let seen = Hashtbl.create 16 in
+  List.iter
+    (fun c ->
+      if Hashtbl.mem seen c.name then
+        invalid_arg ("Schema.make: duplicate column " ^ c.name)
+      else Hashtbl.add seen c.name ())
+    cols;
+  { cols = Array.of_list cols }
+
+let columns t = Array.to_list t.cols
+let arity t = Array.length t.cols
+
+let base_name name =
+  match String.rindex_opt name '.' with
+  | Some i -> String.sub name (i + 1) (String.length name - i - 1)
+  | None -> name
+
+let index_of t name =
+  let name = normalize name in
+  let exact = ref None and suffix = ref [] in
+  Array.iteri
+    (fun i c ->
+      if c.name = name then exact := Some i
+      else if base_name c.name = name then suffix := i :: !suffix)
+    t.cols;
+  match (!exact, !suffix) with
+  | Some i, _ -> Some i
+  | None, [ i ] -> Some i
+  | None, _ -> None
+
+let index_of_exn t name =
+  match index_of t name with
+  | Some i -> i
+  | None ->
+      failwith
+        (Printf.sprintf "unknown or ambiguous column %S (have: %s)" name
+           (String.concat ", " (Array.to_list (Array.map (fun c -> c.name) t.cols))))
+
+let column_ty t name =
+  match index_of t name with Some i -> Some t.cols.(i).ty | None -> None
+
+let names t = Array.to_list (Array.map (fun c -> c.name) t.cols)
+
+let qualify alias t =
+  let alias = normalize alias in
+  {
+    cols =
+      Array.map
+        (fun c -> { c with name = alias ^ "." ^ base_name c.name })
+        t.cols;
+  }
+
+let concat a b = make (columns a @ columns b)
+
+let equal a b =
+  arity a = arity b
+  && Array.for_all2 (fun x y -> x.name = y.name && x.ty = y.ty) a.cols b.cols
+
+let pp ppf t =
+  Format.fprintf ppf "(%s)"
+    (String.concat ", "
+       (List.map
+          (fun c -> c.name ^ ":" ^ Value.ty_to_string c.ty)
+          (columns t)))

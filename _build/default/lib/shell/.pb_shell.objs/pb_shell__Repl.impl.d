@@ -1,0 +1,1 @@
+lib/shell/repl.ml: Buffer List Pb_core Pb_explore Pb_paql Pb_relation Pb_sql Printf String

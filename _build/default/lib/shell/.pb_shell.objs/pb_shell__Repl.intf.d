@@ -1,0 +1,1 @@
+lib/shell/repl.mli: Pb_sql

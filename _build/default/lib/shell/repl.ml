@@ -1,0 +1,242 @@
+module Store = Pb_paql.Package_store
+
+type state = {
+  db : Pb_sql.Database.t;
+  mutable last_query : Pb_paql.Ast.t option;
+  mutable last_package : Pb_paql.Package.t option;
+}
+
+let create db = { db; last_query = None; last_package = None }
+
+let database st = st.db
+
+type reaction = { output : string; quit : bool }
+
+let ok output = { output; quit = false }
+
+let help_text =
+  String.concat "\n"
+    [
+      "PaQL queries (mentioning PACKAGE) and SQL statements run directly.";
+      "Commands:";
+      "  \\help                 this list";
+      "  \\tables               list tables";
+      "  \\schema TABLE         show a table's columns";
+      "  \\packages             list saved packages";
+      "  \\save NAME            save the last query's package";
+      "  \\revalidate NAME      re-check a saved package";
+      "  \\drop NAME            delete a saved package";
+      "  \\explain QUERY        pruning bounds, cost model, plan";
+      "  \\plan SQL             show the SQL planner's decisions";
+      "  \\complete PREFIX      auto-suggest next tokens";
+      "  \\next K QUERY         top-K packages";
+      "  \\dump DIR             persist the database to a directory";
+      "  \\quit                 leave";
+    ]
+
+let strip s = String.trim s
+
+(* Heuristic dispatch: a statement that mentions the PACKAGE keyword is
+   PaQL; anything else starting with a keyword is SQL. *)
+let is_paql line =
+  match Pb_sql.Lexer.tokenize line with
+  | exception Pb_sql.Lexer.Lex_error _ -> false
+  | tokens ->
+      List.exists (function Pb_sql.Lexer.Keyword "PACKAGE" -> true | _ -> false) tokens
+
+let run_paql st text =
+  match Pb_paql.Parser.parse text with
+  | exception Pb_paql.Parser.Parse_error msg -> ok ("paql error: " ^ msg)
+  | query -> (
+      match Pb_core.Engine.evaluate st.db query with
+      | exception Failure msg -> ok ("error: " ^ msg)
+      | report ->
+          st.last_query <- Some query;
+          st.last_package <- report.Pb_core.Engine.package;
+          let buf = Buffer.create 256 in
+          (match report.Pb_core.Engine.package with
+          | Some pkg -> Buffer.add_string buf (Pb_paql.Package.to_string pkg)
+          | None -> Buffer.add_string buf "no valid package\n");
+          (match report.Pb_core.Engine.objective with
+          | Some v -> Buffer.add_string buf (Printf.sprintf "objective: %g\n" v)
+          | None -> ());
+          Buffer.add_string buf
+            (Printf.sprintf "strategy: %s%s, %.3fs"
+               report.Pb_core.Engine.strategy_used
+               (if report.Pb_core.Engine.proven_optimal then " (proven optimal)"
+                else "")
+               report.Pb_core.Engine.elapsed);
+          ok (Buffer.contents buf))
+
+let run_sql st text =
+  match Pb_sql.Parser.parse_script text with
+  | exception Pb_sql.Parser.Parse_error msg -> ok ("sql error: " ^ msg)
+  | statements -> (
+      let buf = Buffer.create 256 in
+      match
+        List.iter
+          (fun stmt ->
+            match Pb_sql.Executor.execute st.db stmt with
+            | Pb_sql.Executor.Rows rel ->
+                Buffer.add_string buf
+                  (Pb_relation.Relation.to_table ~max_rows:40 rel)
+            | Pb_sql.Executor.Affected n ->
+                Buffer.add_string buf (Printf.sprintf "%d row(s) affected\n" n)
+            | Pb_sql.Executor.Created -> Buffer.add_string buf "ok\n")
+          statements
+      with
+      | () -> ok (String.trim (Buffer.contents buf))
+      | exception Pb_sql.Executor.Eval_error msg -> ok ("sql error: " ^ msg))
+
+let command st name raw_arg =
+  (* \complete is whitespace-sensitive: "SELECT " and "SELECT" sit in
+     different grammatical positions. Everything else trims. *)
+  if name = "complete" then
+    match Pb_explore.Complete.suggest st.db raw_arg with
+    | [] -> ok "(no suggestions)"
+    | suggestions -> ok (String.concat "\n" suggestions)
+  else
+  match (name, strip raw_arg) with
+  | "help", _ -> ok help_text
+  | "quit", _ | "q", _ -> { output = ""; quit = true }
+  | "tables", _ ->
+      ok (String.concat "\n" (Pb_sql.Database.table_names st.db))
+  | "schema", table -> (
+      match Pb_sql.Database.find st.db table with
+      | None -> ok ("no such table: " ^ table)
+      | Some rel ->
+          ok
+            (String.concat "\n"
+               (List.map
+                  (fun { Pb_relation.Schema.name; ty } ->
+                    Printf.sprintf "%-16s %s" name
+                      (Pb_relation.Value.ty_to_string ty))
+                  (Pb_relation.Schema.columns (Pb_relation.Relation.schema rel)))))
+  | "packages", _ -> (
+      match Store.list_saved st.db with
+      | [] -> ok "(no saved packages)"
+      | entries ->
+          ok
+            (String.concat "\n"
+               (List.map
+                  (fun e ->
+                    Printf.sprintf "%-16s %d tuple(s) from %-12s %s"
+                      e.Store.name e.Store.cardinality e.Store.source_relation
+                      e.Store.query_text)
+                  entries)))
+  | "save", name -> (
+      match (st.last_query, st.last_package) with
+      | Some query, Some pkg -> (
+          match Store.save st.db ~name ~query pkg with
+          | () -> ok (Printf.sprintf "saved as %s (table pkg_%s)" name name)
+          | exception Failure msg -> ok msg)
+      | _ -> ok "nothing to save: run a PaQL query that finds a package first")
+  | "revalidate", name -> (
+      match Store.revalidate st.db ~name with
+      | Ok true -> ok "still valid"
+      | Ok false -> ok "NO LONGER valid against the current data"
+      | Error msg -> ok msg)
+  | "drop", name ->
+      if Store.delete st.db ~name then ok ("dropped " ^ name)
+      else ok ("no saved package named " ^ name)
+  | "explain", text -> (
+      match Pb_paql.Parser.parse text with
+      | exception Pb_paql.Parser.Parse_error msg -> ok ("paql error: " ^ msg)
+      | query -> (
+          match Pb_core.Coeffs.make st.db query with
+          | exception Failure msg -> ok ("error: " ^ msg)
+          | c ->
+              let b = Pb_core.Pruning.cardinality_bounds c in
+              ok
+                (Printf.sprintf
+                   "candidates: %d\ncardinality bounds: %s\nsearch space: \
+                    2^%.1f -> 2^%.1f\n%s"
+                   c.Pb_core.Coeffs.n
+                   (Pb_core.Pruning.bounds_to_string b)
+                   (Pb_core.Pruning.log2_unpruned c)
+                   (Pb_core.Pruning.log2_pruned c b)
+                   (String.trim (Pb_core.Cost_model.to_table c)))))
+  | "next", rest -> (
+      match String.index_opt rest ' ' with
+      | None -> ok "usage: \\next K QUERY"
+      | Some i -> (
+          let k = String.sub rest 0 i in
+          let text = String.sub rest (i + 1) (String.length rest - i - 1) in
+          match (int_of_string_opt k, Pb_paql.Parser.parse text) with
+          | None, _ -> ok "usage: \\next K QUERY"
+          | Some k, query ->
+              let packages = Pb_core.Engine.next_packages ~limit:k st.db query in
+              if packages = [] then ok "no valid package"
+              else
+                ok
+                  (String.concat "\n"
+                     (List.mapi
+                        (fun i pkg ->
+                          Printf.sprintf "#%d objective=%s tuples=%s" (i + 1)
+                            (match
+                               Pb_paql.Semantics.objective_value ~db:st.db query
+                                 pkg
+                             with
+                            | Some v -> Printf.sprintf "%g" v
+                            | None -> "-")
+                            (String.concat ","
+                               (List.map string_of_int
+                                  (Pb_paql.Package.support pkg))))
+                        packages))
+          | exception Pb_paql.Parser.Parse_error msg -> ok ("paql error: " ^ msg)))
+  | "plan", sql -> (
+      match Pb_sql.Parser.parse_select sql with
+      | exception Pb_sql.Parser.Parse_error msg -> ok ("sql error: " ^ msg)
+      | q -> (
+          let eval schema row e = Pb_sql.Executor.eval_expr ~db:st.db schema row e in
+          match
+            Pb_sql.Planner.execute st.db ~eval ~from:q.Pb_sql.Ast.from
+              ~where:q.Pb_sql.Ast.where
+          with
+          | exception Failure msg -> ok ("plan error: " ^ msg)
+          | rel, stats ->
+              ok
+                (Printf.sprintf
+                   "source rows after plan: %d\nindex scans: %d\nhash joins: \
+                    %d\nnested products: %d\npushed predicates: %d"
+                   (Pb_relation.Relation.cardinality rel)
+                   stats.Pb_sql.Planner.index_scans
+                   stats.Pb_sql.Planner.hash_joins
+                   stats.Pb_sql.Planner.nested_products
+                   stats.Pb_sql.Planner.pushed_predicates)))
+  | "dump", dir -> (
+      match Pb_sql.Persist.save_dir st.db dir with
+      | () -> ok ("database written to " ^ dir)
+      | exception Sys_error msg -> ok ("dump failed: " ^ msg))
+  | name, _ -> ok (Printf.sprintf "unknown command \\%s (try \\help)" name)
+
+let left_trim s =
+  let n = String.length s in
+  let rec go i = if i < n && (s.[i] = ' ' || s.[i] = '\t') then go (i + 1) else i in
+  let i = go 0 in
+  String.sub s i (n - i)
+
+let handle st line =
+  let trimmed = strip line in
+  if trimmed = "" then ok ""
+  else if trimmed.[0] = '\\' then begin
+    (* Keep trailing whitespace: \complete is sensitive to it. *)
+    let body =
+      let lt = left_trim line in
+      String.sub lt 1 (String.length lt - 1)
+    in
+    match String.index_opt body ' ' with
+    | Some i ->
+        command st
+          (String.sub body 0 i)
+          (String.sub body (i + 1) (String.length body - i - 1))
+    | None -> command st body ""
+  end
+  else
+    let line = trimmed in
+    let line =
+      (* allow a trailing semicolon on interactive input *)
+      let n = String.length line in
+      if n > 0 && line.[n - 1] = ';' then String.sub line 0 (n - 1) else line
+    in
+    if is_paql line then run_paql st line else run_sql st line

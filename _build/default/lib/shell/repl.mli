@@ -1,0 +1,41 @@
+(** The interactive shell's engine, factored out of the CLI so the whole
+    command surface is unit-testable: one call maps an input line to its
+    textual response plus the updated session state.
+
+    Input forms:
+
+    - PaQL queries (any line whose first keyword sequence contains
+      [PACKAGE]) — evaluated with the hybrid strategy; the result is
+      remembered for [\save];
+    - SQL statements — executed against the session database;
+    - backslash commands:
+      {v
+      \help                 this list
+      \tables               list tables
+      \schema TABLE         show a table's columns
+      \packages             list saved packages
+      \save NAME            save the last query's package
+      \revalidate NAME      re-check a saved package
+      \drop NAME            delete a saved package
+      \explain QUERY        pruning bounds, cost model, plan
+      \complete PREFIX      auto-suggest next tokens
+      \next K QUERY         top-K packages
+      \dump DIR             persist the database to a directory
+      \quit                 leave (the CLI handles the actual exit)
+      v} *)
+
+type state
+
+val create : Pb_sql.Database.t -> state
+
+val database : state -> Pb_sql.Database.t
+
+type reaction = {
+  output : string;  (** text to print (may be multi-line, "" for quiet) *)
+  quit : bool;  (** true after [\quit] *)
+}
+
+val handle : state -> string -> reaction
+(** Process one input line. The state is mutated in place (the database
+    is shared); errors of any kind are reported in [output] rather than
+    raised. Blank lines produce empty output. *)

@@ -1,0 +1,1 @@
+lib/sql/database.ml: Array Hashtbl Index List Pb_relation Pb_util Printf String

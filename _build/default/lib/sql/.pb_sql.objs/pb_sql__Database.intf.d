@@ -1,0 +1,1 @@
+lib/sql/database.mli: Index Pb_relation

@@ -1,0 +1,1 @@
+lib/sql/executor.ml: Array Ast Database Float Hashtbl List Option Parser Pb_relation Planner Printf String

@@ -1,0 +1,1 @@
+lib/sql/executor.mli: Ast Database Pb_relation

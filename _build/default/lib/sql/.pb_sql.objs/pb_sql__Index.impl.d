@@ -1,0 +1,1 @@
+lib/sql/index.ml: Array Int Pb_relation

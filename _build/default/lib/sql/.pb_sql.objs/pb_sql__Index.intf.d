@@ -1,0 +1,1 @@
+lib/sql/index.mli: Pb_relation

@@ -1,0 +1,1 @@
+lib/sql/persist.ml: Array Buffer Database Filename List Pb_relation Pb_util Printf String Sys

@@ -1,0 +1,1 @@
+lib/sql/persist.mli: Database

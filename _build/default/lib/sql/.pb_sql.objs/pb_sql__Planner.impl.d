@@ -1,0 +1,1 @@
+lib/sql/planner.ml: Array Ast Database Hashtbl Index List Option Pb_relation String

@@ -1,0 +1,1 @@
+lib/sql/planner.mli: Ast Database Pb_relation

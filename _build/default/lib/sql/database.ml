@@ -1,0 +1,130 @@
+module Value = Pb_relation.Value
+module Schema = Pb_relation.Schema
+module Relation = Pb_relation.Relation
+
+type t = {
+  tables : (string, Relation.t) Hashtbl.t;
+  declared_indexes : (string, string list ref) Hashtbl.t;  (* table -> cols *)
+  index_cache : (string * string, Index.t) Hashtbl.t;
+}
+
+let create () =
+  {
+    tables = Hashtbl.create 16;
+    declared_indexes = Hashtbl.create 8;
+    index_cache = Hashtbl.create 8;
+  }
+
+let normalize = String.lowercase_ascii
+
+let invalidate_indexes db name =
+  Hashtbl.filter_map_inplace
+    (fun (table, _) index -> if table = name then None else Some index)
+    db.index_cache
+
+let put db name rel =
+  let name = normalize name in
+  Hashtbl.replace db.tables name rel;
+  invalidate_indexes db name
+
+let find db name = Hashtbl.find_opt db.tables (normalize name)
+
+let find_exn db name =
+  match find db name with
+  | Some r -> r
+  | None -> failwith ("no such table: " ^ name)
+
+let drop db name =
+  let name = normalize name in
+  Hashtbl.remove db.tables name;
+  Hashtbl.remove db.declared_indexes name;
+  invalidate_indexes db name
+
+let table_names db =
+  List.sort String.compare
+    (Hashtbl.fold (fun k _ acc -> k :: acc) db.tables [])
+
+let create_index db ~table ~column =
+  let table = normalize table and column = normalize column in
+  let rel = find_exn db table in
+  if Schema.index_of (Relation.schema rel) column = None then
+    failwith
+      (Printf.sprintf "no such column %s in table %s" column table);
+  let cols =
+    match Hashtbl.find_opt db.declared_indexes table with
+    | Some cols -> cols
+    | None ->
+        let cols = ref [] in
+        Hashtbl.add db.declared_indexes table cols;
+        cols
+  in
+  if not (List.mem column !cols) then cols := column :: !cols
+
+let indexed_columns db table =
+  match Hashtbl.find_opt db.declared_indexes (normalize table) with
+  | Some cols -> !cols
+  | None -> []
+
+let get_index db ~table ~column =
+  let table = normalize table and column = normalize column in
+  if not (List.mem column (indexed_columns db table)) then None
+  else
+    match Hashtbl.find_opt db.index_cache (table, column) with
+    | Some index -> Some index
+    | None -> (
+        match find db table with
+        | None -> None
+        | Some rel ->
+            let index = Index.build rel column in
+            Hashtbl.add db.index_cache (table, column) index;
+            Some index)
+
+let infer_column_ty cells =
+  let non_null = List.filter (fun v -> v <> Value.Null) cells in
+  if non_null = [] then Value.T_str
+  else if List.for_all (function Value.Int _ -> true | _ -> false) non_null
+  then Value.T_int
+  else if
+    List.for_all
+      (function Value.Int _ | Value.Float _ -> true | _ -> false)
+      non_null
+  then Value.T_float
+  else if List.for_all (function Value.Bool _ -> true | _ -> false) non_null
+  then Value.T_bool
+  else Value.T_str
+
+let load_csv db ~name path =
+  match Pb_util.Csv.parse_file path with
+  | [] -> failwith ("empty CSV file: " ^ path)
+  | header :: raw_rows ->
+      let ncols = List.length header in
+      let parse_row r =
+        if List.length r <> ncols then
+          failwith
+            (Printf.sprintf "CSV row has %d fields, header has %d"
+               (List.length r) ncols)
+        else Array.of_list (List.map Value.of_literal r)
+      in
+      let rows = List.map parse_row raw_rows in
+      let tys =
+        List.mapi
+          (fun i _ -> infer_column_ty (List.map (fun r -> r.(i)) rows))
+          header
+      in
+      let as_str v =
+        if v = Value.Null then Value.Null else Value.Str (Value.to_string v)
+      in
+      let coerce ty v =
+        (* Re-read mixed columns as text so the relation is homogeneous. *)
+        match ty with Value.T_str -> as_str v | _ -> v
+      in
+      let rows =
+        List.map
+          (fun r -> Array.of_list (List.map2 coerce tys (Array.to_list r)))
+          rows
+      in
+      let schema =
+        Schema.make
+          (List.map2 (fun n ty -> { Schema.name = n; ty }) header tys)
+      in
+      put db name (Relation.create schema rows)

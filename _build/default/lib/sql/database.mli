@@ -1,0 +1,41 @@
+(** Mutable catalog of named relations — the "DBMS" whose role PostgreSQL
+    plays in the paper. PackageBuilder proper only talks to this through
+    SQL (see {!Executor}); the workload generators install relations
+    directly. Table names are case-insensitive.
+
+    Indexes are declared per (table, column); they are built lazily on
+    first use and invalidated whenever the table is replaced (every DML
+    statement replaces the stored relation). *)
+
+type t
+
+val create : unit -> t
+val put : t -> string -> Pb_relation.Relation.t -> unit
+(** Install or replace a table; cached indexes on it are invalidated. *)
+
+val find : t -> string -> Pb_relation.Relation.t option
+val find_exn : t -> string -> Pb_relation.Relation.t
+(** Raises [Failure] naming the missing table. *)
+
+val drop : t -> string -> unit
+(** Also forgets the table's index declarations. *)
+
+val table_names : t -> string list
+(** Sorted. *)
+
+val create_index : t -> table:string -> column:string -> unit
+(** Declare an index (idempotent). Raises [Failure] if the table or
+    column does not exist. *)
+
+val indexed_columns : t -> string -> string list
+(** Declared index columns of a table (possibly not yet built). *)
+
+val get_index : t -> table:string -> column:string -> Index.t option
+(** The index, building and caching it on demand; [None] when not
+    declared or the table is missing. *)
+
+val load_csv : t -> name:string -> string -> unit
+(** [load_csv db ~name path] creates table [name] from a CSV file whose
+    first row is a header; column types are inferred per column from the
+    parsed values (INT if all integral, else FLOAT if numeric, else BOOL,
+    else TEXT; empty fields are NULL and don't constrain the type). *)

@@ -1,0 +1,621 @@
+open Ast
+module Value = Pb_relation.Value
+module Schema = Pb_relation.Schema
+module Relation = Pb_relation.Relation
+
+exception Eval_error of string
+
+type result = Rows of Relation.t | Affected of int | Created
+
+let err fmt = Printf.ksprintf (fun s -> raise (Eval_error s)) fmt
+
+(* LIKE pattern matching with % (any sequence) and _ (any char), by
+   two-pointer backtracking on the last %. *)
+let like_match ~pattern s =
+  let np = String.length pattern and ns = String.length s in
+  let rec go p i star_p star_i =
+    if i = ns then
+      (* consume trailing %s *)
+      let rec only_percent p = p = np || (pattern.[p] = '%' && only_percent (p + 1)) in
+      if only_percent p then true
+      else if star_p >= 0 && star_i < ns then
+        go (star_p + 1) (star_i + 1) star_p (star_i + 1)
+      else false
+    else if p < np && pattern.[p] = '%' then go (p + 1) i p i
+    else if p < np && (pattern.[p] = '_' || pattern.[p] = s.[i]) then
+      go (p + 1) (i + 1) star_p star_i
+    else if star_p >= 0 then go (star_p + 1) (star_i + 1) star_p (star_i + 1)
+    else false
+  in
+  go 0 0 (-1) (-1)
+
+let scalar_function name args =
+  match (String.lowercase_ascii name, args) with
+  | "abs", [ Value.Int i ] -> Value.Int (abs i)
+  | "abs", [ Value.Float f ] -> Value.Float (Float.abs f)
+  | "abs", [ Value.Null ] -> Value.Null
+  | "lower", [ Value.Str s ] -> Value.Str (String.lowercase_ascii s)
+  | "upper", [ Value.Str s ] -> Value.Str (String.uppercase_ascii s)
+  | "length", [ Value.Str s ] -> Value.Int (String.length s)
+  | ("lower" | "upper" | "length"), [ Value.Null ] -> Value.Null
+  | "round", [ v ] -> (
+      match Value.to_float v with
+      | Some f -> Value.Int (int_of_float (Float.round f))
+      | None -> Value.Null)
+  | "floor", [ v ] -> (
+      match Value.to_float v with
+      | Some f -> Value.Int (int_of_float (Float.floor f))
+      | None -> Value.Null)
+  | "ceil", [ v ] -> (
+      match Value.to_float v with
+      | Some f -> Value.Int (int_of_float (Float.ceil f))
+      | None -> Value.Null)
+  | "coalesce", vs -> (
+      match List.find_opt (fun v -> v <> Value.Null) vs with
+      | Some v -> v
+      | None -> Value.Null)
+  | "sqrt", [ v ] -> (
+      match Value.to_float v with
+      | Some f when f >= 0.0 -> Value.Float (sqrt f)
+      | _ -> Value.Null)
+  | name, args -> err "unknown function %s/%d" name (List.length args)
+
+let binop_value op a b =
+  match op with
+  | Add -> Value.add a b
+  | Sub -> Value.sub a b
+  | Mul -> Value.mul a b
+  | Div -> Value.div a b
+  | Eq -> Value.cmp_bool (fun c -> c = 0) a b
+  | Neq -> Value.cmp_bool (fun c -> c <> 0) a b
+  | Lt -> Value.cmp_bool (fun c -> c < 0) a b
+  | Le -> Value.cmp_bool (fun c -> c <= 0) a b
+  | Gt -> Value.cmp_bool (fun c -> c > 0) a b
+  | Ge -> Value.cmp_bool (fun c -> c >= 0) a b
+  | And -> Value.logical_and a b
+  | Or -> Value.logical_or a b
+
+(* Mutually recursive with [select] because of IN/EXISTS subqueries. *)
+let rec eval_expr ?db schema row e =
+  let ev e = eval_expr ?db schema row e in
+  match e with
+  | Lit v -> v
+  | Col name -> row.(Schema.index_of_exn schema name)
+  | Unary_minus e -> Value.neg (ev e)
+  | Not e -> Value.logical_not (ev e)
+  | Binop (op, a, b) -> binop_value op (ev a) (ev b)
+  | Between (e, lo, hi) ->
+      let v = ev e in
+      Value.logical_and
+        (Value.cmp_bool (fun c -> c >= 0) v (ev lo))
+        (Value.cmp_bool (fun c -> c <= 0) v (ev hi))
+  | In_list (e, items, neg) ->
+      let v = ev e in
+      let hit = List.exists (fun it -> Value.equal v (ev it)) items in
+      Value.Bool (if neg then not hit else hit)
+  | In_query (e, q, neg) -> (
+      match db with
+      | None -> err "IN subquery requires a database context"
+      | Some db ->
+          let v = ev e in
+          let sub = select db q in
+          if Relation.cardinality sub > 0 && Schema.arity (Relation.schema sub) <> 1
+          then err "IN subquery must return one column"
+          else
+            let hit =
+              Array.exists (fun r -> Value.equal v r.(0)) (Relation.rows sub)
+            in
+            Value.Bool (if neg then not hit else hit))
+  | Exists q -> (
+      match db with
+      | None -> err "EXISTS subquery requires a database context"
+      | Some db -> Value.Bool (Relation.cardinality (select db q) > 0))
+  | Is_null (e, neg) ->
+      let null = Value.is_null (ev e) in
+      Value.Bool (if neg then not null else null)
+  | Like (e, pattern, neg) -> (
+      match ev e with
+      | Value.Null -> Value.Null
+      | Value.Str s ->
+          let hit = like_match ~pattern s in
+          Value.Bool (if neg then not hit else hit)
+      | v -> err "LIKE on non-string value %s" (Value.to_string v))
+  | Agg (f, _) -> err "aggregate %s outside GROUP context" (agg_to_string f)
+  | Func (name, args) -> scalar_function name (List.map ev args)
+  | Case (branches, default) -> eval_case ev branches default
+
+and eval_case ev branches default =
+  let rec walk = function
+    | [] -> ( match default with Some e -> ev e | None -> Value.Null)
+    | (cond, value) :: rest -> if Value.truthy (ev cond) then ev value else walk rest
+  in
+  walk branches
+
+and eval_agg_expr ?db schema group e =
+  let representative =
+    match group with
+    | r :: _ -> r
+    | [] -> Array.make (Schema.arity schema) Value.Null
+  in
+  let rec ev e =
+    match e with
+    | Agg (Count_star, _) -> Value.Int (List.length group)
+    | Agg (f, Some arg) -> reduce f arg
+    | Agg (f, None) -> err "%s requires an argument" (agg_to_string f)
+    | Lit v -> v
+    | Col name -> representative.(Schema.index_of_exn schema name)
+    | Unary_minus e -> Value.neg (ev e)
+    | Not e -> Value.logical_not (ev e)
+    | Binop (op, a, b) -> binop_value op (ev a) (ev b)
+    | Between (e, lo, hi) ->
+        let v = ev e in
+        Value.logical_and
+          (Value.cmp_bool (fun c -> c >= 0) v (ev lo))
+          (Value.cmp_bool (fun c -> c <= 0) v (ev hi))
+    | In_list (e, items, neg) ->
+        let v = ev e in
+        let hit = List.exists (fun it -> Value.equal v (ev it)) items in
+        Value.Bool (if neg then not hit else hit)
+    | In_query (lhs, sub, neg) -> (
+        match db with
+        | None -> err "IN subquery requires a database context"
+        | Some db ->
+            (* The lhs may itself aggregate over the group. *)
+            let v = ev lhs in
+            let rel = select db sub in
+            if Relation.cardinality rel > 0 && Schema.arity (Relation.schema rel) <> 1
+            then err "IN subquery must return one column"
+            else
+              let hit =
+                Array.exists (fun r -> Value.equal v r.(0)) (Relation.rows rel)
+              in
+              Value.Bool (if neg then not hit else hit))
+    | Exists sub -> (
+        match db with
+        | None -> err "EXISTS subquery requires a database context"
+        | Some db -> Value.Bool (Relation.cardinality (select db sub) > 0))
+    | Is_null (e, neg) ->
+        let null = Value.is_null (ev e) in
+        Value.Bool (if neg then not null else null)
+    | Like (lhs, pattern, neg) -> (
+        match ev lhs with
+        | Value.Null -> Value.Null
+        | Value.Str s ->
+            let hit = like_match ~pattern s in
+            Value.Bool (if neg then not hit else hit)
+        | v -> err "LIKE on non-string value %s" (Value.to_string v))
+    | Func (name, args) -> scalar_function name (List.map ev args)
+    | Case (branches, default) -> eval_case ev branches default
+  and reduce f arg =
+    let values =
+      List.filter_map
+        (fun r ->
+          let v = eval_expr ?db schema r arg in
+          if Value.is_null v then None else Some v)
+        group
+    in
+    match (f, values) with
+    | Count, vs -> Value.Int (List.length vs)
+    | Count_star, _ -> Value.Int (List.length group)
+    | _, [] -> Value.Null
+    | Sum, vs ->
+        let all_int = List.for_all (function Value.Int _ -> true | _ -> false) vs in
+        if all_int then
+          Value.Int
+            (List.fold_left
+               (fun acc v -> acc + Option.get (Value.to_int v))
+               0 vs)
+        else
+          Value.Float
+            (List.fold_left
+               (fun acc v ->
+                 match Value.to_float v with
+                 | Some x -> acc +. x
+                 | None -> err "SUM over non-numeric value")
+               0.0 vs)
+    | Avg, vs ->
+        let total =
+          List.fold_left
+            (fun acc v ->
+              match Value.to_float v with
+              | Some x -> acc +. x
+              | None -> err "AVG over non-numeric value")
+            0.0 vs
+        in
+        Value.Float (total /. float_of_int (List.length vs))
+    | Min, v :: vs ->
+        List.fold_left (fun a b -> if Value.compare_values b a < 0 then b else a) v vs
+    | Max, v :: vs ->
+        List.fold_left (fun a b -> if Value.compare_values b a > 0 then b else a) v vs
+  in
+  ev e
+
+and contains_agg e =
+  match e with
+  | Agg _ -> true
+  | Lit _ | Col _ -> false
+  | Unary_minus e | Not e | Is_null (e, _) | Like (e, _, _) -> contains_agg e
+  | Binop (_, a, b) -> contains_agg a || contains_agg b
+  | Between (a, b, c) -> contains_agg a || contains_agg b || contains_agg c
+  | In_list (e, es, _) -> contains_agg e || List.exists contains_agg es
+  | In_query (e, _, _) -> contains_agg e
+  | Exists _ -> false
+  | Func (_, es) -> List.exists contains_agg es
+  | Case (branches, default) ->
+      List.exists (fun (c, e) -> contains_agg c || contains_agg e) branches
+      || (match default with Some e -> contains_agg e | None -> false)
+
+and infer_item_name i = function
+  | Star_item -> Printf.sprintf "col%d" i
+  | Expr_item (_, Some alias) -> alias
+  | Expr_item (Col c, None) ->
+      (* keep only the base name so result columns are addressable *)
+      let c = String.lowercase_ascii c in
+      (match String.rindex_opt c '.' with
+      | Some k -> String.sub c (k + 1) (String.length c - k - 1)
+      | None -> c)
+  | Expr_item (Agg (Count_star, _), None) -> "count"
+  | Expr_item (Agg (f, _), None) -> String.lowercase_ascii (agg_to_string f)
+  | Expr_item (_, None) -> Printf.sprintf "col%d" i
+
+and value_ty_fallback = function
+  | Some ty -> ty
+  | None -> Value.T_float
+
+and infer_expr_ty schema e =
+  (* Best-effort static type used to label result columns. *)
+  match e with
+  | Lit v -> value_ty_fallback (Value.ty_of v)
+  | Col name -> (
+      match Schema.column_ty schema name with
+      | Some ty -> ty
+      | None -> Value.T_str)
+  | Unary_minus e -> infer_expr_ty schema e
+  | Not _ | Is_null _ | Like _ | In_list _ | In_query _ | Exists _ ->
+      Value.T_bool
+  | Binop ((Add | Sub | Mul), a, b) -> (
+      match (infer_expr_ty schema a, infer_expr_ty schema b) with
+      | Value.T_int, Value.T_int -> Value.T_int
+      | _ -> Value.T_float)
+  | Binop (Div, _, _) -> Value.T_float
+  | Binop ((Eq | Neq | Lt | Le | Gt | Ge | And | Or), _, _) -> Value.T_bool
+  | Between _ -> Value.T_bool
+  | Agg ((Count_star | Count), _) -> Value.T_int
+  | Agg (Avg, _) -> Value.T_float
+  | Agg ((Sum | Min | Max), Some e) -> infer_expr_ty schema e
+  | Agg ((Sum | Min | Max), None) -> Value.T_float
+  | Func (name, _) -> (
+      match String.lowercase_ascii name with
+      | "length" | "round" | "floor" | "ceil" -> Value.T_int
+      | "lower" | "upper" -> Value.T_str
+      | _ -> Value.T_float)
+  | Case (branches, default) -> (
+      match (branches, default) with
+      | (_, e) :: _, _ -> infer_expr_ty schema e
+      | [], Some e -> infer_expr_ty schema e
+      | [], None -> Value.T_str)
+
+and expand_items schema items =
+  List.concat_map
+    (function
+      | Star_item ->
+          List.map (fun n -> Expr_item (Col n, Some n)) (Schema.names schema)
+      | item -> [ item ])
+    items
+
+and select db q =
+  let base = select_simple db q in
+  (* Set operations, applied left to right over the first branch. *)
+  List.fold_left
+    (fun acc (op, rhs) -> set_operation op acc (select_simple db rhs))
+    base q.compound
+
+(* Key used for duplicate detection in DISTINCT and set operations:
+   numerics normalize (3 = 3.0), types otherwise separate so Int 1 and
+   Str "1" stay distinct. *)
+and dedup_key row =
+  let cell v =
+    match (v : Value.t) with
+    | Value.Null -> "0"
+    | Value.Bool b -> "b" ^ string_of_bool b
+    | Value.Int i -> "n" ^ string_of_float (float_of_int i)
+    | Value.Float f -> "n" ^ string_of_float f
+    | Value.Str s -> "s" ^ s
+  in
+  String.concat "\x00" (Array.to_list (Array.map cell row))
+
+and set_operation op left right =
+  if Schema.arity (Relation.schema left) <> Schema.arity (Relation.schema right)
+  then err "set operation over results of different arity";
+  let keys_of rel =
+    let tbl = Hashtbl.create 64 in
+    Array.iter (fun row -> Hashtbl.replace tbl (dedup_key row) ()) (Relation.rows rel);
+    tbl
+  in
+  let dedup rows =
+    let seen = Hashtbl.create 64 in
+    List.filter
+      (fun row ->
+        let k = dedup_key row in
+        if Hashtbl.mem seen k then false
+        else (
+          Hashtbl.add seen k ();
+          true))
+      rows
+  in
+  let schema = Relation.schema left in
+  match op with
+  | Union_all ->
+      Relation.create schema (Relation.to_list left @ Relation.to_list right)
+  | Union ->
+      Relation.create schema
+        (dedup (Relation.to_list left @ Relation.to_list right))
+  | Intersect ->
+      let right_keys = keys_of right in
+      Relation.create schema
+        (dedup
+           (List.filter
+              (fun row -> Hashtbl.mem right_keys (dedup_key row))
+              (Relation.to_list left)))
+  | Except ->
+      let right_keys = keys_of right in
+      Relation.create schema
+        (dedup
+           (List.filter
+              (fun row -> not (Hashtbl.mem right_keys (dedup_key row)))
+              (Relation.to_list left)))
+
+and select_simple db q =
+  let filtered, _plan_stats =
+    try
+      Planner.execute db
+        ~eval:(fun schema row e -> eval_expr ~db schema row e)
+        ~from:q.from ~where:q.where
+    with Failure msg -> err "%s" msg
+  in
+  let schema = Relation.schema filtered in
+  let items = expand_items schema q.items in
+  let grouped_mode =
+    q.group_by <> []
+    || List.exists
+         (function Expr_item (e, _) -> contains_agg e | Star_item -> false)
+         items
+    || (match q.having with Some e -> contains_agg e | None -> false)
+  in
+  let out_schema =
+    (* Base names can collide in self-joins (e1.id, e2.id); fall back to
+       the qualified name, then to a positional suffix. *)
+    let raw = List.mapi (fun i item -> (infer_item_name i item, item)) items in
+    let tally = Hashtbl.create 16 in
+    List.iter
+      (fun (name, _) ->
+        Hashtbl.replace tally name
+          (1 + Option.value (Hashtbl.find_opt tally name) ~default:0))
+      raw;
+    let named =
+      List.map
+        (fun (name, item) ->
+          if Hashtbl.find tally name <= 1 then (name, item)
+          else
+            match item with
+            | Expr_item (Col c, None) -> (String.lowercase_ascii c, item)
+            | _ -> (name, item))
+        raw
+    in
+    let seen = Hashtbl.create 16 in
+    let uniquify name =
+      match Hashtbl.find_opt seen name with
+      | None ->
+          Hashtbl.add seen name 1;
+          name
+      | Some k ->
+          Hashtbl.replace seen name (k + 1);
+          Printf.sprintf "%s__%d" name (k + 1)
+    in
+    Schema.make
+      (List.map
+         (fun (name, item) ->
+           let ty =
+             match item with
+             | Expr_item (e, _) -> infer_expr_ty schema e
+             | Star_item -> Value.T_str
+           in
+           { Schema.name = uniquify name; ty })
+         named)
+  in
+  (* Each output row keeps its provenance (source row or group) so that
+     ORDER BY can reference source expressions that were not projected. *)
+  let pairs =
+    if not grouped_mode then
+      List.map
+        (fun row ->
+          ( Array.of_list
+              (List.map
+                 (function
+                   | Expr_item (e, _) -> eval_expr ~db schema row e
+                   | Star_item -> assert false)
+                 items),
+            `Row row ))
+        (Relation.to_list filtered)
+    else begin
+      (* Group rows by the GROUP BY key (single group when absent). *)
+      let tbl = Hashtbl.create 64 in
+      let order = ref [] in
+      List.iter
+        (fun row ->
+          let key =
+            List.map
+              (fun e -> Value.to_string (eval_expr ~db schema row e))
+              q.group_by
+          in
+          (match Hashtbl.find_opt tbl key with
+          | Some cell -> cell := row :: !cell
+          | None ->
+              Hashtbl.add tbl key (ref [ row ]);
+              order := key :: !order))
+        (Relation.to_list filtered);
+      let groups =
+        if q.group_by = [] then
+          [ List.rev (match Hashtbl.find_opt tbl [] with Some c -> !c | None -> []) ]
+        else
+          List.rev_map (fun key -> List.rev !(Hashtbl.find tbl key)) !order
+      in
+      let groups =
+        (* An empty input with no GROUP BY still yields one (empty) group,
+           so that a bare SELECT COUNT of everything returns 0. *)
+        if q.group_by = [] then groups else List.filter (fun g -> g <> []) groups
+      in
+      List.filter_map
+        (fun group ->
+          let keep =
+            match q.having with
+            | None -> true
+            | Some pred ->
+                Value.truthy (eval_agg_expr ~db schema group pred)
+          in
+          if not keep then None
+          else
+            Some
+              ( Array.of_list
+                  (List.map
+                     (function
+                       | Expr_item (e, _) -> eval_agg_expr ~db schema group e
+                       | Star_item -> assert false)
+                     items),
+                `Group group ))
+        groups
+    end
+  in
+  let pairs =
+    if not q.distinct then pairs
+    else begin
+      let seen = Hashtbl.create 64 in
+      List.filter
+        (fun (row, _) ->
+          let key = dedup_key row in
+          if Hashtbl.mem seen key then false
+          else (
+            Hashtbl.add seen key ();
+            true))
+        pairs
+    end
+  in
+  let pairs =
+    match q.order_by with
+    | [] -> pairs
+    | keys ->
+        (* ORDER BY may reference output columns (by alias), or any source
+           expression — including ones that were not projected — which is
+           resolved against the row's provenance. *)
+        let key_value (out_row, provenance) e =
+          match e with
+          | Col name when Schema.index_of out_schema name <> None ->
+              out_row.(Schema.index_of_exn out_schema name)
+          | _ -> (
+              match provenance with
+              | `Row src -> eval_expr ~db schema src e
+              | `Group group -> eval_agg_expr ~db schema group e)
+        in
+        let cmp a b =
+          let rec walk = function
+            | [] -> 0
+            | (e, dir) :: rest ->
+                let c = Value.compare_values (key_value a e) (key_value b e) in
+                let c = match dir with Asc -> c | Desc -> -c in
+                if c <> 0 then c else walk rest
+          in
+          walk keys
+        in
+        List.stable_sort cmp pairs
+  in
+  let pairs =
+    match q.offset with
+    | None -> pairs
+    | Some skip -> List.filteri (fun i _ -> i >= skip) pairs
+  in
+  let pairs =
+    match q.limit with
+    | None -> pairs
+    | Some k -> List.filteri (fun i _ -> i < k) pairs
+  in
+  Relation.create out_schema (List.map fst pairs)
+
+and eval_const ?db e =
+  let empty = Schema.make [] in
+  eval_expr ?db empty [||] e
+
+let execute db stmt =
+  match stmt with
+  | Select_stmt q -> Rows (select db q)
+  | Create_table (name, defs) ->
+      let schema =
+        Schema.make
+          (List.map (fun d -> { Schema.name = d.col_name; ty = d.col_ty }) defs)
+      in
+      Database.put db name (Relation.empty schema);
+      Created
+  | Insert (name, cols, rows) ->
+      let rel = Database.find_exn db name in
+      let schema = Relation.schema rel in
+      let build row_exprs =
+        let values = List.map (fun e -> eval_const ~db e) row_exprs in
+        match cols with
+        | None ->
+            if List.length values <> Schema.arity schema then
+              err "INSERT arity mismatch";
+            Array.of_list values
+        | Some names ->
+            if List.length names <> List.length values then
+              err "INSERT column/value count mismatch";
+            let out = Array.make (Schema.arity schema) Value.Null in
+            List.iter2
+              (fun n v -> out.(Schema.index_of_exn schema n) <- v)
+              names values;
+            out
+      in
+      let new_rows = List.map build rows in
+      Database.put db name (Relation.append rel new_rows);
+      Affected (List.length new_rows)
+  | Delete (name, where) ->
+      let rel = Database.find_exn db name in
+      let schema = Relation.schema rel in
+      let keep row =
+        match where with
+        | None -> false
+        | Some pred -> not (Value.truthy (eval_expr ~db schema row pred))
+      in
+      let kept = Relation.filter keep rel in
+      Database.put db name kept;
+      Affected (Relation.cardinality rel - Relation.cardinality kept)
+  | Update (name, sets, where) ->
+      let rel = Database.find_exn db name in
+      let schema = Relation.schema rel in
+      let count = ref 0 in
+      let update row =
+        let hit =
+          match where with
+          | None -> true
+          | Some pred -> Value.truthy (eval_expr ~db schema row pred)
+        in
+        if not hit then row
+        else begin
+          incr count;
+          let out = Array.copy row in
+          List.iter
+            (fun (col, e) ->
+              out.(Schema.index_of_exn schema col) <- eval_expr ~db schema row e)
+            sets;
+          out
+        end
+      in
+      Database.put db name (Relation.map_rows schema update rel);
+      Affected !count
+  | Create_index { table; column } ->
+      (try Database.create_index db ~table ~column
+       with Failure msg -> err "%s" msg);
+      Created
+  | Drop_table name ->
+      Database.drop db name;
+      Created
+
+let execute_sql db src = execute db (Parser.parse_statement src)

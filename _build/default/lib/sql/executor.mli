@@ -1,0 +1,50 @@
+(** SQL execution over the in-memory catalog.
+
+    The executor is deliberately a straightforward iterator pipeline
+    (product → filter → group → project → sort → limit): PackageBuilder's
+    §4.2 argument about k-replacement local search — that the neighbourhood
+    query is "a selection over a Cartesian product" whose cost explodes as
+    a 2k-way join — depends only on this complexity shape, which a fancier
+    optimizer would obscure. *)
+
+exception Eval_error of string
+
+type result =
+  | Rows of Pb_relation.Relation.t  (** SELECT result *)
+  | Affected of int                 (** rows inserted/deleted/updated *)
+  | Created                         (** DDL acknowledgement *)
+
+val eval_expr :
+  ?db:Database.t ->
+  Pb_relation.Schema.t ->
+  Pb_relation.Value.t array ->
+  Ast.expr ->
+  Pb_relation.Value.t
+(** Evaluate a scalar expression against one row. Aggregate nodes raise
+    {!Eval_error} here (they only make sense over a group); subqueries need
+    [db]. *)
+
+val eval_const : ?db:Database.t -> Ast.expr -> Pb_relation.Value.t
+(** Evaluate a row-independent expression (literals/arithmetic). *)
+
+val eval_agg_expr :
+  ?db:Database.t ->
+  Pb_relation.Schema.t ->
+  Pb_relation.Value.t array list ->
+  Ast.expr ->
+  Pb_relation.Value.t
+(** Evaluate an expression over a group of rows: aggregate nodes reduce
+    the whole group, other column references resolve against the first
+    row (the group-by representative). This is exactly the semantics the
+    package validator reuses to check SUCH THAT constraints, treating the
+    candidate package as one group. *)
+
+val select : Database.t -> Ast.select -> Pb_relation.Relation.t
+(** Run a SELECT. *)
+
+val execute : Database.t -> Ast.statement -> result
+val execute_sql : Database.t -> string -> result
+(** Parse then execute a single statement. *)
+
+val like_match : pattern:string -> string -> bool
+(** SQL LIKE with [%] and [_] wildcards (exposed for tests). *)

@@ -1,0 +1,147 @@
+type token =
+  | Ident of string
+  | Keyword of string
+  | Int_lit of int
+  | Float_lit of float
+  | Str_lit of string
+  | Lparen
+  | Rparen
+  | Comma
+  | Dot
+  | Star
+  | Plus
+  | Minus
+  | Slash
+  | Eq_tok
+  | Neq_tok
+  | Lt_tok
+  | Le_tok
+  | Gt_tok
+  | Ge_tok
+  | Semicolon
+  | Eof
+
+exception Lex_error of string * int
+
+let keywords =
+  [
+    "SELECT"; "FROM"; "WHERE"; "GROUP"; "BY"; "HAVING"; "ORDER"; "ASC";
+    "DESC"; "LIMIT"; "DISTINCT"; "AS"; "AND"; "OR"; "NOT"; "BETWEEN"; "IN";
+    "EXISTS"; "IS"; "NULL"; "TRUE"; "FALSE"; "LIKE"; "COUNT"; "SUM"; "AVG";
+    "MIN"; "MAX"; "CREATE"; "TABLE"; "INSERT"; "INTO"; "VALUES"; "DELETE";
+    "UPDATE"; "SET"; "DROP"; "INT"; "FLOAT"; "TEXT"; "BOOL"; "PACKAGE"; "SUCH";
+    "THAT"; "REPEAT"; "MAXIMIZE"; "MINIMIZE"; "INPUT"; "OUTPUT"; "CASE";
+    "WHEN"; "THEN"; "ELSE"; "END"; "UNION"; "INTERSECT"; "EXCEPT"; "ALL";
+    "OFFSET"; "INDEX"; "ON";
+  ]
+
+let is_ident_start c = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_'
+let is_ident_char c = is_ident_start c || (c >= '0' && c <= '9')
+let is_digit c = c >= '0' && c <= '9'
+
+let tokenize src =
+  let n = String.length src in
+  let toks = ref [] in
+  let emit t = toks := t :: !toks in
+  let rec skip_line_comment i = if i < n && src.[i] <> '\n' then skip_line_comment (i + 1) else i in
+  let rec loop i =
+    if i >= n then emit Eof
+    else
+      match src.[i] with
+      | ' ' | '\t' | '\n' | '\r' -> loop (i + 1)
+      | '-' when i + 1 < n && src.[i + 1] = '-' -> loop (skip_line_comment (i + 2))
+      | '(' -> emit Lparen; loop (i + 1)
+      | ')' -> emit Rparen; loop (i + 1)
+      | ',' -> emit Comma; loop (i + 1)
+      | '.' when not (i + 1 < n && is_digit src.[i + 1]) -> emit Dot; loop (i + 1)
+      | '*' -> emit Star; loop (i + 1)
+      | '+' -> emit Plus; loop (i + 1)
+      | '-' -> emit Minus; loop (i + 1)
+      | '/' -> emit Slash; loop (i + 1)
+      | ';' -> emit Semicolon; loop (i + 1)
+      | '=' -> emit Eq_tok; loop (i + 1)
+      | '!' when i + 1 < n && src.[i + 1] = '=' -> emit Neq_tok; loop (i + 2)
+      | '<' when i + 1 < n && src.[i + 1] = '>' -> emit Neq_tok; loop (i + 2)
+      | '<' when i + 1 < n && src.[i + 1] = '=' -> emit Le_tok; loop (i + 2)
+      | '<' -> emit Lt_tok; loop (i + 1)
+      | '>' when i + 1 < n && src.[i + 1] = '=' -> emit Ge_tok; loop (i + 2)
+      | '>' -> emit Gt_tok; loop (i + 1)
+      | '\'' -> string_lit (i + 1) (Buffer.create 16)
+      | c when is_digit c || (c = '.' && i + 1 < n && is_digit src.[i + 1]) ->
+          number i
+      | c when is_ident_start c -> ident i
+      | c -> raise (Lex_error (Printf.sprintf "unexpected character %C" c, i))
+  and string_lit i buf =
+    if i >= n then raise (Lex_error ("unterminated string literal", i))
+    else if src.[i] = '\'' then
+      if i + 1 < n && src.[i + 1] = '\'' then (
+        Buffer.add_char buf '\'';
+        string_lit (i + 2) buf)
+      else (
+        emit (Str_lit (Buffer.contents buf));
+        loop (i + 1))
+    else (
+      Buffer.add_char buf src.[i];
+      string_lit (i + 1) buf)
+  and number start =
+    let i = ref start and seen_dot = ref false and seen_exp = ref false in
+    let continue () =
+      !i < n
+      &&
+      match src.[!i] with
+      | c when is_digit c -> true
+      | '.' when (not !seen_dot) && not !seen_exp ->
+          seen_dot := true;
+          true
+      | 'e' | 'E' when not !seen_exp ->
+          seen_exp := true;
+          (* optional sign *)
+          if !i + 1 < n && (src.[!i + 1] = '+' || src.[!i + 1] = '-') then incr i;
+          true
+      | _ -> false
+    in
+    while continue () do incr i done;
+    let text = String.sub src start (!i - start) in
+    (if !seen_dot || !seen_exp then
+       match float_of_string_opt text with
+       | Some f -> emit (Float_lit f)
+       | None -> raise (Lex_error ("bad numeric literal " ^ text, start))
+     else
+       match int_of_string_opt text with
+       | Some v -> emit (Int_lit v)
+       | None -> raise (Lex_error ("bad numeric literal " ^ text, start)));
+    loop !i
+  and ident start =
+    let i = ref start in
+    while !i < n && is_ident_char src.[!i] do incr i done;
+    let text = String.sub src start (!i - start) in
+    let upper = String.uppercase_ascii text in
+    if List.mem upper keywords then emit (Keyword upper)
+    else emit (Ident (String.lowercase_ascii text));
+    loop !i
+  in
+  loop 0;
+  List.rev !toks
+
+let token_to_string = function
+  | Ident s -> s
+  | Keyword s -> s
+  | Int_lit i -> string_of_int i
+  | Float_lit f -> string_of_float f
+  | Str_lit s -> "'" ^ s ^ "'"
+  | Lparen -> "("
+  | Rparen -> ")"
+  | Comma -> ","
+  | Dot -> "."
+  | Star -> "*"
+  | Plus -> "+"
+  | Minus -> "-"
+  | Slash -> "/"
+  | Eq_tok -> "="
+  | Neq_tok -> "<>"
+  | Lt_tok -> "<"
+  | Le_tok -> "<="
+  | Gt_tok -> ">"
+  | Ge_tok -> ">="
+  | Semicolon -> ";"
+  | Eof -> "<eof>"

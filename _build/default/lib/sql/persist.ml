@@ -1,0 +1,122 @@
+module Value = Pb_relation.Value
+module Schema = Pb_relation.Schema
+module Relation = Pb_relation.Relation
+
+let manifest_file = "manifest.txt"
+
+let ty_tag = function
+  | Value.T_int -> "INT"
+  | Value.T_float -> "FLOAT"
+  | Value.T_bool -> "BOOL"
+  | Value.T_str -> "TEXT"
+
+let ty_of_tag = function
+  | "INT" -> Value.T_int
+  | "FLOAT" -> Value.T_float
+  | "BOOL" -> Value.T_bool
+  | "TEXT" -> Value.T_str
+  | tag -> failwith ("Persist: unknown type tag " ^ tag)
+
+let serialize_value v =
+  match v with Value.Null -> "" | v -> Value.to_string v
+
+let parse_value ty field =
+  if field = "" then Value.Null
+  else
+    match ty with
+    | Value.T_int -> (
+        match int_of_string_opt field with
+        | Some i -> Value.Int i
+        | None -> failwith ("Persist: bad INT field " ^ field))
+    | Value.T_float -> (
+        match float_of_string_opt field with
+        | Some f -> Value.Float f
+        | None -> failwith ("Persist: bad FLOAT field " ^ field))
+    | Value.T_bool -> (
+        match String.lowercase_ascii field with
+        | "true" -> Value.Bool true
+        | "false" -> Value.Bool false
+        | _ -> failwith ("Persist: bad BOOL field " ^ field))
+    | Value.T_str -> Value.Str field
+
+let save_dir db dir =
+  if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
+  let manifest = Buffer.create 256 in
+  List.iter
+    (fun table ->
+      let rel = Database.find_exn db table in
+      let schema = Relation.schema rel in
+      let cols =
+        String.concat ","
+          (List.map
+             (fun { Schema.name; ty } -> name ^ ":" ^ ty_tag ty)
+             (Schema.columns schema))
+      in
+      let indexes = String.concat "," (Database.indexed_columns db table) in
+      Buffer.add_string manifest
+        (Printf.sprintf "%s\t%s\t%s\n" table cols indexes);
+      let rows =
+        List.map
+          (fun row -> Array.to_list (Array.map serialize_value row))
+          (Relation.to_list rel)
+      in
+      Pb_util.Csv.write_file (Filename.concat dir (table ^ ".csv")) rows)
+    (Database.table_names db);
+  let oc = open_out (Filename.concat dir manifest_file) in
+  output_string oc (Buffer.contents manifest);
+  close_out oc
+
+let load_dir dir =
+  let path = Filename.concat dir manifest_file in
+  if not (Sys.file_exists path) then
+    failwith ("Persist: no manifest at " ^ path);
+  let ic = open_in path in
+  let len = in_channel_length ic in
+  let text = really_input_string ic len in
+  close_in ic;
+  let db = Database.create () in
+  let lines =
+    List.filter (fun l -> l <> "") (String.split_on_char '\n' text)
+  in
+  List.iter
+    (fun line ->
+      match String.split_on_char '\t' line with
+      | [ table; cols; indexes ] ->
+          let columns =
+            List.map
+              (fun spec ->
+                match String.rindex_opt spec ':' with
+                | Some i ->
+                    {
+                      Schema.name = String.sub spec 0 i;
+                      ty =
+                        ty_of_tag
+                          (String.sub spec (i + 1) (String.length spec - i - 1));
+                    }
+                | None -> failwith ("Persist: bad column spec " ^ spec))
+              (String.split_on_char ',' cols)
+          in
+          let schema = Schema.make columns in
+          let tys = List.map (fun c -> c.Schema.ty) (Schema.columns schema) in
+          let csv_path = Filename.concat dir (table ^ ".csv") in
+          let raw_rows =
+            if Sys.file_exists csv_path then Pb_util.Csv.parse_file csv_path
+            else []
+          in
+          let rows =
+            List.map
+              (fun fields ->
+                if List.length fields <> List.length tys then
+                  failwith
+                    (Printf.sprintf "Persist: row arity mismatch in %s" table)
+                else Array.of_list (List.map2 parse_value tys fields))
+              raw_rows
+          in
+          Database.put db table (Relation.create schema rows);
+          if indexes <> "" then
+            List.iter
+              (fun column -> Database.create_index db ~table ~column)
+              (String.split_on_char ',' indexes)
+      | _ -> failwith ("Persist: malformed manifest line: " ^ line))
+    lines;
+  db

@@ -1,0 +1,25 @@
+(** Catalog persistence: save a whole database to a directory and load it
+    back, schema- and index-exact.
+
+    Layout: [<dir>/manifest.txt] describes each table (name, typed
+    columns, declared index columns); [<dir>/<table>.csv] holds the rows,
+    serialized per the declared type rather than re-inferred, so a TEXT
+    column whose values happen to look numeric round-trips as TEXT
+    (unlike {!Database.load_csv}, which must guess).
+
+    NULL is stored as the empty field; consequently a TEXT value that is
+    the empty string round-trips as NULL — the one (documented) lossy
+    corner.
+
+    Because saved packages ({!Pb_paql.Package_store}) live in ordinary
+    tables, persistence makes them durable across CLI invocations for
+    free. *)
+
+val save_dir : Database.t -> string -> unit
+(** Create [dir] if needed and (over)write the manifest and one CSV per
+    table. Raises [Sys_error] on I/O failure. *)
+
+val load_dir : string -> Database.t
+(** Load a directory written by {!save_dir}; declared indexes are
+    re-registered (and rebuilt lazily on first use). Raises [Failure] on
+    a missing or malformed manifest. *)

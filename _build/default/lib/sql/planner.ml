@@ -1,0 +1,294 @@
+open Ast
+module Value = Pb_relation.Value
+module Schema = Pb_relation.Schema
+module Relation = Pb_relation.Relation
+
+type eval_fn = Schema.t -> Value.t array -> Ast.expr -> Value.t
+
+type stats = {
+  pushed_predicates : int;
+  index_scans : int;
+  hash_joins : int;
+  nested_products : int;
+}
+
+let no_stats =
+  { pushed_predicates = 0; index_scans = 0; hash_joins = 0; nested_products = 0 }
+
+let rec conjuncts = function
+  | Binop (And, a, b) -> conjuncts a @ conjuncts b
+  | e -> [ e ]
+
+(* All column references of an expression (subqueries excluded: their
+   columns resolve against their own FROM). *)
+let rec columns_of acc = function
+  | Col c -> c :: acc
+  | Lit _ | Exists _ -> acc
+  | Unary_minus e | Not e | Is_null (e, _) | Like (e, _, _) | In_query (e, _, _)
+    ->
+      columns_of acc e
+  | Binop (_, a, b) -> columns_of (columns_of acc a) b
+  | Between (a, b, c) -> columns_of (columns_of (columns_of acc a) b) c
+  | In_list (e, es, _) -> List.fold_left columns_of (columns_of acc e) es
+  | Agg (_, Some e) -> columns_of acc e
+  | Agg (_, None) -> acc
+  | Func (_, es) -> List.fold_left columns_of acc es
+  | Case (branches, default) ->
+      let acc =
+        List.fold_left
+          (fun acc (c, e) -> columns_of (columns_of acc c) e)
+          acc branches
+      in
+      (match default with Some e -> columns_of acc e | None -> acc)
+
+let resolvable schema expr =
+  List.for_all
+    (fun col -> Schema.index_of schema col <> None)
+    (columns_of [] expr)
+
+let load db { rel_name; alias } =
+  let rel =
+    match Database.find db rel_name with
+    | Some r -> r
+    | None -> failwith ("no such table: " ^ rel_name)
+  in
+  let qualifier = Option.value alias ~default:rel_name in
+  (rel_name, Relation.rename qualifier rel)
+
+let naive db ~eval ~from ~where =
+  match from with
+  | [] -> failwith "empty FROM clause"
+  | first :: rest ->
+      let source =
+        List.fold_left
+          (fun acc r -> Relation.product acc (snd (load db r)))
+          (snd (load db first))
+          rest
+      in
+      (match where with
+      | None -> source
+      | Some pred ->
+          let schema = Relation.schema source in
+          Relation.filter
+            (fun row -> Value.truthy (eval schema row pred))
+            source)
+
+(* ---- single-table scan with optional index access ------------------- *)
+
+let base_name col =
+  match String.rindex_opt col '.' with
+  | Some i -> String.sub col (i + 1) (String.length col - i - 1)
+  | None -> col
+
+(* Recognize a sargable conjunct over [schema]: (column, bounds). *)
+let sargable schema expr =
+  let bound_of cmp v =
+    match cmp with
+    | Eq -> Some (Some (v, true), Some (v, true))
+    | Le -> Some (None, Some (v, true))
+    | Lt -> Some (None, Some (v, false))
+    | Ge -> Some (Some (v, true), None)
+    | Gt -> Some (Some (v, false), None)
+    | Neq | Add | Sub | Mul | Div | And | Or -> None
+  in
+  let mirror = function
+    | Le -> Ge
+    | Lt -> Gt
+    | Ge -> Le
+    | Gt -> Lt
+    | cmp -> cmp
+  in
+  match expr with
+  | Binop (cmp, Col c, Lit v) when Schema.index_of schema c <> None ->
+      Option.map (fun b -> (c, b)) (bound_of cmp v)
+  | Binop (cmp, Lit v, Col c) when Schema.index_of schema c <> None ->
+      Option.map (fun b -> (c, b)) (bound_of (mirror cmp) v)
+  | Between (Col c, Lit lo, Lit hi) when Schema.index_of schema c <> None ->
+      Some (c, (Some (lo, true), Some (hi, true)))
+  | _ -> None
+
+let scan db ~eval ~stats table_name qualified_rel conjs =
+  let schema = Relation.schema qualified_rel in
+  (* Try to satisfy one sargable conjunct with a declared index. *)
+  let indexed_conjunct =
+    List.find_opt
+      (fun conj ->
+        match sargable schema conj with
+        | Some (col, _) ->
+            Database.get_index db ~table:table_name ~column:(base_name col)
+            <> None
+        | None -> false)
+      conjs
+  in
+  let rel, remaining =
+    match indexed_conjunct with
+    | Some conj ->
+        let col, (lo, hi) = Option.get (sargable schema conj) in
+        let index =
+          Option.get
+            (Database.get_index db ~table:table_name ~column:(base_name col))
+        in
+        stats := { !stats with index_scans = !stats.index_scans + 1 };
+        let positions = Index.range ?lo ?hi index in
+        let rows = List.map (Relation.row qualified_rel) positions in
+        ( Relation.create schema rows,
+          List.filter (fun c -> c != conj) conjs )
+    | None -> (qualified_rel, conjs)
+  in
+  List.fold_left
+    (fun acc conj ->
+      stats := { !stats with pushed_predicates = !stats.pushed_predicates + 1 };
+      Relation.filter (fun row -> Value.truthy (eval schema row conj)) acc)
+    rel remaining
+
+(* ---- hash join ------------------------------------------------------- *)
+
+(* Equi-join keys linking [left_schema] to [right_schema]: conjuncts of
+   the form a = b with one side in each schema. *)
+let equi_keys left_schema right_schema conjs =
+  List.filter_map
+    (fun conj ->
+      match conj with
+      | Binop (Eq, (Col a as ca), (Col b as cb)) ->
+          let in_left c = Schema.index_of left_schema c <> None in
+          let in_right c = Schema.index_of right_schema c <> None in
+          if in_left a && in_right b && not (in_left b) then Some (conj, ca, cb)
+          else if in_left b && in_right a && not (in_left a) then
+            Some (conj, cb, ca)
+          else None
+      | _ -> None)
+    conjs
+
+let hash_join ~eval left right keys =
+  let left_schema = Relation.schema left in
+  let right_schema = Relation.schema right in
+  let key_values schema row exprs =
+    List.map (fun e -> eval schema row (e : Ast.expr)) exprs
+  in
+  let left_exprs = List.map (fun (_, l, _) -> l) keys in
+  let right_exprs = List.map (fun (_, _, r) -> r) keys in
+  let hash_of values = String.concat "\x00" (List.map Value.to_string values) in
+  let table = Hashtbl.create (Relation.cardinality right) in
+  Array.iter
+    (fun row ->
+      let values = key_values right_schema row right_exprs in
+      if not (List.exists Value.is_null values) then
+        Hashtbl.add table (hash_of values) (row, values))
+    (Relation.rows right);
+  let out = ref [] in
+  Array.iter
+    (fun lrow ->
+      let values = key_values left_schema lrow left_exprs in
+      if not (List.exists Value.is_null values) then
+        List.iter
+          (fun (rrow, rvalues) ->
+            (* The hash is only a prefilter: confirm real equality so
+               e.g. Int 1 and Str "1" (same rendering) do not join. *)
+            if List.for_all2 Value.equal values rvalues then
+              out := Array.append lrow rrow :: !out)
+          (Hashtbl.find_all table (hash_of values)))
+    (Relation.rows left);
+  Relation.create (Schema.concat left_schema right_schema) (List.rev !out)
+
+(* ---- the plan -------------------------------------------------------- *)
+
+let execute db ~eval ~from ~where =
+  match from with
+  | [] -> failwith "empty FROM clause"
+  | first :: rest ->
+      let stats = ref no_stats in
+      let all_conjuncts =
+        match where with Some e -> conjuncts e | None -> []
+      in
+      let consumed = ref [] in
+      let consume c = consumed := c :: !consumed in
+      let is_consumed c = List.memq c !consumed in
+      let tables = List.map (load db) (first :: rest) in
+      let schemas = List.map (fun (_, rel) -> Relation.schema rel) tables in
+      (* A conjunct belongs to table i when its columns resolve there and
+         in no other table (unambiguous assignment). *)
+      let single_table_conjuncts i =
+        List.filter
+          (fun conj ->
+            (not (is_consumed conj))
+            && columns_of [] conj <> []
+            && List.for_all
+                 (fun col ->
+                   let hits =
+                     List.filteri
+                       (fun j schema ->
+                         ignore j;
+                         Schema.index_of schema col <> None)
+                       schemas
+                   in
+                   List.length hits = 1)
+                 (columns_of [] conj)
+            && resolvable (List.nth schemas i) conj)
+          all_conjuncts
+      in
+      let scanned =
+        List.mapi
+          (fun i (table_name, rel) ->
+            let conjs = single_table_conjuncts i in
+            List.iter consume conjs;
+            scan db ~eval ~stats table_name rel conjs)
+          tables
+      in
+      let apply_ready acc =
+        let schema = Relation.schema acc in
+        List.fold_left
+          (fun acc conj ->
+            if (not (is_consumed conj)) && resolvable schema conj then begin
+              consume conj;
+              stats :=
+                { !stats with pushed_predicates = !stats.pushed_predicates + 1 };
+              Relation.filter
+                (fun row -> Value.truthy (eval schema row conj))
+                acc
+            end
+            else acc)
+          acc all_conjuncts
+      in
+      let joined =
+        match scanned with
+        | [] -> assert false
+        | first :: rest ->
+            List.fold_left
+              (fun acc next ->
+                let pending =
+                  List.filter (fun c -> not (is_consumed c)) all_conjuncts
+                in
+                let keys =
+                  equi_keys (Relation.schema acc) (Relation.schema next)
+                    pending
+                in
+                let joined =
+                  if keys <> [] then begin
+                    List.iter (fun (conj, _, _) -> consume conj) keys;
+                    stats := { !stats with hash_joins = !stats.hash_joins + 1 };
+                    hash_join ~eval acc next keys
+                  end
+                  else begin
+                    stats :=
+                      { !stats with nested_products = !stats.nested_products + 1 };
+                    Relation.product acc next
+                  end
+                in
+                apply_ready joined)
+              (apply_ready first) rest
+      in
+      (* Anything left (e.g. pure-subquery predicates, or predicates whose
+         columns are ambiguous) evaluates against the full schema — the
+         same behaviour, including errors, as the naive path. *)
+      let final_schema = Relation.schema joined in
+      let result =
+        List.fold_left
+          (fun acc conj ->
+            if is_consumed conj then acc
+            else
+              Relation.filter
+                (fun row -> Value.truthy (eval final_schema row conj))
+                acc)
+          joined all_conjuncts
+      in
+      (result, !stats)

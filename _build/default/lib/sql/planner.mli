@@ -1,0 +1,55 @@
+(** FROM/WHERE planning: predicate pushdown, index scans, hash joins.
+
+    The planner decomposes the WHERE clause into conjuncts and
+
+    + pushes single-table conjuncts below the join, using a declared
+      {!Index} for sargable shapes ([col cmp constant],
+      [col BETWEEN a AND b]);
+    + joins relations left-to-right in FROM order, choosing a hash join
+      whenever unconsumed equi-join conjuncts ([a.x = b.y]) link the next
+      table to the accumulated prefix, and falling back to a nested-loop
+      product otherwise;
+    + applies every remaining conjunct as soon as its columns resolve in
+      the accumulated schema, and the rest (e.g. uncorrelated-subquery
+      predicates) at the end.
+
+    Joining in FROM order keeps the output schema identical to the naive
+    [product]-then-[filter] evaluation, so the two paths are
+    interchangeable — the test suite checks them against each other, and
+    the benchmark harness measures the difference (ablation A1).
+
+    Note the §4.2 claim survives planning: the k-replacement
+    neighbourhood query joins on {e inequalities}, which no index or hash
+    join accelerates, so its cost still tracks the 2k-way product. *)
+
+type eval_fn =
+  Pb_relation.Schema.t -> Pb_relation.Value.t array -> Ast.expr -> Pb_relation.Value.t
+(** Row-level expression evaluation, supplied by the executor (closes
+    over the database for subquery predicates). *)
+
+type stats = {
+  pushed_predicates : int;  (** conjuncts applied below the top join *)
+  index_scans : int;
+  hash_joins : int;
+  nested_products : int;
+}
+
+val execute :
+  Database.t ->
+  eval:eval_fn ->
+  from:Ast.table_ref list ->
+  where:Ast.expr option ->
+  Pb_relation.Relation.t * stats
+(** Fully filtered join result, schema in FROM order with each table's
+    columns qualified by its alias (or table name). Raises
+    {!Executor.Eval_error}-style [Failure]s through the evaluation
+    callback on unknown tables/columns. *)
+
+val naive :
+  Database.t ->
+  eval:eval_fn ->
+  from:Ast.table_ref list ->
+  where:Ast.expr option ->
+  Pb_relation.Relation.t
+(** Reference evaluation — Cartesian product then filter — used by tests
+    and the planner-ablation benchmark. *)

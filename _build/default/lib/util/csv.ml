@@ -1,0 +1,78 @@
+let parse_string text =
+  let n = String.length text in
+  let rows = ref [] and fields = ref [] in
+  let buf = Buffer.create 64 in
+  let flush_field () =
+    fields := Buffer.contents buf :: !fields;
+    Buffer.clear buf
+  in
+  let flush_row () =
+    flush_field ();
+    rows := List.rev !fields :: !rows;
+    fields := []
+  in
+  let rec plain i =
+    if i >= n then (if Buffer.length buf > 0 || !fields <> [] then flush_row ())
+    else
+      match text.[i] with
+      | ',' ->
+          flush_field ();
+          plain (i + 1)
+      | '\n' ->
+          flush_row ();
+          plain (i + 1)
+      | '\r' when i + 1 < n && text.[i + 1] = '\n' ->
+          flush_row ();
+          plain (i + 2)
+      | '"' when Buffer.length buf = 0 -> quoted (i + 1)
+      | c ->
+          Buffer.add_char buf c;
+          plain (i + 1)
+  and quoted i =
+    if i >= n then failwith "Csv.parse_string: unclosed quote"
+    else
+      match text.[i] with
+      | '"' when i + 1 < n && text.[i + 1] = '"' ->
+          Buffer.add_char buf '"';
+          quoted (i + 2)
+      | '"' -> plain (i + 1)
+      | c ->
+          Buffer.add_char buf c;
+          quoted (i + 1)
+  in
+  plain 0;
+  List.rev !rows
+
+let parse_file path =
+  let ic = open_in_bin path in
+  let len = in_channel_length ic in
+  let text = really_input_string ic len in
+  close_in ic;
+  parse_string text
+
+let escape_field s =
+  let needs_quote =
+    String.exists (fun c -> c = ',' || c = '"' || c = '\n' || c = '\r') s
+  in
+  if not needs_quote then s
+  else
+    let buf = Buffer.create (String.length s + 2) in
+    Buffer.add_char buf '"';
+    String.iter
+      (fun c ->
+        if c = '"' then Buffer.add_string buf "\"\"" else Buffer.add_char buf c)
+      s;
+    Buffer.add_char buf '"';
+    Buffer.contents buf
+
+let to_string rows =
+  match rows with
+  | [] -> ""
+  | _ ->
+      let row_to_string row = String.concat "," (List.map escape_field row) in
+      String.concat "\n" (List.map row_to_string rows) ^ "\n"
+
+let write_file path rows =
+  let oc = open_out_bin path in
+  output_string oc (to_string rows);
+  close_out oc

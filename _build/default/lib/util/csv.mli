@@ -1,0 +1,19 @@
+(** Minimal RFC-4180-style CSV support, used by the CLI to load user data
+    and by the workload generators to export generated relations. *)
+
+val parse_string : string -> string list list
+(** Parse CSV text into rows of fields. Handles quoted fields, embedded
+    commas, doubled quotes, and both [\n] and [\r\n] line endings. The
+    final row needs no trailing newline. Raises [Failure] on an unclosed
+    quote. *)
+
+val parse_file : string -> string list list
+(** [parse_string] over a whole file. *)
+
+val escape_field : string -> string
+(** Quote a field if it contains a comma, quote, or newline. *)
+
+val to_string : string list list -> string
+(** Render rows as CSV text with [\n] line endings. *)
+
+val write_file : string -> string list list -> unit

@@ -1,0 +1,55 @@
+type align = Left | Right
+
+let pad align width s =
+  let n = String.length s in
+  if n >= width then s
+  else
+    let fill = String.make (width - n) ' ' in
+    match align with Left -> s ^ fill | Right -> fill ^ s
+
+let render ?(align = []) ~header rows =
+  let ncols = List.length header in
+  let normalize row =
+    let n = List.length row in
+    if n >= ncols then row else row @ List.init (ncols - n) (fun _ -> "")
+  in
+  let rows = List.map normalize rows in
+  let widths = Array.of_list (List.map String.length header) in
+  List.iter
+    (fun row ->
+      List.iteri
+        (fun i cell ->
+          if i < ncols then widths.(i) <- max widths.(i) (String.length cell))
+        row)
+    rows;
+  let align_of i =
+    match List.nth_opt align i with Some a -> a | None -> Left
+  in
+  let line cells =
+    let padded =
+      List.mapi (fun i c -> pad (align_of i) widths.(i) c) cells
+    in
+    String.concat " | " padded
+  in
+  let rule =
+    String.concat "-+-"
+      (Array.to_list (Array.map (fun w -> String.make w '-') widths))
+  in
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf (line header);
+  Buffer.add_char buf '\n';
+  Buffer.add_string buf rule;
+  Buffer.add_char buf '\n';
+  List.iter
+    (fun row ->
+      Buffer.add_string buf (line row);
+      Buffer.add_char buf '\n')
+    rows;
+  Buffer.contents buf
+
+let print ?align ~header rows = print_string (render ?align ~header rows)
+
+let float_cell ?(digits = 3) x =
+  if Float.is_integer x && Float.abs x < 1e15 && digits = 0 then
+    Printf.sprintf "%.0f" x
+  else Printf.sprintf "%.*f" digits x

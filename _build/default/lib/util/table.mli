@@ -1,0 +1,21 @@
+(** Fixed-width ASCII table rendering for the CLI, examples, and the
+    benchmark harness (every experiment table is printed through this). *)
+
+type align = Left | Right
+
+val render :
+  ?align:align list ->
+  header:string list ->
+  string list list ->
+  string
+(** [render ~header rows] lays out [rows] under [header] with column widths
+    fitted to content, a separator rule, and one space of padding. [align]
+    gives per-column alignment (default: left; numeric-looking benchmark
+    columns typically pass [Right]). Rows shorter than the header are padded
+    with empty cells. *)
+
+val print : ?align:align list -> header:string list -> string list list -> unit
+(** [render] followed by [print_string]. *)
+
+val float_cell : ?digits:int -> float -> string
+(** Compact fixed-point formatting for table cells (default 3 digits). *)

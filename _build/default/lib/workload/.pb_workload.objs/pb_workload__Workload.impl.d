@@ -1,0 +1,1 @@
+lib/workload/workload.ml: Array Char Float List Pb_relation Pb_sql Pb_util Printf String

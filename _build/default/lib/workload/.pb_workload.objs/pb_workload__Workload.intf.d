@@ -1,0 +1,1 @@
+lib/workload/workload.mli: Pb_relation Pb_sql

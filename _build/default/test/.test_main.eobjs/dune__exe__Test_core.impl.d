@@ -1,0 +1,1 @@
+test/test_core.ml: Alcotest Array List Option Pb_core Pb_paql Pb_relation Pb_sql Printf Result String

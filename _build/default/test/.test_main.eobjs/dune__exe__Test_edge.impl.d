@@ -1,0 +1,1 @@
+test/test_edge.ml: Alcotest Array Filename List Pb_core Pb_lp Pb_paql Pb_relation Pb_sql Pb_workload Printf String Sys

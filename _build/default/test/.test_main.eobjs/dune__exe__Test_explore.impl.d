@@ -1,0 +1,1 @@
+test/test_explore.ml: Alcotest List Pb_core Pb_explore Pb_paql Pb_relation Pb_sql Pb_workload String

@@ -1,0 +1,1 @@
+test/test_extensions.ml: Alcotest Array List Pb_core Pb_lp Pb_paql Pb_sql Pb_util Pb_workload Printf String

@@ -1,0 +1,1 @@
+test/test_lp.ml: Alcotest Array Float Format List Pb_lp Pb_util Printf String

@@ -1,0 +1,1 @@
+test/test_paql.ml: Alcotest List Pb_paql Pb_relation Pb_sql Printf

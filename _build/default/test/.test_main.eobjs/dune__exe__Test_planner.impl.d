@@ -1,0 +1,1 @@
+test/test_planner.ml: Alcotest Array Int List Pb_relation Pb_sql Pb_util Printf

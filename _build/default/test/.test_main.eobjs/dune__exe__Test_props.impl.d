@@ -1,0 +1,1 @@
+test/test_props.ml: Array Float List Pb_core Pb_lp Pb_paql Pb_relation Pb_sql Pb_util Printf QCheck QCheck_alcotest String

@@ -1,0 +1,1 @@
+test/test_props2.ml: Array Filename Float Fun List Pb_core Pb_explore Pb_lp Pb_paql Pb_relation Pb_sql Printf QCheck QCheck_alcotest String Sys

@@ -1,0 +1,1 @@
+test/test_relation.ml: Alcotest Array Pb_relation String

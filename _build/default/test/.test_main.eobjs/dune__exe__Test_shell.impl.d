@@ -1,0 +1,1 @@
+test/test_shell.ml: Alcotest Array Filename Fun Pb_relation Pb_shell Pb_sql Pb_workload Printf String Sys

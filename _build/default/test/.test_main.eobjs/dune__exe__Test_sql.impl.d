@@ -1,0 +1,1 @@
+test/test_sql.ml: Alcotest Array Filename List Pb_relation Pb_sql Printf Sys

@@ -1,0 +1,1 @@
+test/test_sql_generate.ml: Alcotest List Pb_core Pb_paql Pb_relation Pb_sql Pb_util Printf

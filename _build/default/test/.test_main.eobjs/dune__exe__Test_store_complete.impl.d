@@ -1,0 +1,1 @@
+test/test_store_complete.ml: Alcotest Array List Option Pb_core Pb_explore Pb_paql Pb_relation Pb_sql Pb_workload Printf

@@ -1,0 +1,1 @@
+test/test_workload.ml: Alcotest Array Float Hashtbl List Option Pb_core Pb_paql Pb_relation Pb_sql Pb_util Pb_workload Printf

@@ -1,0 +1,288 @@
+(* Tests for the LP/MILP substrate: simplex correctness on known
+   instances, degenerate/infeasible/unbounded cases, branch & bound, and
+   solution enumeration. *)
+
+module Model = Pb_lp.Model
+module Simplex = Pb_lp.Simplex
+module Milp = Pb_lp.Milp
+
+let check_float = Alcotest.(check (float 1e-6))
+
+let lp_status =
+  Alcotest.testable
+    (fun ppf s ->
+      Format.pp_print_string ppf
+        (match s with
+        | Simplex.Optimal -> "optimal"
+        | Simplex.Infeasible -> "infeasible"
+        | Simplex.Unbounded -> "unbounded"
+        | Simplex.Iteration_limit -> "limit"))
+    ( = )
+
+let test_lp_basic () =
+  (* max 3x+2y st x+y<=4, x+3y<=6, x<=3 -> (3,1), 11 *)
+  let m = Model.create () in
+  let x = Model.add_var m ~upper:3.0 "x" in
+  let y = Model.add_var m "y" in
+  Model.add_constr m [ (1.0, x); (1.0, y) ] Model.Le 4.0;
+  Model.add_constr m [ (1.0, x); (3.0, y) ] Model.Le 6.0;
+  Model.set_objective m (Model.Maximize [ (3.0, x); (2.0, y) ]);
+  let s = Simplex.solve m in
+  Alcotest.check lp_status "status" Simplex.Optimal s.status;
+  check_float "objective" 11.0 s.objective;
+  check_float "x" 3.0 s.x.(x);
+  check_float "y" 1.0 s.x.(y)
+
+let test_lp_minimize () =
+  (* min x+y st x+2y=4 -> (0,2), 2 *)
+  let m = Model.create () in
+  let x = Model.add_var m "x" in
+  let y = Model.add_var m "y" in
+  Model.add_constr m [ (1.0, x); (2.0, y) ] Model.Eq 4.0;
+  Model.set_objective m (Model.Minimize [ (1.0, x); (1.0, y) ]);
+  let s = Simplex.solve m in
+  Alcotest.check lp_status "status" Simplex.Optimal s.status;
+  check_float "objective" 2.0 s.objective
+
+let test_lp_infeasible () =
+  let m = Model.create () in
+  let x = Model.add_var m ~upper:2.0 "x" in
+  Model.add_constr m [ (1.0, x) ] Model.Ge 5.0;
+  Model.set_objective m (Model.Maximize [ (1.0, x) ]);
+  Alcotest.check lp_status "status" Simplex.Infeasible (Simplex.solve m).status
+
+let test_lp_unbounded () =
+  let m = Model.create () in
+  let x = Model.add_var m "x" in
+  Model.add_constr m [ (1.0, x) ] Model.Ge 1.0;
+  Model.set_objective m (Model.Maximize [ (1.0, x) ]);
+  Alcotest.check lp_status "status" Simplex.Unbounded (Simplex.solve m).status
+
+let test_lp_negative_lower_bounds () =
+  (* max x st -3 <= x <= -1 -> -1 *)
+  let m = Model.create () in
+  let x = Model.add_var m ~lower:(-3.0) ~upper:(-1.0) "x" in
+  Model.set_objective m (Model.Maximize [ (1.0, x) ]);
+  let s = Simplex.solve m in
+  Alcotest.check lp_status "status" Simplex.Optimal s.status;
+  check_float "objective" (-1.0) s.objective
+
+let test_lp_equality_infeasible () =
+  let m = Model.create () in
+  let x = Model.add_var m ~upper:1.0 "x" in
+  Model.add_constr m [ (1.0, x) ] Model.Eq 3.0;
+  Model.set_objective m (Model.Maximize [ (1.0, x) ]);
+  Alcotest.check lp_status "status" Simplex.Infeasible (Simplex.solve m).status
+
+let test_lp_degenerate () =
+  (* Multiple constraints meeting at a vertex; should still terminate. *)
+  let m = Model.create () in
+  let x = Model.add_var m "x" in
+  let y = Model.add_var m "y" in
+  Model.add_constr m [ (1.0, x); (1.0, y) ] Model.Le 1.0;
+  Model.add_constr m [ (1.0, x) ] Model.Le 1.0;
+  Model.add_constr m [ (1.0, y) ] Model.Le 1.0;
+  Model.add_constr m [ (2.0, x); (1.0, y) ] Model.Le 2.0;
+  Model.set_objective m (Model.Maximize [ (1.0, x); (1.0, y) ]);
+  let s = Simplex.solve m in
+  Alcotest.check lp_status "status" Simplex.Optimal s.status;
+  check_float "objective" 1.0 s.objective
+
+let test_lp_feasible_point () =
+  (* The returned point always satisfies the model. *)
+  let m = Model.create () in
+  let x = Model.add_var m ~upper:10.0 "x" in
+  let y = Model.add_var m ~upper:10.0 "y" in
+  let z = Model.add_var m ~upper:10.0 "z" in
+  Model.add_constr m [ (2.0, x); (1.0, y); (3.0, z) ] Model.Le 20.0;
+  Model.add_constr m [ (1.0, x); (2.0, y); (1.0, z) ] Model.Ge 4.0;
+  Model.add_constr m [ (1.0, x); (-1.0, y) ] Model.Eq 1.0;
+  Model.set_objective m (Model.Maximize [ (5.0, x); (4.0, y); (3.0, z) ]);
+  let s = Simplex.solve m in
+  Alcotest.check lp_status "status" Simplex.Optimal s.status;
+  Alcotest.(check bool) "feasible" true (Model.check_feasible m s.x)
+
+let test_milp_knapsack () =
+  let m = Model.create () in
+  let a = Model.add_var m ~integer:true ~upper:1.0 "a" in
+  let b = Model.add_var m ~integer:true ~upper:1.0 "b" in
+  let c = Model.add_var m ~integer:true ~upper:1.0 "c" in
+  Model.add_constr m [ (1.0, a); (1.0, b); (1.0, c) ] Model.Le 2.0;
+  Model.add_constr m [ (5.0, a); (4.0, b); (1.0, c) ] Model.Le 8.0;
+  Model.set_objective m (Model.Maximize [ (10.0, a); (6.0, b); (4.0, c) ]);
+  (* count <= 2 and weight <= 8 exclude a+b (weight 9); optimum is a+c. *)
+  let s = Milp.solve m in
+  Alcotest.(check bool) "optimal" true (s.status = Milp.Optimal);
+  check_float "objective" 14.0 s.objective;
+  Alcotest.(check bool) "integral" true (Model.check_integral m s.x)
+
+let test_milp_vs_enumeration () =
+  (* Random small binary programs: B&B must match exhaustive search. *)
+  let rng = Pb_util.Prng.create 99 in
+  for _trial = 1 to 25 do
+    let n = 6 in
+    let m = Model.create () in
+    let vars =
+      Array.init n (fun i ->
+          Model.add_var m ~integer:true ~upper:1.0 (Printf.sprintf "v%d" i))
+    in
+    let weights = Array.init n (fun _ -> float_of_int (Pb_util.Prng.int_in rng 1 9)) in
+    let values = Array.init n (fun _ -> float_of_int (Pb_util.Prng.int_in rng 1 9)) in
+    let budget = float_of_int (Pb_util.Prng.int_in rng 5 25) in
+    Model.add_constr m
+      (Array.to_list (Array.mapi (fun i v -> (weights.(i), v)) vars))
+      Model.Le budget;
+    Model.add_constr m
+      (Array.to_list (Array.map (fun v -> (1.0, v)) vars))
+      Model.Ge 1.0;
+    Model.set_objective m
+      (Model.Maximize (Array.to_list (Array.mapi (fun i v -> (values.(i), v)) vars)));
+    let s = Milp.solve m in
+    (* exhaustive reference *)
+    let best = ref neg_infinity in
+    for mask = 1 to (1 lsl n) - 1 do
+      let w = ref 0.0 and v = ref 0.0 in
+      for i = 0 to n - 1 do
+        if mask land (1 lsl i) <> 0 then begin
+          w := !w +. weights.(i);
+          v := !v +. values.(i)
+        end
+      done;
+      if !w <= budget && !v > !best then best := !v
+    done;
+    if !best = neg_infinity then
+      Alcotest.(check bool) "infeasible detected" true (s.status = Milp.Infeasible)
+    else begin
+      Alcotest.(check bool) "optimal" true (s.status = Milp.Optimal);
+      check_float "matches enumeration" !best s.objective
+    end
+  done
+
+let test_milp_integer_general () =
+  (* Non-binary integers: max x + y, x <= 2.5, y <= 3.7, x,y int -> 5 *)
+  let m = Model.create () in
+  let x = Model.add_var m ~integer:true ~upper:2.5 "x" in
+  let y = Model.add_var m ~integer:true ~upper:3.7 "y" in
+  Model.set_objective m (Model.Maximize [ (1.0, x); (1.0, y) ]);
+  let s = Milp.solve m in
+  check_float "objective" 5.0 s.objective
+
+let test_milp_fractional_lp_relaxation () =
+  (* LP relaxation is fractional; MILP must branch: max x+y st
+     2x+2y <= 3, binary -> 1 (LP gives 1.5). *)
+  let m = Model.create () in
+  let x = Model.add_var m ~integer:true ~upper:1.0 "x" in
+  let y = Model.add_var m ~integer:true ~upper:1.0 "y" in
+  Model.add_constr m [ (2.0, x); (2.0, y) ] Model.Le 3.0;
+  Model.set_objective m (Model.Maximize [ (1.0, x); (1.0, y) ]);
+  let s = Milp.solve m in
+  check_float "objective" 1.0 s.objective;
+  Alcotest.(check bool) "branched" true (s.nodes >= 2)
+
+let test_milp_infeasible () =
+  let m = Model.create () in
+  let x = Model.add_var m ~integer:true ~upper:1.0 "x" in
+  Model.add_constr m [ (1.0, x) ] Model.Ge 2.0;
+  Model.set_objective m (Model.Maximize [ (1.0, x) ]);
+  Alcotest.(check bool) "infeasible" true
+    ((Milp.solve m).status = Milp.Infeasible)
+
+let test_milp_minimize () =
+  (* min 3x + 2y st x + y >= 3, binary-ish ints in [0,5] -> y=3, obj 6 *)
+  let m = Model.create () in
+  let x = Model.add_var m ~integer:true ~upper:5.0 "x" in
+  let y = Model.add_var m ~integer:true ~upper:5.0 "y" in
+  Model.add_constr m [ (1.0, x); (1.0, y) ] Model.Ge 3.0;
+  Model.set_objective m (Model.Minimize [ (3.0, x); (2.0, y) ]);
+  let s = Milp.solve m in
+  check_float "objective" 6.0 s.objective
+
+let test_milp_bounds_restored () =
+  let m = Model.create () in
+  let x = Model.add_var m ~integer:true ~upper:1.0 "x" in
+  let y = Model.add_var m ~integer:true ~upper:1.0 "y" in
+  Model.add_constr m [ (2.0, x); (2.0, y) ] Model.Le 3.0;
+  Model.set_objective m (Model.Maximize [ (1.0, x); (1.0, y) ]);
+  ignore (Milp.solve m);
+  Alcotest.(check (pair (float 0.0) (float 0.0))) "x bounds" (0.0, 1.0)
+    (Model.bounds m x);
+  Alcotest.(check (pair (float 0.0) (float 0.0))) "y bounds" (0.0, 1.0)
+    (Model.bounds m y)
+
+let test_solve_all_descending () =
+  let m = Model.create () in
+  let vars =
+    Array.init 4 (fun i ->
+        Model.add_var m ~integer:true ~upper:1.0 (Printf.sprintf "v%d" i))
+  in
+  Model.add_constr m
+    (Array.to_list (Array.map (fun v -> (1.0, v)) vars))
+    Model.Eq 2.0;
+  Model.set_objective m
+    (Model.Maximize
+       [ (4.0, vars.(0)); (3.0, vars.(1)); (2.0, vars.(2)); (1.0, vars.(3)) ]);
+  let sols = Milp.solve_all ~max_solutions:6 m in
+  Alcotest.(check int) "C(4,2)=6 solutions" 6 (List.length sols);
+  let objs = List.map snd sols in
+  Alcotest.(check (list (float 1e-6))) "descending objectives"
+    [ 7.0; 6.0; 5.0; 5.0; 4.0; 3.0 ] objs
+
+let test_solve_all_distinct () =
+  let m = Model.create () in
+  let vars =
+    Array.init 3 (fun i ->
+        Model.add_var m ~integer:true ~upper:1.0 (Printf.sprintf "v%d" i))
+  in
+  Model.add_constr m
+    (Array.to_list (Array.map (fun v -> (1.0, v)) vars))
+    Model.Ge 1.0;
+  Model.set_objective m (Model.Maximize []);
+  let sols = Milp.solve_all ~max_solutions:10 m in
+  (* 2^3 - 1 = 7 non-empty subsets *)
+  Alcotest.(check int) "7 solutions" 7 (List.length sols);
+  let keys =
+    List.map
+      (fun (x, _) ->
+        String.concat ""
+          (Array.to_list (Array.map (fun v -> string_of_float (Float.round v)) x)))
+      sols
+  in
+  Alcotest.(check int) "all distinct" 7 (List.length (List.sort_uniq compare keys))
+
+let test_model_validation () =
+  let m = Model.create () in
+  Alcotest.check_raises "bad bounds"
+    (Invalid_argument "Model.add_var x: lower 2 > upper 1") (fun () ->
+      ignore (Model.add_var m ~lower:2.0 ~upper:1.0 "x"))
+
+let test_check_feasible () =
+  let m = Model.create () in
+  let x = Model.add_var m ~upper:1.0 "x" in
+  Model.add_constr m [ (1.0, x) ] Model.Ge 0.5;
+  Alcotest.(check bool) "ok" true (Model.check_feasible m [| 0.7 |]);
+  Alcotest.(check bool) "violates constr" false (Model.check_feasible m [| 0.2 |]);
+  Alcotest.(check bool) "violates bound" false (Model.check_feasible m [| 1.5 |])
+
+let suite =
+  [
+    Alcotest.test_case "lp basic" `Quick test_lp_basic;
+    Alcotest.test_case "lp minimize + equality" `Quick test_lp_minimize;
+    Alcotest.test_case "lp infeasible" `Quick test_lp_infeasible;
+    Alcotest.test_case "lp unbounded" `Quick test_lp_unbounded;
+    Alcotest.test_case "lp negative bounds" `Quick test_lp_negative_lower_bounds;
+    Alcotest.test_case "lp equality infeasible" `Quick test_lp_equality_infeasible;
+    Alcotest.test_case "lp degenerate vertex" `Quick test_lp_degenerate;
+    Alcotest.test_case "lp returns feasible point" `Quick test_lp_feasible_point;
+    Alcotest.test_case "milp knapsack" `Quick test_milp_knapsack;
+    Alcotest.test_case "milp vs enumeration" `Quick test_milp_vs_enumeration;
+    Alcotest.test_case "milp general integers" `Quick test_milp_integer_general;
+    Alcotest.test_case "milp fractional relaxation" `Quick
+      test_milp_fractional_lp_relaxation;
+    Alcotest.test_case "milp infeasible" `Quick test_milp_infeasible;
+    Alcotest.test_case "milp minimize" `Quick test_milp_minimize;
+    Alcotest.test_case "milp restores bounds" `Quick test_milp_bounds_restored;
+    Alcotest.test_case "solve_all descending" `Quick test_solve_all_descending;
+    Alcotest.test_case "solve_all distinct" `Quick test_solve_all_distinct;
+    Alcotest.test_case "model validation" `Quick test_model_validation;
+    Alcotest.test_case "check_feasible" `Quick test_check_feasible;
+  ]

@@ -1,0 +1,22 @@
+(* Aggregated test entry point: `dune runtest` runs every suite. *)
+
+let () =
+  Alcotest.run "packagebuilder"
+    [
+      ("util", Test_util.suite);
+      ("relation", Test_relation.suite);
+      ("sql", Test_sql.suite);
+      ("planner", Test_planner.suite);
+      ("lp", Test_lp.suite);
+      ("paql", Test_paql.suite);
+      ("core", Test_core.suite);
+      ("explore", Test_explore.suite);
+      ("workload", Test_workload.suite);
+      ("extensions", Test_extensions.suite);
+      ("sql-generation", Test_sql_generate.suite);
+      ("store-complete", Test_store_complete.suite);
+      ("shell", Test_shell.suite);
+      ("edge", Test_edge.suite);
+      ("properties", Test_props.suite);
+      ("properties-ext", Test_props2.suite);
+    ]

@@ -1,0 +1,195 @@
+(* Tests for the §4 option (i) strategy: SQL-based candidate-package
+   generation. Exactness is checked against brute force across constraint
+   shapes; applicability limits are checked explicitly. *)
+
+module Parser = Pb_paql.Parser
+module Coeffs = Pb_core.Coeffs
+module Sql_generate = Pb_core.Sql_generate
+module Brute_force = Pb_core.Brute_force
+module Engine = Pb_core.Engine
+module Semantics = Pb_paql.Semantics
+module Value = Pb_relation.Value
+module Relation = Pb_relation.Relation
+module Schema = Pb_relation.Schema
+
+let items_db n =
+  let db = Pb_sql.Database.create () in
+  let schema =
+    Schema.make
+      [
+        { Schema.name = "id"; ty = Value.T_int };
+        { Schema.name = "v"; ty = Value.T_int };
+        { Schema.name = "w"; ty = Value.T_int };
+      ]
+  in
+  let rows =
+    List.init n (fun i ->
+        [| Value.Int (i + 1); Value.Int (10 * (i + 1)); Value.Int (i + 1) |])
+  in
+  Pb_sql.Database.put db "items" (Relation.create schema rows);
+  db
+
+let check_matches_brute_force db src =
+  let query = Parser.parse src in
+  let c = Coeffs.make db query in
+  let gen = Sql_generate.search db c in
+  Alcotest.(check bool) ("applicable: " ^ src) true gen.Sql_generate.applicable;
+  let bf = Brute_force.search c in
+  (match (gen.Sql_generate.best, bf.Brute_force.best) with
+  | Some _, Some _ | None, None -> ()
+  | Some _, None -> Alcotest.fail ("gen found, bf did not: " ^ src)
+  | None, Some _ -> Alcotest.fail ("bf found, gen did not: " ^ src));
+  match (gen.Sql_generate.best_objective, bf.Brute_force.best_objective) with
+  | Some a, Some b -> Alcotest.(check (float 1e-6)) ("objective: " ^ src) b a
+  | None, None -> ()
+  | _ -> Alcotest.fail ("objective presence differs: " ^ src)
+
+let test_matches_bf_linear () =
+  let db = items_db 10 in
+  check_matches_brute_force db
+    "SELECT PACKAGE(i) AS p FROM items i SUCH THAT COUNT(*) = 3 AND SUM(p.w) \
+     <= 12 MAXIMIZE SUM(p.v)"
+
+let test_matches_bf_minimize () =
+  let db = items_db 10 in
+  check_matches_brute_force db
+    "SELECT PACKAGE(i) AS p FROM items i SUCH THAT COUNT(*) = 2 AND SUM(p.v) \
+     >= 70 MINIMIZE SUM(p.w)"
+
+let test_matches_bf_or_formula () =
+  let db = items_db 9 in
+  check_matches_brute_force db
+    "SELECT PACKAGE(i) AS p FROM items i SUCH THAT (COUNT(*) = 2 AND SUM(p.v) \
+     >= 100) OR (COUNT(*) = 3 AND SUM(p.w) <= 7) MAXIMIZE SUM(p.v)"
+
+let test_matches_bf_extremum () =
+  let db = items_db 9 in
+  check_matches_brute_force db
+    "SELECT PACKAGE(i) AS p FROM items i SUCH THAT COUNT(*) = 3 AND MIN(p.w) \
+     >= 2 AND MAX(p.w) <= 8 MAXIMIZE SUM(p.v)";
+  (* witness side: MIN <= c *)
+  check_matches_brute_force db
+    "SELECT PACKAGE(i) AS p FROM items i SUCH THAT COUNT(*) = 2 AND MIN(p.w) \
+     <= 2 MAXIMIZE SUM(p.v)"
+
+let test_matches_bf_avg () =
+  let db = items_db 9 in
+  check_matches_brute_force db
+    "SELECT PACKAGE(i) AS p FROM items i SUCH THAT COUNT(*) BETWEEN 2 AND 3 \
+     AND AVG(p.w) <= 4 MAXIMIZE SUM(p.v)"
+
+let test_matches_bf_infeasible () =
+  let db = items_db 5 in
+  let query =
+    Parser.parse
+      "SELECT PACKAGE(i) AS p FROM items i SUCH THAT COUNT(*) = 2 AND \
+       SUM(p.w) >= 1000"
+  in
+  let c = Coeffs.make db query in
+  let gen = Sql_generate.search db c in
+  Alcotest.(check bool) "applicable" true gen.Sql_generate.applicable;
+  Alcotest.(check bool) "no package" true (gen.Sql_generate.best = None)
+
+let test_declines_wide_bounds () =
+  let db = items_db 20 in
+  let query =
+    Parser.parse "SELECT PACKAGE(i) AS p FROM items i SUCH THAT SUM(p.w) >= 1"
+  in
+  let c = Coeffs.make db query in
+  let gen = Sql_generate.search db c in
+  Alcotest.(check bool) "not applicable" false gen.Sql_generate.applicable
+
+let test_declines_repeat () =
+  let db = items_db 6 in
+  let query =
+    Parser.parse
+      "SELECT PACKAGE(i) AS p FROM items i REPEAT 1 SUCH THAT COUNT(*) = 2"
+  in
+  let c = Coeffs.make db query in
+  let gen = Sql_generate.search db c in
+  Alcotest.(check bool) "not applicable" false gen.Sql_generate.applicable
+
+let test_declines_join_budget () =
+  let db = items_db 10 in
+  let query =
+    Parser.parse "SELECT PACKAGE(i) AS p FROM items i SUCH THAT COUNT(*) = 3"
+  in
+  let c = Coeffs.make db query in
+  let gen =
+    Sql_generate.search
+      ~params:{ Sql_generate.max_width = 4; max_join_rows = 10.0 }
+      db c
+  in
+  Alcotest.(check bool) "not applicable" false gen.Sql_generate.applicable
+
+let test_engine_strategy () =
+  let db = items_db 8 in
+  let query =
+    Parser.parse
+      "SELECT PACKAGE(i) AS p FROM items i SUCH THAT COUNT(*) = 3 AND \
+       SUM(p.w) <= 12 MAXIMIZE SUM(p.v)"
+  in
+  let r =
+    Engine.evaluate
+      ~strategy:(Engine.Sql_generation Sql_generate.default_params)
+      db query
+  in
+  Alcotest.(check bool) "proven optimal" true r.Engine.proven_optimal;
+  (match r.Engine.package with
+  | Some pkg ->
+      Alcotest.(check bool) "oracle-valid" true (Semantics.is_valid ~db query pkg)
+  | None -> Alcotest.fail "expected a package");
+  Alcotest.(check string) "strategy name" "sql-generation" r.Engine.strategy_used
+
+let test_temp_table_dropped () =
+  let db = items_db 6 in
+  let query =
+    Parser.parse "SELECT PACKAGE(i) AS p FROM items i SUCH THAT COUNT(*) = 2"
+  in
+  let c = Coeffs.make db query in
+  ignore (Sql_generate.search db c);
+  Alcotest.(check bool) "dropped" true
+    (Pb_sql.Database.find db "__pb_gen" = None)
+
+let test_zero_cardinality_bound () =
+  (* COUNT <= 1 includes the empty package, handled without a query. *)
+  let db = items_db 4 in
+  let query =
+    Parser.parse "SELECT PACKAGE(i) AS p FROM items i SUCH THAT COUNT(*) <= 1"
+  in
+  let c = Coeffs.make db query in
+  let gen = Sql_generate.search db c in
+  Alcotest.(check bool) "applicable" true gen.Sql_generate.applicable;
+  Alcotest.(check bool) "found something" true (gen.Sql_generate.best <> None)
+
+let test_randomized_agreement () =
+  let rng = Pb_util.Prng.create 404 in
+  for _trial = 1 to 15 do
+    let n = Pb_util.Prng.int_in rng 4 9 in
+    let db = items_db n in
+    let count = Pb_util.Prng.int_in rng 1 3 in
+    let budget = Pb_util.Prng.int_in rng 3 20 in
+    check_matches_brute_force db
+      (Printf.sprintf
+         "SELECT PACKAGE(i) AS p FROM items i SUCH THAT COUNT(*) = %d AND \
+          SUM(p.w) <= %d MAXIMIZE SUM(p.v)"
+         count budget)
+  done
+
+let suite =
+  [
+    Alcotest.test_case "matches bf: linear" `Quick test_matches_bf_linear;
+    Alcotest.test_case "matches bf: minimize" `Quick test_matches_bf_minimize;
+    Alcotest.test_case "matches bf: or formula" `Quick test_matches_bf_or_formula;
+    Alcotest.test_case "matches bf: min/max" `Quick test_matches_bf_extremum;
+    Alcotest.test_case "matches bf: avg" `Quick test_matches_bf_avg;
+    Alcotest.test_case "matches bf: infeasible" `Quick test_matches_bf_infeasible;
+    Alcotest.test_case "declines wide bounds" `Quick test_declines_wide_bounds;
+    Alcotest.test_case "declines repeat" `Quick test_declines_repeat;
+    Alcotest.test_case "declines join budget" `Quick test_declines_join_budget;
+    Alcotest.test_case "engine strategy" `Quick test_engine_strategy;
+    Alcotest.test_case "temp table dropped" `Quick test_temp_table_dropped;
+    Alcotest.test_case "zero cardinality bound" `Quick test_zero_cardinality_bound;
+    Alcotest.test_case "randomized agreement with bf" `Quick
+      test_randomized_agreement;
+  ]
