@@ -6,7 +6,10 @@
      dune exec bench/main.exe                 -- all experiments
      dune exec bench/main.exe -- --exp T3     -- one experiment
      dune exec bench/main.exe -- --quick      -- reduced sweeps
-     dune exec bench/main.exe -- --bechamel   -- micro-benchmarks *)
+     dune exec bench/main.exe -- --bechamel   -- micro-benchmarks
+     dune exec bench/main.exe -- --metrics-out FILE
+                                              -- also write per-experiment
+                                                 Pb_obs.Metrics deltas as JSON *)
 
 module Engine = Pb_core.Engine
 module Coeffs = Pb_core.Coeffs
@@ -20,8 +23,63 @@ module Stats = Pb_util.Stats
 let quick = ref false
 let selected : string list ref = ref []
 let run_bechamel = ref false
+let metrics_out : string option ref = ref None
 
 let wants id = !selected = [] || List.mem id !selected
+
+(* --metrics-out: per-experiment Pb_obs.Metrics snapshot deltas, written
+   as one JSON document when the run finishes. *)
+let metric_records : (string * (string * float) list) list ref = ref []
+
+let with_metrics id f =
+  match !metrics_out with
+  | None -> f ()
+  | Some _ ->
+      let before = Pb_obs.Metrics.snapshot () in
+      f ();
+      let after = Pb_obs.Metrics.snapshot () in
+      let deltas =
+        List.filter_map
+          (fun (name, v) ->
+            let v0 = Option.value (List.assoc_opt name before) ~default:0.0 in
+            if v <> v0 then Some (name, v -. v0) else None)
+          after
+      in
+      metric_records := (id, deltas) :: !metric_records
+
+let json_escape s =
+  let buf = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let json_num v =
+  if Float.is_integer v && Float.abs v < 1e15 then Printf.sprintf "%.0f" v
+  else Printf.sprintf "%g" v
+
+let write_metrics path =
+  let oc = open_out path in
+  let experiment (id, deltas) =
+    Printf.sprintf "{\"experiment\":\"%s\",\"metrics\":{%s}}" (json_escape id)
+      (String.concat ","
+         (List.map
+            (fun (name, v) ->
+              Printf.sprintf "\"%s\":%s" (json_escape name) (json_num v))
+            deltas))
+  in
+  output_string oc
+    ("{\"quick\":" ^ string_of_bool !quick ^ ",\"experiments\":[\n"
+    ^ String.concat ",\n" (List.rev_map experiment !metric_records)
+    ^ "\n]}\n");
+  close_out oc;
+  Printf.printf "metric snapshots written to %s\n" path
 
 let header id title claim =
   Printf.printf "\n================================================================\n";
@@ -838,11 +896,17 @@ let () =
     | "--exp" :: id :: rest ->
         selected := String.uppercase_ascii id :: !selected;
         parse rest
+    | "--metrics-out" :: path :: rest ->
+        metrics_out := Some path;
+        parse rest
     | _ :: rest -> parse rest
   in
   parse args;
   if !run_bechamel then micro_benchmarks ()
   else begin
-    List.iter (fun (id, f) -> if wants id then f ()) all_experiments;
+    List.iter
+      (fun (id, f) -> if wants id then with_metrics id f)
+      all_experiments;
     print_newline ()
-  end
+  end;
+  match !metrics_out with None -> () | Some path -> write_metrics path

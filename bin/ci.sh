@@ -1,0 +1,16 @@
+#!/bin/sh
+# Local CI driver: the checks a change must pass before it lands.
+#   bin/ci.sh            -- typecheck, build, tests
+set -eu
+cd "$(dirname "$0")/.."
+
+echo "== dune build @check (typecheck) =="
+dune build @check
+
+echo "== dune build (full build) =="
+dune build
+
+echo "== dune runtest =="
+dune runtest
+
+echo "CI OK"

@@ -3,6 +3,52 @@ module Package = Pb_paql.Package
 module Semantics = Pb_paql.Semantics
 module Model = Pb_lp.Model
 module Milp = Pb_lp.Milp
+module Trace = Pb_obs.Trace
+module Metrics = Pb_obs.Metrics
+
+(* Typed strategy counters. Each run bumps the process-wide metric and
+   the enclosing span, and still renders the (key, value) pair into the
+   report's display stats. *)
+let m_runs =
+  Metrics.counter ~help:"Strategy runs (hybrid legs counted individually)"
+    "pb_engine_strategy_runs_total"
+
+let m_candidates_examined =
+  Metrics.counter ~help:"Brute-force candidate packages examined"
+    "pb_engine_candidates_examined_total"
+
+let m_ls_rounds =
+  Metrics.counter ~help:"Local-search repair/improvement rounds"
+    "pb_engine_local_search_rounds_total"
+
+let m_ls_sql_queries =
+  Metrics.counter ~help:"Local-search SQL neighbourhood queries issued"
+    "pb_engine_local_search_sql_queries_total"
+
+let m_ls_pairs =
+  Metrics.counter ~help:"Local-search replacement moves examined"
+    "pb_engine_local_search_pairs_total"
+
+let m_anneal_steps =
+  Metrics.counter ~help:"Simulated-annealing steps taken"
+    "pb_engine_anneal_steps_total"
+
+let m_sqlgen_queries =
+  Metrics.counter ~help:"SQL-generation per-cardinality queries issued"
+    "pb_engine_sqlgen_queries_total"
+
+let m_pruning_cutoffs =
+  Metrics.counter ~help:"Queries proven infeasible by cardinality bounds alone"
+    "pb_engine_pruning_cutoffs_total"
+
+let m_verification_failures =
+  Metrics.counter ~help:"Answers rejected by the semantic safety net"
+    "pb_engine_verification_failures_total"
+
+let stat_count ~key metric v =
+  Metrics.incr ~by:v metric;
+  Trace.add_count key v;
+  (key, string_of_int v)
 
 type strategy =
   | Brute_force of { use_pruning : bool }
@@ -41,7 +87,8 @@ let verified db (c : Coeffs.t) report =
   | None -> report
   | Some pkg ->
       if Semantics.is_valid ~db c.query pkg then report
-      else
+      else begin
+        Metrics.incr m_verification_failures;
         {
           report with
           package = None;
@@ -49,6 +96,7 @@ let verified db (c : Coeffs.t) report =
           proven_optimal = false;
           stats = ("verification", "answer failed semantic check") :: report.stats;
         }
+      end
 
 let objective_of db (c : Coeffs.t) pkg =
   match c.query.objective with
@@ -56,128 +104,171 @@ let objective_of db (c : Coeffs.t) pkg =
   | Some _ -> Semantics.objective_value ~db c.query pkg
 
 let run_brute_force ~use_pruning ~max_examined (c : Coeffs.t) =
-  let out = Brute_force.search ~use_pruning ~max_examined c in
-  {
-    package = out.best;
-    objective = out.best_objective;
-    proven_optimal = out.complete;
-    strategy_used =
-      (if use_pruning then "brute-force+pruning" else "brute-force");
-    elapsed = 0.0;
-    stats =
-      [
-        ("candidates_examined", string_of_int out.examined);
-        ("complete", string_of_bool out.complete);
-      ];
-  }
+  let name = if use_pruning then "brute-force+pruning" else "brute-force" in
+  let report, elapsed =
+    Trace.timed
+      ~name:("strategy." ^ name)
+      ~attrs:[ ("candidates", string_of_int c.n) ]
+      (fun () ->
+        Metrics.incr m_runs;
+        let out = Brute_force.search ~use_pruning ~max_examined c in
+        {
+          package = out.best;
+          objective = out.best_objective;
+          proven_optimal = out.complete;
+          strategy_used = name;
+          elapsed = 0.0;
+          stats =
+            [
+              stat_count ~key:"candidates_examined" m_candidates_examined
+                out.examined;
+              ("complete", string_of_bool out.complete);
+            ];
+        })
+  in
+  { report with elapsed }
 
 let run_ilp ~max_nodes db (c : Coeffs.t) =
-  if not (linearizable c) then
-    let reason =
-      match c.formula with
-      | Error r -> r
-      | Ok _ -> "objective is not linearizable"
-    in
-    {
-      package = None;
-      objective = None;
-      proven_optimal = false;
-      strategy_used = "ilp";
-      elapsed = 0.0;
-      stats = [ ("not_applicable", reason) ];
-    }
-  else begin
-    let t = Translate.build c in
-    let sol = Milp.solve ~max_nodes t.model in
-    let package, proven =
-      match sol.status with
-      | Milp.Optimal -> (Some (Translate.package_of_solution c t sol.x), true)
-      | Milp.Feasible when Array.length sol.x > 0 ->
-          (Some (Translate.package_of_solution c t sol.x), false)
-      | Milp.Feasible | Milp.Unbounded -> (None, false)
-      | Milp.Infeasible -> (None, true)
-    in
-    {
-      package;
-      objective = Option.map (fun _ -> sol.objective) package;
-      proven_optimal = proven;
-      strategy_used = "ilp";
-      elapsed = 0.0;
-      stats =
-        [
-          ("bb_nodes", string_of_int sol.nodes);
-          ("lp_iterations", string_of_int sol.lp_iterations);
-          ( "milp_status",
+  let report, elapsed =
+    Trace.timed ~name:"strategy.ilp"
+      ~attrs:[ ("candidates", string_of_int c.n) ]
+      (fun () ->
+        Metrics.incr m_runs;
+        if not (linearizable c) then
+          let reason =
+            match c.formula with
+            | Error r -> r
+            | Ok _ -> "objective is not linearizable"
+          in
+          {
+            package = None;
+            objective = None;
+            proven_optimal = false;
+            strategy_used = "ilp";
+            elapsed = 0.0;
+            stats = [ ("not_applicable", reason) ];
+          }
+        else begin
+          let t = Translate.build c in
+          let sol = Milp.solve ~max_nodes t.model in
+          let package, proven =
             match sol.status with
-            | Milp.Optimal -> "optimal"
-            | Milp.Feasible -> "feasible"
-            | Milp.Infeasible -> "infeasible"
-            | Milp.Unbounded -> "unbounded" );
-        ];
-    }
-    |> fun report ->
-    match report.package with
-    | Some pkg -> { report with objective = objective_of db c pkg }
-    | None -> report
-  end
+            | Milp.Optimal ->
+                (Some (Translate.package_of_solution c t sol.x), true)
+            | Milp.Feasible when Array.length sol.x > 0 ->
+                (Some (Translate.package_of_solution c t sol.x), false)
+            | Milp.Feasible | Milp.Unbounded -> (None, false)
+            | Milp.Infeasible -> (None, true)
+          in
+          {
+            package;
+            objective = Option.map (fun _ -> sol.objective) package;
+            proven_optimal = proven;
+            strategy_used = "ilp";
+            elapsed = 0.0;
+            stats =
+              [
+                (* bb_nodes/lp_iterations are metered inside Pb_lp. *)
+                ("bb_nodes", string_of_int sol.nodes);
+                ("lp_iterations", string_of_int sol.lp_iterations);
+                ( "milp_status",
+                  match sol.status with
+                  | Milp.Optimal -> "optimal"
+                  | Milp.Feasible -> "feasible"
+                  | Milp.Infeasible -> "infeasible"
+                  | Milp.Unbounded -> "unbounded" );
+              ];
+          }
+          |> fun report ->
+          match report.package with
+          | Some pkg -> { report with objective = objective_of db c pkg }
+          | None -> report
+        end)
+  in
+  { report with elapsed }
 
 let run_local_search ~params db (c : Coeffs.t) =
-  let out = Local_search.search ~params db c in
-  let objective =
-    match out.best with Some pkg -> objective_of db c pkg | None -> None
+  let report, elapsed =
+    Trace.timed ~name:"strategy.local-search"
+      ~attrs:[ ("candidates", string_of_int c.n) ]
+      (fun () ->
+        Metrics.incr m_runs;
+        let out = Local_search.search ~params db c in
+        let objective =
+          match out.best with Some pkg -> objective_of db c pkg | None -> None
+        in
+        {
+          package = out.best;
+          objective;
+          proven_optimal = false;
+          strategy_used = "local-search";
+          elapsed = 0.0;
+          stats =
+            [
+              stat_count ~key:"rounds" m_ls_rounds out.stats.rounds;
+              stat_count ~key:"sql_queries" m_ls_sql_queries
+                out.stats.sql_queries;
+              stat_count ~key:"pairs_examined" m_ls_pairs
+                out.stats.pairs_examined;
+              ("restarts", string_of_int out.stats.restarts_used);
+            ];
+        })
   in
-  {
-    package = out.best;
-    objective;
-    proven_optimal = false;
-    strategy_used = "local-search";
-    elapsed = 0.0;
-    stats =
-      [
-        ("rounds", string_of_int out.stats.rounds);
-        ("sql_queries", string_of_int out.stats.sql_queries);
-        ("pairs_examined", string_of_int out.stats.pairs_examined);
-        ("restarts", string_of_int out.stats.restarts_used);
-      ];
-  }
+  { report with elapsed }
 
 let run_anneal ~params db (c : Coeffs.t) =
-  let out = Annealing.search ~params c in
-  let objective =
-    match out.Annealing.best with
-    | Some pkg -> objective_of db c pkg
-    | None -> None
+  let report, elapsed =
+    Trace.timed ~name:"strategy.annealing"
+      ~attrs:[ ("candidates", string_of_int c.n) ]
+      (fun () ->
+        Metrics.incr m_runs;
+        let out = Annealing.search ~params c in
+        let objective =
+          match out.Annealing.best with
+          | Some pkg -> objective_of db c pkg
+          | None -> None
+        in
+        {
+          package = out.Annealing.best;
+          objective;
+          proven_optimal = false;
+          strategy_used = "annealing";
+          elapsed = 0.0;
+          stats =
+            [
+              stat_count ~key:"steps" m_anneal_steps out.Annealing.steps_taken;
+              ("accepted", string_of_int out.Annealing.accepted);
+              ("valid_visits", string_of_int out.Annealing.valid_visits);
+            ];
+        })
   in
-  {
-    package = out.Annealing.best;
-    objective;
-    proven_optimal = false;
-    strategy_used = "annealing";
-    elapsed = 0.0;
-    stats =
-      [
-        ("steps", string_of_int out.Annealing.steps_taken);
-        ("accepted", string_of_int out.Annealing.accepted);
-        ("valid_visits", string_of_int out.Annealing.valid_visits);
-      ];
-  }
+  { report with elapsed }
 
 let run_sql_generation ~params db (c : Coeffs.t) =
-  let out = Sql_generate.search ~params db c in
-  {
-    package = out.Sql_generate.best;
-    objective = out.Sql_generate.best_objective;
-    (* The per-cardinality queries enumerate the pruned space exhaustively, so an
-       applicable run is exact — including proving infeasibility. *)
-    proven_optimal = out.Sql_generate.applicable;
-    strategy_used = "sql-generation";
-    elapsed = 0.0;
-    stats =
-      (("queries_issued", string_of_int out.Sql_generate.queries_issued)
-      ::
-      (if out.Sql_generate.applicable then []
-       else [ ("not_applicable", out.Sql_generate.reason) ]));
-  }
+  let report, elapsed =
+    Trace.timed ~name:"strategy.sql-generation"
+      ~attrs:[ ("candidates", string_of_int c.n) ]
+      (fun () ->
+        Metrics.incr m_runs;
+        let out = Sql_generate.search ~params db c in
+        {
+          package = out.Sql_generate.best;
+          objective = out.Sql_generate.best_objective;
+          (* The per-cardinality queries enumerate the pruned space
+             exhaustively, so an applicable run is exact — including
+             proving infeasibility. *)
+          proven_optimal = out.Sql_generate.applicable;
+          strategy_used = "sql-generation";
+          elapsed = 0.0;
+          stats =
+            (stat_count ~key:"queries_issued" m_sqlgen_queries
+               out.Sql_generate.queries_issued
+            ::
+            (if out.Sql_generate.applicable then []
+             else [ ("not_applicable", out.Sql_generate.reason) ]));
+        })
+  in
+  { report with elapsed }
 
 let better_report (c : Coeffs.t) a b =
   match (a.package, b.package) with
@@ -190,45 +281,64 @@ let run_hybrid ~ilp_max_nodes ~bf_max_examined db (c : Coeffs.t) =
   let tag report reason =
     { report with stats = ("hybrid_choice", reason) :: report.stats }
   in
-  if Cost_model.proven_infeasible c then
-    {
-      package = None;
-      objective = None;
-      proven_optimal = true;
-      strategy_used = "hybrid(pruning)";
-      elapsed = 0.0;
-      stats = [ ("hybrid_choice", "pruning bounds empty: proven infeasible") ];
-    }
-  else begin
-    (* Sec 5 "optimizing PaQL queries": choose by cost estimate rather
-       than fixed thresholds. *)
-    let choice = Cost_model.pick c in
-    let reason =
-      Printf.sprintf "cost model chose %s (%s)" choice.Cost_model.strategy_label
-        choice.Cost_model.note
-    in
-    let run = function
-      | "brute-force" ->
-          run_brute_force ~use_pruning:false ~max_examined:bf_max_examined c
-      | "brute-force+pruning" ->
-          run_brute_force ~use_pruning:true ~max_examined:bf_max_examined c
-      | "ilp" -> run_ilp ~max_nodes:ilp_max_nodes db c
-      | _ -> run_local_search ~params:Local_search.default_params db c
-    in
-    let report = run choice.Cost_model.strategy_label in
-    if choice.Cost_model.exact && not report.proven_optimal then
-      (* Budget ran out before a proof: keep the better of the partial
-         answer and a local-search pass. *)
-      let ls = run_local_search ~params:Local_search.default_params db c in
-      tag (better_report c report ls)
-        (reason ^ "; budget exhausted, kept best of it and local-search")
-    else tag report reason
-  end
+  (* The chosen leg (and the local-search fallback leg, when the budget
+     runs out) each time themselves through their own strategy span; the
+     hybrid span wraps both, and the final report carries the combined
+     wall clock so report.elapsed agrees with the span tree. *)
+  let report, elapsed =
+    Trace.timed ~name:"strategy.hybrid"
+      ~attrs:[ ("candidates", string_of_int c.n) ]
+      (fun () ->
+        if Cost_model.proven_infeasible c then begin
+          Metrics.incr m_pruning_cutoffs;
+          Trace.add_count "pruning_cutoffs" 1;
+          {
+            package = None;
+            objective = None;
+            proven_optimal = true;
+            strategy_used = "hybrid(pruning)";
+            elapsed = 0.0;
+            stats =
+              [ ("hybrid_choice", "pruning bounds empty: proven infeasible") ];
+          }
+        end
+        else begin
+          (* Sec 5 "optimizing PaQL queries": choose by cost estimate
+             rather than fixed thresholds. *)
+          let choice = Cost_model.pick c in
+          let reason =
+            Printf.sprintf "cost model chose %s (%s)"
+              choice.Cost_model.strategy_label choice.Cost_model.note
+          in
+          let run = function
+            | "brute-force" ->
+                run_brute_force ~use_pruning:false
+                  ~max_examined:bf_max_examined c
+            | "brute-force+pruning" ->
+                run_brute_force ~use_pruning:true ~max_examined:bf_max_examined
+                  c
+            | "ilp" -> run_ilp ~max_nodes:ilp_max_nodes db c
+            | _ -> run_local_search ~params:Local_search.default_params db c
+          in
+          let report = run choice.Cost_model.strategy_label in
+          if choice.Cost_model.exact && not report.proven_optimal then
+            (* Budget ran out before a proof: keep the better of the
+               partial answer and a local-search pass. *)
+            let ls = run_local_search ~params:Local_search.default_params db c in
+            tag (better_report c report ls)
+              (reason ^ "; budget exhausted, kept best of it and local-search")
+          else tag report reason
+        end)
+  in
+  { report with elapsed }
 
 let evaluate_coeffs ?(strategy = Hybrid) ?(ilp_max_nodes = 200_000)
     ?(bf_max_examined = 5_000_000) db (c : Coeffs.t) =
-  let report, elapsed =
-    Pb_util.Stats.timeit (fun () ->
+  (* Every run_* times itself through its strategy span, so the report's
+     elapsed is the strategy's own wall clock (hybrid: both legs); the
+     engine.evaluate span around it additionally covers verification. *)
+  Trace.with_span ~name:"engine.evaluate" (fun () ->
+      let report =
         match strategy with
         | Brute_force { use_pruning } ->
             run_brute_force ~use_pruning ~max_examined:bf_max_examined c
@@ -236,9 +346,9 @@ let evaluate_coeffs ?(strategy = Hybrid) ?(ilp_max_nodes = 200_000)
         | Local_search params -> run_local_search ~params db c
         | Anneal params -> run_anneal ~params db c
         | Sql_generation params -> run_sql_generation ~params db c
-        | Hybrid -> run_hybrid ~ilp_max_nodes ~bf_max_examined db c)
-  in
-  verified db c { report with elapsed }
+        | Hybrid -> run_hybrid ~ilp_max_nodes ~bf_max_examined db c
+      in
+      verified db c report)
 
 let evaluate ?strategy ?ilp_max_nodes ?bf_max_examined db query =
   evaluate_coeffs ?strategy ?ilp_max_nodes ?bf_max_examined db

@@ -32,8 +32,13 @@ type report = {
       (** true when the strategy proves optimality (or, for objective-less
           queries, when a package is found / infeasibility is proven) *)
   strategy_used : string;  (** strategy that produced the answer *)
-  elapsed : float;  (** wall-clock seconds *)
-  stats : (string * string) list;  (** per-strategy counters for display *)
+  elapsed : float;
+      (** wall-clock seconds of the strategy run itself, measured through
+          its {!Pb_obs.Trace} span (for [Hybrid], both legs of a
+          budget-exhausted fallback) *)
+  stats : (string * string) list;
+      (** per-strategy counters for display; each also feeds a typed
+          [pb_engine_*] counter in {!Pb_obs.Metrics} *)
 }
 
 val evaluate :

@@ -1,3 +1,17 @@
+module Trace = Pb_obs.Trace
+module Metrics = Pb_obs.Metrics
+
+let m_bb_nodes =
+  Metrics.counter ~help:"Branch-and-bound nodes explored"
+    "pb_milp_nodes_total"
+
+let m_incumbents =
+  Metrics.counter ~help:"Incumbent (best integral point) updates"
+    "pb_milp_incumbent_updates_total"
+
+let m_solves =
+  Metrics.counter ~help:"MILP solves started" "pb_milp_solves_total"
+
 type status = Optimal | Feasible | Infeasible | Unbounded
 
 type solution = {
@@ -62,7 +76,7 @@ let maximization_sense model =
   | Model.Maximize _ -> true
   | Model.Minimize _ -> false
 
-let rec solve ?(max_nodes = 200_000) ?time_limit ?(eps = 1e-6)
+let rec solve_impl ?(max_nodes = 200_000) ?time_limit ?(eps = 1e-6)
     ?(node_order = Dfs) ?(presolve = false) model =
   if presolve then
     match Presolve.presolve model with
@@ -75,7 +89,8 @@ let rec solve ?(max_nodes = 200_000) ?time_limit ?(eps = 1e-6)
           lp_iterations = 0;
         }
     | Presolve.Reduced { model = reduced; _ } ->
-        solve ~max_nodes ?time_limit ~eps ~node_order ~presolve:false reduced
+        solve_impl ~max_nodes ?time_limit ~eps ~node_order ~presolve:false
+          reduced
   else
   let n = Model.num_vars model in
   let saved_bounds = Array.init n (Model.bounds model) in
@@ -104,7 +119,8 @@ let rec solve ?(max_nodes = 200_000) ?time_limit ?(eps = 1e-6)
     let obj = Model.objective_value model x in
     if better obj !incumbent_obj then begin
       incumbent := Some (Array.copy x);
-      incumbent_obj := obj
+      incumbent_obj := obj;
+      Metrics.incr m_incumbents
     end
   in
   let apply node =
@@ -145,6 +161,7 @@ let rec solve ?(max_nodes = 200_000) ?time_limit ?(eps = 1e-6)
         if !nodes_explored >= max_nodes || out_of_time () then budget_hit := true
         else begin
           incr nodes_explored;
+          Metrics.incr m_bb_nodes;
           apply node;
           let relax = Simplex.solve model in
           lp_iterations := !lp_iterations + relax.iterations;
@@ -222,6 +239,16 @@ let rec solve ?(max_nodes = 200_000) ?time_limit ?(eps = 1e-6)
         else Infeasible
       in
       { status; x = [||]; objective = nan; nodes; lp_iterations }
+
+let solve ?max_nodes ?time_limit ?eps ?node_order ?presolve model =
+  Trace.with_span ~name:"milp.solve" (fun () ->
+      Metrics.incr m_solves;
+      let sol =
+        solve_impl ?max_nodes ?time_limit ?eps ?node_order ?presolve model
+      in
+      Trace.add_count "bb_nodes" sol.nodes;
+      Trace.add_count "lp_pivots" sol.lp_iterations;
+      sol)
 
 let solve_all ?(max_solutions = 10) ?max_nodes ?time_limit model =
   let n = Model.num_vars model in

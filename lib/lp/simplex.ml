@@ -264,7 +264,15 @@ let run_phase t cost max_iterations =
   done;
   (Option.get !finished, !iterations)
 
-let solve ?max_iterations model =
+let m_lp_solves =
+  Pb_obs.Metrics.counter ~help:"LP relaxations solved"
+    "pb_lp_solves_total"
+
+let m_lp_pivots =
+  Pb_obs.Metrics.counter ~help:"Simplex pivots across both phases"
+    "pb_lp_pivots_total"
+
+let solve_raw ?max_iterations model =
   let n = Model.num_vars model in
   let crossed = ref false in
   for i = 0 to n - 1 do
@@ -329,3 +337,9 @@ let solve ?max_iterations model =
       | `Optimal -> extract Optimal total
       | `Unbounded -> extract Unbounded total
       | `Limit -> extract Iteration_limit total)
+
+let solve ?max_iterations model =
+  let sol = solve_raw ?max_iterations model in
+  Pb_obs.Metrics.incr m_lp_solves;
+  Pb_obs.Metrics.incr ~by:sol.iterations m_lp_pivots;
+  sol

@@ -1,0 +1,5 @@
+let default () = Unix.gettimeofday ()
+let source = ref default
+let now () = !source ()
+let set_source f = source := f
+let reset_source () = source := default

@@ -1,0 +1,14 @@
+(** Wall-clock time source for the observability layer.
+
+    Centralised so that spans, slow-query entries and metric snapshots
+    all share one notion of "now", and so tests can substitute a
+    deterministic clock without touching [Unix] directly. *)
+
+val now : unit -> float
+(** Seconds since the epoch, from the active time source. *)
+
+val set_source : (unit -> float) -> unit
+(** Replace the time source (tests only). *)
+
+val reset_source : unit -> unit
+(** Restore [Unix.gettimeofday]. *)

@@ -1,0 +1,168 @@
+type counter = { c_name : string; c_help : string; mutable count : int }
+type gauge = { g_name : string; g_help : string; mutable value : float }
+
+type histogram = {
+  h_name : string;
+  h_help : string;
+  bounds : float array;  (* sorted inclusive upper bounds, +Inf excluded *)
+  buckets : int array;  (* length = Array.length bounds + 1 (the +Inf one) *)
+  mutable sum : float;
+  mutable observations : int;
+}
+
+type metric = Counter of counter | Gauge of gauge | Histogram of histogram
+
+type registry = {
+  tbl : (string, metric) Hashtbl.t;
+  mutable order : string list;  (* registration order, newest first *)
+}
+
+let create () = { tbl = Hashtbl.create 64; order = [] }
+let default = create ()
+
+let register registry name make =
+  match Hashtbl.find_opt registry.tbl name with
+  | Some existing -> existing
+  | None ->
+      let m = make () in
+      Hashtbl.add registry.tbl name m;
+      registry.order <- name :: registry.order;
+      m
+
+let kind_clash name =
+  invalid_arg
+    (Printf.sprintf "Metrics: %s is already registered as another kind" name)
+
+let counter ?(registry = default) ?(help = "") name =
+  match
+    register registry name (fun () ->
+        Counter { c_name = name; c_help = help; count = 0 })
+  with
+  | Counter c -> c
+  | Gauge _ | Histogram _ -> kind_clash name
+
+let gauge ?(registry = default) ?(help = "") name =
+  match
+    register registry name (fun () ->
+        Gauge { g_name = name; g_help = help; value = 0.0 })
+  with
+  | Gauge g -> g
+  | Counter _ | Histogram _ -> kind_clash name
+
+let histogram ?(registry = default) ?(help = "") ~buckets name =
+  if buckets = [] then invalid_arg "Metrics.histogram: empty bucket list";
+  match
+    register registry name (fun () ->
+        let bounds = Array.of_list (List.sort_uniq compare buckets) in
+        Histogram
+          {
+            h_name = name;
+            h_help = help;
+            bounds;
+            buckets = Array.make (Array.length bounds + 1) 0;
+            sum = 0.0;
+            observations = 0;
+          })
+  with
+  | Histogram h -> h
+  | Counter _ | Gauge _ -> kind_clash name
+
+let incr ?(by = 1) c =
+  if by < 0 then invalid_arg "Metrics.incr: negative increment";
+  c.count <- c.count + by
+
+let counter_value c = c.count
+let set g v = g.value <- v
+let gauge_value g = g.value
+
+let observe h v =
+  let n = Array.length h.bounds in
+  let rec slot i = if i >= n || v <= h.bounds.(i) then i else slot (i + 1) in
+  h.buckets.(slot 0) <- h.buckets.(slot 0) + 1;
+  h.sum <- h.sum +. v;
+  h.observations <- h.observations + 1
+
+let histogram_count h = h.observations
+let histogram_sum h = h.sum
+
+let bucket_counts h =
+  Array.to_list
+    (Array.mapi
+       (fun i count ->
+         let bound =
+           if i < Array.length h.bounds then h.bounds.(i) else infinity
+         in
+         (bound, count))
+       h.buckets)
+
+let in_order registry =
+  List.filter_map
+    (fun name -> Hashtbl.find_opt registry.tbl name)
+    (List.rev registry.order)
+
+let snapshot ?(registry = default) () =
+  List.concat_map
+    (function
+      | Counter c -> [ (c.c_name, float_of_int c.count) ]
+      | Gauge g -> [ (g.g_name, g.value) ]
+      | Histogram h ->
+          [
+            (h.h_name ^ "_count", float_of_int h.observations);
+            (h.h_name ^ "_sum", h.sum);
+          ])
+    (in_order registry)
+
+(* Prometheus-compatible float rendering: integral values print without
+   an exponent or trailing zeros, the rest use shortest-roundtrip %g. *)
+let fnum v =
+  if Float.is_integer v && Float.abs v < 1e15 then
+    Printf.sprintf "%.0f" v
+  else Printf.sprintf "%g" v
+
+let dump ?(registry = default) () =
+  let buf = Buffer.create 1024 in
+  let header name help kind =
+    if help <> "" then
+      Buffer.add_string buf (Printf.sprintf "# HELP %s %s\n" name help);
+    Buffer.add_string buf (Printf.sprintf "# TYPE %s %s\n" name kind)
+  in
+  List.iter
+    (function
+      | Counter c ->
+          header c.c_name c.c_help "counter";
+          Buffer.add_string buf (Printf.sprintf "%s %d\n" c.c_name c.count)
+      | Gauge g ->
+          header g.g_name g.g_help "gauge";
+          Buffer.add_string buf
+            (Printf.sprintf "%s %s\n" g.g_name (fnum g.value))
+      | Histogram h ->
+          header h.h_name h.h_help "histogram";
+          let cumulative = ref 0 in
+          Array.iteri
+            (fun i count ->
+              cumulative := !cumulative + count;
+              let le =
+                if i < Array.length h.bounds then fnum h.bounds.(i) else "+Inf"
+              in
+              Buffer.add_string buf
+                (Printf.sprintf "%s_bucket{le=\"%s\"} %d\n" h.h_name le
+                   !cumulative))
+            h.buckets;
+          Buffer.add_string buf
+            (Printf.sprintf "%s_sum %s\n" h.h_name (fnum h.sum));
+          Buffer.add_string buf
+            (Printf.sprintf "%s_count %d\n" h.h_name h.observations))
+    (in_order registry);
+  Buffer.contents buf
+
+let reset ?(registry = default) () =
+  Hashtbl.iter
+    (fun _ m ->
+      match m with
+      | Counter c -> c.count <- 0
+      | Gauge g -> g.value <- 0.0
+      | Histogram h ->
+          Array.fill h.buckets 0 (Array.length h.buckets) 0;
+          h.sum <- 0.0;
+          h.observations <- 0)
+    registry.tbl

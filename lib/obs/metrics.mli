@@ -1,0 +1,66 @@
+(** Metrics registry: named counters, gauges and fixed-bucket histograms.
+
+    Instruments are registered once by name (repeat registration with the
+    same name and kind returns the existing instrument) and updated with
+    O(1) hot-path operations — a counter bump is one integer add on a
+    mutable record field, no hashing. A process-global {!default}
+    registry backs the engine's instrumentation; tests create private
+    registries.
+
+    Metric naming convention: [pb_<layer>_<what>[_total]], lowercase with
+    underscores, Prometheus style — ["pb_sql_rows_scanned_total"],
+    ["pb_milp_nodes_total"], ["pb_engine_runs_total"]. Counters end in
+    [_total]; gauges and histograms name the quantity directly. *)
+
+type registry
+type counter
+type gauge
+type histogram
+
+val create : unit -> registry
+val default : registry
+
+val counter : ?registry:registry -> ?help:string -> string -> counter
+(** Register (or look up) a monotonically increasing counter.
+    Raises [Invalid_argument] if the name is taken by another kind. *)
+
+val gauge : ?registry:registry -> ?help:string -> string -> gauge
+
+val histogram :
+  ?registry:registry -> ?help:string -> buckets:float list -> string -> histogram
+(** [buckets] are inclusive upper bounds (Prometheus [le] semantics);
+    they are sorted, and a [+Inf] bucket is always appended. Repeat
+    registration ignores [buckets] and returns the existing histogram.
+    Raises [Invalid_argument] on an empty bucket list or a name clash. *)
+
+val incr : ?by:int -> counter -> unit
+(** Add [by] (default 1) to the counter. Raises [Invalid_argument] on a
+    negative increment. *)
+
+val counter_value : counter -> int
+
+val set : gauge -> float -> unit
+val gauge_value : gauge -> float
+
+val observe : histogram -> float -> unit
+(** Record one observation into its bucket (first bound [>= v]). *)
+
+val histogram_count : histogram -> int
+val histogram_sum : histogram -> float
+
+val bucket_counts : histogram -> (float * int) list
+(** Per-bucket (upper-bound, count) pairs — {e non}-cumulative, the
+    [+Inf] bucket last as [(infinity, n)]. *)
+
+val snapshot : ?registry:registry -> unit -> (string * float) list
+(** Flat name→value view in registration order: counters and gauges by
+    name; histograms contribute [name_count] and [name_sum]. Used for
+    before/after deltas (EXPLAIN ANALYZE, bench scenarios). *)
+
+val dump : ?registry:registry -> unit -> string
+(** Prometheus text exposition format: [# HELP]/[# TYPE] headers, then
+    sample lines; histograms expose cumulative [name_bucket{le="…"}]
+    series plus [name_sum] and [name_count]. *)
+
+val reset : ?registry:registry -> unit -> unit
+(** Zero every instrument's value (registrations are kept). *)

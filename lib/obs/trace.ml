@@ -1,0 +1,187 @@
+type span = {
+  id : int;
+  parent : int;
+  name : string;
+  attrs : (string * string) list;
+  mutable counters : (string * int) list;
+  start : float;
+  mutable elapsed : float;
+}
+
+let enabled = ref false
+let set_enabled v = enabled := v
+let is_enabled () = !enabled
+
+(* Ring buffer of completed spans. [next] is the write cursor; [total]
+   counts every record ever written, so [total - capacity] (clamped) is
+   the number of overwritten spans. *)
+let capacity = ref 4096
+let ring : span option array ref = ref (Array.make !capacity None)
+let next = ref 0
+let total = ref 0
+let fresh_id = ref 0
+let stack : span list ref = ref []
+
+let reset ?capacity:cap () =
+  (match cap with
+  | Some c when c > 0 -> capacity := c
+  | Some _ | None -> ());
+  ring := Array.make !capacity None;
+  next := 0;
+  total := 0;
+  fresh_id := 0;
+  stack := []
+
+let record sp =
+  !ring.(!next) <- Some sp;
+  next := (!next + 1) mod !capacity;
+  incr total
+
+let dropped () = max 0 (!total - !capacity)
+
+let open_span ~attrs name =
+  let parent = match !stack with sp :: _ -> sp.id | [] -> -1 in
+  let sp =
+    {
+      id = !fresh_id;
+      parent;
+      name;
+      attrs;
+      counters = [];
+      start = Clock.now ();
+      elapsed = 0.0;
+    }
+  in
+  incr fresh_id;
+  stack := sp :: !stack;
+  sp
+
+let close_span sp =
+  sp.elapsed <- Clock.now () -. sp.start;
+  (match !stack with
+  | top :: rest when top == sp -> stack := rest
+  | _ ->
+      (* An exception unwound past intermediate spans: drop everything
+         down to (and including) this span so nesting stays consistent. *)
+      let rec pop = function
+        | top :: rest -> if top == sp then rest else pop rest
+        | [] -> []
+      in
+      stack := pop !stack);
+  record sp
+
+let with_span ?(attrs = []) ~name f =
+  if not !enabled then f ()
+  else begin
+    let sp = open_span ~attrs name in
+    match f () with
+    | v ->
+        close_span sp;
+        v
+    | exception e ->
+        close_span sp;
+        raise e
+  end
+
+let timed ?attrs ~name f =
+  let t0 = Clock.now () in
+  let v = with_span ?attrs ~name f in
+  (v, Clock.now () -. t0)
+
+let add_count key v =
+  if !enabled then
+    match !stack with
+    | sp :: _ ->
+        let prev = Option.value (List.assoc_opt key sp.counters) ~default:0 in
+        sp.counters <- (key, prev + v) :: List.remove_assoc key sp.counters
+    | [] -> ()
+
+let spans () =
+  let out = ref [] in
+  Array.iter (function Some sp -> out := sp :: !out | None -> ()) !ring;
+  List.sort (fun a b -> compare a.id b.id) !out
+
+(* ---- rendering ------------------------------------------------------- *)
+
+let fmt_elapsed s =
+  if s < 0.001 then Printf.sprintf "%.0fus" (s *. 1e6)
+  else if s < 1.0 then Printf.sprintf "%.2fms" (s *. 1e3)
+  else Printf.sprintf "%.3fs" s
+
+let render_tree () =
+  let all = spans () in
+  let known = Hashtbl.create 64 in
+  List.iter (fun sp -> Hashtbl.replace known sp.id ()) all;
+  let children = Hashtbl.create 64 in
+  let roots = ref [] in
+  (* [all] is in open order; building child lists backwards keeps them
+     in open order too. *)
+  List.iter
+    (fun sp ->
+      if sp.parent >= 0 && Hashtbl.mem known sp.parent then
+        Hashtbl.replace children sp.parent
+          (sp
+          :: Option.value (Hashtbl.find_opt children sp.parent) ~default:[])
+      else roots := sp :: !roots)
+    (List.rev all);
+  let buf = Buffer.create 512 in
+  let rec emit depth sp =
+    let kvs =
+      List.map (fun (k, v) -> Printf.sprintf "%s=%s" k v) sp.attrs
+      @ List.map
+          (fun (k, v) -> Printf.sprintf "%s=%d" k v)
+          (List.sort compare sp.counters)
+    in
+    Buffer.add_string buf
+      (Printf.sprintf "%s%-*s %8s%s\n" (String.make (2 * depth) ' ')
+         (max 1 (34 - (2 * depth)))
+         sp.name (fmt_elapsed sp.elapsed)
+         (match kvs with [] -> "" | _ -> "  " ^ String.concat " " kvs));
+    List.iter (emit (depth + 1))
+      (Option.value (Hashtbl.find_opt children sp.id) ~default:[])
+  in
+  List.iter (emit 0) !roots;
+  let d = dropped () in
+  if d > 0 then
+    Buffer.add_string buf (Printf.sprintf "(%d older span(s) dropped)\n" d);
+  Buffer.contents buf
+
+let json_escape s =
+  let buf = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let to_json_lines () =
+  let str s = "\"" ^ json_escape s ^ "\"" in
+  let obj_of kvs =
+    "{"
+    ^ String.concat "," (List.map (fun (k, v) -> str k ^ ":" ^ v) kvs)
+    ^ "}"
+  in
+  String.concat "\n"
+    (List.map
+       (fun sp ->
+         obj_of
+           [
+             ("id", string_of_int sp.id);
+             ("parent", string_of_int sp.parent);
+             ("name", str sp.name);
+             ("start", Printf.sprintf "%.6f" sp.start);
+             ("elapsed_s", Printf.sprintf "%.6f" sp.elapsed);
+             ("attrs", obj_of (List.map (fun (k, v) -> (k, str v)) sp.attrs));
+             ( "counters",
+               obj_of
+                 (List.map (fun (k, v) -> (k, string_of_int v)) sp.counters) );
+           ])
+       (spans ()))

@@ -1,0 +1,65 @@
+(** Structured tracing: nestable, wall-clock-timed spans.
+
+    A span covers one dynamic region of execution ([with_span] brackets
+    it); spans opened inside it become its children, giving a per-run
+    tree. Completed spans land in a bounded ring buffer (oldest entries
+    are overwritten), so tracing can stay on for long sessions without
+    unbounded memory growth.
+
+    Tracing is {e off} by default. When disabled, [with_span] is a single
+    branch on a [bool ref] plus a tail call — no allocation, no clock
+    read — so instrumentation can be left in hot paths permanently.
+    [timed] always measures (two clock reads) and additionally records a
+    span when tracing is enabled; use it where the caller needs the
+    elapsed time regardless (e.g. {!Pb_core.Engine} report timings).
+
+    Span naming convention: [layer.operation], lowercase, dot-separated —
+    ["sql.scan"], ["milp.solve"], ["strategy.local-search"],
+    ["engine.evaluate"]. Attributes carry static context (table name);
+    counters carry per-span work tallies (rows scanned, nodes explored). *)
+
+type span = {
+  id : int;  (** monotonically increasing; orders spans by open time *)
+  parent : int;  (** id of the enclosing span, or [-1] for a root *)
+  name : string;
+  attrs : (string * string) list;  (** static context, set at open *)
+  mutable counters : (string * int) list;  (** work tallies, via {!add_count} *)
+  start : float;  (** wall-clock open time (seconds since epoch) *)
+  mutable elapsed : float;  (** seconds between open and close *)
+}
+
+val set_enabled : bool -> unit
+val is_enabled : unit -> bool
+
+val reset : ?capacity:int -> unit -> unit
+(** Clear recorded spans (and any dangling open stack). [capacity]
+    resizes the ring buffer (default 4096, kept across resets unless
+    given). *)
+
+val with_span : ?attrs:(string * string) list -> name:string -> (unit -> 'a) -> 'a
+(** Run the thunk inside a new span. When tracing is disabled this is
+    just the thunk call. The span is recorded even if the thunk raises. *)
+
+val timed : ?attrs:(string * string) list -> name:string -> (unit -> 'a) -> 'a * float
+(** Like {!with_span}, but always returns the wall-clock elapsed seconds,
+    whether or not tracing is enabled. *)
+
+val add_count : string -> int -> unit
+(** Accumulate [v] into a named counter on the innermost open span.
+    No-op when tracing is disabled or no span is open. *)
+
+val spans : unit -> span list
+(** Completed spans surviving in the ring, in open order. *)
+
+val dropped : unit -> int
+(** Completed spans overwritten because the ring was full. *)
+
+val render_tree : unit -> string
+(** Indented tree of the recorded spans: name, attributes, elapsed time,
+    counters. Spans whose parent was dropped from the ring render as
+    roots. *)
+
+val to_json_lines : unit -> string
+(** One JSON object per completed span, newline-separated, in open
+    order: [{"id":…,"parent":…,"name":…,"start":…,"elapsed_s":…,
+    "attrs":{…},"counters":{…}}]. *)

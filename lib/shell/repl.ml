@@ -1,4 +1,7 @@
 module Store = Pb_paql.Package_store
+module Trace = Pb_obs.Trace
+module Metrics = Pb_obs.Metrics
+module Slow_log = Pb_obs.Slow_log
 
 type state = {
   db : Pb_sql.Database.t;
@@ -27,6 +30,9 @@ let help_text =
       "  \\revalidate NAME      re-check a saved package";
       "  \\drop NAME            delete a saved package";
       "  \\explain QUERY        pruning bounds, cost model, plan";
+      "  \\explain analyze QUERY run the query; print span tree + counters";
+      "  \\metrics              dump the metrics registry (Prometheus text)";
+      "  \\slowlog [S|off|clear] slow-query log; S = threshold in seconds";
       "  \\plan SQL             show the SQL planner's decisions";
       "  \\complete PREFIX      auto-suggest next tokens";
       "  \\next K QUERY         top-K packages";
@@ -53,6 +59,9 @@ let run_paql st text =
       | report ->
           st.last_query <- Some query;
           st.last_package <- report.Pb_core.Engine.package;
+          ignore
+            (Slow_log.observe ~query:text
+               ~elapsed:report.Pb_core.Engine.elapsed);
           let buf = Buffer.create 256 in
           (match report.Pb_core.Engine.package with
           | Some pkg -> Buffer.add_string buf (Pb_paql.Package.to_string pkg)
@@ -74,19 +83,90 @@ let run_sql st text =
   | statements -> (
       let buf = Buffer.create 256 in
       match
-        List.iter
-          (fun stmt ->
-            match Pb_sql.Executor.execute st.db stmt with
-            | Pb_sql.Executor.Rows rel ->
-                Buffer.add_string buf
-                  (Pb_relation.Relation.to_table ~max_rows:40 rel)
-            | Pb_sql.Executor.Affected n ->
-                Buffer.add_string buf (Printf.sprintf "%d row(s) affected\n" n)
-            | Pb_sql.Executor.Created -> Buffer.add_string buf "ok\n")
-          statements
+        Trace.timed ~name:"sql.script" (fun () ->
+            List.iter
+              (fun stmt ->
+                match Pb_sql.Executor.execute st.db stmt with
+                | Pb_sql.Executor.Rows rel ->
+                    Buffer.add_string buf
+                      (Pb_relation.Relation.to_table ~max_rows:40 rel)
+                | Pb_sql.Executor.Affected n ->
+                    Buffer.add_string buf
+                      (Printf.sprintf "%d row(s) affected\n" n)
+                | Pb_sql.Executor.Created -> Buffer.add_string buf "ok\n")
+              statements)
       with
-      | () -> ok (String.trim (Buffer.contents buf))
+      | (), elapsed ->
+          ignore (Slow_log.observe ~query:text ~elapsed);
+          ok (String.trim (Buffer.contents buf))
       | exception Pb_sql.Executor.Eval_error msg -> ok ("sql error: " ^ msg))
+
+(* EXPLAIN ANALYZE: actually run the query with tracing on, then print
+   the span tree plus the engine/SQL counter deltas the run caused. *)
+let explain_analyze st text =
+  match Pb_paql.Parser.parse text with
+  | exception Pb_paql.Parser.Parse_error msg -> ok ("paql error: " ^ msg)
+  | query -> (
+      let was_enabled = Trace.is_enabled () in
+      Trace.reset ();
+      Trace.set_enabled true;
+      let before = Metrics.snapshot () in
+      match Pb_core.Engine.evaluate st.db query with
+      | exception e ->
+          Trace.set_enabled was_enabled;
+          (match e with
+          | Failure msg -> ok ("error: " ^ msg)
+          | e -> raise e)
+      | report ->
+          let after = Metrics.snapshot () in
+          let tree = Trace.render_tree () in
+          Trace.set_enabled was_enabled;
+          st.last_query <- Some query;
+          st.last_package <- report.Pb_core.Engine.package;
+          ignore
+            (Slow_log.observe ~query:text
+               ~elapsed:report.Pb_core.Engine.elapsed);
+          let buf = Buffer.create 512 in
+          Buffer.add_string buf tree;
+          let deltas =
+            List.filter_map
+              (fun (name, v) ->
+                let v0 =
+                  Option.value (List.assoc_opt name before) ~default:0.0
+                in
+                if v > v0 then Some (name, v -. v0) else None)
+              after
+          in
+          if deltas <> [] then begin
+            Buffer.add_string buf "counters:\n";
+            List.iter
+              (fun (name, d) ->
+                Buffer.add_string buf (Printf.sprintf "  %s +%g\n" name d))
+              deltas
+          end;
+          (match report.Pb_core.Engine.objective with
+          | Some v -> Buffer.add_string buf (Printf.sprintf "objective: %g\n" v)
+          | None -> ());
+          Buffer.add_string buf
+            (Printf.sprintf "strategy: %s%s, %.3fs"
+               report.Pb_core.Engine.strategy_used
+               (if report.Pb_core.Engine.proven_optimal then " (proven optimal)"
+                else "")
+               report.Pb_core.Engine.elapsed);
+          ok (Buffer.contents buf))
+
+(* "\explain analyze Q" routes to explain_analyze; bare "\explain Q"
+   keeps the static pruning/cost-model report. *)
+let split_analyze text =
+  let lower = String.lowercase_ascii text in
+  let prefix = "analyze" in
+  let n = String.length prefix in
+  if
+    String.length lower > n
+    && String.sub lower 0 n = prefix
+    && (lower.[n] = ' ' || lower.[n] = '\t')
+  then Some (strip (String.sub text n (String.length text - n)))
+  else None
 
 let command st name raw_arg =
   (* \complete is whitespace-sensitive: "SELECT " and "SELECT" sit in
@@ -139,6 +219,10 @@ let command st name raw_arg =
   | "drop", name ->
       if Store.delete st.db ~name then ok ("dropped " ^ name)
       else ok ("no saved package named " ^ name)
+  | "explain", text when split_analyze text <> None -> (
+      match split_analyze text with
+      | Some query_text -> explain_analyze st query_text
+      | None -> assert false)
   | "explain", text -> (
       match Pb_paql.Parser.parse text with
       | exception Pb_paql.Parser.Parse_error msg -> ok ("paql error: " ^ msg)
@@ -204,6 +288,26 @@ let command st name raw_arg =
                    stats.Pb_sql.Planner.hash_joins
                    stats.Pb_sql.Planner.nested_products
                    stats.Pb_sql.Planner.pushed_predicates)))
+  | "metrics", _ -> ok (String.trim (Metrics.dump ()))
+  | "slowlog", "" ->
+      let header =
+        match Slow_log.threshold () with
+        | None -> "slow-query log is off (\\slowlog SECONDS to enable)"
+        | Some t -> Printf.sprintf "slow-query log threshold: %gs" t
+      in
+      ok (header ^ "\n" ^ Slow_log.render ())
+  | "slowlog", "off" ->
+      Slow_log.set_threshold None;
+      ok "slow-query log disabled"
+  | "slowlog", "clear" ->
+      Slow_log.clear ();
+      ok "slow-query log cleared"
+  | "slowlog", arg -> (
+      match float_of_string_opt arg with
+      | Some t when t >= 0.0 ->
+          Slow_log.set_threshold (Some t);
+          ok (Printf.sprintf "logging queries slower than %gs" t)
+      | Some _ | None -> ok "usage: \\slowlog [SECONDS|off|clear]")
   | "dump", dir -> (
       match Pb_sql.Persist.save_dir st.db dir with
       | () -> ok ("database written to " ^ dir)

@@ -18,6 +18,9 @@
       \revalidate NAME      re-check a saved package
       \drop NAME            delete a saved package
       \explain QUERY        pruning bounds, cost model, plan
+      \explain analyze QUERY run the query; print span tree + counters
+      \metrics              dump the metrics registry (Prometheus text)
+      \slowlog [S|off|clear] slow-query log; S = threshold in seconds
       \complete PREFIX      auto-suggest next tokens
       \next K QUERY         top-K packages
       \dump DIR             persist the database to a directory

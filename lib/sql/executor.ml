@@ -2,6 +2,16 @@ open Ast
 module Value = Pb_relation.Value
 module Schema = Pb_relation.Schema
 module Relation = Pb_relation.Relation
+module Trace = Pb_obs.Trace
+module Metrics = Pb_obs.Metrics
+
+let m_selects =
+  Metrics.counter ~help:"SELECT blocks evaluated (subqueries included)"
+    "pb_sql_selects_total"
+
+let m_rows_returned =
+  Metrics.counter ~help:"Rows returned by SELECT blocks"
+    "pb_sql_rows_returned_total"
 
 exception Eval_error of string
 
@@ -366,6 +376,8 @@ and set_operation op left right =
               (Relation.to_list left)))
 
 and select_simple db q =
+  Trace.with_span ~name:"sql.select" (fun () ->
+  Metrics.incr m_selects;
   let filtered, _plan_stats =
     try
       Planner.execute db
@@ -438,6 +450,7 @@ and select_simple db q =
             `Row row ))
         (Relation.to_list filtered)
     else begin
+      Trace.with_span ~name:"sql.group" (fun () ->
       (* Group rows by the GROUP BY key (single group when absent). *)
       let tbl = Hashtbl.create 64 in
       let order = ref [] in
@@ -483,7 +496,7 @@ and select_simple db q =
                        | Star_item -> assert false)
                      items),
                 `Group group ))
-        groups
+        groups)
     end
   in
   let pairs =
@@ -526,7 +539,8 @@ and select_simple db q =
           in
           walk keys
         in
-        List.stable_sort cmp pairs
+        Trace.with_span ~name:"sql.sort" (fun () ->
+            List.stable_sort cmp pairs)
   in
   let pairs =
     match q.offset with
@@ -538,7 +552,10 @@ and select_simple db q =
     | None -> pairs
     | Some k -> List.filteri (fun i _ -> i < k) pairs
   in
-  Relation.create out_schema (List.map fst pairs)
+  let rows_out = List.length pairs in
+  Metrics.incr ~by:rows_out m_rows_returned;
+  Trace.add_count "rows_out" rows_out;
+  Relation.create out_schema (List.map fst pairs))
 
 and eval_const ?db e =
   let empty = Schema.make [] in

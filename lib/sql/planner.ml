@@ -3,6 +3,36 @@ module Value = Pb_relation.Value
 module Schema = Pb_relation.Schema
 module Relation = Pb_relation.Relation
 
+module Trace = Pb_obs.Trace
+module Metrics = Pb_obs.Metrics
+
+let m_rows_scanned =
+  Metrics.counter ~help:"Rows read by base-table scans (after index narrowing)"
+    "pb_sql_rows_scanned_total"
+
+let m_index_lookups =
+  Metrics.counter ~help:"Scans satisfied through a declared index"
+    "pb_sql_index_lookups_total"
+
+let m_hash_joins =
+  Metrics.counter ~help:"Hash joins executed" "pb_sql_hash_joins_total"
+
+let m_hash_join_build_rows =
+  Metrics.counter ~help:"Rows inserted into hash-join build tables"
+    "pb_sql_hash_join_build_rows_total"
+
+let m_hash_join_probe_rows =
+  Metrics.counter ~help:"Rows probed against hash-join build tables"
+    "pb_sql_hash_join_probe_rows_total"
+
+let m_nested_products =
+  Metrics.counter ~help:"Nested-loop products (no usable equi-join key)"
+    "pb_sql_nested_products_total"
+
+let m_pushed_predicates =
+  Metrics.counter ~help:"Predicates applied below the top of the join tree"
+    "pb_sql_pushed_predicates_total"
+
 type eval_fn = Schema.t -> Value.t array -> Ast.expr -> Value.t
 
 type stats = {
@@ -108,6 +138,7 @@ let sargable schema expr =
   | _ -> None
 
 let scan db ~eval ~stats table_name qualified_rel conjs =
+  Trace.with_span ~name:"sql.scan" ~attrs:[ ("table", table_name) ] (fun () ->
   let schema = Relation.schema qualified_rel in
   (* Try to satisfy one sargable conjunct with a declared index. *)
   let indexed_conjunct =
@@ -129,17 +160,27 @@ let scan db ~eval ~stats table_name qualified_rel conjs =
             (Database.get_index db ~table:table_name ~column:(base_name col))
         in
         stats := { !stats with index_scans = !stats.index_scans + 1 };
+        Metrics.incr m_index_lookups;
+        Trace.add_count "index_lookups" 1;
         let positions = Index.range ?lo ?hi index in
         let rows = List.map (Relation.row qualified_rel) positions in
         ( Relation.create schema rows,
           List.filter (fun c -> c != conj) conjs )
     | None -> (qualified_rel, conjs)
   in
-  List.fold_left
-    (fun acc conj ->
-      stats := { !stats with pushed_predicates = !stats.pushed_predicates + 1 };
-      Relation.filter (fun row -> Value.truthy (eval schema row conj)) acc)
-    rel remaining
+  let scanned = Relation.cardinality rel in
+  Metrics.incr ~by:scanned m_rows_scanned;
+  Trace.add_count "rows_scanned" scanned;
+  let out =
+    List.fold_left
+      (fun acc conj ->
+        stats := { !stats with pushed_predicates = !stats.pushed_predicates + 1 };
+        Metrics.incr m_pushed_predicates;
+        Relation.filter (fun row -> Value.truthy (eval schema row conj)) acc)
+      rel remaining
+  in
+  Trace.add_count "rows_out" (Relation.cardinality out);
+  out)
 
 (* ---- hash join ------------------------------------------------------- *)
 
@@ -160,6 +201,12 @@ let equi_keys left_schema right_schema conjs =
     conjs
 
 let hash_join ~eval left right keys =
+  Trace.with_span ~name:"sql.hash_join" (fun () ->
+  Metrics.incr m_hash_joins;
+  Metrics.incr ~by:(Relation.cardinality right) m_hash_join_build_rows;
+  Metrics.incr ~by:(Relation.cardinality left) m_hash_join_probe_rows;
+  Trace.add_count "build_rows" (Relation.cardinality right);
+  Trace.add_count "probe_rows" (Relation.cardinality left);
   let left_schema = Relation.schema left in
   let right_schema = Relation.schema right in
   let key_values schema row exprs =
@@ -188,11 +235,16 @@ let hash_join ~eval left right keys =
               out := Array.append lrow rrow :: !out)
           (Hashtbl.find_all table (hash_of values)))
     (Relation.rows left);
-  Relation.create (Schema.concat left_schema right_schema) (List.rev !out)
+  let joined =
+    Relation.create (Schema.concat left_schema right_schema) (List.rev !out)
+  in
+  Trace.add_count "rows_out" (Relation.cardinality joined);
+  joined)
 
 (* ---- the plan -------------------------------------------------------- *)
 
 let execute db ~eval ~from ~where =
+  Trace.with_span ~name:"sql.plan" (fun () ->
   match from with
   | [] -> failwith "empty FROM clause"
   | first :: rest ->
@@ -271,7 +323,11 @@ let execute db ~eval ~from ~where =
                   else begin
                     stats :=
                       { !stats with nested_products = !stats.nested_products + 1 };
-                    Relation.product acc next
+                    Metrics.incr m_nested_products;
+                    Trace.with_span ~name:"sql.product" (fun () ->
+                        let p = Relation.product acc next in
+                        Trace.add_count "rows_out" (Relation.cardinality p);
+                        p)
                   end
                 in
                 apply_ready joined)
@@ -291,4 +347,5 @@ let execute db ~eval ~from ~where =
                 acc)
           joined all_conjuncts
       in
-      (result, !stats)
+      Trace.add_count "rows_out" (Relation.cardinality result);
+      (result, !stats))

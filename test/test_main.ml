@@ -4,6 +4,7 @@ let () =
   Alcotest.run "packagebuilder"
     [
       ("util", Test_util.suite);
+      ("obs", Test_obs.suite);
       ("relation", Test_relation.suite);
       ("sql", Test_sql.suite);
       ("planner", Test_planner.suite);

@@ -1,0 +1,403 @@
+(* Tests for the observability layer: span tracing, the metrics
+   registry's exposition format, the slow-query log, and the REPL's
+   EXPLAIN ANALYZE surface built on top of them. *)
+
+module Trace = Pb_obs.Trace
+module Metrics = Pb_obs.Metrics
+module Clock = Pb_obs.Clock
+module Slow_log = Pb_obs.Slow_log
+
+(* A deterministic clock that advances a fixed step per reading, so span
+   timings are exact. *)
+let with_fake_clock ?(step = 0.5) f =
+  let t = ref 0.0 in
+  Clock.set_source (fun () ->
+      let v = !t in
+      t := v +. step;
+      v);
+  Fun.protect ~finally:Clock.reset_source f
+
+let with_tracing f =
+  Trace.reset ();
+  Trace.set_enabled true;
+  Fun.protect
+    ~finally:(fun () ->
+      Trace.set_enabled false;
+      Trace.reset ())
+    f
+
+(* ---- tracing --------------------------------------------------------- *)
+
+let test_span_nesting () =
+  with_tracing (fun () ->
+      let v =
+        Trace.with_span ~name:"outer" ~attrs:[ ("k", "v") ] (fun () ->
+            Trace.with_span ~name:"first" (fun () -> ());
+            Trace.with_span ~name:"second" (fun () -> Trace.add_count "hits" 2);
+            41 + 1)
+      in
+      Alcotest.(check int) "value threaded through" 42 v;
+      match Trace.spans () with
+      | [ outer; first; second ] ->
+          Alcotest.(check string) "open order" "outer" outer.Trace.name;
+          Alcotest.(check string) "first child" "first" first.Trace.name;
+          Alcotest.(check string) "second child" "second" second.Trace.name;
+          Alcotest.(check int) "root parent" (-1) outer.Trace.parent;
+          Alcotest.(check int) "first nests" outer.Trace.id first.Trace.parent;
+          Alcotest.(check int) "second nests" outer.Trace.id second.Trace.parent;
+          Alcotest.(check (list (pair string string)))
+            "attrs kept" [ ("k", "v") ] outer.Trace.attrs;
+          Alcotest.(check (list (pair string int)))
+            "counter on innermost span" [ ("hits", 2) ] second.Trace.counters
+      | spans ->
+          Alcotest.fail (Printf.sprintf "expected 3 spans, got %d" (List.length spans)))
+
+let test_span_timing () =
+  with_fake_clock ~step:0.5 (fun () ->
+      with_tracing (fun () ->
+          Trace.with_span ~name:"a" (fun () -> ());
+          match Trace.spans () with
+          | [ sp ] ->
+              (* open reads the clock once, close once: 0.5s apart *)
+              Alcotest.(check (float 1e-9)) "elapsed" 0.5 sp.Trace.elapsed
+          | _ -> Alcotest.fail "expected one span"))
+
+let test_disabled_is_noop () =
+  Trace.reset ();
+  Trace.set_enabled false;
+  let v = Trace.with_span ~name:"ghost" (fun () -> 7) in
+  Alcotest.(check int) "thunk still runs" 7 v;
+  Trace.add_count "ignored" 3;
+  Alcotest.(check int) "nothing recorded" 0 (List.length (Trace.spans ()))
+
+let test_timed_measures_when_disabled () =
+  with_fake_clock ~step:0.25 (fun () ->
+      Trace.reset ();
+      Trace.set_enabled false;
+      let v, elapsed = Trace.timed ~name:"t" (fun () -> "x") in
+      Alcotest.(check string) "value" "x" v;
+      Alcotest.(check (float 1e-9)) "elapsed without spans" 0.25 elapsed;
+      Alcotest.(check int) "no span recorded" 0 (List.length (Trace.spans ())))
+
+let test_span_survives_exception () =
+  with_tracing (fun () ->
+      (try
+         Trace.with_span ~name:"outer" (fun () ->
+             Trace.with_span ~name:"boom" (fun () -> failwith "kaboom"))
+       with Failure _ -> ());
+      (* both spans recorded, and the stack is clean for the next span *)
+      Alcotest.(check (list string))
+        "both recorded" [ "outer"; "boom" ]
+        (List.map (fun sp -> sp.Trace.name) (Trace.spans ()));
+      Trace.with_span ~name:"after" (fun () -> ());
+      let after =
+        List.find (fun sp -> sp.Trace.name = "after") (Trace.spans ())
+      in
+      Alcotest.(check int) "clean stack afterwards" (-1) after.Trace.parent)
+
+let test_ring_overwrites_oldest () =
+  with_tracing (fun () ->
+      Trace.reset ~capacity:4 ();
+      for i = 1 to 6 do
+        Trace.with_span ~name:(Printf.sprintf "s%d" i) (fun () -> ())
+      done;
+      Alcotest.(check int) "dropped count" 2 (Trace.dropped ());
+      Alcotest.(check (list string))
+        "newest survive" [ "s3"; "s4"; "s5"; "s6" ]
+        (List.map (fun sp -> sp.Trace.name) (Trace.spans ()));
+      Trace.reset ~capacity:4096 ())
+
+let test_render_tree () =
+  with_fake_clock ~step:0.001 (fun () ->
+      with_tracing (fun () ->
+          Trace.with_span ~name:"engine.evaluate" (fun () ->
+              Trace.with_span ~name:"milp.solve" (fun () ->
+                  Trace.add_count "bb_nodes" 3));
+          let tree = Trace.render_tree () in
+          let lines = String.split_on_char '\n' (String.trim tree) in
+          match lines with
+          | [ root; child ] ->
+              Alcotest.(check bool)
+                "root unindented" true
+                (String.length root > 0 && root.[0] <> ' ');
+              Alcotest.(check bool)
+                "root named" true
+                (String.length root >= 15
+                && String.sub root 0 15 = "engine.evaluate");
+              Alcotest.(check bool)
+                "child indented" true
+                (String.length child > 2 && String.sub child 0 2 = "  ");
+              let contains needle hay =
+                let n = String.length needle and h = String.length hay in
+                let rec go i = i + n <= h && (String.sub hay i n = needle || go (i + 1)) in
+                go 0
+              in
+              Alcotest.(check bool)
+                "counter rendered" true (contains "bb_nodes=3" child)
+          | _ -> Alcotest.fail ("unexpected tree:\n" ^ tree)))
+
+let test_json_lines () =
+  with_fake_clock (fun () ->
+      with_tracing (fun () ->
+          Trace.with_span ~name:"a\"b" (fun () -> ());
+          let json = Trace.to_json_lines () in
+          let contains needle hay =
+            let n = String.length needle and h = String.length hay in
+            let rec go i = i + n <= h && (String.sub hay i n = needle || go (i + 1)) in
+            go 0
+          in
+          Alcotest.(check bool)
+            "name escaped" true (contains "\"name\":\"a\\\"b\"" json);
+          Alcotest.(check bool) "parent field" true (contains "\"parent\":-1" json)))
+
+(* ---- metrics --------------------------------------------------------- *)
+
+let test_counter_basics () =
+  let r = Metrics.create () in
+  let c = Metrics.counter ~registry:r "pb_test_ops_total" in
+  Metrics.incr c;
+  Metrics.incr ~by:4 c;
+  Alcotest.(check int) "accumulates" 5 (Metrics.counter_value c);
+  let again = Metrics.counter ~registry:r "pb_test_ops_total" in
+  Metrics.incr again;
+  Alcotest.(check int) "same instrument by name" 6 (Metrics.counter_value c);
+  Alcotest.check_raises "negative increment"
+    (Invalid_argument "Metrics.incr: negative increment") (fun () ->
+      Metrics.incr ~by:(-1) c);
+  Alcotest.check_raises "kind clash"
+    (Invalid_argument
+       "Metrics: pb_test_ops_total is already registered as another kind")
+    (fun () -> ignore (Metrics.gauge ~registry:r "pb_test_ops_total"))
+
+let test_histogram_buckets () =
+  let r = Metrics.create () in
+  let h =
+    Metrics.histogram ~registry:r ~buckets:[ 0.1; 1.0; 10.0 ] "pb_test_seconds"
+  in
+  (* le-inclusive: an observation exactly on a bound lands in that bucket *)
+  List.iter (Metrics.observe h) [ 0.05; 0.1; 0.5; 1.0; 2.0; 99.0 ];
+  Alcotest.(check (list (pair (float 0.0) int)))
+    "bucket boundaries"
+    [ (0.1, 2); (1.0, 2); (10.0, 1); (infinity, 1) ]
+    (Metrics.bucket_counts h);
+  Alcotest.(check int) "count" 6 (Metrics.histogram_count h);
+  Alcotest.(check (float 1e-9)) "sum" 102.65 (Metrics.histogram_sum h);
+  Alcotest.check_raises "empty buckets"
+    (Invalid_argument "Metrics.histogram: empty bucket list") (fun () ->
+      ignore (Metrics.histogram ~registry:r ~buckets:[] "pb_test_empty"))
+
+(* Parse the exposition text back into (name-with-labels, value) samples;
+   '#' comment lines are skipped. *)
+let parse_exposition text =
+  List.filter_map
+    (fun line ->
+      let line = String.trim line in
+      if line = "" || line.[0] = '#' then None
+      else
+        match String.rindex_opt line ' ' with
+        | None -> Alcotest.fail ("unparseable sample line: " ^ line)
+        | Some i ->
+            let name = String.sub line 0 i in
+            let raw = String.sub line (i + 1) (String.length line - i - 1) in
+            (match float_of_string_opt raw with
+            | Some v -> Some (name, v)
+            | None -> Alcotest.fail ("unparseable value: " ^ line)))
+    (String.split_on_char '\n' text)
+
+let test_dump_round_trip () =
+  let r = Metrics.create () in
+  let c = Metrics.counter ~registry:r ~help:"test ops" "pb_test_ops_total" in
+  let g = Metrics.gauge ~registry:r "pb_test_queue_depth" in
+  let h =
+    Metrics.histogram ~registry:r ~buckets:[ 0.5; 2.0 ] "pb_test_latency"
+  in
+  Metrics.incr ~by:7 c;
+  Metrics.set g 3.25;
+  List.iter (Metrics.observe h) [ 0.25; 1.5; 9.0 ];
+  let parsed = parse_exposition (Metrics.dump ~registry:r ()) in
+  (* every snapshot sample round-trips through the exposition text *)
+  List.iter
+    (fun (name, v) ->
+      match List.assoc_opt name parsed with
+      | Some v' -> Alcotest.(check (float 1e-9)) ("round-trip " ^ name) v v'
+      | None -> Alcotest.fail ("sample missing from dump: " ^ name))
+    (Metrics.snapshot ~registry:r ());
+  (* histogram series are cumulative and end at the total count *)
+  let bucket le = List.assoc ("pb_test_latency_bucket{le=\"" ^ le ^ "\"}") parsed in
+  Alcotest.(check (float 0.0)) "le=0.5" 1.0 (bucket "0.5");
+  Alcotest.(check (float 0.0)) "le=2" 2.0 (bucket "2");
+  Alcotest.(check (float 0.0)) "le=+Inf" 3.0 (bucket "+Inf");
+  Alcotest.(check (float 0.0))
+    "+Inf equals _count" (bucket "+Inf")
+    (List.assoc "pb_test_latency_count" parsed);
+  (* TYPE headers are present for scrapers *)
+  let dump = Metrics.dump ~registry:r () in
+  let contains needle hay =
+    let n = String.length needle and h = String.length hay in
+    let rec go i = i + n <= h && (String.sub hay i n = needle || go (i + 1)) in
+    go 0
+  in
+  List.iter
+    (fun header ->
+      Alcotest.(check bool) ("has " ^ header) true (contains header dump))
+    [
+      "# HELP pb_test_ops_total test ops";
+      "# TYPE pb_test_ops_total counter";
+      "# TYPE pb_test_queue_depth gauge";
+      "# TYPE pb_test_latency histogram";
+    ]
+
+let test_reset_keeps_registrations () =
+  let r = Metrics.create () in
+  let c = Metrics.counter ~registry:r "pb_test_ops_total" in
+  Metrics.incr ~by:9 c;
+  Metrics.reset ~registry:r ();
+  Alcotest.(check int) "zeroed" 0 (Metrics.counter_value c);
+  Alcotest.(check (list (pair string (float 0.0))))
+    "still registered"
+    [ ("pb_test_ops_total", 0.0) ]
+    (Metrics.snapshot ~registry:r ())
+
+(* ---- slow-query log -------------------------------------------------- *)
+
+let test_slow_log () =
+  Fun.protect
+    ~finally:(fun () ->
+      Slow_log.set_threshold None;
+      Slow_log.clear ())
+    (fun () ->
+      Slow_log.clear ();
+      Alcotest.(check bool)
+        "off by default: not logged" false
+        (Slow_log.observe ~query:"SELECT 1" ~elapsed:99.0);
+      Slow_log.set_threshold (Some 0.5);
+      Alcotest.(check bool)
+        "under threshold" false
+        (Slow_log.observe ~query:"fast" ~elapsed:0.4);
+      Alcotest.(check bool)
+        "at threshold" true
+        (Slow_log.observe ~query:"slow1" ~elapsed:0.5);
+      Alcotest.(check bool)
+        "over threshold" true
+        (Slow_log.observe ~query:"slow2" ~elapsed:0.9);
+      Alcotest.(check (list string))
+        "most recent first" [ "slow2"; "slow1" ]
+        (List.map (fun e -> e.Slow_log.query) (Slow_log.entries ()));
+      Slow_log.clear ();
+      Alcotest.(check int) "cleared" 0 (List.length (Slow_log.entries ())))
+
+(* ---- EXPLAIN ANALYZE through the REPL -------------------------------- *)
+
+let demo_db () =
+  let db = Pb_sql.Database.create () in
+  Pb_sql.Database.put db "recipes"
+    (Pb_workload.Workload.recipes ~seed:7 ~n:40 ());
+  db
+
+let meal_query =
+  "SELECT PACKAGE(R) AS P FROM recipes R WHERE R.gluten = 'free' SUCH THAT \
+   COUNT(*) = 3 AND SUM(P.calories) BETWEEN 2000 AND 2500 MAXIMIZE \
+   SUM(P.protein)"
+
+let contains needle hay =
+  let n = String.length needle and h = String.length hay in
+  let rec go i = i + n <= h && (String.sub hay i n = needle || go (i + 1)) in
+  go 0
+
+let test_explain_analyze () =
+  with_fake_clock ~step:0.001 (fun () ->
+      let st = Pb_shell.Repl.create (demo_db ()) in
+      let reaction =
+        Pb_shell.Repl.handle st ("\\explain analyze " ^ meal_query)
+      in
+      let out = reaction.Pb_shell.Repl.output in
+      let lines = String.split_on_char '\n' out in
+      (* the span tree leads with the evaluation root, unindented *)
+      (match lines with
+      | first :: _ ->
+          Alcotest.(check bool)
+            "root span first" true
+            (String.length first >= 15
+            && String.sub first 0 15 = "engine.evaluate")
+      | [] -> Alcotest.fail "empty output");
+      List.iter
+        (fun needle ->
+          Alcotest.(check bool) ("output has " ^ needle) true (contains needle out))
+        [
+          "  strategy.";  (* nested strategy span *)
+          "counters:";
+          "pb_engine_strategy_runs_total +";
+          "objective:";
+          "strategy: ";
+        ];
+      (* tracing was only on for the analyzed run *)
+      Alcotest.(check bool) "tracing restored off" false (Trace.is_enabled ());
+      (* the run is remembered like a plain query, so \save works *)
+      let save = Pb_shell.Repl.handle st "\\save plan" in
+      Alcotest.(check bool)
+        "package saved" true
+        (contains "saved as plan" save.Pb_shell.Repl.output))
+
+let test_explain_analyze_bad_query () =
+  let st = Pb_shell.Repl.create (demo_db ()) in
+  let reaction = Pb_shell.Repl.handle st "\\explain analyze SELECT PACKAGE(" in
+  Alcotest.(check bool)
+    "parse error reported" true
+    (contains "paql error" reaction.Pb_shell.Repl.output);
+  Alcotest.(check bool) "tracing left off" false (Trace.is_enabled ())
+
+let test_metrics_command () =
+  let st = Pb_shell.Repl.create (demo_db ()) in
+  let reaction = Pb_shell.Repl.handle st "\\metrics" in
+  Alcotest.(check bool)
+    "exposition format" true
+    (contains "# TYPE pb_engine_strategy_runs_total counter"
+       reaction.Pb_shell.Repl.output)
+
+let test_slowlog_command () =
+  Fun.protect
+    ~finally:(fun () ->
+      Slow_log.set_threshold None;
+      Slow_log.clear ())
+    (fun () ->
+      let st = Pb_shell.Repl.create (demo_db ()) in
+      let out line = (Pb_shell.Repl.handle st line).Pb_shell.Repl.output in
+      Alcotest.(check bool) "off by default" true (contains "off" (out "\\slowlog"));
+      Alcotest.(check bool)
+        "enable" true
+        (contains "logging queries slower than 0s" (out "\\slowlog 0"));
+      ignore (out meal_query);
+      Alcotest.(check bool)
+        "query logged" true
+        (contains "PACKAGE" (out "\\slowlog"));
+      Alcotest.(check bool) "clear" true (contains "cleared" (out "\\slowlog clear"));
+      Alcotest.(check bool)
+        "empty after clear" true
+        (contains "empty" (out "\\slowlog"));
+      Alcotest.(check bool)
+        "disable" true
+        (contains "disabled" (out "\\slowlog off"));
+      Alcotest.(check bool)
+        "bad argument" true
+        (contains "usage" (out "\\slowlog nonsense")))
+
+let suite =
+  [
+    ("span nesting, attrs and counters.", `Quick, test_span_nesting);
+    ("span timing under a fake clock.", `Quick, test_span_timing);
+    ("disabled tracing records nothing.", `Quick, test_disabled_is_noop);
+    ("timed measures even when disabled.", `Quick, test_timed_measures_when_disabled);
+    ("spans are recorded on exceptions.", `Quick, test_span_survives_exception);
+    ("ring buffer overwrites oldest.", `Quick, test_ring_overwrites_oldest);
+    ("render_tree indents children.", `Quick, test_render_tree);
+    ("json lines escape names.", `Quick, test_json_lines);
+    ("counter basics and kind clash.", `Quick, test_counter_basics);
+    ("histogram bucket boundaries.", `Quick, test_histogram_buckets);
+    ("dump round-trips the snapshot.", `Quick, test_dump_round_trip);
+    ("reset keeps registrations.", `Quick, test_reset_keeps_registrations);
+    ("slow log thresholds and ordering.", `Quick, test_slow_log);
+    ("EXPLAIN ANALYZE prints tree and counters.", `Quick, test_explain_analyze);
+    ("EXPLAIN ANALYZE parse error is safe.", `Quick, test_explain_analyze_bad_query);
+    ("\\metrics dumps the registry.", `Quick, test_metrics_command);
+    ("\\slowlog command cycle.", `Quick, test_slowlog_command);
+  ]
