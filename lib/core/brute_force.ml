@@ -1,5 +1,6 @@
 module Ast = Pb_paql.Ast
 module Semantics = Pb_paql.Semantics
+module Pool = Pb_par.Pool
 
 type outcome = {
   best : Pb_paql.Package.t option;
@@ -46,12 +47,7 @@ let objective_of c mult =
   | Some (Some _) -> Coeffs.objective_of_mult c mult
   | Some None -> Semantics.objective_value ~db:c.Coeffs.db c.query (Coeffs.package_of_mult c mult)
 
-let search ?(use_pruning = true) ?(max_examined = 5_000_000) (c : Coeffs.t) =
-  let nm = c.n * c.max_mult in
-  let b =
-    if use_pruning then Pruning.cardinality_bounds c
-    else { Pruning.lo = 0; hi = nm }
-  in
+let search_sequential ~max_examined ~lo ~hi (c : Coeffs.t) =
   let st =
     { examined = 0; best_mult = None; best_obj = None; truncated = false }
   in
@@ -84,14 +80,233 @@ let search ?(use_pruning = true) ?(max_examined = 5_000_000) (c : Coeffs.t) =
               end)
     end
   in
-  (try walk ~n:c.n ~max_mult:c.max_mult ~lo:(max 0 b.lo) ~hi:(min nm b.hi) visit
-   with Stop -> ());
+  (try walk ~n:c.n ~max_mult:c.max_mult ~lo ~hi visit with Stop -> ());
   {
     best = Option.map (Coeffs.package_of_mult c) st.best_mult;
     best_objective = st.best_obj;
     examined = st.examined;
     complete = not st.truncated;
   }
+
+(* ---- parallel search ------------------------------------------------- *)
+
+(* The lexicographic walk is partitioned by fixing the first [plen]
+   multiplicities: every prefix (enumerated in walk order, with the same
+   cardinality cut) becomes one chunk that walks the remaining suffix.
+   Chunks run speculatively on the pool with a per-chunk budget of
+   [max_examined]; a sequential *replay* over the chunk results in chunk
+   order then reconstructs exactly what the sequential walk would have
+   produced — same best package (first-best merge over an ordered
+   partition = global first-best), same [examined] count, same
+   truncation point.  Chunks abort early (and are marked dirty) when the
+   pooled visit count passes the global budget or, for objective-free
+   queries, when a lower-indexed chunk already found a package; a dirty
+   or over-budget chunk is re-run sequentially during the replay with
+   the exact remaining budget, so the boundary chunk behaves just as it
+   would have in the sequential walk. *)
+
+type chunk_res = {
+  cr_examined : int;
+  cr_best_mult : int array option;
+  cr_best_obj : float option;
+  cr_found : bool;  (* objective-free query: stopped at first valid *)
+  cr_truncated : bool;  (* local budget exhausted *)
+  cr_dirty : bool;  (* aborted early: counts unusable, must re-run *)
+}
+
+let search_parallel pool ~max_examined ~lo ~hi (c : Coeffs.t) =
+  let n = c.n and max_mult = c.max_mult in
+  let dir = objective_dir c in
+  (* Prefix length: enough chunks to keep every domain busy. *)
+  let plen =
+    let target = Pool.size pool * 4 in
+    let rec go p count =
+      if count >= target || p >= n then p else go (p + 1) (count * (max_mult + 1))
+    in
+    go 0 1
+  in
+  let prefixes = ref [] in
+  let pre = Array.make (max plen 1) 0 in
+  let rec gen i total =
+    let remaining = (n - i) * max_mult in
+    if total > hi || total + remaining < lo then ()
+    else if i = plen then
+      prefixes := (Array.sub pre 0 plen, total) :: !prefixes
+    else
+      for m = 0 to max_mult do
+        pre.(i) <- m;
+        gen (i + 1) (total + m);
+        pre.(i) <- 0
+      done
+  in
+  gen 0 0;
+  let chunks = Array.of_list (List.rev !prefixes) in
+  let nchunks = Array.length chunks in
+  if nchunks = 0 then
+    { best = None; best_objective = None; examined = 0; complete = true }
+  else begin
+    let global_examined = Atomic.make 0 in
+    let found_idx = Atomic.make max_int in
+    let publish_found j =
+      let rec cas () =
+        let cur = Atomic.get found_idx in
+        if j < cur && not (Atomic.compare_and_set found_idx cur j) then cas ()
+      in
+      cas ()
+    in
+    let run_chunk ~speculative idx ~budget =
+      let prefix, ptotal = chunks.(idx) in
+      let mult = Array.make n 0 in
+      Array.blit prefix 0 mult 0 plen;
+      let st =
+        { examined = 0; best_mult = None; best_obj = None; truncated = false }
+      in
+      let found = ref false and dirty = ref false in
+      let pending = ref 0 in
+      let flush () =
+        if !pending > 0 then begin
+          ignore (Atomic.fetch_and_add global_examined !pending);
+          pending := 0
+        end
+      in
+      let visit mult =
+        if speculative && st.examined land 255 = 0 then begin
+          flush ();
+          if
+            Atomic.get global_examined >= max_examined
+            || Atomic.get found_idx < idx
+          then begin
+            dirty := true;
+            raise Stop
+          end
+        end;
+        if st.examined >= budget then begin
+          st.truncated <- true;
+          raise Stop
+        end;
+        st.examined <- st.examined + 1;
+        incr pending;
+        if Coeffs.check_mult c mult then begin
+          match dir with
+          | None ->
+              st.best_mult <- Some (Array.copy mult);
+              found := true;
+              if speculative then publish_found idx;
+              raise Stop
+          | Some dir -> (
+              let obj = objective_of c mult in
+              match (obj, st.best_obj) with
+              | None, _ ->
+                  if st.best_mult = None then
+                    st.best_mult <- Some (Array.copy mult)
+              | Some v, None ->
+                  st.best_mult <- Some (Array.copy mult);
+                  st.best_obj <- Some v
+              | Some v, Some best ->
+                  if Semantics.better dir v best then begin
+                    st.best_mult <- Some (Array.copy mult);
+                    st.best_obj <- Some v
+                  end)
+        end
+      in
+      let rec go i total =
+        let remaining = (n - i) * max_mult in
+        if total > hi || total + remaining < lo then ()
+        else if i = n then visit mult
+        else
+          for m = 0 to max_mult do
+            mult.(i) <- m;
+            go (i + 1) (total + m);
+            mult.(i) <- 0
+          done
+      in
+      (try go plen ptotal with Stop -> ());
+      if speculative then flush ();
+      {
+        cr_examined = st.examined;
+        cr_best_mult = st.best_mult;
+        cr_best_obj = st.best_obj;
+        cr_found = !found;
+        cr_truncated = st.truncated;
+        cr_dirty = !dirty;
+      }
+    in
+    let results = Array.make nchunks None in
+    Pool.parallel_for pool ~chunk_size:1 nchunks (fun idx ->
+        results.(idx) <- Some (run_chunk ~speculative:true idx ~budget:max_examined));
+    (* Replay in chunk order. *)
+    let remaining = ref max_examined in
+    let acc_examined = ref 0 in
+    let g_mult = ref None and g_obj = ref None in
+    let truncated = ref false in
+    let stop = ref false in
+    let idx = ref 0 in
+    while (not !stop) && !idx < nchunks do
+      let r = match results.(!idx) with Some r -> r | None -> assert false in
+      let r =
+        if r.cr_dirty || r.cr_examined > !remaining then
+          run_chunk ~speculative:false !idx ~budget:!remaining
+        else r
+      in
+      acc_examined := !acc_examined + r.cr_examined;
+      remaining := !remaining - r.cr_examined;
+      (match dir with
+      | None -> if r.cr_found then begin
+          g_mult := r.cr_best_mult;
+          stop := true
+        end
+      | Some d -> (
+          match (r.cr_best_mult, !g_mult) with
+          | None, _ -> ()
+          | Some _, None ->
+              g_mult := r.cr_best_mult;
+              g_obj := r.cr_best_obj
+          | Some _, Some _ -> (
+              match (r.cr_best_obj, !g_obj) with
+              | None, _ ->
+                  (* chunk best has NULL objective: a later NULL-objective
+                     candidate never replaces an existing best *)
+                  ()
+              | Some v, None ->
+                  g_mult := r.cr_best_mult;
+                  g_obj := Some v
+              | Some v, Some best ->
+                  if Semantics.better d v best then begin
+                    g_mult := r.cr_best_mult;
+                    g_obj := Some v
+                  end)));
+      if r.cr_truncated then begin
+        truncated := true;
+        stop := true
+      end;
+      incr idx
+    done;
+    {
+      best = Option.map (Coeffs.package_of_mult c) !g_mult;
+      best_objective = !g_obj;
+      examined = !acc_examined;
+      complete = not !truncated;
+    }
+  end
+
+(* Below this many candidate positions the chunked walk cannot win: the
+   prefix split would dominate the suffix work. *)
+let par_min_n = 10
+
+let search ?pool ?(use_pruning = true) ?(max_examined = 5_000_000)
+    (c : Coeffs.t) =
+  let pool = match pool with Some p -> p | None -> Pool.get_default () in
+  let nm = c.n * c.max_mult in
+  let b =
+    if use_pruning then Pruning.cardinality_bounds c
+    else { Pruning.lo = 0; hi = nm }
+  in
+  let lo = max 0 b.lo and hi = min nm b.hi in
+  if lo > hi then
+    { best = None; best_objective = None; examined = 0; complete = true }
+  else if Pool.size pool > 1 && c.n >= par_min_n then
+    search_parallel pool ~max_examined ~lo ~hi c
+  else search_sequential ~max_examined ~lo ~hi c
 
 let enumerate_valid ?(use_pruning = true) ?(limit = 10_000) (c : Coeffs.t) =
   let nm = c.n * c.max_mult in

@@ -18,13 +18,20 @@ type outcome = {
 }
 
 val search :
+  ?pool:Pb_par.Pool.t ->
   ?use_pruning:bool ->
   ?max_examined:int ->
   Coeffs.t ->
   outcome
 (** [use_pruning] defaults to true; [max_examined] (default 5_000_000)
     bounds the number of candidate packages checked. For queries without
-    an objective the walk stops at the first valid package. *)
+    an objective the walk stops at the first valid package.
+
+    [pool] (default {!Pb_par.Pool.get_default}) parallelises the walk by
+    partitioning the multiplicity space on a lexicographic prefix; the
+    outcome is bit-identical to the sequential walk at any pool size
+    (same [best], [best_objective], [examined] and [complete]), and pool
+    size 1 runs the sequential code path unchanged. *)
 
 val enumerate_valid :
   ?use_pruning:bool ->

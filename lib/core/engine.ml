@@ -5,6 +5,7 @@ module Model = Pb_lp.Model
 module Milp = Pb_lp.Milp
 module Trace = Pb_obs.Trace
 module Metrics = Pb_obs.Metrics
+module Pool = Pb_par.Pool
 
 (* Typed strategy counters. Each run bumps the process-wide metric and
    the enclosing span, and still renders the (key, value) pair into the
@@ -103,7 +104,7 @@ let objective_of db (c : Coeffs.t) pkg =
   | None -> None
   | Some _ -> Semantics.objective_value ~db c.query pkg
 
-let run_brute_force ~use_pruning ~max_examined (c : Coeffs.t) =
+let run_brute_force ~pool ~use_pruning ~max_examined (c : Coeffs.t) =
   let name = if use_pruning then "brute-force+pruning" else "brute-force" in
   let report, elapsed =
     Trace.timed
@@ -111,7 +112,7 @@ let run_brute_force ~use_pruning ~max_examined (c : Coeffs.t) =
       ~attrs:[ ("candidates", string_of_int c.n) ]
       (fun () ->
         Metrics.incr m_runs;
-        let out = Brute_force.search ~use_pruning ~max_examined c in
+        let out = Brute_force.search ~pool ~use_pruning ~max_examined c in
         {
           package = out.best;
           objective = out.best_objective;
@@ -187,13 +188,13 @@ let run_ilp ~max_nodes db (c : Coeffs.t) =
   in
   { report with elapsed }
 
-let run_local_search ~params db (c : Coeffs.t) =
+let run_local_search ?cancel ~params db (c : Coeffs.t) =
   let report, elapsed =
     Trace.timed ~name:"strategy.local-search"
       ~attrs:[ ("candidates", string_of_int c.n) ]
       (fun () ->
         Metrics.incr m_runs;
-        let out = Local_search.search ~params db c in
+        let out = Local_search.search ~params ?cancel db c in
         let objective =
           match out.best with Some pkg -> objective_of db c pkg | None -> None
         in
@@ -277,7 +278,7 @@ let better_report (c : Coeffs.t) a b =
   | Some pa, Some pb ->
       if Pb_paql.Semantics.compare_quality c.query pa pb >= 0 then a else b
 
-let run_hybrid ~ilp_max_nodes ~bf_max_examined db (c : Coeffs.t) =
+let run_hybrid ~pool ~ilp_max_nodes ~bf_max_examined db (c : Coeffs.t) =
   let tag report reason =
     { report with stats = ("hybrid_choice", reason) :: report.stats }
   in
@@ -312,28 +313,65 @@ let run_hybrid ~ilp_max_nodes ~bf_max_examined db (c : Coeffs.t) =
           in
           let run = function
             | "brute-force" ->
-                run_brute_force ~use_pruning:false
+                run_brute_force ~pool ~use_pruning:false
                   ~max_examined:bf_max_examined c
             | "brute-force+pruning" ->
-                run_brute_force ~use_pruning:true ~max_examined:bf_max_examined
-                  c
+                run_brute_force ~pool ~use_pruning:true
+                  ~max_examined:bf_max_examined c
             | "ilp" -> run_ilp ~max_nodes:ilp_max_nodes db c
             | _ -> run_local_search ~params:Local_search.default_params db c
           in
-          let report = run choice.Cost_model.strategy_label in
-          if choice.Cost_model.exact && not report.proven_optimal then
-            (* Budget ran out before a proof: keep the better of the
-               partial answer and a local-search pass. *)
-            let ls = run_local_search ~params:Local_search.default_params db c in
-            tag (better_report c report ls)
-              (reason ^ "; budget exhausted, kept best of it and local-search")
-          else tag report reason
+          if Pool.size pool > 1 && choice.Cost_model.exact then begin
+            (* Race the exact leg against a speculative local search on
+               separate domains instead of running them back-to-back.
+               Only local search touches the database (its temp
+               neighbourhood tables); the exact legs work off compiled
+               coefficients, so the two sides share no mutable state
+               beyond the (atomic) metrics.  The merge is deterministic:
+               a proven-optimal leg wins outright and the speculative
+               search is cancelled (its result discarded), otherwise
+               local search was never cancelled, ran to its seeded
+               deterministic end, and the merge equals the sequential
+               fallback — bit-identical reports at any pool size. *)
+            match
+              Pool.race pool
+                [
+                  (fun _cancelled ->
+                    let r = run choice.Cost_model.strategy_label in
+                    (r, r.proven_optimal));
+                  (fun cancelled ->
+                    ( run_local_search ~cancel:cancelled
+                        ~params:Local_search.default_params db c,
+                      false ));
+                ]
+            with
+            | [ leg; ls ] ->
+                if not leg.proven_optimal then
+                  tag (better_report c leg ls)
+                    (reason
+                   ^ "; budget exhausted, kept best of it and local-search")
+                else tag leg reason
+            | _ -> assert false
+          end
+          else begin
+            let report = run choice.Cost_model.strategy_label in
+            if choice.Cost_model.exact && not report.proven_optimal then
+              (* Budget ran out before a proof: keep the better of the
+                 partial answer and a local-search pass. *)
+              let ls =
+                run_local_search ~params:Local_search.default_params db c
+              in
+              tag (better_report c report ls)
+                (reason ^ "; budget exhausted, kept best of it and local-search")
+            else tag report reason
+          end
         end)
   in
   { report with elapsed }
 
-let evaluate_coeffs ?(strategy = Hybrid) ?(ilp_max_nodes = 200_000)
+let evaluate_coeffs ?pool ?(strategy = Hybrid) ?(ilp_max_nodes = 200_000)
     ?(bf_max_examined = 5_000_000) db (c : Coeffs.t) =
+  let pool = match pool with Some p -> p | None -> Pool.get_default () in
   (* Every run_* times itself through its strategy span, so the report's
      elapsed is the strategy's own wall clock (hybrid: both legs); the
      engine.evaluate span around it additionally covers verification. *)
@@ -341,17 +379,17 @@ let evaluate_coeffs ?(strategy = Hybrid) ?(ilp_max_nodes = 200_000)
       let report =
         match strategy with
         | Brute_force { use_pruning } ->
-            run_brute_force ~use_pruning ~max_examined:bf_max_examined c
+            run_brute_force ~pool ~use_pruning ~max_examined:bf_max_examined c
         | Ilp -> run_ilp ~max_nodes:ilp_max_nodes db c
         | Local_search params -> run_local_search ~params db c
         | Anneal params -> run_anneal ~params db c
         | Sql_generation params -> run_sql_generation ~params db c
-        | Hybrid -> run_hybrid ~ilp_max_nodes ~bf_max_examined db c
+        | Hybrid -> run_hybrid ~pool ~ilp_max_nodes ~bf_max_examined db c
       in
       verified db c report)
 
-let evaluate ?strategy ?ilp_max_nodes ?bf_max_examined db query =
-  evaluate_coeffs ?strategy ?ilp_max_nodes ?bf_max_examined db
+let evaluate ?pool ?strategy ?ilp_max_nodes ?bf_max_examined db query =
+  evaluate_coeffs ?pool ?strategy ?ilp_max_nodes ?bf_max_examined db
     (Coeffs.make db query)
 
 let next_packages ?(limit = 5) ?(ilp_max_nodes = 200_000) db query =

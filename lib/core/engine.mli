@@ -10,7 +10,13 @@
       the cheapest exact strategy when one is affordable (within 10× of
       the overall cheapest), else the cheapest heuristic;
     + when the chosen strategy exhausts its budget without a proof, fall
-      back to heuristic local search and keep the better answer. *)
+      back to heuristic local search and keep the better answer.
+
+    With a {!Pb_par.Pool} of size > 1 the hybrid strategy races the
+    chosen exact leg against a speculative local search on separate
+    domains instead of running them back-to-back; the merge rule is the
+    same as the sequential fallback, so reports are bit-identical at any
+    pool size. *)
 
 type strategy =
   | Brute_force of { use_pruning : bool }
@@ -42,6 +48,7 @@ type report = {
 }
 
 val evaluate :
+  ?pool:Pb_par.Pool.t ->
   ?strategy:strategy ->
   ?ilp_max_nodes:int ->
   ?bf_max_examined:int ->
@@ -52,9 +59,15 @@ val evaluate :
     [Hybrid]). Every returned package has been re-checked against the
     {!Pb_paql.Semantics} oracle; a strategy whose answer fails the oracle
     is reported as having found nothing (with a ["verification"] stat),
-    rather than returning a wrong package. *)
+    rather than returning a wrong package.
+
+    [pool] (default {!Pb_par.Pool.get_default}, i.e. sized by
+    [PB_DOMAINS]) parallelises brute-force enumeration and the hybrid
+    strategy's exact-vs-local-search fallback; pool size 1 runs the
+    sequential code paths unchanged. *)
 
 val evaluate_coeffs :
+  ?pool:Pb_par.Pool.t ->
   ?strategy:strategy ->
   ?ilp_max_nodes:int ->
   ?bf_max_examined:int ->

@@ -451,7 +451,8 @@ let random_start (c : Coeffs.t) rng ~bounds =
   done;
   mult
 
-let search ?(params = default_params) db (c : Coeffs.t) =
+let search ?(params = default_params) ?(cancel = fun () -> false) db
+    (c : Coeffs.t) =
   let rng = Prng.create params.seed in
   let indexed =
     match c.formula with
@@ -508,6 +509,7 @@ let search ?(params = default_params) db (c : Coeffs.t) =
   let restarts_used = ref 0 in
   if bounds.Pruning.lo <= bounds.Pruning.hi && c.n > 0 then
     for _restart = 1 to params.restarts do
+      if not (cancel ()) then begin
       incr restarts_used;
       let start = random_start c rng ~bounds in
       Array.blit start 0 st.mult 0 c.n;
@@ -516,7 +518,11 @@ let search ?(params = default_params) db (c : Coeffs.t) =
       (* Repair phase: greedy violation descent. *)
       let rounds = ref 0 in
       let stuck = ref false in
-      while (not (is_valid_now ())) && !rounds < params.max_rounds && not !stuck
+      while
+        (not (is_valid_now ()))
+        && !rounds < params.max_rounds
+        && (not !stuck)
+        && not (cancel ())
       do
         incr rounds;
         st.total_rounds <- st.total_rounds + 1;
@@ -555,7 +561,7 @@ let search ?(params = default_params) db (c : Coeffs.t) =
       (* Improvement phase: best objective-improving valid replacement. *)
       if is_valid_now () && dir_opt <> None then begin
         let improving = ref true and rounds = ref 0 in
-        while !improving && !rounds < params.max_rounds do
+        while !improving && !rounds < params.max_rounds && not (cancel ()) do
           incr rounds;
           st.total_rounds <- st.total_rounds + 1;
           improving := false;
@@ -628,6 +634,7 @@ let search ?(params = default_params) db (c : Coeffs.t) =
               consider_current ()
           | None -> ()
         done
+      end
       end
     done;
   {

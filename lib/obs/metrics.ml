@@ -1,9 +1,16 @@
-type counter = { c_name : string; c_help : string; mutable count : int }
-type gauge = { g_name : string; g_help : string; mutable value : float }
+(* Instruments must stay correct when bumped from several domains at
+   once (the Pb_par pool runs strategy legs and operator chunks
+   concurrently): counters and gauges are Atomics, histograms take a
+   tiny per-instrument mutex, and registration/iteration goes through a
+   per-registry mutex. *)
+
+type counter = { c_name : string; c_help : string; count : int Atomic.t }
+type gauge = { g_name : string; g_help : string; value : float Atomic.t }
 
 type histogram = {
   h_name : string;
   h_help : string;
+  h_mu : Mutex.t;
   bounds : float array;  (* sorted inclusive upper bounds, +Inf excluded *)
   buckets : int array;  (* length = Array.length bounds + 1 (the +Inf one) *)
   mutable sum : float;
@@ -13,21 +20,27 @@ type histogram = {
 type metric = Counter of counter | Gauge of gauge | Histogram of histogram
 
 type registry = {
+  mu : Mutex.t;
   tbl : (string, metric) Hashtbl.t;
   mutable order : string list;  (* registration order, newest first *)
 }
 
-let create () = { tbl = Hashtbl.create 64; order = [] }
+let create () = { mu = Mutex.create (); tbl = Hashtbl.create 64; order = [] }
 let default = create ()
 
+let locked registry f =
+  Mutex.lock registry.mu;
+  Fun.protect ~finally:(fun () -> Mutex.unlock registry.mu) f
+
 let register registry name make =
-  match Hashtbl.find_opt registry.tbl name with
-  | Some existing -> existing
-  | None ->
-      let m = make () in
-      Hashtbl.add registry.tbl name m;
-      registry.order <- name :: registry.order;
-      m
+  locked registry (fun () ->
+      match Hashtbl.find_opt registry.tbl name with
+      | Some existing -> existing
+      | None ->
+          let m = make () in
+          Hashtbl.add registry.tbl name m;
+          registry.order <- name :: registry.order;
+          m)
 
 let kind_clash name =
   invalid_arg
@@ -36,7 +49,7 @@ let kind_clash name =
 let counter ?(registry = default) ?(help = "") name =
   match
     register registry name (fun () ->
-        Counter { c_name = name; c_help = help; count = 0 })
+        Counter { c_name = name; c_help = help; count = Atomic.make 0 })
   with
   | Counter c -> c
   | Gauge _ | Histogram _ -> kind_clash name
@@ -44,7 +57,7 @@ let counter ?(registry = default) ?(help = "") name =
 let gauge ?(registry = default) ?(help = "") name =
   match
     register registry name (fun () ->
-        Gauge { g_name = name; g_help = help; value = 0.0 })
+        Gauge { g_name = name; g_help = help; value = Atomic.make 0.0 })
   with
   | Gauge g -> g
   | Counter _ | Histogram _ -> kind_clash name
@@ -58,6 +71,7 @@ let histogram ?(registry = default) ?(help = "") ~buckets name =
           {
             h_name = name;
             h_help = help;
+            h_mu = Mutex.create ();
             bounds;
             buckets = Array.make (Array.length bounds + 1) 0;
             sum = 0.0;
@@ -69,46 +83,63 @@ let histogram ?(registry = default) ?(help = "") ~buckets name =
 
 let incr ?(by = 1) c =
   if by < 0 then invalid_arg "Metrics.incr: negative increment";
-  c.count <- c.count + by
+  ignore (Atomic.fetch_and_add c.count by)
 
-let counter_value c = c.count
-let set g v = g.value <- v
-let gauge_value g = g.value
+let counter_value c = Atomic.get c.count
+let set g v = Atomic.set g.value v
+let gauge_value g = Atomic.get g.value
 
 let observe h v =
+  Mutex.lock h.h_mu;
   let n = Array.length h.bounds in
   let rec slot i = if i >= n || v <= h.bounds.(i) then i else slot (i + 1) in
   h.buckets.(slot 0) <- h.buckets.(slot 0) + 1;
   h.sum <- h.sum +. v;
-  h.observations <- h.observations + 1
+  h.observations <- h.observations + 1;
+  Mutex.unlock h.h_mu
 
-let histogram_count h = h.observations
-let histogram_sum h = h.sum
+let histogram_count h =
+  Mutex.lock h.h_mu;
+  let n = h.observations in
+  Mutex.unlock h.h_mu;
+  n
+
+let histogram_sum h =
+  Mutex.lock h.h_mu;
+  let s = h.sum in
+  Mutex.unlock h.h_mu;
+  s
 
 let bucket_counts h =
-  Array.to_list
-    (Array.mapi
-       (fun i count ->
-         let bound =
-           if i < Array.length h.bounds then h.bounds.(i) else infinity
-         in
-         (bound, count))
-       h.buckets)
+  Mutex.lock h.h_mu;
+  let out =
+    Array.to_list
+      (Array.mapi
+         (fun i count ->
+           let bound =
+             if i < Array.length h.bounds then h.bounds.(i) else infinity
+           in
+           (bound, count))
+         h.buckets)
+  in
+  Mutex.unlock h.h_mu;
+  out
 
 let in_order registry =
-  List.filter_map
-    (fun name -> Hashtbl.find_opt registry.tbl name)
-    (List.rev registry.order)
+  locked registry (fun () ->
+      List.filter_map
+        (fun name -> Hashtbl.find_opt registry.tbl name)
+        (List.rev registry.order))
 
 let snapshot ?(registry = default) () =
   List.concat_map
     (function
-      | Counter c -> [ (c.c_name, float_of_int c.count) ]
-      | Gauge g -> [ (g.g_name, g.value) ]
+      | Counter c -> [ (c.c_name, float_of_int (Atomic.get c.count)) ]
+      | Gauge g -> [ (g.g_name, Atomic.get g.value) ]
       | Histogram h ->
           [
-            (h.h_name ^ "_count", float_of_int h.observations);
-            (h.h_name ^ "_sum", h.sum);
+            (h.h_name ^ "_count", float_of_int (histogram_count h));
+            (h.h_name ^ "_sum", histogram_sum h);
           ])
     (in_order registry)
 
@@ -130,13 +161,15 @@ let dump ?(registry = default) () =
     (function
       | Counter c ->
           header c.c_name c.c_help "counter";
-          Buffer.add_string buf (Printf.sprintf "%s %d\n" c.c_name c.count)
+          Buffer.add_string buf
+            (Printf.sprintf "%s %d\n" c.c_name (Atomic.get c.count))
       | Gauge g ->
           header g.g_name g.g_help "gauge";
           Buffer.add_string buf
-            (Printf.sprintf "%s %s\n" g.g_name (fnum g.value))
+            (Printf.sprintf "%s %s\n" g.g_name (fnum (Atomic.get g.value)))
       | Histogram h ->
           header h.h_name h.h_help "histogram";
+          Mutex.lock h.h_mu;
           let cumulative = ref 0 in
           Array.iteri
             (fun i count ->
@@ -151,18 +184,22 @@ let dump ?(registry = default) () =
           Buffer.add_string buf
             (Printf.sprintf "%s_sum %s\n" h.h_name (fnum h.sum));
           Buffer.add_string buf
-            (Printf.sprintf "%s_count %d\n" h.h_name h.observations))
+            (Printf.sprintf "%s_count %d\n" h.h_name h.observations);
+          Mutex.unlock h.h_mu)
     (in_order registry);
   Buffer.contents buf
 
 let reset ?(registry = default) () =
-  Hashtbl.iter
-    (fun _ m ->
-      match m with
-      | Counter c -> c.count <- 0
-      | Gauge g -> g.value <- 0.0
-      | Histogram h ->
-          Array.fill h.buckets 0 (Array.length h.buckets) 0;
-          h.sum <- 0.0;
-          h.observations <- 0)
-    registry.tbl
+  locked registry (fun () ->
+      Hashtbl.iter
+        (fun _ m ->
+          match m with
+          | Counter c -> Atomic.set c.count 0
+          | Gauge g -> Atomic.set g.value 0.0
+          | Histogram h ->
+              Mutex.lock h.h_mu;
+              Array.fill h.buckets 0 (Array.length h.buckets) 0;
+              h.sum <- 0.0;
+              h.observations <- 0;
+              Mutex.unlock h.h_mu)
+        registry.tbl)

@@ -2,10 +2,14 @@
 
     Instruments are registered once by name (repeat registration with the
     same name and kind returns the existing instrument) and updated with
-    O(1) hot-path operations — a counter bump is one integer add on a
-    mutable record field, no hashing. A process-global {!default}
-    registry backs the engine's instrumentation; tests create private
-    registries.
+    O(1) hot-path operations — a counter bump is one atomic fetch-and-add,
+    no hashing. A process-global {!default} registry backs the engine's
+    instrumentation; tests create private registries.
+
+    All operations are safe under concurrent use from multiple domains
+    (the {!Pb_par} pool bumps counters from worker domains): counters
+    and gauges are atomics, histograms and registration take a mutex,
+    so no update is ever lost.
 
     Metric naming convention: [pb_<layer>_<what>[_total]], lowercase with
     underscores, Prometheus style — ["pb_sql_rows_scanned_total"],

@@ -8,42 +8,65 @@ type span = {
   mutable elapsed : float;
 }
 
-let enabled = ref false
-let set_enabled v = enabled := v
-let is_enabled () = !enabled
+(* Concurrency: worker domains of the Pb_par pool open and close spans
+   of their own, so the open-span stack is domain-local (a span opened
+   on a worker has no parent from the submitting domain and renders as
+   an extra root), while the completed-span ring and the id source are
+   shared — the ring behind a mutex, the id an atomic.  [add_count]
+   touches only the top of the calling domain's own stack and needs no
+   lock: a span is published to the ring (and hence visible to other
+   domains) only at close. *)
+
+let enabled = Atomic.make false
+let set_enabled v = Atomic.set enabled v
+let is_enabled () = Atomic.get enabled
 
 (* Ring buffer of completed spans. [next] is the write cursor; [total]
    counts every record ever written, so [total - capacity] (clamped) is
-   the number of overwritten spans. *)
+   the number of overwritten spans.  All four cells are guarded by
+   [ring_mu]. *)
+let ring_mu = Mutex.create ()
 let capacity = ref 4096
 let ring : span option array ref = ref (Array.make !capacity None)
 let next = ref 0
 let total = ref 0
-let fresh_id = ref 0
-let stack : span list ref = ref []
+let fresh_id = Atomic.make 0
+let stack_key : span list ref Domain.DLS.key = Domain.DLS.new_key (fun () -> ref [])
+let stack () = Domain.DLS.get stack_key
 
 let reset ?capacity:cap () =
+  Mutex.lock ring_mu;
   (match cap with
   | Some c when c > 0 -> capacity := c
   | Some _ | None -> ());
   ring := Array.make !capacity None;
   next := 0;
   total := 0;
-  fresh_id := 0;
-  stack := []
+  Atomic.set fresh_id 0;
+  Mutex.unlock ring_mu;
+  (* Only the calling domain's dangling stack can be cleared; worker
+     domains never leave spans open between parallel regions. *)
+  stack () := []
 
 let record sp =
+  Mutex.lock ring_mu;
   !ring.(!next) <- Some sp;
   next := (!next + 1) mod !capacity;
-  incr total
+  incr total;
+  Mutex.unlock ring_mu
 
-let dropped () = max 0 (!total - !capacity)
+let dropped () =
+  Mutex.lock ring_mu;
+  let d = max 0 (!total - !capacity) in
+  Mutex.unlock ring_mu;
+  d
 
 let open_span ~attrs name =
+  let stack = stack () in
   let parent = match !stack with sp :: _ -> sp.id | [] -> -1 in
   let sp =
     {
-      id = !fresh_id;
+      id = Atomic.fetch_and_add fresh_id 1;
       parent;
       name;
       attrs;
@@ -52,12 +75,12 @@ let open_span ~attrs name =
       elapsed = 0.0;
     }
   in
-  incr fresh_id;
   stack := sp :: !stack;
   sp
 
 let close_span sp =
   sp.elapsed <- Clock.now () -. sp.start;
+  let stack = stack () in
   (match !stack with
   | top :: rest when top == sp -> stack := rest
   | _ ->
@@ -71,7 +94,7 @@ let close_span sp =
   record sp
 
 let with_span ?(attrs = []) ~name f =
-  if not !enabled then f ()
+  if not (Atomic.get enabled) then f ()
   else begin
     let sp = open_span ~attrs name in
     match f () with
@@ -89,16 +112,18 @@ let timed ?attrs ~name f =
   (v, Clock.now () -. t0)
 
 let add_count key v =
-  if !enabled then
-    match !stack with
+  if Atomic.get enabled then
+    match !(stack ()) with
     | sp :: _ ->
         let prev = Option.value (List.assoc_opt key sp.counters) ~default:0 in
         sp.counters <- (key, prev + v) :: List.remove_assoc key sp.counters
     | [] -> ()
 
 let spans () =
+  Mutex.lock ring_mu;
   let out = ref [] in
   Array.iter (function Some sp -> out := sp :: !out | None -> ()) !ring;
+  Mutex.unlock ring_mu;
   List.sort (fun a b -> compare a.id b.id) !out
 
 (* ---- rendering ------------------------------------------------------- *)

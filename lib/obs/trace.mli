@@ -7,8 +7,13 @@
     unbounded memory growth.
 
     Tracing is {e off} by default. When disabled, [with_span] is a single
-    branch on a [bool ref] plus a tail call — no allocation, no clock
+    branch on an atomic flag plus a tail call — no allocation, no clock
     read — so instrumentation can be left in hot paths permanently.
+
+    The open-span stack is domain-local: spans opened on a {!Pb_par}
+    worker domain form their own tree rooted at that domain (they render
+    as extra roots), while the completed-span ring is shared and
+    mutex-guarded, so concurrent strategy legs can trace safely.
     [timed] always measures (two clock reads) and additionally records a
     span when tracing is enabled; use it where the caller needs the
     elapsed time regardless (e.g. {!Pb_core.Engine} report timings).

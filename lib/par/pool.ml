@@ -1,0 +1,239 @@
+(* Fixed-size domain pool with a helping scheduler.
+
+   Layout: a pool of size [k] spawns [k - 1] worker domains that loop
+   on a shared FIFO of thunks.  Every parallel region is submitted by
+   some domain (the main domain, or a worker running a nested region);
+   the submitter enqueues all but the first chunk, runs the first chunk
+   itself, then *helps*: it keeps draining the shared queue until its
+   own region's pending count reaches zero.  Because a submitter never
+   blocks while runnable work exists, nested regions cannot deadlock —
+   in the worst case a region's submitter executes every one of its own
+   chunks inline.
+
+   All cross-domain signalling goes through one mutex and one condition
+   variable: the condition is broadcast when work is enqueued, when a
+   region completes, and on shutdown.  Spurious wakeups are handled by
+   re-checking state in a loop. *)
+
+type t = {
+  size : int;
+  mu : Mutex.t;
+  cond : Condition.t;
+  q : (unit -> unit) Queue.t;
+  mutable stopping : bool;
+  mutable workers : unit Domain.t list;
+}
+
+let size t = t.size
+
+let rec worker_body pool =
+  Mutex.lock pool.mu;
+  let rec next () =
+    if pool.stopping then None
+    else
+      match Queue.take_opt pool.q with
+      | Some task -> Some task
+      | None ->
+          Condition.wait pool.cond pool.mu;
+          next ()
+  in
+  let task = next () in
+  Mutex.unlock pool.mu;
+  match task with
+  | None -> ()
+  | Some task ->
+      (* Region wrappers catch their own exceptions; a raise here would
+         kill the domain, so guard anyway. *)
+      (try task () with _ -> ());
+      worker_body pool
+
+let create k =
+  let size = max k 1 in
+  let pool =
+    {
+      size;
+      mu = Mutex.create ();
+      cond = Condition.create ();
+      q = Queue.create ();
+      stopping = false;
+      workers = [];
+    }
+  in
+  if size > 1 then
+    pool.workers <-
+      List.init (size - 1) (fun _ -> Domain.spawn (fun () -> worker_body pool));
+  pool
+
+let shutdown pool =
+  Mutex.lock pool.mu;
+  let ws = pool.workers in
+  pool.workers <- [];
+  pool.stopping <- true;
+  Condition.broadcast pool.cond;
+  Mutex.unlock pool.mu;
+  List.iter Domain.join ws
+
+let with_pool k f =
+  let pool = create k in
+  Fun.protect ~finally:(fun () -> shutdown pool) (fun () -> f pool)
+
+(* ------------------------------------------------------------------ *)
+(* Default pool (sized by PB_DOMAINS, overridable via set_default_size) *)
+
+let env_size () =
+  match Sys.getenv_opt "PB_DOMAINS" with
+  | None -> 1
+  | Some s -> (
+      match int_of_string_opt (String.trim s) with
+      | Some n when n >= 1 -> n
+      | _ -> 1)
+
+let default_mu = Mutex.create ()
+let default_pool : t option ref = ref None
+
+let get_default () =
+  Mutex.lock default_mu;
+  let pool =
+    match !default_pool with
+    | Some p -> p
+    | None ->
+        let p = create (env_size ()) in
+        default_pool := Some p;
+        p
+  in
+  Mutex.unlock default_mu;
+  pool
+
+let set_default_size n =
+  Mutex.lock default_mu;
+  let old = !default_pool in
+  default_pool := Some (create n);
+  Mutex.unlock default_mu;
+  Option.iter shutdown old
+
+let () =
+  at_exit (fun () ->
+      Mutex.lock default_mu;
+      let old = !default_pool in
+      default_pool := None;
+      Mutex.unlock default_mu;
+      Option.iter shutdown old)
+
+(* ------------------------------------------------------------------ *)
+(* Parallel regions *)
+
+(* Run every thunk, using the pool's workers plus the calling domain;
+   returns once all have finished.  Re-raises the lowest-indexed
+   exception, if any, for a deterministic failure. *)
+let run_region pool (thunks : (unit -> unit) array) =
+  let n = Array.length thunks in
+  if n = 0 then ()
+  else begin
+    let exns = Array.make n None in
+    let guarded i () =
+      try thunks.(i) () with e -> exns.(i) <- Some e
+    in
+    (if pool.size <= 1 || pool.stopping || n = 1 then
+       for i = 0 to n - 1 do
+         guarded i ()
+       done
+     else begin
+       let remaining = ref n in
+       let finish () =
+         Mutex.lock pool.mu;
+         decr remaining;
+         if !remaining = 0 then Condition.broadcast pool.cond;
+         Mutex.unlock pool.mu
+       in
+       let wrap i () =
+         guarded i ();
+         finish ()
+       in
+       Mutex.lock pool.mu;
+       for i = 1 to n - 1 do
+         Queue.add (wrap i) pool.q
+       done;
+       Condition.broadcast pool.cond;
+       Mutex.unlock pool.mu;
+       wrap 0 ();
+       (* Help until this region is fully drained.  We may execute
+          chunks of other in-flight regions here; that is fine — they
+          complete strictly sooner and their submitters get woken. *)
+       let rec help () =
+         Mutex.lock pool.mu;
+         if !remaining = 0 then Mutex.unlock pool.mu
+         else
+           match Queue.take_opt pool.q with
+           | Some task ->
+               Mutex.unlock pool.mu;
+               task ();
+               help ()
+           | None ->
+               Condition.wait pool.cond pool.mu;
+               Mutex.unlock pool.mu;
+               help ()
+       in
+       help ()
+     end);
+    Array.iter (function Some e -> raise e | None -> ()) exns
+  end
+
+let ranges ?chunk_size pool n =
+  let csize =
+    match chunk_size with
+    | Some c -> max 1 c
+    | None ->
+        (* Oversubscribe 4x for load balance; chunk order keeps
+           determinism regardless of granularity. *)
+        max 1 ((n + (pool.size * 4) - 1) / (pool.size * 4))
+  in
+  let rec go lo acc =
+    if lo >= n then List.rev acc
+    else
+      let hi = min n (lo + csize) in
+      go hi ((lo, hi) :: acc)
+  in
+  go 0 []
+
+let map_chunks pool ?chunk_size ~n f =
+  if n <= 0 then []
+  else if pool.size <= 1 && chunk_size = None then [ f ~lo:0 ~hi:n ]
+  else begin
+    let rs = ranges ?chunk_size pool n in
+    let out = Array.make (List.length rs) None in
+    let thunks =
+      Array.of_list
+        (List.mapi (fun i (lo, hi) () -> out.(i) <- Some (f ~lo ~hi)) rs)
+    in
+    run_region pool thunks;
+    Array.to_list out
+    |> List.map (function Some v -> v | None -> assert false)
+  end
+
+let map_reduce pool ?chunk_size ~n ~map ~reduce init =
+  List.fold_left reduce init (map_chunks pool ?chunk_size ~n map)
+
+let parallel_for pool ?chunk_size n f =
+  map_chunks pool ?chunk_size ~n (fun ~lo ~hi ->
+      for i = lo to hi - 1 do
+        f i
+      done)
+  |> ignore
+
+let race pool legs =
+  let n = List.length legs in
+  let won = Atomic.make false in
+  let poll () = Atomic.get won in
+  let results = Array.make n None in
+  let thunks =
+    Array.of_list
+      (List.mapi
+         (fun i leg () ->
+           let v, winner = leg poll in
+           if winner then Atomic.set won true;
+           results.(i) <- Some v)
+         legs)
+  in
+  run_region pool thunks;
+  Array.to_list results
+  |> List.map (function Some v -> v | None -> assert false)

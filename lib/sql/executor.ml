@@ -4,6 +4,7 @@ module Schema = Pb_relation.Schema
 module Relation = Pb_relation.Relation
 module Trace = Pb_obs.Trace
 module Metrics = Pb_obs.Metrics
+module Pool = Pb_par.Pool
 
 let m_selects =
   Metrics.counter ~help:"SELECT blocks evaluated (subqueries included)"
@@ -437,18 +438,29 @@ and select_simple db q =
   in
   (* Each output row keeps its provenance (source row or group) so that
      ORDER BY can reference source expressions that were not projected. *)
+  let project row =
+    ( Array.of_list
+        (List.map
+           (function
+             | Expr_item (e, _) -> eval_expr ~db schema row e
+             | Star_item -> assert false)
+           items),
+      `Row row )
+  in
   let pairs =
-    if not grouped_mode then
-      List.map
-        (fun row ->
-          ( Array.of_list
-              (List.map
-                 (function
-                   | Expr_item (e, _) -> eval_expr ~db schema row e
-                   | Star_item -> assert false)
-                 items),
-            `Row row ))
-        (Relation.to_list filtered)
+    if not grouped_mode then begin
+      (* Projection over large inputs is chunked across the domain pool;
+         chunk outputs concatenate in order, so the row order (and any
+         evaluation error raised) is identical to the sequential map. *)
+      let rows = Relation.rows filtered in
+      let n = Array.length rows in
+      let pool = Pool.get_default () in
+      if Pool.size pool > 1 && n >= 512 then
+        List.concat
+          (Pool.map_chunks pool ~n (fun ~lo ~hi ->
+               List.init (hi - lo) (fun k -> project rows.(lo + k))))
+      else List.map project (Relation.to_list filtered)
+    end
     else begin
       Trace.with_span ~name:"sql.group" (fun () ->
       (* Group rows by the GROUP BY key (single group when absent). *)

@@ -5,6 +5,31 @@ module Relation = Pb_relation.Relation
 
 module Trace = Pb_obs.Trace
 module Metrics = Pb_obs.Metrics
+module Pool = Pb_par.Pool
+
+(* Below this many rows a parallel pass costs more in chunk bookkeeping
+   than it saves; operators fall back to the plain sequential loop. *)
+let par_threshold = 512
+
+(* Order-preserving filter: rows are predicate-tested in parallel chunks
+   over the default pool and the surviving rows concatenated in chunk
+   order, so the output is identical to [Relation.filter] at any pool
+   size.  The predicate must be pure reads (it runs on worker domains). *)
+let chunked_filter pred rel =
+  let pool = Pool.get_default () in
+  let rows = Relation.rows rel in
+  let n = Array.length rows in
+  if Pool.size pool <= 1 || n < par_threshold then Relation.filter pred rel
+  else
+    let parts =
+      Pool.map_chunks pool ~n (fun ~lo ~hi ->
+          let out = ref [] in
+          for i = hi - 1 downto lo do
+            if pred rows.(i) then out := rows.(i) :: !out
+          done;
+          !out)
+    in
+    Relation.create (Relation.schema rel) (List.concat parts)
 
 let m_rows_scanned =
   Metrics.counter ~help:"Rows read by base-table scans (after index narrowing)"
@@ -176,7 +201,7 @@ let scan db ~eval ~stats table_name qualified_rel conjs =
       (fun acc conj ->
         stats := { !stats with pushed_predicates = !stats.pushed_predicates + 1 };
         Metrics.incr m_pushed_predicates;
-        Relation.filter (fun row -> Value.truthy (eval schema row conj)) acc)
+        chunked_filter (fun row -> Value.truthy (eval schema row conj)) acc)
       rel remaining
   in
   Trace.add_count "rows_out" (Relation.cardinality out);
@@ -215,16 +240,38 @@ let hash_join ~eval left right keys =
   let left_exprs = List.map (fun (_, l, _) -> l) keys in
   let right_exprs = List.map (fun (_, _, r) -> r) keys in
   let hash_of values = String.concat "\x00" (List.map Value.to_string values) in
-  let table = Hashtbl.create (Relation.cardinality right) in
-  Array.iter
-    (fun row ->
-      let values = key_values right_schema row right_exprs in
+  let pool = Pool.get_default () in
+  let par n = Pool.size pool > 1 && n >= par_threshold in
+  (* Build: key expressions are evaluated over row chunks in parallel
+     (pure reads into disjoint array slots), then inserted sequentially
+     so the bucket ordering — and hence [find_all] order — matches the
+     sequential build exactly. *)
+  let rrows = Relation.rows right in
+  let rkeys =
+    let n = Array.length rrows in
+    let out = Array.make n [] in
+    let fill i = out.(i) <- key_values right_schema rrows.(i) right_exprs in
+    if par n then Pool.parallel_for pool n fill
+    else
+      for i = 0 to n - 1 do
+        fill i
+      done;
+    out
+  in
+  let table = Hashtbl.create (Array.length rrows) in
+  Array.iteri
+    (fun i row ->
+      let values = rkeys.(i) in
       if not (List.exists Value.is_null values) then
         Hashtbl.add table (hash_of values) (row, values))
-    (Relation.rows right);
-  let out = ref [] in
-  Array.iter
-    (fun lrow ->
+    rrows;
+  (* Probe: read-only against the finished build table, chunked over the
+     left rows with chunk outputs concatenated in order. *)
+  let lrows = Relation.rows left in
+  let probe_chunk ~lo ~hi =
+    let out = ref [] in
+    for i = lo to hi - 1 do
+      let lrow = lrows.(i) in
       let values = key_values left_schema lrow left_exprs in
       if not (List.exists Value.is_null values) then
         List.iter
@@ -233,10 +280,17 @@ let hash_join ~eval left right keys =
                e.g. Int 1 and Str "1" (same rendering) do not join. *)
             if List.for_all2 Value.equal values rvalues then
               out := Array.append lrow rrow :: !out)
-          (Hashtbl.find_all table (hash_of values)))
-    (Relation.rows left);
+          (Hashtbl.find_all table (hash_of values))
+    done;
+    List.rev !out
+  in
+  let nleft = Array.length lrows in
+  let parts =
+    if par nleft then Pool.map_chunks pool ~n:nleft probe_chunk
+    else [ probe_chunk ~lo:0 ~hi:nleft ]
+  in
   let joined =
-    Relation.create (Schema.concat left_schema right_schema) (List.rev !out)
+    Relation.create (Schema.concat left_schema right_schema) (List.concat parts)
   in
   Trace.add_count "rows_out" (Relation.cardinality joined);
   joined)
@@ -294,7 +348,7 @@ let execute db ~eval ~from ~where =
               consume conj;
               stats :=
                 { !stats with pushed_predicates = !stats.pushed_predicates + 1 };
-              Relation.filter
+              chunked_filter
                 (fun row -> Value.truthy (eval schema row conj))
                 acc
             end
@@ -342,7 +396,7 @@ let execute db ~eval ~from ~where =
           (fun acc conj ->
             if is_consumed conj then acc
             else
-              Relation.filter
+              chunked_filter
                 (fun row -> Value.truthy (eval final_schema row conj))
                 acc)
           joined all_conjuncts

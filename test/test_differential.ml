@@ -1,0 +1,158 @@
+(* Differential property tests across evaluation strategies: on random
+   tiny instances, brute force (the oracle), ILP and SQL-generation must
+   agree on feasibility and on the optimal objective value, and local
+   search must only produce feasible packages that never beat the proven
+   optimum. *)
+
+module Gen = QCheck.Gen
+module Value = Pb_relation.Value
+module Relation = Pb_relation.Relation
+module Schema = Pb_relation.Schema
+module Parser = Pb_paql.Parser
+module Engine = Pb_core.Engine
+
+type direction = Max | Min | NoObj
+
+type inst = {
+  rows : (int * int) list;  (* (a, b) per tuple *)
+  k : int;  (* cardinality between 1 and k *)
+  bound : int option;  (* SUM(P.a) <= bound *)
+  dir : direction;
+}
+
+let inst_gen : inst Gen.t =
+  let open Gen in
+  let* nrows = int_range 2 7 in
+  let* rows = list_repeat nrows (pair (int_range 1 9) (int_range 0 9)) in
+  let* k = int_range 1 3 in
+  let* bound = opt (int_range 1 20) in
+  let* dir = oneofl [ Max; Min; NoObj ] in
+  return { rows; k; bound; dir }
+
+let print_inst i =
+  Printf.sprintf "rows=[%s] k=%d bound=%s dir=%s"
+    (String.concat ";"
+       (List.map (fun (a, b) -> Printf.sprintf "(%d,%d)" a b) i.rows))
+    i.k
+    (match i.bound with None -> "-" | Some b -> string_of_int b)
+    (match i.dir with Max -> "max" | Min -> "min" | NoObj -> "none")
+
+let db_of i =
+  let db = Pb_sql.Database.create () in
+  let schema =
+    Schema.make
+      [
+        { Schema.name = "id"; ty = Value.T_int };
+        { Schema.name = "a"; ty = Value.T_int };
+        { Schema.name = "b"; ty = Value.T_int };
+      ]
+  in
+  let rows =
+    List.mapi
+      (fun idx (a, b) -> [| Value.Int (idx + 1); Value.Int a; Value.Int b |])
+      i.rows
+  in
+  Pb_sql.Database.put db "t" (Relation.create schema rows);
+  db
+
+let query_of i =
+  let buf = Buffer.create 128 in
+  Buffer.add_string buf "SELECT PACKAGE(R) AS P FROM t R SUCH THAT ";
+  Buffer.add_string buf (Printf.sprintf "COUNT(*) BETWEEN 1 AND %d" i.k);
+  (match i.bound with
+  | Some b -> Buffer.add_string buf (Printf.sprintf " AND SUM(P.a) <= %d" b)
+  | None -> ());
+  (match i.dir with
+  | Max -> Buffer.add_string buf " MAXIMIZE SUM(P.b)"
+  | Min -> Buffer.add_string buf " MINIMIZE SUM(P.b)"
+  | NoObj -> ());
+  Buffer.contents buf
+
+let evaluate i strategy =
+  Engine.evaluate ~strategy ~ilp_max_nodes:500_000 (db_of i)
+    (Parser.parse (query_of i))
+
+let oracle i = evaluate i (Engine.Brute_force { use_pruning = true })
+let feasible (r : Engine.report) = Option.is_some r.package
+let tol = 1e-6
+
+let objectives_agree (a : Engine.report) (b : Engine.report) =
+  match (a.objective, b.objective) with
+  | Some x, Some y -> Float.abs (x -. y) <= tol
+  | None, None -> true
+  | _ -> false
+
+(* Feasibility and optimal objective must match between the oracle and a
+   competing exact strategy, whenever both runs carry a proof. *)
+let check_exact name strategy ~skip =
+  QCheck.Test.make ~count:60
+    ~name:(Printf.sprintf "%s agrees with brute force" name)
+    (QCheck.make ~print:print_inst inst_gen)
+    (fun i ->
+      let bf = oracle i in
+      let other = evaluate i strategy in
+      if (not bf.proven_optimal) || (not other.proven_optimal) || skip other
+      then true
+      else if feasible bf <> feasible other then
+        QCheck.Test.fail_reportf "feasibility: bf=%b %s=%b on %s" (feasible bf)
+          name (feasible other) (print_inst i)
+      else if not (objectives_agree bf other) then
+        QCheck.Test.fail_reportf "objective: bf=%s %s=%s on %s"
+          (match bf.objective with
+          | None -> "-"
+          | Some v -> string_of_float v)
+          name
+          (match other.objective with
+          | None -> "-"
+          | Some v -> string_of_float v)
+          (print_inst i)
+      else true)
+
+let prop_ilp = check_exact "ilp" Engine.Ilp ~skip:(fun _ -> false)
+
+let prop_sqlgen =
+  check_exact "sql-generation"
+    (Engine.Sql_generation Pb_core.Sql_generate.default_params)
+    ~skip:(fun (r : Engine.report) ->
+      List.mem_assoc "not_applicable" r.stats)
+
+let prop_pruning =
+  check_exact "unpruned brute force"
+    (Engine.Brute_force { use_pruning = false })
+    ~skip:(fun _ -> false)
+
+(* Local search is heuristic: any package it returns has already passed
+   the engine's semantic re-check, so we assert the two things it can
+   still get wrong relative to the oracle — inventing a package for an
+   infeasible query, or "beating" the proven optimum. *)
+let prop_local_search =
+  QCheck.Test.make ~count:60 ~name:"local search feasible and never beats optimum"
+    (QCheck.make ~print:print_inst inst_gen)
+    (fun i ->
+      let bf = oracle i in
+      if not bf.proven_optimal then true
+      else
+        let ls = evaluate i (Engine.Local_search Pb_core.Local_search.default_params) in
+        if (not (feasible bf)) && feasible ls then
+          QCheck.Test.fail_reportf
+            "local search found a package on an infeasible query %s"
+            (print_inst i)
+        else
+          match (i.dir, bf.objective, ls.objective) with
+          | Max, Some opt, Some got when got > opt +. tol ->
+              QCheck.Test.fail_reportf "ls beat the max optimum %g > %g on %s"
+                got opt (print_inst i)
+          | Min, Some opt, Some got when got < opt -. tol ->
+              QCheck.Test.fail_reportf "ls beat the min optimum %g < %g on %s"
+                got opt (print_inst i)
+          | _ -> true)
+
+(* The hybrid policy may pick any strategy, but its answer must carry the
+   same objective as the oracle whenever it claims a proof. *)
+let prop_hybrid =
+  check_exact "hybrid" Engine.Hybrid ~skip:(fun (r : Engine.report) ->
+      not r.proven_optimal)
+
+let suite =
+  List.map QCheck_alcotest.to_alcotest
+    [ prop_ilp; prop_sqlgen; prop_pruning; prop_local_search; prop_hybrid ]

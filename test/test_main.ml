@@ -20,4 +20,6 @@ let () =
       ("edge", Test_edge.suite);
       ("properties", Test_props.suite);
       ("properties-ext", Test_props2.suite);
+      ("differential", Test_differential.suite);
+      ("par", Test_par.suite);
     ]

@@ -1,0 +1,351 @@
+(* Tests for the Pb_par domain pool: primitive correctness, determinism
+   of engine reports and SQL results across pool sizes, race
+   cancellation, and exact metric/trace totals under concurrent
+   hammering from 8 domains. *)
+
+module Pool = Pb_par.Pool
+module Metrics = Pb_obs.Metrics
+module Trace = Pb_obs.Trace
+module Engine = Pb_core.Engine
+module Coeffs = Pb_core.Coeffs
+module Relation = Pb_relation.Relation
+module Parser = Pb_paql.Parser
+
+let pool_sizes = [ 1; 2; 8 ]
+
+(* Route code that reads the default pool (the SQL operators) through a
+   specific size, restoring the PB_DOMAINS-derived default afterwards so
+   later suites see the environment's configuration. *)
+let with_default_size k f =
+  Pool.set_default_size k;
+  Fun.protect ~finally:(fun () -> Pool.set_default_size (Pool.env_size ())) f
+
+(* ---- pool primitives ------------------------------------------------- *)
+
+let test_map_reduce () =
+  List.iter
+    (fun size ->
+      Pool.with_pool size (fun pool ->
+          let n = 10_001 in
+          let total =
+            Pool.map_reduce pool ~n
+              ~map:(fun ~lo ~hi ->
+                let s = ref 0 in
+                for i = lo to hi - 1 do
+                  s := !s + i
+                done;
+                !s)
+              ~reduce:( + ) 0
+          in
+          Alcotest.(check int)
+            (Printf.sprintf "sum 0..%d at pool size %d" (n - 1) size)
+            (n * (n - 1) / 2)
+            total))
+    pool_sizes
+
+let test_parallel_for () =
+  List.iter
+    (fun size ->
+      Pool.with_pool size (fun pool ->
+          let n = 5000 in
+          let out = Array.make n 0 in
+          Pool.parallel_for pool n (fun i -> out.(i) <- (2 * i) + 1);
+          Alcotest.(check bool)
+            (Printf.sprintf "every slot written at pool size %d" size)
+            true
+            (Array.for_all Fun.id (Array.mapi (fun i v -> v = (2 * i) + 1) out))))
+    pool_sizes
+
+let test_map_chunks_order () =
+  List.iter
+    (fun size ->
+      Pool.with_pool size (fun pool ->
+          let n = 997 in
+          let parts =
+            Pool.map_chunks pool ~n (fun ~lo ~hi ->
+                List.init (hi - lo) (fun k -> lo + k))
+          in
+          Alcotest.(check (list int))
+            (Printf.sprintf "chunk concat = identity at pool size %d" size)
+            (List.init n Fun.id) (List.concat parts)))
+    pool_sizes
+
+let test_map_chunks_exception () =
+  Pool.with_pool 4 (fun pool ->
+      Alcotest.check_raises "chunk exception propagates"
+        (Invalid_argument "boom") (fun () ->
+          ignore
+            (Pool.map_chunks pool ~n:100 (fun ~lo ~hi:_ ->
+                 if lo = 0 then invalid_arg "boom" else 0))))
+
+(* ---- race ------------------------------------------------------------ *)
+
+let test_race_order_and_win () =
+  List.iter
+    (fun size ->
+      Pool.with_pool size (fun pool ->
+          let results =
+            Pool.race pool
+              [
+                (fun _cancelled -> ("a", false));
+                (fun _cancelled -> ("b", true));
+                (fun _cancelled -> ("c", false));
+              ]
+          in
+          Alcotest.(check (list string))
+            (Printf.sprintf "values in input order at pool size %d" size)
+            [ "a"; "b"; "c" ] results))
+    pool_sizes
+
+(* Every leg counts its own increments; the shared counter must equal
+   their sum exactly once the race returns — concurrent increments lose
+   nothing, and no leg keeps running (and incrementing) after the join. *)
+let test_race_no_counter_drift () =
+  let registry = Metrics.create () in
+  let c = Metrics.counter ~registry "race_drift_total" in
+  Pool.with_pool 8 (fun pool ->
+      let winner _cancelled =
+        for _ = 1 to 1_000 do
+          Metrics.incr c
+        done;
+        (1_000, true)
+      in
+      let loser cancelled =
+        let mine = ref 0 in
+        let i = ref 0 in
+        while !i < 50_000 && not (cancelled ()) do
+          Metrics.incr c;
+          incr mine;
+          incr i
+        done;
+        (!mine, false)
+      in
+      let counts = Pool.race pool [ winner; loser; loser; loser ] in
+      Alcotest.(check int)
+        "counter equals the sum of per-leg increments"
+        (List.fold_left ( + ) 0 counts)
+        (Metrics.counter_value c))
+
+(* ---- engine determinism ---------------------------------------------- *)
+
+let recipes_db n =
+  let db = Pb_sql.Database.create () in
+  Pb_sql.Database.put db "recipes" (Pb_workload.Workload.recipes ~seed:7 ~n ());
+  db
+
+let meal_query =
+  "SELECT PACKAGE(R) AS P FROM recipes R WHERE R.gluten = 'free' SUCH THAT \
+   COUNT(*) = 3 AND SUM(P.calories) BETWEEN 2000 AND 2500 MAXIMIZE \
+   SUM(P.protein)"
+
+let report_fingerprint (r : Engine.report) =
+  let pkg =
+    match r.package with
+    | None -> "none"
+    | Some p ->
+        String.concat ","
+          (List.map string_of_int (Array.to_list (Pb_paql.Package.multiplicities p)))
+  in
+  Printf.sprintf "pkg=[%s] obj=%s proven=%b strategy=%s stats=[%s]" pkg
+    (match r.objective with None -> "none" | Some v -> Printf.sprintf "%.9g" v)
+    r.proven_optimal r.strategy_used
+    (String.concat ";" (List.map (fun (k, v) -> k ^ "=" ^ v) r.stats))
+
+let check_strategy_deterministic name strategy ~ilp_max_nodes =
+  let run size =
+    let db = recipes_db 18 in
+    let c = Coeffs.make db (Parser.parse meal_query) in
+    Pool.with_pool size (fun pool ->
+        with_default_size size (fun () ->
+            report_fingerprint
+              (Engine.evaluate_coeffs ~pool ~strategy ~ilp_max_nodes db c)))
+  in
+  let reference = run 1 in
+  List.iter
+    (fun size ->
+      Alcotest.(check string)
+        (Printf.sprintf "%s report identical at pool size %d" name size)
+        reference (run size))
+    pool_sizes
+
+let test_brute_force_deterministic () =
+  check_strategy_deterministic "brute-force+pruning"
+    (Engine.Brute_force { use_pruning = true })
+    ~ilp_max_nodes:200_000
+
+let test_brute_force_nopruning_deterministic () =
+  check_strategy_deterministic "brute-force"
+    (Engine.Brute_force { use_pruning = false })
+    ~ilp_max_nodes:200_000
+
+(* Truncation boundary: the parallel replay must reproduce the exact
+   sequential [examined] count and best-so-far when the budget bites. *)
+let test_brute_force_budget_deterministic () =
+  let db = recipes_db 18 in
+  let c = Coeffs.make db (Parser.parse meal_query) in
+  List.iter
+    (fun budget ->
+      let reference =
+        Pool.with_pool 1 (fun pool ->
+            Pb_core.Brute_force.search ~pool ~max_examined:budget c)
+      in
+      List.iter
+        (fun size ->
+          Pool.with_pool size (fun pool ->
+              let out =
+                Pb_core.Brute_force.search ~pool ~max_examined:budget c
+              in
+              let label what =
+                Printf.sprintf "budget %d pool %d: %s" budget size what
+              in
+              Alcotest.(check int)
+                (label "examined") reference.examined out.examined;
+              Alcotest.(check bool)
+                (label "complete") reference.complete out.complete;
+              Alcotest.(check (option (float 1e-9)))
+                (label "objective") reference.best_objective out.best_objective))
+        pool_sizes)
+    [ 1; 7; 64; 1000; 100_000 ]
+
+(* Hybrid with a starved ILP budget exercises the race + merge path. *)
+let test_hybrid_deterministic () =
+  check_strategy_deterministic "hybrid" Engine.Hybrid ~ilp_max_nodes:25
+
+let test_hybrid_full_budget_deterministic () =
+  check_strategy_deterministic "hybrid(full budget)" Engine.Hybrid
+    ~ilp_max_nodes:200_000
+
+(* ---- SQL determinism ------------------------------------------------- *)
+
+let sql_db () =
+  let db = Pb_sql.Database.create () in
+  Pb_sql.Database.put db "recipes" (Pb_workload.Workload.recipes ~seed:11 ~n:1500 ());
+  db
+
+let render rel =
+  String.concat "\n"
+    (List.map
+       (fun row ->
+         String.concat "|"
+           (Array.to_list (Array.map Pb_relation.Value.to_string row)))
+       (Relation.to_list rel))
+
+let run_sql size sql =
+  with_default_size size (fun () ->
+      let db = sql_db () in
+      match Pb_sql.Executor.execute_sql db sql with
+      | Pb_sql.Executor.Rows rel -> render rel
+      | _ -> Alcotest.fail "expected rows")
+
+let check_sql_deterministic name sql =
+  let reference = run_sql 1 sql in
+  List.iter
+    (fun size ->
+      Alcotest.(check string)
+        (Printf.sprintf "%s identical at pool size %d" name size)
+        reference (run_sql size sql))
+    pool_sizes
+
+let test_sql_scan_deterministic () =
+  check_sql_deterministic "filtered scan"
+    "SELECT id, name, calories, protein FROM recipes WHERE calories > 400 AND \
+     protein > 15 AND gluten = 'free'"
+
+let test_sql_join_deterministic () =
+  check_sql_deterministic "hash join"
+    "SELECT a.id, b.id, a.cuisine FROM recipes a, recipes b WHERE a.cuisine = \
+     b.cuisine AND a.calories < 350 AND b.calories < 350 AND a.id < b.id"
+
+let test_sql_projection_deterministic () =
+  check_sql_deterministic "wide projection"
+    "SELECT id, calories + protein * 4, cost * 2.0, upper(gluten) FROM \
+     recipes WHERE id > 10"
+
+(* ---- concurrency hammer (regression: plain mutable registry lost
+   updates under concurrent increments) -------------------------------- *)
+
+let hammer_domains = 8
+let hammer_per_domain = 20_000
+
+let test_metrics_hammer () =
+  let registry = Metrics.create () in
+  let c = Metrics.counter ~registry "hammer_total" in
+  let h = Metrics.histogram ~registry ~buckets:[ 0.5; 1.5 ] "hammer_hist" in
+  Pool.with_pool hammer_domains (fun pool ->
+      Pool.parallel_for pool ~chunk_size:1 hammer_domains (fun d ->
+          for i = 1 to hammer_per_domain do
+            Metrics.incr c;
+            if i land 1023 = 0 then
+              Metrics.observe h (float_of_int (d land 1))
+          done));
+  Alcotest.(check int)
+    "counter total exact"
+    (hammer_domains * hammer_per_domain)
+    (Metrics.counter_value c);
+  Alcotest.(check int)
+    "histogram count exact"
+    (hammer_domains * (hammer_per_domain / 1024))
+    (Metrics.histogram_count h)
+
+let test_trace_add_count_hammer () =
+  Trace.reset ();
+  Trace.set_enabled true;
+  Fun.protect
+    ~finally:(fun () ->
+      Trace.set_enabled false;
+      Trace.reset ())
+    (fun () ->
+      Pool.with_pool hammer_domains (fun pool ->
+          Pool.parallel_for pool ~chunk_size:1 hammer_domains (fun _d ->
+              Trace.with_span ~name:"hammer" (fun () ->
+                  for _ = 1 to hammer_per_domain do
+                    Trace.add_count "ticks" 1
+                  done)));
+      let total =
+        List.fold_left
+          (fun acc (sp : Trace.span) ->
+            if sp.name = "hammer" then
+              acc + Option.value (List.assoc_opt "ticks" sp.counters) ~default:0
+            else acc)
+          0 (Trace.spans ())
+      in
+      Alcotest.(check int)
+        "span tick totals exact"
+        (hammer_domains * hammer_per_domain)
+        total)
+
+let suite =
+  [
+    Alcotest.test_case "map_reduce sums deterministically" `Quick
+      test_map_reduce;
+    Alcotest.test_case "parallel_for covers every index" `Quick
+      test_parallel_for;
+    Alcotest.test_case "map_chunks preserves order" `Quick
+      test_map_chunks_order;
+    Alcotest.test_case "map_chunks propagates exceptions" `Quick
+      test_map_chunks_exception;
+    Alcotest.test_case "race returns values in input order" `Quick
+      test_race_order_and_win;
+    Alcotest.test_case "race cancellation leaves no counter drift" `Quick
+      test_race_no_counter_drift;
+    Alcotest.test_case "brute force identical at pool sizes 1/2/8" `Quick
+      test_brute_force_deterministic;
+    Alcotest.test_case "unpruned brute force identical across pools" `Quick
+      test_brute_force_nopruning_deterministic;
+    Alcotest.test_case "brute force budget boundary identical" `Quick
+      test_brute_force_budget_deterministic;
+    Alcotest.test_case "hybrid race identical at pool sizes 1/2/8" `Quick
+      test_hybrid_deterministic;
+    Alcotest.test_case "hybrid full budget identical across pools" `Quick
+      test_hybrid_full_budget_deterministic;
+    Alcotest.test_case "SQL scan results identical across pools" `Quick
+      test_sql_scan_deterministic;
+    Alcotest.test_case "SQL hash join results identical across pools" `Quick
+      test_sql_join_deterministic;
+    Alcotest.test_case "SQL projection identical across pools" `Quick
+      test_sql_projection_deterministic;
+    Alcotest.test_case "metrics survive an 8-domain hammer" `Quick
+      test_metrics_hammer;
+    Alcotest.test_case "trace counters survive an 8-domain hammer" `Quick
+      test_trace_add_count_hammer;
+  ]
