@@ -324,15 +324,24 @@ let run_hybrid ~pool ~ilp_max_nodes ~bf_max_examined db (c : Coeffs.t) =
           if Pool.size pool > 1 && choice.Cost_model.exact then begin
             (* Race the exact leg against a speculative local search on
                separate domains instead of running them back-to-back.
-               Only local search touches the database (its temp
-               neighbourhood tables); the exact legs work off compiled
-               coefficients, so the two sides share no mutable state
-               beyond the (atomic) metrics.  The merge is deterministic:
-               a proven-optimal leg wins outright and the speculative
-               search is cancelled (its result discarded), otherwise
-               local search was never cancelled, ran to its seeded
-               deterministic end, and the merge equals the sequential
-               fallback — bit-identical reports at any pool size. *)
+               Both legs may read the shared database — local search
+               through subquery evaluation and the semantic oracle, the
+               exact legs when re-deriving an objective the compiler
+               could not linearize — but neither writes it: local
+               search keeps its temp neighbourhood tables in a private
+               scratch database, and every Database operation (lazy
+               index builds included) is serialized by its internal
+               mutex, so the legs share no unsynchronized mutable state.
+               The merge is deterministic: a proven-optimal leg wins
+               outright and the speculative search is cancelled (its
+               result discarded), otherwise local search was never
+               cancelled, ran to its seeded deterministic end, and the
+               merge equals the sequential fallback — bit-identical
+               reports at any pool size.  Note the invariance covers
+               the *report* only: a cancelled speculative leg has
+               already bumped metrics counters and emitted trace spans,
+               so metrics/trace totals may differ between pool sizes
+               even though reports are identical. *)
             match
               Pool.race pool
                 [

@@ -200,10 +200,6 @@ let install_temp_tables db (c : Coeffs.t) indexed pkg =
   in
   Pb_sql.Database.put db tmp_cand (Relation.create cand_schema cand_rows)
 
-let drop_temp_tables db =
-  Pb_sql.Database.drop db tmp_p0;
-  Pb_sql.Database.drop db tmp_cand
-
 let fnum x = Printf.sprintf "%.12g" x
 
 (* WHERE fragment expressing that the k-replacement keeps (the SQL-
@@ -280,7 +276,7 @@ let build_neighborhood_sql indexed sums ~card ~k ~max_mult body =
     (String.concat ", " froms)
     (String.concat " AND " (condition :: List.rev !guards))
 
-let sql_replacements db (c : Coeffs.t) pkg ~k =
+let sql_replacements _db (c : Coeffs.t) pkg ~k =
   if k < 1 || k > 3 then invalid_arg "sql_replacements: k must be in 1..3";
   if Package.cardinality pkg < k then
     invalid_arg "sql_replacements: package smaller than k";
@@ -292,18 +288,21 @@ let sql_replacements db (c : Coeffs.t) pkg ~k =
   let mult = Package.multiplicities pkg in
   let sums = recompute_sums indexed mult in
   let card = Package.cardinality pkg in
-  install_temp_tables db c indexed pkg;
+  (* The neighbourhood query's FROM references only the two temp tables
+     (every needed per-tuple value is precomputed into their columns), so
+     they live in a private scratch database: the shared catalog is never
+     mutated, which lets the engine's hybrid strategy run this search on
+     one domain while an exact leg reads the shared database on another. *)
+  let scratch = Pb_sql.Database.create () in
+  install_temp_tables scratch c indexed pkg;
   let sql =
     build_neighborhood_sql indexed sums ~card ~k ~max_mult:c.max_mult
       indexed.body
   in
   let result =
-    Fun.protect
-      ~finally:(fun () -> drop_temp_tables db)
-      (fun () ->
-        match Pb_sql.Executor.execute_sql db sql with
-        | Pb_sql.Executor.Rows rel -> rel
-        | _ -> assert false)
+    match Pb_sql.Executor.execute_sql scratch sql with
+    | Pb_sql.Executor.Rows rel -> rel
+    | _ -> assert false
   in
   let positions = Array.of_list (Package.indices pkg) in
   let moves =

@@ -2,7 +2,16 @@ module Value = Pb_relation.Value
 module Schema = Pb_relation.Schema
 module Relation = Pb_relation.Relation
 
+(* All catalog state is guarded by [mu]: queries may run on several pool
+   domains at once (chunked filters, hash-join key eval/probe, chunked
+   projection), and a subquery evaluated on a worker domain can lazily
+   build an index — an unsynchronized Hashtbl mutation without the lock.
+   Every public operation holds the lock end to end, so a given
+   (table, column) index is built at most once and lookups never observe
+   a resizing table. Relations themselves are immutable, so returned
+   values are safe to read without the lock. *)
 type t = {
+  mu : Mutex.t;
   tables : (string, Relation.t) Hashtbl.t;
   declared_indexes : (string, string list ref) Hashtbl.t;  (* table -> cols *)
   index_cache : (string * string, Index.t) Hashtbl.t;
@@ -10,24 +19,34 @@ type t = {
 
 let create () =
   {
+    mu = Mutex.create ();
     tables = Hashtbl.create 16;
     declared_indexes = Hashtbl.create 8;
     index_cache = Hashtbl.create 8;
   }
 
+let locked db f =
+  Mutex.lock db.mu;
+  Fun.protect ~finally:(fun () -> Mutex.unlock db.mu) f
+
 let normalize = String.lowercase_ascii
 
-let invalidate_indexes db name =
+(* The _unlocked helpers assume [db.mu] is held (Mutex is not reentrant). *)
+
+let invalidate_indexes_unlocked db name =
   Hashtbl.filter_map_inplace
     (fun (table, _) index -> if table = name then None else Some index)
     db.index_cache
 
+let find_unlocked db name = Hashtbl.find_opt db.tables (normalize name)
+
 let put db name rel =
   let name = normalize name in
-  Hashtbl.replace db.tables name rel;
-  invalidate_indexes db name
+  locked db (fun () ->
+      Hashtbl.replace db.tables name rel;
+      invalidate_indexes_unlocked db name)
 
-let find db name = Hashtbl.find_opt db.tables (normalize name)
+let find db name = locked db (fun () -> find_unlocked db name)
 
 let find_exn db name =
   match find db name with
@@ -36,48 +55,59 @@ let find_exn db name =
 
 let drop db name =
   let name = normalize name in
-  Hashtbl.remove db.tables name;
-  Hashtbl.remove db.declared_indexes name;
-  invalidate_indexes db name
+  locked db (fun () ->
+      Hashtbl.remove db.tables name;
+      Hashtbl.remove db.declared_indexes name;
+      invalidate_indexes_unlocked db name)
 
 let table_names db =
-  List.sort String.compare
-    (Hashtbl.fold (fun k _ acc -> k :: acc) db.tables [])
+  locked db (fun () ->
+      List.sort String.compare
+        (Hashtbl.fold (fun k _ acc -> k :: acc) db.tables []))
 
 let create_index db ~table ~column =
   let table = normalize table and column = normalize column in
-  let rel = find_exn db table in
-  if Schema.index_of (Relation.schema rel) column = None then
-    failwith
-      (Printf.sprintf "no such column %s in table %s" column table);
-  let cols =
-    match Hashtbl.find_opt db.declared_indexes table with
-    | Some cols -> cols
-    | None ->
-        let cols = ref [] in
-        Hashtbl.add db.declared_indexes table cols;
-        cols
-  in
-  if not (List.mem column !cols) then cols := column :: !cols
+  locked db (fun () ->
+      let rel =
+        match find_unlocked db table with
+        | Some r -> r
+        | None -> failwith ("no such table: " ^ table)
+      in
+      if Schema.index_of (Relation.schema rel) column = None then
+        failwith
+          (Printf.sprintf "no such column %s in table %s" column table);
+      let cols =
+        match Hashtbl.find_opt db.declared_indexes table with
+        | Some cols -> cols
+        | None ->
+            let cols = ref [] in
+            Hashtbl.add db.declared_indexes table cols;
+            cols
+      in
+      if not (List.mem column !cols) then cols := column :: !cols)
 
-let indexed_columns db table =
+let indexed_columns_unlocked db table =
   match Hashtbl.find_opt db.declared_indexes (normalize table) with
   | Some cols -> !cols
   | None -> []
 
+let indexed_columns db table =
+  locked db (fun () -> indexed_columns_unlocked db table)
+
 let get_index db ~table ~column =
   let table = normalize table and column = normalize column in
-  if not (List.mem column (indexed_columns db table)) then None
-  else
-    match Hashtbl.find_opt db.index_cache (table, column) with
-    | Some index -> Some index
-    | None -> (
-        match find db table with
-        | None -> None
-        | Some rel ->
-            let index = Index.build rel column in
-            Hashtbl.add db.index_cache (table, column) index;
-            Some index)
+  locked db (fun () ->
+      if not (List.mem column (indexed_columns_unlocked db table)) then None
+      else
+        match Hashtbl.find_opt db.index_cache (table, column) with
+        | Some index -> Some index
+        | None -> (
+            match find_unlocked db table with
+            | None -> None
+            | Some rel ->
+                let index = Index.build rel column in
+                Hashtbl.add db.index_cache (table, column) index;
+                Some index))
 
 let infer_column_ty cells =
   let non_null = List.filter (fun v -> v <> Value.Null) cells in

@@ -5,7 +5,14 @@
 
     Indexes are declared per (table, column); they are built lazily on
     first use and invalidated whenever the table is replaced (every DML
-    statement replaces the stored relation). *)
+    statement replaces the stored relation).
+
+    Every operation below is serialized by an internal mutex, so a
+    database may be read from several pool domains at once (parallel
+    scans, hash joins, subquery evaluation on worker domains — including
+    the lazy index build, which happens at most once per column) while
+    another domain installs or drops tables. Relations are immutable, so
+    returned values are safe to use without further synchronization. *)
 
 type t
 
