@@ -12,7 +12,17 @@
                                                  Pb_obs.Metrics deltas as JSON
      dune exec bench/main.exe -- --domains 4  -- size of the Pb_par domain
                                                  pool (default: PB_DOMAINS
-                                                 or 1) *)
+                                                 or 1)
+
+   Load generator (serving-path numbers, run against a live pb_server):
+
+     dune exec bench/main.exe -- --loadgen --port 7878 \
+       --clients 8 --requests 200 --workload bench/workloads/net_mixed.txt \
+       --label d1 --json-out out.json
+
+   Each of N clients opens one connection and replays the workload file
+   round-robin (starting at a per-client offset so clients interleave
+   differently); reported are throughput and p50/p95/p99 latency. *)
 
 module Engine = Pb_core.Engine
 module Coeffs = Pb_core.Coeffs
@@ -948,6 +958,125 @@ let micro_benchmarks () =
   Table.print ~align:[ Table.Left; Table.Right ]
     ~header:[ "operation"; "time/run" ] rows
 
+(* ---- loadgen: concurrent clients against a live pb_server --------------- *)
+
+let loadgen_host = ref "127.0.0.1"
+let loadgen_port = ref 7878
+let loadgen_clients = ref 4
+let loadgen_requests = ref 100
+let loadgen_workload : string option ref = ref None
+let loadgen_deadline = ref 0.0
+let loadgen_label = ref "loadgen"
+let loadgen_json_out : string option ref = ref None
+
+let default_workload_lines =
+  [
+    "SELECT COUNT(*) FROM recipes";
+    "SELECT COUNT(*), SUM(calories) FROM recipes WHERE gluten = 'free'";
+    "\\tables";
+    "SELECT PACKAGE(R) AS P FROM recipes R WHERE R.gluten = 'free' SUCH THAT \
+     COUNT(*) = 3 AND SUM(P.calories) BETWEEN 2000 AND 2500 MAXIMIZE \
+     SUM(P.protein)";
+  ]
+
+let read_workload_file path =
+  let ic = open_in path in
+  let rec loop acc =
+    match input_line ic with
+    | line ->
+        let line = String.trim line in
+        if line = "" || line.[0] = '#' then loop acc else loop (line :: acc)
+    | exception End_of_file ->
+        close_in ic;
+        List.rev acc
+  in
+  loop []
+
+(* One worker = one connection; replays the workload round-robin starting at
+   a per-client offset so concurrent clients hit different statements at the
+   same instant. Latencies are collected per request; a request that comes
+   back as a protocol error (e.g. deadline) still counts as a completed
+   round-trip but is tallied separately. *)
+let loadgen () =
+  let lines =
+    match !loadgen_workload with
+    | Some path -> read_workload_file path
+    | None -> default_workload_lines
+  in
+  if lines = [] then failwith "loadgen: workload file has no statements";
+  let statements = Array.of_list lines in
+  let n_stmts = Array.length statements in
+  let clients = max 1 !loadgen_clients in
+  let per_client = max 1 !loadgen_requests in
+  let deadline =
+    if !loadgen_deadline > 0.0 then Some !loadgen_deadline else None
+  in
+  let latencies = Array.make clients [] in
+  let errors = Atomic.make 0 in
+  let failures = Atomic.make 0 in
+  let worker i () =
+    match Pb_net.Client.connect ~host:!loadgen_host ~port:!loadgen_port () with
+    | exception _ ->
+        Atomic.incr failures;
+        Printf.eprintf "loadgen: client %d could not connect to %s:%d\n%!" i
+          !loadgen_host !loadgen_port
+    | c ->
+        Fun.protect
+          ~finally:(fun () -> Pb_net.Client.close c)
+          (fun () ->
+            let acc = ref [] in
+            (try
+               for r = 0 to per_client - 1 do
+                 let stmt = statements.((i + r) mod n_stmts) in
+                 let t0 = Unix.gettimeofday () in
+                 let resp = Pb_net.Client.request ?deadline c stmt in
+                 let dt = Unix.gettimeofday () -. t0 in
+                 acc := dt :: !acc;
+                 match resp with
+                 | Ok _ -> ()
+                 | Error _ -> Atomic.incr errors
+               done
+             with Pb_net.Client.Net_error msg ->
+               Atomic.incr failures;
+               Printf.eprintf "loadgen: client %d dropped: %s\n%!" i msg);
+            latencies.(i) <- !acc)
+  in
+  let t0 = Unix.gettimeofday () in
+  let threads = List.init clients (fun i -> Thread.create (worker i) ()) in
+  List.iter Thread.join threads;
+  let wall = Unix.gettimeofday () -. t0 in
+  let all = Array.to_list latencies |> List.concat in
+  let completed = List.length all in
+  if completed = 0 then failwith "loadgen: no request completed";
+  let sorted = List.sort compare all in
+  let p q = Stats.percentile q sorted in
+  let throughput = float_of_int completed /. wall in
+  Printf.printf "loadgen %s: %d clients x %d requests against %s:%d\n"
+    !loadgen_label clients per_client !loadgen_host !loadgen_port;
+  Printf.printf
+    "  completed %d round-trips in %s (%d protocol errors, %d dropped \
+     clients)\n"
+    completed (fmt_seconds wall) (Atomic.get errors) (Atomic.get failures);
+  Printf.printf "  throughput: %.1f req/s\n" throughput;
+  Printf.printf "  latency: p50 %s  p95 %s  p99 %s  max %s\n"
+    (fmt_seconds (p 50.0)) (fmt_seconds (p 95.0)) (fmt_seconds (p 99.0))
+    (fmt_seconds (p 100.0));
+  match !loadgen_json_out with
+  | None -> ()
+  | Some path ->
+      let oc = open_out path in
+      Printf.fprintf oc
+        "{\"label\":\"%s\",\"clients\":%d,\"requests_per_client\":%d,\
+         \"completed\":%d,\"protocol_errors\":%d,\"dropped_clients\":%d,\
+         \"wall_seconds\":%s,\"throughput_rps\":%s,\"p50_s\":%s,\"p95_s\":%s,\
+         \"p99_s\":%s,\"max_s\":%s}\n"
+        (json_escape !loadgen_label) clients per_client completed
+        (Atomic.get errors) (Atomic.get failures) (json_num wall)
+        (json_num throughput) (json_num (p 50.0)) (json_num (p 95.0))
+        (json_num (p 99.0)) (json_num (p 100.0));
+      close_out oc;
+      Printf.printf "  json written to %s\n" path
+
 (* ---- driver -------------------------------------------------------------- *)
 
 let all_experiments =
@@ -958,6 +1087,8 @@ let all_experiments =
     ("P1", exp_p1);
   ]
 
+let run_loadgen = ref false
+
 let () =
   let args = Array.to_list Sys.argv in
   let rec parse = function
@@ -967,6 +1098,41 @@ let () =
         parse rest
     | "--bechamel" :: rest ->
         run_bechamel := true;
+        parse rest
+    | "--loadgen" :: rest ->
+        run_loadgen := true;
+        parse rest
+    | "--host" :: h :: rest ->
+        loadgen_host := h;
+        parse rest
+    | "--port" :: n :: rest ->
+        (match int_of_string_opt n with
+        | Some p when p > 0 -> loadgen_port := p
+        | _ -> prerr_endline ("ignoring invalid --port value: " ^ n));
+        parse rest
+    | "--clients" :: n :: rest ->
+        (match int_of_string_opt n with
+        | Some k when k >= 1 -> loadgen_clients := k
+        | _ -> prerr_endline ("ignoring invalid --clients value: " ^ n));
+        parse rest
+    | "--requests" :: n :: rest ->
+        (match int_of_string_opt n with
+        | Some k when k >= 1 -> loadgen_requests := k
+        | _ -> prerr_endline ("ignoring invalid --requests value: " ^ n));
+        parse rest
+    | "--workload" :: path :: rest ->
+        loadgen_workload := Some path;
+        parse rest
+    | "--deadline" :: s :: rest ->
+        (match float_of_string_opt s with
+        | Some d when d >= 0.0 -> loadgen_deadline := d
+        | _ -> prerr_endline ("ignoring invalid --deadline value: " ^ s));
+        parse rest
+    | "--label" :: l :: rest ->
+        loadgen_label := l;
+        parse rest
+    | "--json-out" :: path :: rest ->
+        loadgen_json_out := Some path;
         parse rest
     | "--exp" :: id :: rest ->
         selected := String.uppercase_ascii id :: !selected;
@@ -982,7 +1148,8 @@ let () =
     | _ :: rest -> parse rest
   in
   parse args;
-  if !run_bechamel then micro_benchmarks ()
+  if !run_loadgen then loadgen ()
+  else if !run_bechamel then micro_benchmarks ()
   else begin
     List.iter
       (fun (id, f) -> if wants id then with_metrics id f)

@@ -34,4 +34,46 @@ if ! diff -u _build/ci/run_d1.norm _build/ci/run_d8.norm; then
   exit 1
 fi
 
+# Serving-path smoke test: boot pb_server on an ephemeral port with a
+# fixed synthetic workload, replay a scripted pb_client session, and
+# diff the (timing-normalised) transcript against the checked-in
+# expectation. Then SIGTERM the server and require a clean exit.
+echo "== server smoke test (pb_server + scripted pb_client session) =="
+SMOKE_LOG=_build/ci/smoke_server.log
+./_build/default/bin/pb_server.exe --port 0 --size 80 --seed 7 \
+  >"$SMOKE_LOG" 2>&1 &
+SMOKE_PID=$!
+i=0
+while [ $i -lt 100 ]; do
+  grep -q "pb_server ready" "$SMOKE_LOG" 2>/dev/null && break
+  i=$((i + 1))
+  sleep 0.1
+done
+SMOKE_PORT=$(sed -n 's/.*listening on 127.0.0.1:\([0-9]*\).*/\1/p' "$SMOKE_LOG")
+if [ -z "$SMOKE_PORT" ]; then
+  echo "CI FAIL: pb_server did not come up; log follows"
+  cat "$SMOKE_LOG"
+  kill "$SMOKE_PID" 2>/dev/null || true
+  exit 1
+fi
+./_build/default/bin/pb_client.exe --port "$SMOKE_PORT" --echo \
+  <test/smoke/session.txt >_build/ci/smoke_out.txt 2>&1
+normalize _build/ci/smoke_out.txt >_build/ci/smoke_out.norm
+if ! diff -u test/smoke/expected.txt _build/ci/smoke_out.norm; then
+  echo "CI FAIL: pb_client session output differs from test/smoke/expected.txt"
+  kill "$SMOKE_PID" 2>/dev/null || true
+  exit 1
+fi
+kill -TERM "$SMOKE_PID"
+SMOKE_EXIT=0
+wait "$SMOKE_PID" || SMOKE_EXIT=$?
+if [ "$SMOKE_EXIT" -ne 0 ]; then
+  echo "CI FAIL: pb_server exited $SMOKE_EXIT on SIGTERM (expected 0)"
+  exit 1
+fi
+if ! grep -q "pb_server stopped" "$SMOKE_LOG"; then
+  echo "CI FAIL: pb_server did not log a graceful stop"
+  exit 1
+fi
+
 echo "CI OK"

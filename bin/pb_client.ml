@@ -1,0 +1,107 @@
+(* pb_client — command-line client for pb_server.
+
+     pb_client --port 7878 -c '\tables' -c 'SELECT 1 + 1'
+     pb_client --port 7878 < session.txt      # one request per line
+     pb_client --port 7878 --echo < session.txt
+
+   Lines starting with '#' and blank lines are skipped in stdin mode, so
+   scripted sessions can carry comments. Exit status: 0 when every
+   request got a response (including protocol-level errors, which are
+   printed), 1 on connection failure. *)
+
+open Cmdliner
+
+let host_arg =
+  Arg.(
+    value & opt string "127.0.0.1"
+    & info [ "host" ] ~docv:"HOST" ~doc:"Server address.")
+
+let port_arg =
+  Arg.(
+    value & opt int 7878 & info [ "port"; "p" ] ~docv:"PORT" ~doc:"Server port.")
+
+let deadline_arg =
+  Arg.(
+    value & opt float 0.0
+    & info [ "deadline" ] ~docv:"SECONDS"
+        ~doc:"Per-request deadline sent with every request. 0 = none.")
+
+let cmds_arg =
+  Arg.(
+    value & opt_all string []
+    & info [ "c"; "command" ] ~docv:"CMD"
+        ~doc:"Request to send (repeatable, in order). Without -c, requests \
+              are read from stdin, one per line.")
+
+let echo_arg =
+  Arg.(
+    value & flag
+    & info [ "echo" ]
+        ~doc:"Print each request as 'pb> CMD' before its response (for \
+              readable scripted transcripts).")
+
+let is_quit line =
+  match String.trim line with "\\quit" | "\\q" -> true | _ -> false
+
+let run host port deadline cmds echo =
+  let deadline = if deadline > 0.0 then Some deadline else None in
+  let stdin_mode = cmds = [] in
+  let next_line =
+    let pending = ref cmds in
+    fun () ->
+      if stdin_mode then (
+        match input_line stdin with
+        | line -> Some line
+        | exception End_of_file -> None)
+      else
+        match !pending with
+        | [] -> None
+        | line :: rest ->
+            pending := rest;
+            Some line
+  in
+  match Pb_net.Client.connect ~host ~port () with
+  | exception Unix.Unix_error (err, _, _) ->
+      Printf.eprintf "pb_client: cannot connect to %s:%d: %s\n" host port
+        (Unix.error_message err);
+      exit 1
+  | client ->
+      let rec loop () =
+        match next_line () with
+        | None -> ()
+        | Some line when stdin_mode && (String.trim line = "" || line.[0] = '#')
+          ->
+            loop ()
+        | Some line -> (
+            if echo then Printf.printf "pb> %s\n" line;
+            match Pb_net.Client.request ?deadline client line with
+            | Ok output ->
+                if output <> "" then print_endline output;
+                flush stdout;
+                if not (is_quit line) then loop ()
+            | Error (code, msg) ->
+                Printf.printf "error (%s): %s\n"
+                  (Pb_net.Protocol.error_code_to_string code)
+                  msg;
+                flush stdout;
+                (* busy/shutdown mean the server is hanging up on us *)
+                (match code with
+                | Pb_net.Protocol.Busy | Pb_net.Protocol.Shutting_down -> ()
+                | _ -> loop ())
+            | exception Pb_net.Client.Net_error msg ->
+                Printf.eprintf "pb_client: %s\n" msg;
+                exit 1)
+      in
+      loop ();
+      Pb_net.Client.close client
+
+let cmd =
+  let term =
+    Term.(const run $ host_arg $ port_arg $ deadline_arg $ cmds_arg $ echo_arg)
+  in
+  Cmd.v
+    (Cmd.info "pb_client" ~version:"1.0.0"
+       ~doc:"Client for the PackageBuilder wire protocol")
+    term
+
+let () = exit (Cmd.eval cmd)

@@ -1,0 +1,139 @@
+(* pb_server — serve the PackageBuilder REPL surface (PaQL, SQL,
+   backslash commands) over TCP. One shared database, one session per
+   connection; SIGINT/SIGTERM drain in-flight requests and exit 0.
+
+     pb_server --port 7878 --size 500
+     pb_server --port 0                 # ephemeral; the bound port is printed
+     pb_server --db ./state --deadline 5
+     pb_server --table recipes=data/recipes.csv *)
+
+open Cmdliner
+
+let host_arg =
+  Arg.(
+    value & opt string "127.0.0.1"
+    & info [ "host" ] ~docv:"HOST" ~doc:"Bind address.")
+
+let port_arg =
+  Arg.(
+    value & opt int 7878
+    & info [ "port"; "p" ] ~docv:"PORT"
+        ~doc:"TCP port; 0 picks an ephemeral port (printed on startup).")
+
+let max_conns_arg =
+  Arg.(
+    value & opt int 64
+    & info [ "max-conns" ] ~docv:"N"
+        ~doc:
+          "Maximum live connections; beyond this, clients are rejected \
+           with a busy error instead of queueing.")
+
+let deadline_arg =
+  Arg.(
+    value & opt float 0.0
+    & info [ "deadline" ] ~docv:"SECONDS"
+        ~doc:
+          "Default per-request deadline; requests past it get a protocol \
+           error. 0 disables the default (clients can still set their own).")
+
+let tables_arg =
+  Arg.(
+    value & opt_all string []
+    & info [ "table" ] ~docv:"NAME=PATH"
+        ~doc:"Load CSV file as a table. Repeatable.")
+
+let size_arg =
+  Arg.(
+    value & opt int 500
+    & info [ "size" ] ~docv:"N"
+        ~doc:"Rows for the synthetic recipes table (travel/stocks scale along).")
+
+let seed_arg =
+  Arg.(
+    value & opt int 7
+    & info [ "seed" ] ~docv:"SEED" ~doc:"Seed for the synthetic workload.")
+
+let db_dir_arg =
+  Arg.(
+    value & opt (some string) None
+    & info [ "db" ] ~docv:"DIR"
+        ~doc:
+          "Persistent database directory: loaded on start when it exists, \
+           written back (crash-safely) on shutdown.")
+
+let slowlog_arg =
+  Arg.(
+    value & opt float 0.0
+    & info [ "slowlog" ] ~docv:"SECONDS"
+        ~doc:"Log requests slower than this to the slow-query log. 0 = off.")
+
+let load_db tables size seed db_dir =
+  match db_dir with
+  | Some dir when Sys.file_exists (Filename.concat dir "manifest.txt") ->
+      Pb_sql.Persist.load_dir dir
+  | _ ->
+      let db = Pb_sql.Database.create () in
+      if tables = [] then
+        Pb_workload.Workload.install ~seed ~recipes_n:size
+          ~destinations:(max 2 (size / 60))
+          ~stocks_n:(max 20 (size / 2))
+          db
+      else
+        List.iter
+          (fun spec ->
+            match String.index_opt spec '=' with
+            | Some i ->
+                let name = String.sub spec 0 i in
+                let path =
+                  String.sub spec (i + 1) (String.length spec - i - 1)
+                in
+                Pb_sql.Database.load_csv db ~name path
+            | None ->
+                failwith (Printf.sprintf "--table expects NAME=PATH, got %S" spec))
+          tables;
+      db
+
+let serve host port max_conns deadline tables size seed db_dir slowlog =
+  let db = load_db tables size seed db_dir in
+  if slowlog > 0.0 then Pb_obs.Slow_log.set_threshold (Some slowlog);
+  let config =
+    {
+      Pb_net.Server.default_config with
+      host;
+      port;
+      max_connections = max_conns;
+      default_deadline = (if deadline > 0.0 then Some deadline else None);
+    }
+  in
+  let server = Pb_net.Server.start ~config db in
+  Pb_net.Server.install_signal_handlers server;
+  Printf.printf "pb_server listening on %s:%d (pid %d, %d tables, max %d conns%s)\n"
+    host
+    (Pb_net.Server.port server)
+    (Unix.getpid ())
+    (List.length (Pb_sql.Database.table_names db))
+    max_conns
+    (if deadline > 0.0 then Printf.sprintf ", deadline %gs" deadline else "");
+  print_string "pb_server ready\n";
+  flush stdout;
+  Pb_net.Server.join server;
+  (match db_dir with
+  | Some dir ->
+      Pb_sql.Persist.save_dir db dir;
+      Printf.printf "database saved to %s\n" dir
+  | None -> ());
+  print_endline "pb_server stopped";
+  flush stdout
+
+let cmd =
+  let term =
+    Term.(
+      const serve $ host_arg $ port_arg $ max_conns_arg $ deadline_arg
+      $ tables_arg $ size_arg $ seed_arg $ db_dir_arg $ slowlog_arg)
+  in
+  Cmd.v
+    (Cmd.info "pb_server" ~version:"1.0.0"
+       ~doc:"PackageBuilder wire-protocol server (PaQL/SQL over TCP)")
+    term
+
+let () = exit (Cmd.eval cmd)

@@ -1,0 +1,44 @@
+type t = { ic : in_channel; oc : out_channel }
+
+exception Net_error of string
+
+let resolve_host host =
+  match Unix.inet_addr_of_string host with
+  | addr -> addr
+  | exception Failure _ -> (
+      match Unix.gethostbyname host with
+      | { Unix.h_addr_list = [||]; _ } ->
+          raise (Net_error ("cannot resolve host " ^ host))
+      | { Unix.h_addr_list; _ } -> h_addr_list.(0)
+      | exception Not_found -> raise (Net_error ("cannot resolve host " ^ host)))
+
+let connect ?(host = "127.0.0.1") ~port () =
+  Sys.set_signal Sys.sigpipe Sys.Signal_ignore;
+  let fd = Unix.socket ~cloexec:true Unix.PF_INET Unix.SOCK_STREAM 0 in
+  (try Unix.connect fd (Unix.ADDR_INET (resolve_host host, port))
+   with e ->
+     (try Unix.close fd with Unix.Unix_error _ -> ());
+     raise e);
+  { ic = Unix.in_channel_of_descr fd; oc = Unix.out_channel_of_descr fd }
+
+let request ?deadline t text =
+  (try
+     Protocol.write_frame t.oc
+       (Protocol.encode_request { Protocol.text; deadline })
+   with Sys_error msg -> raise (Net_error ("send failed: " ^ msg)));
+  match Protocol.read_frame t.ic with
+  | Protocol.Frame payload -> (
+      match Protocol.decode_response payload with
+      | Ok response -> response
+      | Error msg -> raise (Net_error ("bad response: " ^ msg)))
+  | Protocol.Eof -> raise (Net_error "server closed the connection")
+  | Protocol.Bad msg -> raise (Net_error ("framing error: " ^ msg))
+
+let close t =
+  (* closing the out channel closes the shared fd; the in channel is
+     just a buffer over the same fd and must not be closed again *)
+  close_out_noerr t.oc
+
+let with_connection ?host ~port f =
+  let t = connect ?host ~port () in
+  Fun.protect ~finally:(fun () -> close t) (fun () -> f t)

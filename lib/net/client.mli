@@ -1,0 +1,27 @@
+(** Blocking client for the {!Server} wire protocol: one TCP connection,
+    strictly one in-flight request at a time. Used by the [pb_client]
+    CLI, the bench load generator, and the tests.
+
+    Transport-level failures (server gone, framing desync) raise
+    {!Net_error}; protocol-level failures (busy, deadline, bad request)
+    come back as [Error] values, because the connection is still usable
+    after them — except [busy]/[shutdown], after which the server hangs
+    up. *)
+
+type t
+
+exception Net_error of string
+
+val connect : ?host:string -> port:int -> unit -> t
+(** Connect to [host] (default 127.0.0.1; dotted quad or hostname).
+    Ignores [SIGPIPE] process-wide. Raises [Unix.Unix_error] on refusal. *)
+
+val request : ?deadline:float -> t -> string -> Protocol.response
+(** Send one REPL input line and wait for the response. [deadline] is a
+    per-request wall-clock budget in seconds, enforced server-side.
+    Raises {!Net_error} if the connection dies. *)
+
+val close : t -> unit
+
+val with_connection : ?host:string -> port:int -> (t -> 'a) -> 'a
+(** Connect, run, always close. *)

@@ -1,0 +1,114 @@
+let max_frame = 8 * 1024 * 1024
+
+type request = { text : string; deadline : float option }
+
+type error_code =
+  | Busy
+  | Deadline_exceeded
+  | Bad_request
+  | Shutting_down
+  | Internal
+
+type response = (string, error_code * string) result
+
+let error_code_to_string = function
+  | Busy -> "busy"
+  | Deadline_exceeded -> "deadline"
+  | Bad_request -> "proto"
+  | Shutting_down -> "shutdown"
+  | Internal -> "internal"
+
+let error_code_of_string = function
+  | "busy" -> Some Busy
+  | "deadline" -> Some Deadline_exceeded
+  | "proto" -> Some Bad_request
+  | "shutdown" -> Some Shutting_down
+  | "internal" -> Some Internal
+  | _ -> None
+
+(* ---- framing --------------------------------------------------------- *)
+
+type frame = Frame of string | Eof | Bad of string
+
+let write_frame oc payload =
+  output_string oc (string_of_int (String.length payload));
+  output_char oc '\n';
+  output_string oc payload;
+  flush oc
+
+(* The length header is at most 8 digits (max_frame < 10^8); anything
+   longer is oversized or garbage, so we can bound the header read. *)
+let max_header_digits = 8
+
+let read_frame_gen ~read_byte ~read_exact =
+  let rec header acc ndigits =
+    match read_byte () with
+    | None -> if ndigits = 0 then `Eof else `Bad "truncated frame header"
+    | Some '\n' -> if ndigits = 0 then `Bad "empty frame header" else `Len acc
+    | Some ('0' .. '9' as c) ->
+        if ndigits >= max_header_digits then `Bad "oversized frame header"
+        else header ((acc * 10) + (Char.code c - Char.code '0')) (ndigits + 1)
+    | Some c -> `Bad (Printf.sprintf "bad byte %C in frame header" c)
+  in
+  match header 0 0 with
+  | `Eof -> Eof
+  | `Bad msg -> Bad msg
+  | `Len len ->
+      if len > max_frame then
+        Bad (Printf.sprintf "frame of %d bytes exceeds max_frame %d" len max_frame)
+      else (
+        match read_exact len with
+        | Some payload -> Frame payload
+        | None -> Bad "truncated frame payload")
+
+let read_frame ic =
+  read_frame_gen
+    ~read_byte:(fun () ->
+      match input_char ic with
+      | c -> Some c
+      | exception End_of_file -> None)
+    ~read_exact:(fun n ->
+      match really_input_string ic n with
+      | s -> Some s
+      | exception End_of_file -> None)
+
+(* ---- payload codecs -------------------------------------------------- *)
+
+let split_first_line s =
+  match String.index_opt s '\n' with
+  | None -> (s, "")
+  | Some i -> (String.sub s 0 i, String.sub s (i + 1) (String.length s - i - 1))
+
+let encode_request { text; deadline } =
+  let header =
+    match deadline with
+    | None -> "REQ"
+    | Some d -> Printf.sprintf "REQ %g" d
+  in
+  header ^ "\n" ^ text
+
+let decode_request payload =
+  let header, text = split_first_line payload in
+  match String.split_on_char ' ' header with
+  | [ "REQ" ] -> Ok { text; deadline = None }
+  | [ "REQ"; d ] -> (
+      match float_of_string_opt d with
+      | Some d when d > 0.0 && Float.is_finite d ->
+          Ok { text; deadline = Some d }
+      | Some _ | None -> Error (Printf.sprintf "bad deadline %S" d))
+  | _ -> Error (Printf.sprintf "bad request header %S" header)
+
+let encode_response = function
+  | Ok body -> "OK\n" ^ body
+  | Error (code, msg) ->
+      Printf.sprintf "ERR %s\n%s" (error_code_to_string code) msg
+
+let decode_response payload =
+  let header, body = split_first_line payload in
+  match String.split_on_char ' ' header with
+  | [ "OK" ] -> Ok (Ok body)
+  | [ "ERR"; code ] -> (
+      match error_code_of_string code with
+      | Some code -> Ok (Error (code, body))
+      | None -> Error (Printf.sprintf "unknown error code %S" code))
+  | _ -> Error (Printf.sprintf "bad response header %S" header)

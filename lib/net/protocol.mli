@@ -1,0 +1,85 @@
+(** Wire protocol for the PackageBuilder server: a length-delimited text
+    framing with a one-line header inside each frame.
+
+    {2 Framing}
+
+    Every message, in both directions, is one {e frame}:
+
+    {v <decimal byte length of payload>\n<payload> v}
+
+    The length header is plain ASCII digits (no sign, no padding)
+    terminated by a single [\n]; the payload follows verbatim — it may
+    contain any bytes, including newlines. Frames larger than
+    {!max_frame} are rejected without reading the payload, because a
+    reader that has seen an oversized header can no longer trust the
+    stream.
+
+    {2 Requests}
+
+    A request payload is a header line followed by the input text:
+
+    {v REQ [<deadline seconds>]\n<input line for the REPL> v}
+
+    The optional deadline is a positive float; when present the server
+    aborts the request with a [deadline] error once that much wall-clock
+    time has elapsed. Without it the server's default applies.
+
+    {2 Responses}
+
+    {v OK\n<output text> v}
+    {v ERR <code>\n<message> v}
+
+    where [<code>] is one of [busy], [deadline], [proto], [shutdown],
+    [internal] — see {!error_code}. The codec never raises on malformed
+    input; decoders return [Error] and {!read_frame} returns {!Bad}. *)
+
+val max_frame : int
+(** Maximum accepted payload size in bytes (8 MiB). *)
+
+type request = {
+  text : string;  (** the REPL input line (PaQL, SQL, or \ command) *)
+  deadline : float option;
+      (** per-request wall-clock budget in seconds; [None] = server default *)
+}
+
+type error_code =
+  | Busy  (** connection limit reached; retry later *)
+  | Deadline_exceeded  (** the request ran past its deadline *)
+  | Bad_request  (** unparseable frame or header *)
+  | Shutting_down  (** server is draining; no new requests *)
+  | Internal  (** unexpected server-side exception *)
+
+type response = (string, error_code * string) result
+
+val error_code_to_string : error_code -> string
+val error_code_of_string : string -> error_code option
+
+(** {1 Framing} *)
+
+type frame =
+  | Frame of string  (** one complete payload *)
+  | Eof  (** clean end of stream (before any header byte) *)
+  | Bad of string  (** truncated, oversized, or malformed — close the
+                       connection, the stream is out of sync *)
+
+val write_frame : out_channel -> string -> unit
+(** Write one frame and flush. *)
+
+val read_frame : in_channel -> frame
+
+val read_frame_gen :
+  read_byte:(unit -> char option) ->
+  read_exact:(int -> string option) ->
+  frame
+(** Framing over caller-supplied byte sources ([None] = end of stream) —
+    the server reads straight from the socket fd with no input
+    buffering, so a pipelined second request is never stranded in a
+    channel buffer the poll loop cannot see. *)
+
+(** {1 Payload codecs} *)
+
+val encode_request : request -> string
+val decode_request : string -> (request, string) result
+
+val encode_response : response -> string
+val decode_response : string -> (response, string) result

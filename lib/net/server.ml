@@ -1,0 +1,376 @@
+module Repl = Pb_shell.Repl
+module Metrics = Pb_obs.Metrics
+module Slow_log = Pb_obs.Slow_log
+
+type config = {
+  host : string;
+  port : int;
+  max_connections : int;
+  default_deadline : float option;
+  poll_interval : float;
+}
+
+let default_config =
+  {
+    host = "127.0.0.1";
+    port = 7878;
+    max_connections = 64;
+    default_deadline = None;
+    poll_interval = 0.05;
+  }
+
+type t = {
+  config : config;
+  db : Pb_sql.Database.t;
+  listen : Unix.file_descr;
+  bound_port : int;
+  stop : bool Atomic.t;
+  active : int Atomic.t;
+  mutable accept_thread : Thread.t option;
+  finish_mu : Mutex.t;
+  mutable finished : bool;
+}
+
+(* ---- metrics --------------------------------------------------------- *)
+
+let latency_buckets =
+  [ 0.0005; 0.001; 0.005; 0.01; 0.05; 0.1; 0.5; 1.0; 5.0 ]
+
+let m_requests =
+  Metrics.counter ~help:"requests received over the wire"
+    "pb_net_requests_total"
+
+let m_connections =
+  Metrics.counter ~help:"connections admitted" "pb_net_connections_total"
+
+let m_busy =
+  Metrics.counter ~help:"connections rejected at the max-connection limit"
+    "pb_net_busy_rejections_total"
+
+let m_deadline =
+  Metrics.counter ~help:"requests aborted past their deadline"
+    "pb_net_deadline_exceeded_total"
+
+let m_errors =
+  Metrics.counter ~help:"protocol or internal request errors"
+    "pb_net_errors_total"
+
+let m_active =
+  Metrics.gauge ~help:"currently admitted connections"
+    "pb_net_active_connections"
+
+let m_paql_seconds =
+  Metrics.histogram ~help:"wall time of PaQL requests"
+    ~buckets:latency_buckets "pb_net_paql_request_seconds"
+
+let m_sql_seconds =
+  Metrics.histogram ~help:"wall time of SQL requests"
+    ~buckets:latency_buckets "pb_net_sql_request_seconds"
+
+let m_command_seconds =
+  Metrics.histogram ~help:"wall time of backslash-command requests"
+    ~buckets:latency_buckets "pb_net_command_request_seconds"
+
+(* Same dispatch heuristic as the REPL, reduced to metrics granularity:
+   backslash commands, PaQL (mentions the PACKAGE keyword), else SQL. *)
+let latency_histogram text =
+  let trimmed = String.trim text in
+  if trimmed = "" || trimmed.[0] = '\\' then m_command_seconds
+  else
+    let upper = String.uppercase_ascii trimmed in
+    let has_package =
+      let kw = "PACKAGE" and n = String.length upper in
+      let k = String.length kw in
+      let rec scan i = i + k <= n && (String.sub upper i k = kw || scan (i + 1)) in
+      scan 0
+    in
+    if has_package then m_paql_seconds else m_sql_seconds
+
+let set_active_gauge t = Metrics.set m_active (float_of_int (Atomic.get t.active))
+
+(* ---- deadline watchdog ------------------------------------------------ *)
+
+(* Run [f] on a worker thread and wait for completion via a pipe, up to
+   [deadline] seconds. On timeout the worker is NOT killed (OCaml offers
+   no safe cancellation): it is abandoned — it finishes in the
+   background, its result is dropped, and its completion byte lands on a
+   pipe whose read end is already closed (harmless: SIGPIPE is ignored
+   process-wide, see [start]). Exceptions from [f] re-raise here. *)
+let run_with_deadline ~deadline f =
+  match deadline with
+  | None -> `Done (f ())
+  | Some d ->
+      let result = ref None in
+      let mu = Mutex.create () in
+      let r_fd, w_fd = Unix.pipe ~cloexec:true () in
+      let (_ : Thread.t) =
+        Thread.create
+          (fun () ->
+            let r = match f () with v -> Ok v | exception e -> Error e in
+            Mutex.lock mu;
+            result := Some r;
+            Mutex.unlock mu;
+            (try ignore (Unix.write_substring w_fd "x" 0 1)
+             with Unix.Unix_error _ -> ());
+            try Unix.close w_fd with Unix.Unix_error _ -> ())
+          ()
+      in
+      let deadline_at = Unix.gettimeofday () +. d in
+      let rec wait () =
+        let remaining = deadline_at -. Unix.gettimeofday () in
+        if remaining <= 0.0 then `Timed_out
+        else
+          match Unix.select [ r_fd ] [] [] remaining with
+          | exception Unix.Unix_error (Unix.EINTR, _, _) -> wait ()
+          | [], _, _ -> wait ()
+          | _ -> `Completed
+      in
+      let outcome = wait () in
+      (try Unix.close r_fd with Unix.Unix_error _ -> ());
+      (match outcome with
+      | `Timed_out -> `Timeout
+      | `Completed -> (
+          Mutex.lock mu;
+          let r = !result in
+          Mutex.unlock mu;
+          match r with
+          | Some (Ok v) -> `Done v
+          | Some (Error e) -> raise e
+          | None -> `Timeout (* unreachable: the pipe fired after the write *)))
+
+(* ---- request handling ------------------------------------------------- *)
+
+(* Returns (response, close_connection_after). *)
+let handle_request t session (req : Protocol.request) =
+  Metrics.incr m_requests;
+  let deadline =
+    match req.Protocol.deadline with
+    | Some _ as d -> d
+    | None -> t.config.default_deadline
+  in
+  let start = Unix.gettimeofday () in
+  let outcome =
+    match run_with_deadline ~deadline (fun () -> Repl.handle session req.Protocol.text) with
+    | o -> o
+    | exception e -> `Raised e
+  in
+  let elapsed = Unix.gettimeofday () -. start in
+  Metrics.observe (latency_histogram req.Protocol.text) elapsed;
+  ignore (Slow_log.observe ~query:("net " ^ req.Protocol.text) ~elapsed);
+  match outcome with
+  | `Done reaction -> (Ok reaction.Repl.output, reaction.Repl.quit)
+  | `Timeout ->
+      Metrics.incr m_deadline;
+      let d = match deadline with Some d -> d | None -> 0.0 in
+      ( Error
+          ( Protocol.Deadline_exceeded,
+            Printf.sprintf
+              "request exceeded its %gs deadline (evaluation abandoned)" d ),
+        false )
+  | `Raised e ->
+      Metrics.incr m_errors;
+      (Error (Protocol.Internal, Printexc.to_string e), false)
+
+(* ---- connection lifecycle --------------------------------------------- *)
+
+(* Read one request frame straight off the fd. The stop flag is polled
+   only while waiting for a frame to BEGIN: once the first byte is in,
+   the frame is read to completion and the request it carries is served
+   (drain semantics). No input buffering — a pipelined second request
+   stays in the kernel socket buffer where select can see it. *)
+let read_request_frame t fd =
+  let one = Bytes.create 1 in
+  let block_read_byte () =
+    match Unix.read fd one 0 1 with
+    | 0 -> None
+    | _ -> Some (Bytes.get one 0)
+    | exception Unix.Unix_error ((Unix.ECONNRESET | Unix.EPIPE), _, _) -> None
+  in
+  let rec first_byte () =
+    if Atomic.get t.stop then `Stop
+    else
+      match Unix.select [ fd ] [] [] t.config.poll_interval with
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> first_byte ()
+      | [], _, _ -> first_byte ()
+      | _ -> ( match block_read_byte () with
+               | None -> `Eof
+               | Some c -> `First c)
+  in
+  match first_byte () with
+  | (`Stop | `Eof) as r -> r
+  | `First first ->
+      let pending = ref (Some first) in
+      let read_byte () =
+        match !pending with
+        | Some c ->
+            pending := None;
+            Some c
+        | None -> block_read_byte ()
+      in
+      let read_exact n =
+        let buf = Bytes.create n in
+        let rec fill off =
+          if off = n then Some (Bytes.unsafe_to_string buf)
+          else
+            match Unix.read fd buf off (n - off) with
+            | 0 -> None
+            | k -> fill (off + k)
+            | exception Unix.Unix_error ((Unix.ECONNRESET | Unix.EPIPE), _, _)
+              ->
+                None
+        in
+        fill 0
+      in
+      (match Protocol.read_frame_gen ~read_byte ~read_exact with
+      | Protocol.Frame payload -> `Frame payload
+      | Protocol.Eof -> `Eof
+      | Protocol.Bad msg -> `Bad msg)
+
+let conn_main t fd =
+  let oc = Unix.out_channel_of_descr fd in
+  let session = Repl.create t.db in
+  let respond resp =
+    match Protocol.write_frame oc (Protocol.encode_response resp) with
+    | () -> true
+    | exception Sys_error _ -> false
+  in
+  let finally () =
+    close_out_noerr oc;
+    (* close_out closes the underlying fd *)
+    Atomic.decr t.active;
+    set_active_gauge t
+  in
+  Fun.protect ~finally (fun () ->
+      let rec loop () =
+        match read_request_frame t fd with
+        | `Stop | `Eof -> ()
+        | `Bad msg ->
+            (* The stream is out of sync; report once and hang up. *)
+            Metrics.incr m_errors;
+            ignore
+              (respond (Error (Protocol.Bad_request, "framing error: " ^ msg)))
+        | `Frame payload -> (
+            match Protocol.decode_request payload with
+            | Error msg ->
+                Metrics.incr m_errors;
+                if respond (Error (Protocol.Bad_request, msg)) then loop ()
+            | Ok req ->
+                let resp, close_after = handle_request t session req in
+                if respond resp && not close_after then loop ())
+      in
+      loop ())
+
+let reject fd code msg =
+  let oc = Unix.out_channel_of_descr fd in
+  (try Protocol.write_frame oc (Protocol.encode_response (Error (code, msg)))
+   with Sys_error _ -> ());
+  close_out_noerr oc
+
+(* ---- accept loop ------------------------------------------------------ *)
+
+let accept_loop t =
+  let rec loop () =
+    if Atomic.get t.stop then ()
+    else
+      match Unix.select [ t.listen ] [] [] t.config.poll_interval with
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> loop ()
+      | [], _, _ -> loop ()
+      | _ ->
+          (match Unix.accept ~cloexec:true t.listen with
+          | exception Unix.Unix_error _ -> ()
+          | fd, _ ->
+              if Atomic.get t.stop then
+                reject fd Protocol.Shutting_down "server is shutting down"
+              else if Atomic.get t.active >= t.config.max_connections then begin
+                Metrics.incr m_busy;
+                reject fd Protocol.Busy
+                  (Printf.sprintf "server busy: %d connections are live"
+                     t.config.max_connections)
+              end
+              else begin
+                Atomic.incr t.active;
+                set_active_gauge t;
+                Metrics.incr m_connections;
+                ignore (Thread.create (fun () -> conn_main t fd) ())
+              end);
+          loop ()
+  in
+  loop ()
+
+(* ---- lifecycle -------------------------------------------------------- *)
+
+let resolve_host host =
+  match Unix.inet_addr_of_string host with
+  | addr -> addr
+  | exception Failure _ -> (
+      match Unix.gethostbyname host with
+      | { Unix.h_addr_list = [||]; _ } ->
+          failwith ("Server: cannot resolve host " ^ host)
+      | { Unix.h_addr_list; _ } -> h_addr_list.(0)
+      | exception Not_found -> failwith ("Server: cannot resolve host " ^ host))
+
+let start ?(config = default_config) db =
+  Sys.set_signal Sys.sigpipe Sys.Signal_ignore;
+  let listen = Unix.socket ~cloexec:true Unix.PF_INET Unix.SOCK_STREAM 0 in
+  (try
+     Unix.setsockopt listen Unix.SO_REUSEADDR true;
+     Unix.bind listen (Unix.ADDR_INET (resolve_host config.host, config.port));
+     Unix.listen listen 64
+   with e ->
+     (try Unix.close listen with Unix.Unix_error _ -> ());
+     raise e);
+  let bound_port =
+    match Unix.getsockname listen with
+    | Unix.ADDR_INET (_, p) -> p
+    | _ -> config.port
+  in
+  let t =
+    {
+      config;
+      db;
+      listen;
+      bound_port;
+      stop = Atomic.make false;
+      active = Atomic.make 0;
+      accept_thread = None;
+      finish_mu = Mutex.create ();
+      finished = false;
+    }
+  in
+  t.accept_thread <- Some (Thread.create accept_loop t);
+  t
+
+let port t = t.bound_port
+
+let request_stop t = Atomic.set t.stop true
+
+let join t =
+  Mutex.lock t.finish_mu;
+  Fun.protect
+    ~finally:(fun () -> Mutex.unlock t.finish_mu)
+    (fun () ->
+      if not t.finished then begin
+        (match t.accept_thread with
+        | Some th -> Thread.join th
+        | None -> ());
+        (* Drain: every connection closes right after the request it is
+           serving; idle ones notice the flag within poll_interval. *)
+        while Atomic.get t.active > 0 do
+          Thread.delay 0.01
+        done;
+        (try Unix.close t.listen with Unix.Unix_error _ -> ());
+        t.finished <- true
+      end)
+
+let shutdown t =
+  request_stop t;
+  join t
+
+let install_signal_handlers t =
+  let handle = Sys.Signal_handle (fun _ -> request_stop t) in
+  Sys.set_signal Sys.sigint handle;
+  Sys.set_signal Sys.sigterm handle
+
+let with_server ?config db f =
+  let t = start ?config db in
+  Fun.protect ~finally:(fun () -> shutdown t) (fun () -> f t)

@@ -1,0 +1,76 @@
+(** Concurrent TCP server exposing the full {!Pb_shell.Repl} surface
+    (PaQL queries, SQL, backslash commands) over the {!Protocol} wire
+    format.
+
+    One {!Pb_sql.Database.t} is shared by every connection (it is
+    internally thread-safe); each connection gets its own private
+    [Repl.state] session, so [\save]/[\packages] bookkeeping like "the
+    last query's package" is per-client while the data itself is shared
+    — exactly the shared-DBMS, per-session model of the paper.
+
+    Concurrency model: one accept thread plus one thread per live
+    connection ([unix] + [threads]; query evaluation inside a request
+    still fans out over the {!Pb_par} default domain pool). Admission is
+    bounded: when [max_connections] sessions are live, further clients
+    are sent one [busy] error frame and closed immediately instead of
+    queueing (backpressure, not buffering).
+
+    Deadlines: a request carrying a deadline (or inheriting
+    [default_deadline]) runs on a watchdog; past the deadline the client
+    gets a [deadline] protocol error and the {e connection stays usable}.
+    The evaluation itself is not killed — OCaml has no safe thread
+    cancellation — it is abandoned: it finishes in the background and its
+    result is discarded. Abandoned work still burns CPU; the deadline
+    bounds client-observed latency, not server load.
+
+    Shutdown: {!request_stop} (async-signal-safe: it only flips an
+    atomic) makes the accept loop exit and every connection close after
+    the request it is currently serving — in-flight requests drain,
+    idle connections close within one poll interval, no new connections
+    are admitted. {!join} blocks until the drain completes. *)
+
+type config = {
+  host : string;  (** bind address, default ["127.0.0.1"] *)
+  port : int;  (** TCP port; [0] picks an ephemeral port (see {!port}) *)
+  max_connections : int;  (** live-session cap; excess get [busy] *)
+  default_deadline : float option;
+      (** applied to requests that carry no deadline; [None] = unlimited *)
+  poll_interval : float;
+      (** seconds between stop-flag checks while idle (accept loop and
+          idle connections); bounds shutdown latency *)
+}
+
+val default_config : config
+(** [127.0.0.1:7878], 64 connections, no default deadline, 50ms poll. *)
+
+type t
+
+val start : ?config:config -> Pb_sql.Database.t -> t
+(** Bind, listen, and spawn the accept thread; returns immediately.
+    Ignores [SIGPIPE] process-wide (a client hanging up mid-response
+    must not kill the server). Raises [Unix.Unix_error] if the port is
+    taken. *)
+
+val port : t -> int
+(** The actual bound port — useful with [config.port = 0]. *)
+
+val request_stop : t -> unit
+(** Begin graceful shutdown. Async-signal-safe; returns immediately. *)
+
+val join : t -> unit
+(** Block until the server has fully stopped: accept loop exited, all
+    connections drained, listen socket closed. Does {e not} itself
+    initiate shutdown. Safe to call from several threads. *)
+
+val shutdown : t -> unit
+(** [request_stop] + [join]. Idempotent. *)
+
+val install_signal_handlers : t -> unit
+(** Route [SIGINT] and [SIGTERM] to {!request_stop}, so
+    [start |> install_signal_handlers |> join] is a complete server
+    main loop with graceful termination. *)
+
+val with_server :
+  ?config:config -> Pb_sql.Database.t -> (t -> 'a) -> 'a
+(** Run [f server] and always {!shutdown}, even on exceptions — the
+    test harness's entry point. *)

@@ -311,7 +311,8 @@ let command st name raw_arg =
   | "dump", dir -> (
       match Pb_sql.Persist.save_dir st.db dir with
       | () -> ok ("database written to " ^ dir)
-      | exception Sys_error msg -> ok ("dump failed: " ^ msg))
+      | exception Sys_error msg -> ok ("dump failed: " ^ msg)
+      | exception Failure msg -> ok ("dump failed: " ^ msg))
   | name, _ -> ok (Printf.sprintf "unknown command \\%s (try \\help)" name)
 
 let left_trim s =

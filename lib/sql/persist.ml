@@ -39,8 +39,49 @@ let parse_value ty field =
         | _ -> failwith ("Persist: bad BOOL field " ^ field))
     | Value.T_str -> Value.Str field
 
+(* The manifest uses tab as the field separator and comma as the list
+   separator, so a table or column name containing either (or a line
+   break) would be torn apart on reload — reject such names up front,
+   before anything is written. Values are not affected: they live in the
+   CSV files, whose quoting handles commas and newlines. *)
+let check_name ~what name =
+  if name = "" then failwith (Printf.sprintf "Persist: empty %s name" what);
+  String.iter
+    (fun c ->
+      match c with
+      | '\t' | ',' | '\n' | '\r' ->
+          failwith
+            (Printf.sprintf
+               "Persist: %s name %S contains a manifest delimiter (tab, \
+                comma, or line break) and cannot be saved"
+               what name)
+      | _ -> ())
+    name
+
+(* Write via a sibling temp file and rename into place: rename within a
+   directory is atomic, so a crash mid-save leaves either the old file
+   or the new one, never a torn half. *)
+let write_file_atomic path content =
+  let tmp = path ^ ".tmp" in
+  let oc = open_out tmp in
+  (match output_string oc content with
+  | () -> close_out oc
+  | exception e ->
+      close_out_noerr oc;
+      raise e);
+  Sys.rename tmp path
+
 let save_dir db dir =
   if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
+  let tables = Database.table_names db in
+  List.iter
+    (fun table ->
+      check_name ~what:"table" table;
+      let rel = Database.find_exn db table in
+      List.iter
+        (fun { Schema.name; _ } -> check_name ~what:"column" name)
+        (Schema.columns (Relation.schema rel)))
+    tables;
   let manifest = Buffer.create 256 in
   List.iter
     (fun table ->
@@ -60,11 +101,28 @@ let save_dir db dir =
           (fun row -> Array.to_list (Array.map serialize_value row))
           (Relation.to_list rel)
       in
-      Pb_util.Csv.write_file (Filename.concat dir (table ^ ".csv")) rows)
-    (Database.table_names db);
-  let oc = open_out (Filename.concat dir manifest_file) in
-  output_string oc (Buffer.contents manifest);
-  close_out oc
+      write_file_atomic
+        (Filename.concat dir (table ^ ".csv"))
+        (Pb_util.Csv.to_string rows))
+    tables;
+  (* The manifest rename is the commit point: every CSV it names is
+     already durably in place when it appears. *)
+  write_file_atomic (Filename.concat dir manifest_file)
+    (Buffer.contents manifest);
+  (* Drop CSVs of tables that no longer exist (otherwise a dropped table
+     silently resurrects on the next load) and any temp files a crashed
+     earlier save left behind. Table names are stored lowercase, so the
+     on-disk name of a live table matches its catalog name exactly. *)
+  let live = List.map (fun t -> t ^ ".csv") tables in
+  Array.iter
+    (fun entry ->
+      let stale_csv =
+        Filename.check_suffix entry ".csv" && not (List.mem entry live)
+      in
+      let stale_tmp = Filename.check_suffix entry ".tmp" in
+      if stale_csv || stale_tmp then
+        try Sys.remove (Filename.concat dir entry) with Sys_error _ -> ())
+    (Sys.readdir dir)
 
 let load_dir dir =
   let path = Filename.concat dir manifest_file in

@@ -17,7 +17,14 @@
 
 val save_dir : Database.t -> string -> unit
 (** Create [dir] if needed and (over)write the manifest and one CSV per
-    table. Raises [Sys_error] on I/O failure. *)
+    table. Crash-safe: every file is written to a sibling temp file and
+    renamed into place, with the manifest renamed last as the commit
+    point — a crash mid-save leaves the previous consistent state
+    loadable. CSVs of tables no longer in the database (and stale [.tmp]
+    files from interrupted saves) are deleted, so dropped tables do not
+    resurrect on reload. Raises [Failure] before writing anything if a
+    table or column name contains a manifest delimiter (tab, comma, or
+    line break); raises [Sys_error] on I/O failure. *)
 
 val load_dir : string -> Database.t
 (** Load a directory written by {!save_dir}; declared indexes are

@@ -22,4 +22,5 @@ let () =
       ("properties-ext", Test_props2.suite);
       ("differential", Test_differential.suite);
       ("par", Test_par.suite);
+      ("net", Test_net.suite);
     ]

@@ -1,0 +1,374 @@
+(* Tests for the wire-protocol layer: codec round-trips, malformed
+   frames, and a loopback client/server covering the serving semantics —
+   per-session isolation, deadlines, backpressure, graceful shutdown. *)
+
+module Protocol = Pb_net.Protocol
+module Server = Pb_net.Server
+module Client = Pb_net.Client
+
+let contains hay needle =
+  let n = String.length needle and h = String.length hay in
+  let rec go i = i + n <= h && (String.sub hay i n = needle || go (i + 1)) in
+  go 0
+
+(* ---- codec ------------------------------------------------------------ *)
+
+(* Feed raw bytes to the frame reader the way a socket would. *)
+let read_frames_of_string s =
+  let pos = ref 0 in
+  let read_byte () =
+    if !pos >= String.length s then None
+    else begin
+      let c = s.[!pos] in
+      incr pos;
+      Some c
+    end
+  in
+  let read_exact n =
+    if !pos + n > String.length s then None
+    else begin
+      let r = String.sub s !pos n in
+      pos := !pos + n;
+      Some r
+    end
+  in
+  fun () -> Protocol.read_frame_gen ~read_byte ~read_exact
+
+let frame_of_string s = read_frames_of_string s ()
+
+let write_frame_to_string payload =
+  let buf = Filename.temp_file "pb_net_frame" "" in
+  Fun.protect
+    ~finally:(fun () -> try Sys.remove buf with Sys_error _ -> ())
+    (fun () ->
+      let oc = open_out_bin buf in
+      Protocol.write_frame oc payload;
+      close_out oc;
+      let ic = open_in_bin buf in
+      let len = in_channel_length ic in
+      let s = really_input_string ic len in
+      close_in ic;
+      s)
+
+let test_frame_roundtrip () =
+  List.iter
+    (fun payload ->
+      let wire = write_frame_to_string payload in
+      match frame_of_string wire with
+      | Protocol.Frame p ->
+          Alcotest.(check string) "payload survives" payload p
+      | Protocol.Eof | Protocol.Bad _ -> Alcotest.fail "expected a frame")
+    [ ""; "x"; "OK\nhello"; "binary \000\001\255 bytes"; "multi\nline\npayload";
+      String.make 100_000 'z' ]
+
+let test_frame_streaming () =
+  (* several frames back to back parse in order *)
+  let wire =
+    write_frame_to_string "first" ^ write_frame_to_string ""
+    ^ write_frame_to_string "third"
+  in
+  let next = read_frames_of_string wire in
+  (match next () with
+  | Protocol.Frame p -> Alcotest.(check string) "first" "first" p
+  | _ -> Alcotest.fail "frame 1");
+  (match next () with
+  | Protocol.Frame p -> Alcotest.(check string) "second" "" p
+  | _ -> Alcotest.fail "frame 2");
+  (match next () with
+  | Protocol.Frame p -> Alcotest.(check string) "third" "third" p
+  | _ -> Alcotest.fail "frame 3");
+  match next () with
+  | Protocol.Eof -> ()
+  | _ -> Alcotest.fail "expected EOF after last frame"
+
+let expect_bad label wire =
+  match frame_of_string wire with
+  | Protocol.Bad _ -> ()
+  | Protocol.Frame _ -> Alcotest.fail (label ^ ": accepted a bad frame")
+  | Protocol.Eof -> Alcotest.fail (label ^ ": reported clean EOF")
+
+let test_frame_malformed () =
+  expect_bad "truncated payload" "10\nabc";
+  expect_bad "truncated header" "12";
+  expect_bad "empty header" "\npayload";
+  expect_bad "junk header" "12x\npayload";
+  expect_bad "negative-ish header" "-2\npayload";
+  (* 9 digits always exceeds the 8-digit header bound *)
+  expect_bad "huge header" "123456789\npayload";
+  (* 8 digits but over max_frame *)
+  expect_bad "oversized frame" "99999999\npayload";
+  match frame_of_string "" with
+  | Protocol.Eof -> ()
+  | _ -> Alcotest.fail "empty stream should be clean EOF"
+
+let test_request_codec () =
+  List.iter
+    (fun req ->
+      match Protocol.decode_request (Protocol.encode_request req) with
+      | Ok r ->
+          Alcotest.(check string) "text" req.Protocol.text r.Protocol.text;
+          Alcotest.(check bool) "deadline" true
+            (r.Protocol.deadline = req.Protocol.deadline)
+      | Error e -> Alcotest.fail e)
+    [
+      { Protocol.text = "\\tables"; deadline = None };
+      { Protocol.text = "SELECT 1"; deadline = Some 2.5 };
+      { Protocol.text = "line one\nline two"; deadline = Some 0.125 };
+      { Protocol.text = ""; deadline = None };
+    ];
+  (match Protocol.decode_request "REQ -1\nx" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "negative deadline accepted");
+  (match Protocol.decode_request "REQ nan\nx" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "nan deadline accepted");
+  match Protocol.decode_request "NOPE\nx" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "bad verb accepted"
+
+let test_response_codec () =
+  let cases : Protocol.response list =
+    [
+      Ok "plain output";
+      Ok "";
+      Ok "multi\nline\noutput";
+      Error (Protocol.Busy, "server busy");
+      Error (Protocol.Deadline_exceeded, "too slow");
+      Error (Protocol.Bad_request, "what");
+      Error (Protocol.Shutting_down, "bye");
+      Error (Protocol.Internal, "boom");
+    ]
+  in
+  List.iter
+    (fun resp ->
+      match Protocol.decode_response (Protocol.encode_response resp) with
+      | Ok r -> Alcotest.(check bool) "response round-trips" true (r = resp)
+      | Error e -> Alcotest.fail e)
+    cases;
+  match Protocol.decode_response "ERR gremlins\nx" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "unknown error code accepted"
+
+(* ---- loopback server -------------------------------------------------- *)
+
+let make_db n =
+  let db = Pb_sql.Database.create () in
+  Pb_sql.Database.put db "recipes"
+    (Pb_workload.Workload.recipes ~seed:11 ~n ());
+  db
+
+let test_config =
+  { Server.default_config with port = 0; poll_interval = 0.02 }
+
+let paql_line =
+  "SELECT PACKAGE(R) AS P FROM recipes R WHERE R.gluten = 'free' SUCH THAT \
+   COUNT(*) = 2 AND SUM(P.calories) <= 2600 MAXIMIZE SUM(P.protein)"
+
+(* A query whose cost is dominated by an unindexed 3-way cross product:
+   slow at any pool size, used to trigger deadlines and exercise drain. *)
+let slow_sql = "SELECT COUNT(*) FROM recipes a, recipes b, recipes c"
+
+let ok_or_fail = function
+  | Ok output -> output
+  | Error (code, msg) ->
+      Alcotest.fail
+        (Printf.sprintf "unexpected protocol error %s: %s"
+           (Protocol.error_code_to_string code)
+           msg)
+
+let test_loopback_basic () =
+  Server.with_server ~config:test_config (make_db 40) (fun server ->
+      Client.with_connection ~port:(Server.port server) (fun c ->
+          (* backslash command *)
+          let tables = ok_or_fail (Client.request c "\\tables") in
+          Alcotest.(check bool) "tables lists recipes" true
+            (contains tables "recipes");
+          (* SQL *)
+          let count = ok_or_fail (Client.request c "SELECT COUNT(*) FROM recipes") in
+          Alcotest.(check bool) "sql counts" true (contains count "40");
+          (* PaQL *)
+          let pkg = ok_or_fail (Client.request c paql_line) in
+          Alcotest.(check bool) "package found" true
+            (contains pkg "objective:");
+          Alcotest.(check bool) "strategy reported" true
+            (contains pkg "strategy:");
+          (* errors come back in-band and leave the connection usable *)
+          let bad = ok_or_fail (Client.request c "SELECT FROM") in
+          Alcotest.(check bool) "sql error in-band" true (contains bad "error");
+          let again = ok_or_fail (Client.request c "\\tables") in
+          Alcotest.(check bool) "still usable" true (contains again "recipes")))
+
+let test_loopback_session_isolation () =
+  Server.with_server ~config:test_config (make_db 40) (fun server ->
+      let port = Server.port server in
+      Client.with_connection ~port (fun a ->
+          Client.with_connection ~port (fun b ->
+              (* A runs a PaQL query; B's session has no last package. *)
+              ignore (ok_or_fail (Client.request a paql_line));
+              let b_save = ok_or_fail (Client.request b "\\save stolen") in
+              Alcotest.(check bool) "B cannot save A's package" true
+                (contains b_save "nothing to save");
+              let a_save = ok_or_fail (Client.request a "\\save mine") in
+              Alcotest.(check bool) "A saves its own" true
+                (contains a_save "pkg_mine");
+              (* the DATA is shared: B sees the saved package table *)
+              let b_pkgs = ok_or_fail (Client.request b "\\packages") in
+              Alcotest.(check bool) "saved package is shared data" true
+                (contains b_pkgs "mine"))))
+
+let test_loopback_concurrent_clients () =
+  Server.with_server ~config:test_config (make_db 40) (fun server ->
+      let port = Server.port server in
+      let failures = Atomic.make 0 in
+      let worker i =
+        Client.with_connection ~port (fun c ->
+            for _ = 1 to 12 do
+              (* interleave SQL and PaQL across clients *)
+              let r =
+                if i mod 2 = 0 then Client.request c "SELECT COUNT(*) FROM recipes"
+                else Client.request c paql_line
+              in
+              match r with
+              | Ok out ->
+                  let want = if i mod 2 = 0 then "40" else "objective:" in
+                  if not (contains out want) then Atomic.incr failures
+              | Error _ -> Atomic.incr failures
+            done)
+      in
+      let threads = List.init 4 (fun i -> Thread.create worker i) in
+      List.iter Thread.join threads;
+      Alcotest.(check int) "every concurrent request answered correctly" 0
+        (Atomic.get failures))
+
+let test_loopback_deadline () =
+  Server.with_server ~config:test_config (make_db 100) (fun server ->
+      Client.with_connection ~port:(Server.port server) (fun c ->
+          (match Client.request ~deadline:0.02 c slow_sql with
+          | Error (Protocol.Deadline_exceeded, msg) ->
+              Alcotest.(check bool) "mentions the deadline" true
+                (contains msg "deadline")
+          | Ok _ -> Alcotest.fail "slow query beat a 20ms deadline"
+          | Error (code, msg) ->
+              Alcotest.fail
+                (Printf.sprintf "wrong error %s: %s"
+                   (Protocol.error_code_to_string code)
+                   msg));
+          (* the connection survives a deadline error *)
+          let after = ok_or_fail (Client.request c "\\tables") in
+          Alcotest.(check bool) "connection usable after deadline" true
+            (contains after "recipes")))
+
+let test_loopback_busy () =
+  let config = { test_config with max_connections = 2 } in
+  Server.with_server ~config (make_db 20) (fun server ->
+      let port = Server.port server in
+      Client.with_connection ~port (fun a ->
+          Client.with_connection ~port (fun b ->
+              (* both admitted connections work *)
+              ignore (ok_or_fail (Client.request a "\\tables"));
+              ignore (ok_or_fail (Client.request b "\\tables"));
+              (* the (max+1)-th is rejected with busy *)
+              let c = Client.connect ~port () in
+              Fun.protect
+                ~finally:(fun () -> Client.close c)
+                (fun () ->
+                  match Client.request c "\\tables" with
+                  | Error (Protocol.Busy, msg) ->
+                      Alcotest.(check bool) "says busy" true
+                        (contains msg "busy")
+                  | Ok _ -> Alcotest.fail "over-limit connection admitted"
+                  | Error (code, _) ->
+                      Alcotest.fail
+                        ("wrong error: " ^ Protocol.error_code_to_string code))));
+      (* both slots free again: a new client is admitted *)
+      let rec retry n =
+        Client.with_connection ~port (fun c ->
+            match Client.request c "\\tables" with
+            | Ok out -> out
+            | Error (Protocol.Busy, _) when n > 0 ->
+                Thread.delay 0.05;
+                retry (n - 1)
+            | Error (code, msg) ->
+                Alcotest.fail
+                  (Protocol.error_code_to_string code ^ ": " ^ msg))
+      in
+      Alcotest.(check bool) "slot freed after close" true
+        (contains (retry 40) "recipes"))
+
+let test_shutdown_drains () =
+  let db = make_db 70 in
+  let server = Server.start ~config:test_config db in
+  let port = Server.port server in
+  let result = ref (Ok "") in
+  let client_thread =
+    Thread.create
+      (fun () ->
+        Client.with_connection ~port (fun c ->
+            result := Client.request c slow_sql))
+      ()
+  in
+  (* let the slow request reach the server, then shut down mid-flight *)
+  Thread.delay 0.2;
+  Server.shutdown server;
+  Thread.join client_thread;
+  (match !result with
+  | Ok out ->
+      (* 70^3 product rows *)
+      Alcotest.(check bool) "in-flight request completed during drain" true
+        (contains out "343000")
+  | Error (code, msg) ->
+      Alcotest.fail
+        (Printf.sprintf "drained request failed with %s: %s"
+           (Protocol.error_code_to_string code)
+           msg));
+  (* the listener is gone: connecting now fails *)
+  match Client.connect ~port () with
+  | exception Unix.Unix_error (Unix.ECONNREFUSED, _, _) -> ()
+  | exception _ -> ()
+  | c ->
+      (* accept backlog raced the close; the server must at least not
+         serve the connection *)
+      Client.close c;
+      Alcotest.fail "server still accepting after shutdown"
+
+let test_shutdown_idempotent () =
+  let server = Server.start ~config:test_config (make_db 10) in
+  Server.shutdown server;
+  Server.shutdown server;
+  (* and with_server's finally also tolerates an early explicit stop *)
+  Server.with_server ~config:test_config (make_db 10) (fun s ->
+      Server.shutdown s)
+
+let test_metrics_exposed () =
+  Server.with_server ~config:test_config (make_db 20) (fun server ->
+      Client.with_connection ~port:(Server.port server) (fun c ->
+          ignore (ok_or_fail (Client.request c "SELECT COUNT(*) FROM recipes"));
+          let dump = ok_or_fail (Client.request c "\\metrics") in
+          Alcotest.(check bool) "request counter exposed" true
+            (contains dump "pb_net_requests_total");
+          Alcotest.(check bool) "active connection gauge exposed" true
+            (contains dump "pb_net_active_connections");
+          Alcotest.(check bool) "latency histogram exposed" true
+            (contains dump "pb_net_sql_request_seconds")))
+
+let suite =
+  [
+    Alcotest.test_case "frame roundtrip" `Quick test_frame_roundtrip;
+    Alcotest.test_case "frame streaming" `Quick test_frame_streaming;
+    Alcotest.test_case "malformed frames" `Quick test_frame_malformed;
+    Alcotest.test_case "request codec" `Quick test_request_codec;
+    Alcotest.test_case "response codec" `Quick test_response_codec;
+    Alcotest.test_case "loopback PaQL/SQL/commands" `Quick test_loopback_basic;
+    Alcotest.test_case "per-session isolation" `Quick
+      test_loopback_session_isolation;
+    Alcotest.test_case "concurrent clients" `Quick
+      test_loopback_concurrent_clients;
+    Alcotest.test_case "deadline exceeded, connection survives" `Quick
+      test_loopback_deadline;
+    Alcotest.test_case "max-connections busy rejection" `Quick
+      test_loopback_busy;
+    Alcotest.test_case "shutdown drains in-flight requests" `Quick
+      test_shutdown_drains;
+    Alcotest.test_case "shutdown is idempotent" `Quick test_shutdown_idempotent;
+    Alcotest.test_case "net metrics exposed" `Quick test_metrics_exposed;
+  ]

@@ -104,6 +104,117 @@ let test_persist_missing_manifest () =
   | exception Failure _ -> ()
   | _ -> Alcotest.fail "expected failure"
 
+let test_persist_tricky_values () =
+  (* String values full of CSV- and manifest-hostile characters must
+     round-trip exactly through the quoting layer. *)
+  let tricky =
+    [ "has,comma"; "has\nnewline"; "has\ttab"; "has\"quote"; "a,b\n\"c\"" ]
+  in
+  let db = Database.create () in
+  let schema =
+    Schema.make [ { Schema.name = "id"; ty = Value.T_int };
+                  { Schema.name = "s"; ty = Value.T_str } ]
+  in
+  let rows =
+    List.mapi (fun i s -> [| Value.Int i; Value.Str s |]) tricky
+  in
+  Database.put db "tricky" (Relation.create schema rows);
+  let dir = temp_dir () in
+  Fun.protect
+    ~finally:(fun () -> remove_dir dir)
+    (fun () ->
+      Persist.save_dir db dir;
+      let db2 = Persist.load_dir dir in
+      let rel = Database.find_exn db2 "tricky" in
+      Alcotest.(check int) "all rows" (List.length tricky)
+        (Relation.cardinality rel);
+      List.iteri
+        (fun i s ->
+          Alcotest.(check bool)
+            (Printf.sprintf "value %d round-trips" i)
+            true
+            (Value.equal (Value.Str s) (Relation.row rel i).(1)))
+        tricky)
+
+let test_persist_rejects_delimiter_names () =
+  let dir = temp_dir () in
+  Fun.protect
+    ~finally:(fun () -> remove_dir dir)
+    (fun () ->
+      let expect_reject label db =
+        (match Persist.save_dir db dir with
+        | exception Failure msg ->
+            Alcotest.(check bool)
+              (label ^ " message names the delimiter")
+              true
+              (contains msg "delimiter")
+        | () -> Alcotest.fail (label ^ ": expected save_dir to fail"));
+        (* rejection happens before anything is written: no manifest *)
+        Alcotest.(check bool) (label ^ " wrote nothing") false
+          (Sys.file_exists (Filename.concat dir "manifest.txt"))
+      in
+      let table_db name =
+        let db = Database.create () in
+        let schema = Schema.make [ { Schema.name = "a"; ty = Value.T_int } ] in
+        Database.put db name (Relation.create schema [ [| Value.Int 1 |] ]);
+        db
+      in
+      let column_db col =
+        let db = Database.create () in
+        let schema = Schema.make [ { Schema.name = col; ty = Value.T_int } ] in
+        Database.put db "t" (Relation.create schema [ [| Value.Int 1 |] ]);
+        db
+      in
+      expect_reject "comma table" (table_db "bad,name");
+      expect_reject "tab table" (table_db "bad\tname");
+      expect_reject "newline table" (table_db "bad\nname");
+      expect_reject "comma column" (column_db "b,c");
+      expect_reject "tab column" (column_db "b\tc");
+      expect_reject "newline column" (column_db "b\nc"))
+
+let test_persist_drops_stale_files () =
+  let db = Database.create () in
+  ignore (Executor.execute_sql db "CREATE TABLE keepme (a INT)");
+  ignore (Executor.execute_sql db "CREATE TABLE dropme (a INT)");
+  ignore (Executor.execute_sql db "INSERT INTO keepme VALUES (1)");
+  ignore (Executor.execute_sql db "INSERT INTO dropme VALUES (2)");
+  let dir = temp_dir () in
+  Fun.protect
+    ~finally:(fun () -> remove_dir dir)
+    (fun () ->
+      Persist.save_dir db dir;
+      Alcotest.(check bool) "dropme.csv written" true
+        (Sys.file_exists (Filename.concat dir "dropme.csv"));
+      (* leave debris a crashed save could have produced *)
+      let stray = Filename.concat dir "manifest.txt.tmp" in
+      let oc = open_out stray in
+      output_string oc "torn";
+      close_out oc;
+      Database.drop db "dropme";
+      Persist.save_dir db dir;
+      Alcotest.(check bool) "stale csv removed" false
+        (Sys.file_exists (Filename.concat dir "dropme.csv"));
+      Alcotest.(check bool) "stray tmp removed" false (Sys.file_exists stray);
+      let db2 = Persist.load_dir dir in
+      Alcotest.(check bool) "dropped table stays dropped" true
+        (Database.find db2 "dropme" = None);
+      Alcotest.(check bool) "live table survives" true
+        (Database.find db2 "keepme" <> None))
+
+let test_repl_dump_reports_bad_name () =
+  (* \dump must report a rejected name as output, not raise. *)
+  let db = Database.create () in
+  let schema = Schema.make [ { Schema.name = "a"; ty = Value.T_int } ] in
+  Database.put db "bad,name" (Relation.create schema [ [| Value.Int 1 |] ]);
+  let st = Repl.create db in
+  let dir = temp_dir () in
+  Fun.protect
+    ~finally:(fun () -> remove_dir dir)
+    (fun () ->
+      let r = Repl.handle st ("\\dump " ^ dir) in
+      Alcotest.(check bool) "reported in output" true
+        (contains r.Repl.output "dump failed"))
+
 (* ---- repl -------------------------------------------------------------- *)
 
 let shell () =
@@ -220,6 +331,13 @@ let suite =
     Alcotest.test_case "persist empty table" `Quick test_persist_empty_table;
     Alcotest.test_case "persist missing manifest" `Quick
       test_persist_missing_manifest;
+    Alcotest.test_case "persist tricky values" `Quick test_persist_tricky_values;
+    Alcotest.test_case "persist rejects delimiter names" `Quick
+      test_persist_rejects_delimiter_names;
+    Alcotest.test_case "persist drops stale files" `Quick
+      test_persist_drops_stale_files;
+    Alcotest.test_case "repl dump reports bad name" `Quick
+      test_repl_dump_reports_bad_name;
     Alcotest.test_case "repl help/quit/blank" `Quick test_repl_help_and_quit;
     Alcotest.test_case "repl tables + schema" `Quick test_repl_tables_and_schema;
     Alcotest.test_case "repl sql" `Quick test_repl_sql;
