@@ -64,6 +64,23 @@ if ! diff -u test/smoke/expected.txt _build/ci/smoke_out.norm; then
   kill "$SMOKE_PID" 2>/dev/null || true
   exit 1
 fi
+# The session above repeats a statement, so the server's prepared-plan
+# cache must have registered at least one hit. Probe \metrics on a fresh
+# connection (counter values are nondeterministic, so this stays out of
+# the diffed transcript).
+echo "== plan cache smoke (pb_sql_plan_cache_hits_total > 0) =="
+printf '\\metrics\n\\quit\n' | \
+  ./_build/default/bin/pb_client.exe --port "$SMOKE_PORT" \
+  >_build/ci/smoke_metrics.txt 2>&1
+PLAN_HITS=$(sed -n 's/^pb_sql_plan_cache_hits_total \([0-9][0-9]*\).*/\1/p' \
+  _build/ci/smoke_metrics.txt | head -n 1)
+if [ -z "$PLAN_HITS" ] || [ "$PLAN_HITS" -lt 1 ]; then
+  echo "CI FAIL: expected pb_sql_plan_cache_hits_total > 0 after a repeated"
+  echo "         statement; \\metrics reported: ${PLAN_HITS:-no counter}"
+  kill "$SMOKE_PID" 2>/dev/null || true
+  exit 1
+fi
+
 kill -TERM "$SMOKE_PID"
 SMOKE_EXIT=0
 wait "$SMOKE_PID" || SMOKE_EXIT=$?

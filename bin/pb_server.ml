@@ -67,6 +67,15 @@ let slowlog_arg =
     & info [ "slowlog" ] ~docv:"SECONDS"
         ~doc:"Log requests slower than this to the slow-query log. 0 = off.")
 
+let plan_cache_arg =
+  Arg.(
+    value & opt int 128
+    & info [ "plan-cache" ] ~docv:"N"
+        ~doc:
+          "Prepared-plan cache capacity (entries), shared by all \
+           connections. 0 disables caching: every request re-parses — \
+           the benchmark baseline.")
+
 let load_db tables size seed db_dir =
   match db_dir with
   | Some dir when Sys.file_exists (Filename.concat dir "manifest.txt") ->
@@ -93,7 +102,8 @@ let load_db tables size seed db_dir =
           tables;
       db
 
-let serve host port max_conns deadline tables size seed db_dir slowlog =
+let serve host port max_conns deadline tables size seed db_dir slowlog
+    plan_cache =
   let db = load_db tables size seed db_dir in
   if slowlog > 0.0 then Pb_obs.Slow_log.set_threshold (Some slowlog);
   let config =
@@ -103,6 +113,7 @@ let serve host port max_conns deadline tables size seed db_dir slowlog =
       port;
       max_connections = max_conns;
       default_deadline = (if deadline > 0.0 then Some deadline else None);
+      plan_cache_capacity = max 0 plan_cache;
     }
   in
   let server = Pb_net.Server.start ~config db in
@@ -129,7 +140,8 @@ let cmd =
   let term =
     Term.(
       const serve $ host_arg $ port_arg $ max_conns_arg $ deadline_arg
-      $ tables_arg $ size_arg $ seed_arg $ db_dir_arg $ slowlog_arg)
+      $ tables_arg $ size_arg $ seed_arg $ db_dir_arg $ slowlog_arg
+      $ plan_cache_arg)
   in
   Cmd.v
     (Cmd.info "pb_server" ~version:"1.0.0"

@@ -46,11 +46,17 @@ type t = {
    candidate relation is qualified by the input alias, so evaluate against
    a re-qualified view. *)
 let tuple_values_of ~pkg_schema ~rows expr =
+  (* One compile per aggregate argument, one closure call per tuple. No db
+     in the fallback: validation arguments are row-local (a subquery here
+     errors identically to the old interpreter call). *)
+  let eval_row =
+    Pb_sql.Compile.expr
+      ~fallback:(fun row e -> Pb_sql.Executor.eval_expr pkg_schema row e)
+      pkg_schema expr
+  in
   Array.map
     (fun row ->
-      match
-        Value.to_float (Pb_sql.Executor.eval_expr pkg_schema row expr)
-      with
+      match Value.to_float (eval_row row) with
       | Some x -> x
       | None ->
           Log.warn (fun m ->

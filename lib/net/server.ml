@@ -8,6 +8,7 @@ type config = {
   max_connections : int;
   default_deadline : float option;
   poll_interval : float;
+  plan_cache_capacity : int;
 }
 
 let default_config =
@@ -17,11 +18,16 @@ let default_config =
     max_connections = 64;
     default_deadline = None;
     poll_interval = 0.05;
+    plan_cache_capacity = 128;
   }
 
 type t = {
   config : config;
   db : Pb_sql.Database.t;
+  (* One prepared-plan cache for the whole server: sessions are per
+     connection, but the cache (and the memos inside it) is thread-safe,
+     so every connection benefits from statements any of them prepared. *)
+  plan_cache : Pb_sql.Plan_cache.t;
   listen : Unix.file_descr;
   bound_port : int;
   stop : bool Atomic.t;
@@ -228,7 +234,7 @@ let read_request_frame t fd =
 
 let conn_main t fd =
   let oc = Unix.out_channel_of_descr fd in
-  let session = Repl.create t.db in
+  let session = Repl.create ~cache:t.plan_cache t.db in
   let respond resp =
     match Protocol.write_frame oc (Protocol.encode_response resp) with
     | () -> true
@@ -328,6 +334,7 @@ let start ?(config = default_config) db =
     {
       config;
       db;
+      plan_cache = Pb_sql.Plan_cache.create ~capacity:config.plan_cache_capacity ();
       listen;
       bound_port;
       stop = Atomic.make false;

@@ -38,10 +38,14 @@ type config = {
   poll_interval : float;
       (** seconds between stop-flag checks while idle (accept loop and
           idle connections); bounds shutdown latency *)
+  plan_cache_capacity : int;
+      (** entries in the shared prepared-plan cache; [0] disables caching
+          (every request re-parses — the benchmark baseline) *)
 }
 
 val default_config : config
-(** [127.0.0.1:7878], 64 connections, no default deadline, 50ms poll. *)
+(** [127.0.0.1:7878], 64 connections, no default deadline, 50ms poll,
+    128 cached plans. *)
 
 type t
 

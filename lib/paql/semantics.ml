@@ -9,9 +9,14 @@ let candidates db (q : Ast.t) =
   | None -> qualified
   | Some pred ->
       let schema = Relation.schema qualified in
-      Relation.filter
-        (fun row -> Value.truthy (Executor.eval_expr ~db schema row pred))
-        qualified
+      (* The base predicate runs once per input tuple: compile it, keeping
+         the interpreter (with db, for subqueries) as fallback. *)
+      let pred_fn =
+        Pb_sql.Compile.predicate
+          ~fallback:(fun row e -> Executor.eval_expr ~db schema row e)
+          schema pred
+      in
+      Relation.filter pred_fn qualified
 
 let empty_package db (q : Ast.t) =
   Package.create (candidates db q) ~alias:q.package_alias

@@ -5,11 +5,16 @@ module Slow_log = Pb_obs.Slow_log
 
 type state = {
   db : Pb_sql.Database.t;
+  cache : Pb_sql.Plan_cache.t;
   mutable last_query : Pb_paql.Ast.t option;
   mutable last_package : Pb_paql.Package.t option;
 }
 
-let create db = { db; last_query = None; last_package = None }
+let create ?cache db =
+  let cache =
+    match cache with Some c -> c | None -> Pb_sql.Plan_cache.create ()
+  in
+  { db; cache; last_query = None; last_package = None }
 
 let database st = st.db
 
@@ -78,15 +83,20 @@ let run_paql st text =
           ok (Buffer.contents buf))
 
 let run_sql st text =
-  match Pb_sql.Parser.parse_script text with
+  (* Prepared-statement path: repeat text skips lex/parse/resolve and
+     reuses the cached statement's compiled closures via [memo]. *)
+  match
+    Pb_sql.Plan_cache.lookup st.cache st.db ~parse:Pb_sql.Parser.parse_script
+      text
+  with
   | exception Pb_sql.Parser.Parse_error msg -> ok ("sql error: " ^ msg)
-  | statements -> (
+  | statements, memo -> (
       let buf = Buffer.create 256 in
       match
         Trace.timed ~name:"sql.script" (fun () ->
             List.iter
               (fun stmt ->
-                match Pb_sql.Executor.execute st.db stmt with
+                match Pb_sql.Executor.execute ~memo st.db stmt with
                 | Pb_sql.Executor.Rows rel ->
                     Buffer.add_string buf
                       (Pb_relation.Relation.to_table ~max_rows:40 rel)

@@ -29,7 +29,10 @@
 
 type state
 
-val create : Pb_sql.Database.t -> state
+val create : ?cache:Pb_sql.Plan_cache.t -> Pb_sql.Database.t -> state
+(** [cache] is the prepared-plan cache consulted for every SQL line; it
+    defaults to a fresh private cache. The server passes one shared cache
+    so all connections benefit from each other's prepared statements. *)
 
 val database : state -> Pb_sql.Database.t
 

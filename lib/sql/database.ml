@@ -15,6 +15,13 @@ type t = {
   tables : (string, Relation.t) Hashtbl.t;
   declared_indexes : (string, string list ref) Hashtbl.t;  (* table -> cols *)
   index_cache : (string * string, Index.t) Hashtbl.t;
+  (* Schema/DDL generation: bumped when the set of tables, a table's
+     schema, or the declared indexes change — NOT on schema-preserving DML
+     (INSERT/DELETE/UPDATE replace the relation with one of identical
+     schema), so prepared plans stay valid across data changes. The
+     {!Plan_cache} compares this against the version captured at prepare
+     time. *)
+  version : int Atomic.t;
 }
 
 let create () =
@@ -23,7 +30,10 @@ let create () =
     tables = Hashtbl.create 16;
     declared_indexes = Hashtbl.create 8;
     index_cache = Hashtbl.create 8;
+    version = Atomic.make 0;
   }
+
+let version db = Atomic.get db.version
 
 let locked db f =
   Mutex.lock db.mu;
@@ -43,8 +53,14 @@ let find_unlocked db name = Hashtbl.find_opt db.tables (normalize name)
 let put db name rel =
   let name = normalize name in
   locked db (fun () ->
+      let schema_changed =
+        match find_unlocked db name with
+        | Some old -> not (Schema.equal (Relation.schema old) (Relation.schema rel))
+        | None -> true
+      in
       Hashtbl.replace db.tables name rel;
-      invalidate_indexes_unlocked db name)
+      invalidate_indexes_unlocked db name;
+      if schema_changed then Atomic.incr db.version)
 
 let find db name = locked db (fun () -> find_unlocked db name)
 
@@ -56,6 +72,7 @@ let find_exn db name =
 let drop db name =
   let name = normalize name in
   locked db (fun () ->
+      if Hashtbl.mem db.tables name then Atomic.incr db.version;
       Hashtbl.remove db.tables name;
       Hashtbl.remove db.declared_indexes name;
       invalidate_indexes_unlocked db name)
@@ -84,7 +101,11 @@ let create_index db ~table ~column =
             Hashtbl.add db.declared_indexes table cols;
             cols
       in
-      if not (List.mem column !cols) then cols := column :: !cols)
+      if not (List.mem column !cols) then begin
+        cols := column :: !cols;
+        (* A new index can change plan shape (index scan vs filter). *)
+        Atomic.incr db.version
+      end)
 
 let indexed_columns_unlocked db table =
   match Hashtbl.find_opt db.declared_indexes (normalize table) with

@@ -17,6 +17,13 @@
 type t
 
 val create : unit -> t
+
+val version : t -> int
+(** Schema/DDL generation counter: bumps when a table is created, dropped
+    or replaced with a different schema, or an index is declared — but not
+    on schema-preserving DML, so {!Plan_cache} entries survive data
+    changes and are invalidated by catalog changes. *)
+
 val put : t -> string -> Pb_relation.Relation.t -> unit
 (** Install or replace a table; cached indexes on it are invalidated. *)
 

@@ -14,77 +14,17 @@ let m_rows_returned =
   Metrics.counter ~help:"Rows returned by SELECT blocks"
     "pb_sql_rows_returned_total"
 
-exception Eval_error of string
+(* The scalar kernel (LIKE matcher, scalar functions, binop dispatch) lives
+   in [Compile] so the interpreter below and the compiled closures share one
+   implementation; re-exported here for existing callers. *)
+exception Eval_error = Compile.Eval_error
 
 type result = Rows of Relation.t | Affected of int | Created
 
 let err fmt = Printf.ksprintf (fun s -> raise (Eval_error s)) fmt
-
-(* LIKE pattern matching with % (any sequence) and _ (any char), by
-   two-pointer backtracking on the last %. *)
-let like_match ~pattern s =
-  let np = String.length pattern and ns = String.length s in
-  let rec go p i star_p star_i =
-    if i = ns then
-      (* consume trailing %s *)
-      let rec only_percent p = p = np || (pattern.[p] = '%' && only_percent (p + 1)) in
-      if only_percent p then true
-      else if star_p >= 0 && star_i < ns then
-        go (star_p + 1) (star_i + 1) star_p (star_i + 1)
-      else false
-    else if p < np && pattern.[p] = '%' then go (p + 1) i p i
-    else if p < np && (pattern.[p] = '_' || pattern.[p] = s.[i]) then
-      go (p + 1) (i + 1) star_p star_i
-    else if star_p >= 0 then go (star_p + 1) (star_i + 1) star_p (star_i + 1)
-    else false
-  in
-  go 0 0 (-1) (-1)
-
-let scalar_function name args =
-  match (String.lowercase_ascii name, args) with
-  | "abs", [ Value.Int i ] -> Value.Int (abs i)
-  | "abs", [ Value.Float f ] -> Value.Float (Float.abs f)
-  | "abs", [ Value.Null ] -> Value.Null
-  | "lower", [ Value.Str s ] -> Value.Str (String.lowercase_ascii s)
-  | "upper", [ Value.Str s ] -> Value.Str (String.uppercase_ascii s)
-  | "length", [ Value.Str s ] -> Value.Int (String.length s)
-  | ("lower" | "upper" | "length"), [ Value.Null ] -> Value.Null
-  | "round", [ v ] -> (
-      match Value.to_float v with
-      | Some f -> Value.Int (int_of_float (Float.round f))
-      | None -> Value.Null)
-  | "floor", [ v ] -> (
-      match Value.to_float v with
-      | Some f -> Value.Int (int_of_float (Float.floor f))
-      | None -> Value.Null)
-  | "ceil", [ v ] -> (
-      match Value.to_float v with
-      | Some f -> Value.Int (int_of_float (Float.ceil f))
-      | None -> Value.Null)
-  | "coalesce", vs -> (
-      match List.find_opt (fun v -> v <> Value.Null) vs with
-      | Some v -> v
-      | None -> Value.Null)
-  | "sqrt", [ v ] -> (
-      match Value.to_float v with
-      | Some f when f >= 0.0 -> Value.Float (sqrt f)
-      | _ -> Value.Null)
-  | name, args -> err "unknown function %s/%d" name (List.length args)
-
-let binop_value op a b =
-  match op with
-  | Add -> Value.add a b
-  | Sub -> Value.sub a b
-  | Mul -> Value.mul a b
-  | Div -> Value.div a b
-  | Eq -> Value.cmp_bool (fun c -> c = 0) a b
-  | Neq -> Value.cmp_bool (fun c -> c <> 0) a b
-  | Lt -> Value.cmp_bool (fun c -> c < 0) a b
-  | Le -> Value.cmp_bool (fun c -> c <= 0) a b
-  | Gt -> Value.cmp_bool (fun c -> c > 0) a b
-  | Ge -> Value.cmp_bool (fun c -> c >= 0) a b
-  | And -> Value.logical_and a b
-  | Or -> Value.logical_or a b
+let like_match = Compile.like_match
+let scalar_function = Compile.scalar_function
+let binop_value = Compile.binop_value
 
 (* Mutually recursive with [select] because of IN/EXISTS subqueries. *)
 let rec eval_expr ?db schema row e =
@@ -314,12 +254,21 @@ and expand_items schema items =
       | item -> [ item ])
     items
 
-and select db q =
-  let base = select_simple db q in
+and select ?memo db q =
+  let base = select_simple ?memo db q in
   (* Set operations, applied left to right over the first branch. *)
   List.fold_left
-    (fun acc (op, rhs) -> set_operation op acc (select_simple db rhs))
+    (fun acc (op, rhs) -> set_operation op acc (select_simple ?memo db rhs))
     base q.compound
+
+(* Compile one row-local expression, through the prepared-plan memo when the
+   statement came from the cache. The fallback closes over [db] so subquery
+   nodes re-enter the interpreter with the same context. *)
+and compile_row ?db ?memo schema e =
+  let fallback row e = eval_expr ?db schema row e in
+  match memo with
+  | Some m -> Compile.Memo.expr m ~fallback schema e
+  | None -> Compile.expr ~fallback schema e
 
 (* Key used for duplicate detection in DISTINCT and set operations:
    numerics normalize (3 = 3.0), types otherwise separate so Int 1 and
@@ -376,13 +325,14 @@ and set_operation op left right =
               (fun row -> not (Hashtbl.mem right_keys (dedup_key row)))
               (Relation.to_list left)))
 
-and select_simple db q =
+and select_simple ?memo db q =
   Trace.with_span ~name:"sql.select" (fun () ->
   Metrics.incr m_selects;
   let filtered, _plan_stats =
     try
       Planner.execute db
         ~eval:(fun schema row e -> eval_expr ~db schema row e)
+        ~compile:(fun schema e -> compile_row ~db ?memo schema e)
         ~from:q.from ~where:q.where
     with Failure msg -> err "%s" msg
   in
@@ -438,17 +388,20 @@ and select_simple db q =
   in
   (* Each output row keeps its provenance (source row or group) so that
      ORDER BY can reference source expressions that were not projected. *)
-  let project row =
-    ( Array.of_list
-        (List.map
-           (function
-             | Expr_item (e, _) -> eval_expr ~db schema row e
-             | Star_item -> assert false)
-           items),
-      `Row row )
-  in
   let pairs =
     if not grouped_mode then begin
+      (* Projection items are compiled once; the closures are pure reads of
+         the row array, so they are shared across pool worker domains. *)
+      let item_fns =
+        List.map
+          (function
+            | Expr_item (e, _) -> compile_row ~db ?memo schema e
+            | Star_item -> assert false)
+          items
+      in
+      let project row =
+        (Array.of_list (List.map (fun f -> f row) item_fns), `Row row)
+      in
       (* Projection over large inputs is chunked across the domain pool;
          chunk outputs concatenate in order, so the row order (and any
          evaluation error raised) is identical to the sequential map. *)
@@ -464,15 +417,12 @@ and select_simple db q =
     else begin
       Trace.with_span ~name:"sql.group" (fun () ->
       (* Group rows by the GROUP BY key (single group when absent). *)
+      let key_fns = List.map (compile_row ~db ?memo schema) q.group_by in
       let tbl = Hashtbl.create 64 in
       let order = ref [] in
       List.iter
         (fun row ->
-          let key =
-            List.map
-              (fun e -> Value.to_string (eval_expr ~db schema row e))
-              q.group_by
-          in
+          let key = List.map (fun f -> Value.to_string (f row)) key_fns in
           (match Hashtbl.find_opt tbl key with
           | Some cell -> cell := row :: !cell
           | None ->
@@ -531,25 +481,38 @@ and select_simple db q =
     | keys ->
         (* ORDER BY may reference output columns (by alias), or any source
            expression — including ones that were not projected — which is
-           resolved against the row's provenance. *)
-        let key_value (out_row, provenance) e =
-          match e with
-          | Col name when Schema.index_of out_schema name <> None ->
-              out_row.(Schema.index_of_exn out_schema name)
-          | _ -> (
+           resolved against the row's provenance. Source-side keys are
+           compiled once instead of per comparison; grouped rows keep the
+           aggregate-aware interpreter. *)
+        let key_plans =
+          List.map
+            (fun (e, dir) ->
+              let plan =
+                match e with
+                | Col name when Schema.index_of out_schema name <> None ->
+                    `Out (Schema.index_of_exn out_schema name)
+                | _ -> `Src (compile_row ~db ?memo schema e, e)
+              in
+              (plan, dir))
+            keys
+        in
+        let key_value (out_row, provenance) plan =
+          match plan with
+          | `Out i -> out_row.(i)
+          | `Src (f, e) -> (
               match provenance with
-              | `Row src -> eval_expr ~db schema src e
+              | `Row src -> f src
               | `Group group -> eval_agg_expr ~db schema group e)
         in
         let cmp a b =
           let rec walk = function
             | [] -> 0
-            | (e, dir) :: rest ->
-                let c = Value.compare_values (key_value a e) (key_value b e) in
+            | (plan, dir) :: rest ->
+                let c = Value.compare_values (key_value a plan) (key_value b plan) in
                 let c = match dir with Asc -> c | Desc -> -c in
                 if c <> 0 then c else walk rest
           in
-          walk keys
+          walk key_plans
         in
         Trace.with_span ~name:"sql.sort" (fun () ->
             List.stable_sort cmp pairs)
@@ -573,9 +536,9 @@ and eval_const ?db e =
   let empty = Schema.make [] in
   eval_expr ?db empty [||] e
 
-let execute db stmt =
+let execute ?memo db stmt =
   match stmt with
-  | Select_stmt q -> Rows (select db q)
+  | Select_stmt q -> Rows (select ?memo db q)
   | Create_table (name, defs) ->
       let schema =
         Schema.make
@@ -608,10 +571,12 @@ let execute db stmt =
   | Delete (name, where) ->
       let rel = Database.find_exn db name in
       let schema = Relation.schema rel in
-      let keep row =
+      let keep =
         match where with
-        | None -> false
-        | Some pred -> not (Value.truthy (eval_expr ~db schema row pred))
+        | None -> fun _row -> false
+        | Some pred ->
+            let f = compile_row ~db schema pred in
+            fun row -> not (Value.truthy (f row))
       in
       let kept = Relation.filter keep rel in
       Database.put db name kept;
@@ -620,20 +585,22 @@ let execute db stmt =
       let rel = Database.find_exn db name in
       let schema = Relation.schema rel in
       let count = ref 0 in
+      let hit_fn =
+        match where with
+        | None -> fun _row -> true
+        | Some pred ->
+            let f = compile_row ~db schema pred in
+            fun row -> Value.truthy (f row)
+      in
+      let set_fns = List.map (fun (col, e) -> (col, compile_row ~db schema e)) sets in
       let update row =
-        let hit =
-          match where with
-          | None -> true
-          | Some pred -> Value.truthy (eval_expr ~db schema row pred)
-        in
-        if not hit then row
+        if not (hit_fn row) then row
         else begin
           incr count;
           let out = Array.copy row in
           List.iter
-            (fun (col, e) ->
-              out.(Schema.index_of_exn schema col) <- eval_expr ~db schema row e)
-            sets;
+            (fun (col, f) -> out.(Schema.index_of_exn schema col) <- f row)
+            set_fns;
           out
         end
       in

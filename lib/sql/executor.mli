@@ -39,12 +39,15 @@ val eval_agg_expr :
     package validator reuses to check SUCH THAT constraints, treating the
     candidate package as one group. *)
 
-val select : Database.t -> Ast.select -> Pb_relation.Relation.t
-(** Run a SELECT. *)
+val select : ?memo:Compile.Memo.t -> Database.t -> Ast.select -> Pb_relation.Relation.t
+(** Run a SELECT. When [memo] is supplied (by the prepared-plan cache),
+    compiled expression closures are reused across executions of the same
+    statement instead of being rebuilt. *)
 
-val execute : Database.t -> Ast.statement -> result
+val execute : ?memo:Compile.Memo.t -> Database.t -> Ast.statement -> result
 val execute_sql : Database.t -> string -> result
 (** Parse then execute a single statement. *)
 
 val like_match : pattern:string -> string -> bool
-(** SQL LIKE with [%] and [_] wildcards (exposed for tests). *)
+(** SQL LIKE with [%] and [_] wildcards (exposed for tests; the matcher
+    itself lives in {!Compile}). *)

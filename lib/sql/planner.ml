@@ -60,6 +60,8 @@ let m_pushed_predicates =
 
 type eval_fn = Schema.t -> Value.t array -> Ast.expr -> Value.t
 
+type compile_fn = Schema.t -> Ast.expr -> Value.t array -> Value.t
+
 type stats = {
   pushed_predicates : int;
   index_scans : int;
@@ -162,7 +164,7 @@ let sargable schema expr =
       Some (c, (Some (lo, true), Some (hi, true)))
   | _ -> None
 
-let scan db ~eval ~stats table_name qualified_rel conjs =
+let scan db ~compile ~stats table_name qualified_rel conjs =
   Trace.with_span ~name:"sql.scan" ~attrs:[ ("table", table_name) ] (fun () ->
   let schema = Relation.schema qualified_rel in
   (* Try to satisfy one sargable conjunct with a declared index. *)
@@ -201,7 +203,9 @@ let scan db ~eval ~stats table_name qualified_rel conjs =
       (fun acc conj ->
         stats := { !stats with pushed_predicates = !stats.pushed_predicates + 1 };
         Metrics.incr m_pushed_predicates;
-        chunked_filter (fun row -> Value.truthy (eval schema row conj)) acc)
+        (* Compiled once here, then invoked per row on worker domains. *)
+        let pred = compile schema conj in
+        chunked_filter (fun row -> Value.truthy (pred row)) acc)
       rel remaining
   in
   Trace.add_count "rows_out" (Relation.cardinality out);
@@ -225,7 +229,27 @@ let equi_keys left_schema right_schema conjs =
       | _ -> None)
     conjs
 
-let hash_join ~eval left right keys =
+(* Join keys are hashed as Value.t lists directly — no string rendering per
+   row. The hash must be consistent with [Value.equal], which normalizes
+   numerics (Int 3 = Float 3.), so Int hashes through its float image; the
+   rendering collisions of the old string keys (Int 1 vs Str "1" both "1")
+   cannot happen, removing the probe-time re-check. *)
+module Join_key = struct
+  type t = Value.t list
+
+  let equal = List.equal Value.equal
+
+  let norm v =
+    match (v : Value.t) with
+    | Value.Int i -> Value.Float (float_of_int i)
+    | v -> v
+
+  let hash values = Hashtbl.hash (List.map norm values)
+end
+
+module Join_tbl = Hashtbl.Make (Join_key)
+
+let hash_join ~compile left right keys =
   Trace.with_span ~name:"sql.hash_join" (fun () ->
   Metrics.incr m_hash_joins;
   Metrics.incr ~by:(Relation.cardinality right) m_hash_join_build_rows;
@@ -234,12 +258,11 @@ let hash_join ~eval left right keys =
   Trace.add_count "probe_rows" (Relation.cardinality left);
   let left_schema = Relation.schema left in
   let right_schema = Relation.schema right in
-  let key_values schema row exprs =
-    List.map (fun e -> eval schema row (e : Ast.expr)) exprs
-  in
   let left_exprs = List.map (fun (_, l, _) -> l) keys in
   let right_exprs = List.map (fun (_, _, r) -> r) keys in
-  let hash_of values = String.concat "\x00" (List.map Value.to_string values) in
+  let left_fns = List.map (compile left_schema) left_exprs in
+  let right_fns = List.map (compile right_schema) right_exprs in
+  let key_values fns row = List.map (fun f -> f row) fns in
   let pool = Pool.get_default () in
   let par n = Pool.size pool > 1 && n >= par_threshold in
   (* Build: key expressions are evaluated over row chunks in parallel
@@ -250,7 +273,7 @@ let hash_join ~eval left right keys =
   let rkeys =
     let n = Array.length rrows in
     let out = Array.make n [] in
-    let fill i = out.(i) <- key_values right_schema rrows.(i) right_exprs in
+    let fill i = out.(i) <- key_values right_fns rrows.(i) in
     if par n then Pool.parallel_for pool n fill
     else
       for i = 0 to n - 1 do
@@ -258,12 +281,12 @@ let hash_join ~eval left right keys =
       done;
     out
   in
-  let table = Hashtbl.create (Array.length rrows) in
+  let table = Join_tbl.create (Array.length rrows) in
   Array.iteri
     (fun i row ->
       let values = rkeys.(i) in
       if not (List.exists Value.is_null values) then
-        Hashtbl.add table (hash_of values) (row, values))
+        Join_tbl.add table values row)
     rrows;
   (* Probe: read-only against the finished build table, chunked over the
      left rows with chunk outputs concatenated in order. *)
@@ -272,15 +295,11 @@ let hash_join ~eval left right keys =
     let out = ref [] in
     for i = lo to hi - 1 do
       let lrow = lrows.(i) in
-      let values = key_values left_schema lrow left_exprs in
+      let values = key_values left_fns lrow in
       if not (List.exists Value.is_null values) then
         List.iter
-          (fun (rrow, rvalues) ->
-            (* The hash is only a prefilter: confirm real equality so
-               e.g. Int 1 and Str "1" (same rendering) do not join. *)
-            if List.for_all2 Value.equal values rvalues then
-              out := Array.append lrow rrow :: !out)
-          (Hashtbl.find_all table (hash_of values))
+          (fun rrow -> out := Array.append lrow rrow :: !out)
+          (Join_tbl.find_all table values)
     done;
     List.rev !out
   in
@@ -297,7 +316,14 @@ let hash_join ~eval left right keys =
 
 (* ---- the plan -------------------------------------------------------- *)
 
-let execute db ~eval ~from ~where =
+let execute ?compile db ~eval ~from ~where =
+  (* Callers that don't compile (e.g. the naive ablation in \plan) get a
+     degenerate compile_fn that closes over the interpreter. *)
+  let compile =
+    match compile with
+    | Some f -> f
+    | None -> fun schema e row -> eval schema row e
+  in
   Trace.with_span ~name:"sql.plan" (fun () ->
   match from with
   | [] -> failwith "empty FROM clause"
@@ -337,7 +363,7 @@ let execute db ~eval ~from ~where =
           (fun i (table_name, rel) ->
             let conjs = single_table_conjuncts i in
             List.iter consume conjs;
-            scan db ~eval ~stats table_name rel conjs)
+            scan db ~compile ~stats table_name rel conjs)
           tables
       in
       let apply_ready acc =
@@ -348,9 +374,8 @@ let execute db ~eval ~from ~where =
               consume conj;
               stats :=
                 { !stats with pushed_predicates = !stats.pushed_predicates + 1 };
-              chunked_filter
-                (fun row -> Value.truthy (eval schema row conj))
-                acc
+              let pred = compile schema conj in
+              chunked_filter (fun row -> Value.truthy (pred row)) acc
             end
             else acc)
           acc all_conjuncts
@@ -372,7 +397,7 @@ let execute db ~eval ~from ~where =
                   if keys <> [] then begin
                     List.iter (fun (conj, _, _) -> consume conj) keys;
                     stats := { !stats with hash_joins = !stats.hash_joins + 1 };
-                    hash_join ~eval acc next keys
+                    hash_join ~compile acc next keys
                   end
                   else begin
                     stats :=
@@ -396,9 +421,8 @@ let execute db ~eval ~from ~where =
           (fun acc conj ->
             if is_consumed conj then acc
             else
-              chunked_filter
-                (fun row -> Value.truthy (eval final_schema row conj))
-                acc)
+              let pred = compile final_schema conj in
+              chunked_filter (fun row -> Value.truthy (pred row)) acc)
           joined all_conjuncts
       in
       Trace.add_count "rows_out" (Relation.cardinality result);

@@ -27,6 +27,12 @@ type eval_fn =
 (** Row-level expression evaluation, supplied by the executor (closes
     over the database for subquery predicates). *)
 
+type compile_fn =
+  Pb_relation.Schema.t -> Ast.expr -> Pb_relation.Value.t array -> Pb_relation.Value.t
+(** Expression compilation (see {!Compile}): called once per (schema,
+    expression) to obtain the per-row closure used inside scan filters,
+    hash-join key evaluation and post-join filters. *)
+
 type stats = {
   pushed_predicates : int;  (** conjuncts applied below the top join *)
   index_scans : int;
@@ -35,6 +41,7 @@ type stats = {
 }
 
 val execute :
+  ?compile:compile_fn ->
   Database.t ->
   eval:eval_fn ->
   from:Ast.table_ref list ->

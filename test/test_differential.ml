@@ -153,6 +153,186 @@ let prop_hybrid =
   check_exact "hybrid" Engine.Hybrid ~skip:(fun (r : Engine.report) ->
       not r.proven_optimal)
 
+(* ---- compiled expression evaluation vs the interpreter ---------------- *)
+
+(* Random expressions over a schema with qualified columns (so suffix and
+   ambiguity resolution are exercised) evaluated against rows of random —
+   deliberately ill-typed — values: the compiled closure must reproduce the
+   interpreter bit for bit, including NULL propagation, Eval_error/Failure
+   messages, and which exception surfaces when several subexpressions
+   would raise. *)
+
+module Compile = Pb_sql.Compile
+module Sql_ast = Pb_sql.Ast
+module Executor = Pb_sql.Executor
+
+let expr_schema =
+  Schema.make
+    [
+      { Schema.name = "r.id"; ty = Value.T_int };
+      { Schema.name = "r.a"; ty = Value.T_int };
+      { Schema.name = "s.a"; ty = Value.T_float };
+      { Schema.name = "name"; ty = Value.T_str };
+      { Schema.name = "flag"; ty = Value.T_bool };
+      { Schema.name = "x"; ty = Value.T_float };
+    ]
+
+(* "id" resolves by suffix, "a" is ambiguous (r.a vs s.a), "missing" is
+   unknown, "NAME" checks case-insensitivity. *)
+let col_gen =
+  Gen.oneofl
+    [ "r.id"; "id"; "a"; "r.a"; "s.a"; "name"; "NAME"; "flag"; "x"; "missing" ]
+
+let value_gen : Value.t Gen.t =
+  let open Gen in
+  frequency
+    [
+      (2, return Value.Null);
+      (2, map (fun b -> Value.Bool b) bool);
+      (4, map (fun i -> Value.Int i) (int_range (-5) 5));
+      (3, map (fun f -> Value.Float f) (oneofl [ -2.5; -1.0; 0.0; 0.5; 1.0; 3.0 ]));
+      (3, map (fun s -> Value.Str s) (string_size ~gen:(oneofl [ 'a'; 'b'; '%' ]) (int_range 0 3)));
+    ]
+
+let like_pattern_gen =
+  Gen.string_size ~gen:(Gen.oneofl [ 'a'; 'b'; '%'; '_' ]) (Gen.int_range 0 6)
+
+let binop_gen : Sql_ast.binop Gen.t =
+  Gen.oneofl
+    [
+      Sql_ast.Add; Sql_ast.Sub; Sql_ast.Mul; Sql_ast.Div; Sql_ast.Eq;
+      Sql_ast.Neq; Sql_ast.Lt; Sql_ast.Le; Sql_ast.Gt; Sql_ast.Ge;
+      Sql_ast.And; Sql_ast.Or;
+    ]
+
+let func_name_gen =
+  Gen.oneofl
+    [ "abs"; "lower"; "upper"; "length"; "round"; "floor"; "ceil"; "coalesce";
+      "sqrt"; "bogus" ]
+
+let expr_gen : Sql_ast.expr Gen.t =
+  let open Gen in
+  sized (fun size ->
+      fix
+        (fun self n ->
+          let leaf =
+            oneof
+              [
+                map (fun v -> Sql_ast.Lit v) value_gen;
+                map (fun c -> Sql_ast.Col c) col_gen;
+              ]
+          in
+          if n <= 0 then leaf
+          else
+            let sub = self (n / 2) in
+            frequency
+              [
+                (2, leaf);
+                (1, map (fun e -> Sql_ast.Unary_minus e) sub);
+                (1, map (fun e -> Sql_ast.Not e) sub);
+                ( 3,
+                  map3 (fun op a b -> Sql_ast.Binop (op, a, b)) binop_gen sub sub
+                );
+                ( 1,
+                  map3
+                    (fun a b c -> Sql_ast.Between (a, b, c))
+                    sub sub sub );
+                ( 1,
+                  map3
+                    (fun e items neg -> Sql_ast.In_list (e, items, neg))
+                    sub
+                    (list_size (int_range 0 3) sub)
+                    bool );
+                (1, map2 (fun e neg -> Sql_ast.Is_null (e, neg)) sub bool);
+                ( 1,
+                  map3
+                    (fun e pat neg -> Sql_ast.Like (e, pat, neg))
+                    sub like_pattern_gen bool );
+                ( 1,
+                  map2
+                    (fun name args -> Sql_ast.Func (name, args))
+                    func_name_gen
+                    (list_size (int_range 0 3) sub) );
+                ( 1,
+                  map2
+                    (fun branches default -> Sql_ast.Case (branches, default))
+                    (list_size (int_range 1 2) (pair sub sub))
+                    (opt sub) );
+                (* aggregate outside GROUP: must raise identically *)
+                (1, return (Sql_ast.Agg (Sql_ast.Sum, Some (Sql_ast.Col "x"))));
+              ])
+        (min size 5))
+
+let row_gen = Gen.array_size (Gen.return 6) value_gen
+
+let case_gen = Gen.pair expr_gen (Gen.list_size (Gen.int_range 1 4) row_gen)
+
+let print_case (e, rows) =
+  Printf.sprintf "%s over [%s]"
+    (Sql_ast.expr_to_string e)
+    (String.concat "; "
+       (List.map
+          (fun row ->
+            "[|"
+            ^ String.concat ","
+                (Array.to_list
+                   (Array.map
+                      (fun v ->
+                        match (v : Value.t) with
+                        | Value.Null -> "NULL"
+                        | Value.Str s -> Printf.sprintf "%S" s
+                        | v -> Value.to_string v)
+                      row))
+            ^ "|]")
+          rows))
+
+let outcome f = match f () with v -> Ok v | exception e -> Error (Printexc.to_string e)
+
+let outcome_to_string = function
+  | Ok v -> "Ok " ^ Value.to_string (v : Value.t)
+  | Error msg -> "Error " ^ msg
+
+let prop_compiled_eq_interpreted =
+  QCheck.Test.make ~count:500 ~name:"compiled expression == interpreter"
+    (QCheck.make ~print:print_case case_gen)
+    (fun (e, rows) ->
+      (* no db: subquery nodes are not generated, and the fallback must
+         behave exactly like the interpreter call the executor makes *)
+      let fallback row e = Executor.eval_expr expr_schema row e in
+      let compiled = Compile.expr ~fallback expr_schema e in
+      List.for_all
+        (fun row ->
+          let reference = outcome (fun () -> Executor.eval_expr expr_schema row e) in
+          let got = outcome (fun () -> compiled row) in
+          let same =
+            match (reference, got) with
+            | Ok a, Ok b -> Stdlib.compare a b = 0
+            | Error a, Error b -> a = b
+            | _ -> false
+          in
+          if same then true
+          else
+            QCheck.Test.fail_reportf "interpreter=%s compiled=%s on %s"
+              (outcome_to_string reference) (outcome_to_string got)
+              (print_case (e, [ row ])))
+        rows)
+
+(* The tokenized LIKE matcher used by compiled closures vs the reference
+   two-pointer matcher, over patterns dense in % and _ edge shapes. *)
+let prop_like_compiled =
+  QCheck.Test.make ~count:1000 ~name:"compiled LIKE == reference matcher"
+    (QCheck.make
+       ~print:(fun (p, s) -> Printf.sprintf "pattern=%S subject=%S" p s)
+       (Gen.pair
+          (Gen.string_size ~gen:(Gen.oneofl [ 'a'; 'b'; '%'; '_' ]) (Gen.int_range 0 8))
+          (Gen.string_size ~gen:(Gen.oneofl [ 'a'; 'b'; 'c' ]) (Gen.int_range 0 8))))
+    (fun (pattern, s) ->
+      Compile.like_match_compiled (Compile.compile_like pattern) s
+      = Compile.like_match ~pattern s)
+
 let suite =
   List.map QCheck_alcotest.to_alcotest
-    [ prop_ilp; prop_sqlgen; prop_pruning; prop_local_search; prop_hybrid ]
+    [
+      prop_ilp; prop_sqlgen; prop_pruning; prop_local_search; prop_hybrid;
+      prop_compiled_eq_interpreted; prop_like_compiled;
+    ]

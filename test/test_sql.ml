@@ -299,6 +299,98 @@ let test_cartesian_growth () =
   let r3 = select db "SELECT e1.id FROM emp e1, emp e2, emp e3" in
   Alcotest.(check int) "5^3" 125 (Relation.cardinality r3)
 
+(* ---- prepared-plan cache ---------------------------------------------- *)
+
+let test_plan_cache_hit_and_normalize () =
+  let db = setup_db () in
+  let cache = Pb_sql.Plan_cache.create () in
+  let h0 = Pb_sql.Plan_cache.hits () and m0 = Pb_sql.Plan_cache.misses () in
+  let parse = Parser.parse_script in
+  let s1, memo1 = Pb_sql.Plan_cache.lookup cache db ~parse "SELECT * FROM emp" in
+  (* whitespace/trailing-semicolon variants share the entry... *)
+  let s2, memo2 =
+    Pb_sql.Plan_cache.lookup cache db ~parse "  SELECT * FROM emp; "
+  in
+  Alcotest.(check int) "one miss" 1 (Pb_sql.Plan_cache.misses () - m0);
+  Alcotest.(check int) "one hit" 1 (Pb_sql.Plan_cache.hits () - h0);
+  Alcotest.(check bool) "same statements" true (s1 == s2);
+  Alcotest.(check bool) "same memo" true (memo1 == memo2);
+  (* ...but interior whitespace is preserved (string literals) *)
+  let _, memo3 =
+    Pb_sql.Plan_cache.lookup cache db ~parse "SELECT  * FROM emp"
+  in
+  Alcotest.(check bool) "distinct entry" true (memo3 != memo1);
+  Alcotest.(check int) "two entries" 2 (Pb_sql.Plan_cache.size cache)
+
+let test_plan_cache_ddl_invalidation () =
+  let db = setup_db () in
+  let cache = Pb_sql.Plan_cache.create () in
+  let parse = Parser.parse_script in
+  let v0 = Database.version db in
+  let _, memo1 = Pb_sql.Plan_cache.lookup cache db ~parse "SELECT * FROM emp" in
+  (* schema-preserving DML keeps the entry warm *)
+  ignore (Executor.execute_sql db "INSERT INTO emp VALUES (9, 'zed', 'ops', 100)");
+  Alcotest.(check int) "DML does not bump version" v0 (Database.version db);
+  let h0 = Pb_sql.Plan_cache.hits () in
+  let _, memo2 = Pb_sql.Plan_cache.lookup cache db ~parse "SELECT * FROM emp" in
+  Alcotest.(check bool) "warm after DML" true (memo2 == memo1);
+  Alcotest.(check int) "hit after DML" 1 (Pb_sql.Plan_cache.hits () - h0);
+  (* DDL bumps the version and drops the stale entry *)
+  ignore (Executor.execute_sql db "CREATE TABLE scratch (a INT)");
+  Alcotest.(check bool) "DDL bumps version" true (Database.version db > v0);
+  let m0 = Pb_sql.Plan_cache.misses () in
+  let _, memo3 = Pb_sql.Plan_cache.lookup cache db ~parse "SELECT * FROM emp" in
+  Alcotest.(check bool) "stale entry replaced" true (memo3 != memo1);
+  Alcotest.(check int) "miss after DDL" 1 (Pb_sql.Plan_cache.misses () - m0);
+  (* DROP TABLE and CREATE INDEX are DDL too *)
+  let v1 = Database.version db in
+  ignore (Executor.execute_sql db "DROP TABLE scratch");
+  Alcotest.(check bool) "drop bumps" true (Database.version db > v1);
+  let v2 = Database.version db in
+  ignore (Executor.execute_sql db "CREATE INDEX ON emp (salary)");
+  Alcotest.(check bool) "index bumps" true (Database.version db > v2)
+
+let test_plan_cache_eviction () =
+  let db = setup_db () in
+  let cache = Pb_sql.Plan_cache.create ~capacity:2 () in
+  let parse = Parser.parse_script in
+  let lookup text = ignore (Pb_sql.Plan_cache.lookup cache db ~parse text) in
+  lookup "SELECT id FROM emp";
+  lookup "SELECT name FROM emp";
+  (* touch the first so the second is the LRU victim *)
+  lookup "SELECT id FROM emp";
+  lookup "SELECT dept FROM emp";
+  Alcotest.(check int) "capacity respected" 2 (Pb_sql.Plan_cache.size cache);
+  let h0 = Pb_sql.Plan_cache.hits () in
+  lookup "SELECT id FROM emp";
+  Alcotest.(check int) "recently-used survived" 1 (Pb_sql.Plan_cache.hits () - h0);
+  let m0 = Pb_sql.Plan_cache.misses () in
+  lookup "SELECT name FROM emp";
+  Alcotest.(check int) "LRU was evicted" 1 (Pb_sql.Plan_cache.misses () - m0)
+
+let test_prepared_execution_matches_fresh () =
+  let db = setup_db () in
+  let cache = Pb_sql.Plan_cache.create () in
+  let sql = "SELECT name, salary * 2 FROM emp WHERE salary >= 100 ORDER BY name" in
+  let stmts, memo =
+    Pb_sql.Plan_cache.lookup cache db ~parse:Parser.parse_script sql
+  in
+  let run () =
+    List.map
+      (fun stmt ->
+        match Executor.execute ~memo db stmt with
+        | Executor.Rows rel -> Relation.to_table rel
+        | _ -> Alcotest.fail "expected rows")
+      stmts
+  in
+  let fresh =
+    match Executor.execute_sql db sql with
+    | Executor.Rows rel -> Relation.to_table rel
+    | _ -> Alcotest.fail "expected rows"
+  in
+  Alcotest.(check (list string)) "first prepared run" [ fresh ] (run ());
+  Alcotest.(check (list string)) "repeat prepared run" [ fresh ] (run ())
+
 let suite =
   [
     Alcotest.test_case "lexer basics" `Quick test_lexer_basics;
@@ -327,4 +419,12 @@ let suite =
     Alcotest.test_case "missing table" `Quick test_missing_table;
     Alcotest.test_case "csv load + inference" `Quick test_csv_load;
     Alcotest.test_case "cartesian growth" `Quick test_cartesian_growth;
+    Alcotest.test_case "plan cache hit + normalization" `Quick
+      test_plan_cache_hit_and_normalize;
+    Alcotest.test_case "plan cache DDL invalidation" `Quick
+      test_plan_cache_ddl_invalidation;
+    Alcotest.test_case "plan cache LRU eviction" `Quick
+      test_plan_cache_eviction;
+    Alcotest.test_case "prepared execution matches fresh" `Quick
+      test_prepared_execution_matches_fresh;
   ]
