@@ -203,7 +203,7 @@ let exp_t2 () =
       let cell strategy enabled =
         if not enabled then ("-", "-")
         else begin
-          let r = Engine.evaluate_coeffs ~strategy db c in
+          let r = Engine.run_coeffs ~strategy db c in
           ( fmt_seconds r.Engine.elapsed,
             match r.Engine.objective with
             | Some v -> Printf.sprintf "%g" v
@@ -262,7 +262,7 @@ let exp_t3 () =
           (* A deliberately loose query so every size has valid packages. *)
           let query = meal_query ~lo:1000 ~hi:6000 ~count:6 () in
           let c = Coeffs.make db query in
-          let start = Engine.evaluate_coeffs ~strategy:Engine.Ilp db c in
+          let start = Engine.run_coeffs ~strategy:Engine.Ilp db c in
           match start.Engine.package with
           | None -> ()
           | Some pkg ->
@@ -313,10 +313,10 @@ let exp_t4 () =
           let db = recipes_db ~seed n in
           let query = meal_query () in
           let c = Coeffs.make db query in
-          let exact = Engine.evaluate_coeffs ~strategy:Engine.Ilp db c in
+          let exact = Engine.run_coeffs ~strategy:Engine.Ilp db c in
           let params = { Local_search.default_params with seed } in
           let heur =
-            Engine.evaluate_coeffs ~strategy:(Engine.Local_search params) db c
+            Engine.run_coeffs ~strategy:(Engine.Local_search params) db c
           in
           match (exact.Engine.objective, heur.Engine.objective) with
           | Some e, Some h when e > 0.0 ->
@@ -395,7 +395,7 @@ let exp_t5 () =
     List.map
       (fun (name, src) ->
         let query = Pb_paql.Parser.parse src in
-        let r = Engine.evaluate db query in
+        let r = Engine.run db query in
         [
           name;
           r.Engine.strategy_used;
@@ -405,7 +405,7 @@ let exp_t5 () =
           (match r.Engine.objective with
           | Some v -> Printf.sprintf "%g" v
           | None -> "-");
-          string_of_bool r.Engine.proven_optimal;
+          string_of_bool (r.Engine.proof = Engine.Optimal);
           fmt_seconds r.Engine.elapsed;
         ])
       scenarios
@@ -543,7 +543,7 @@ let exp_t8 () =
           let query = Pb_paql.Parser.parse src in
           let c = Coeffs.make db query in
           let r, elapsed =
-            Stats.timeit (fun () -> Engine.evaluate_coeffs ~strategy:Engine.Ilp db c)
+            Stats.timeit (fun () -> Engine.run_coeffs ~strategy:Engine.Ilp db c)
           in
           let stat name =
             match List.assoc_opt name r.Engine.stats with
@@ -589,12 +589,12 @@ let exp_t9 () =
       let query = meal_query () in
       let c = Coeffs.make db query in
       let gen =
-        Engine.evaluate_coeffs
+        Engine.run_coeffs
           ~strategy:(Engine.Sql_generation Pb_core.Sql_generate.default_params)
           db c
       in
-      let ilp = Engine.evaluate_coeffs ~strategy:Engine.Ilp db c in
-      let cell (r : Engine.report) =
+      let ilp = Engine.run_coeffs ~strategy:Engine.Ilp db c in
+      let cell (r : Engine.result) =
         ( fmt_seconds r.Engine.elapsed,
           match r.Engine.objective with
           | Some v -> Printf.sprintf "%g" v
@@ -776,8 +776,8 @@ let exp_a3 () =
       (fun seed ->
         let db = recipes_db ~seed n in
         let c = Coeffs.make db query in
-        let exact = Engine.evaluate_coeffs ~strategy:Engine.Ilp db c in
-        let r = Engine.evaluate_coeffs ~strategy:(make_strategy seed) db c in
+        let exact = Engine.run_coeffs ~strategy:Engine.Ilp db c in
+        let r = Engine.run_coeffs ~strategy:(make_strategy seed) db c in
         times := r.Engine.elapsed :: !times;
         match (exact.Engine.objective, r.Engine.objective) with
         | Some e, Some h when e > 0.0 ->
@@ -837,18 +837,17 @@ let exp_p1 () =
         List.map
           (fun size ->
             Pb_par.Pool.with_pool size (fun pool ->
-                let r =
-                  Engine.evaluate_coeffs ~pool ~strategy ~ilp_max_nodes db c
-                in
+                let gov = Pb_util.Gov.create ~milp_nodes:ilp_max_nodes () in
+                let r = Engine.run_coeffs ~pool ~gov ~strategy db c in
                 (size, r)))
           pool_sizes
       in
       let _, base = List.hd runs in
       List.iter
-        (fun (size, (r : Engine.report)) ->
+        (fun (size, (r : Engine.result)) ->
           (* determinism: the answer must not depend on the pool size *)
           assert (r.Engine.objective = base.Engine.objective);
-          assert (r.Engine.proven_optimal = base.Engine.proven_optimal);
+          assert (r.Engine.proof = base.Engine.proof);
           rows :=
             [
               label;
@@ -887,7 +886,7 @@ let micro_benchmarks () =
   let query = meal_query () in
   let c = Coeffs.make db query in
   let pkg =
-    match (Engine.evaluate_coeffs ~strategy:Engine.Ilp db c).Engine.package with
+    match (Engine.run_coeffs ~strategy:Engine.Ilp db c).Engine.package with
     | Some pkg -> pkg
     | None -> failwith "no package for micro-benchmarks"
   in
@@ -1171,6 +1170,8 @@ let loadgen () =
   in
   let latencies = Array.make clients [] in
   let errors = Atomic.make 0 in
+  let busy = Atomic.make 0 in
+  let cancelled = Atomic.make 0 in
   let failures = Atomic.make 0 in
   let worker i () =
     match Pb_net.Client.connect ~host:!loadgen_host ~port:!loadgen_port () with
@@ -1190,9 +1191,16 @@ let loadgen () =
                  let resp = Pb_net.Client.request ?deadline c stmt in
                  let dt = Unix.gettimeofday () -. t0 in
                  acc := dt :: !acc;
-                 match resp with
-                 | Ok _ -> ()
-                 | Error _ -> Atomic.incr errors
+                 match resp.Pb_net.Protocol.status with
+                 | Pb_net.Protocol.Ok -> ()
+                 | Pb_net.Protocol.Busy ->
+                     Atomic.incr busy;
+                     Atomic.incr errors
+                 | Pb_net.Protocol.Deadline_exceeded | Pb_net.Protocol.Cancelled
+                   ->
+                     Atomic.incr cancelled;
+                     Atomic.incr errors
+                 | _ -> Atomic.incr errors
                done
              with Pb_net.Client.Net_error msg ->
                Atomic.incr failures;
@@ -1212,9 +1220,10 @@ let loadgen () =
   Printf.printf "loadgen %s: %d clients x %d requests against %s:%d\n"
     !loadgen_label clients per_client !loadgen_host !loadgen_port;
   Printf.printf
-    "  completed %d round-trips in %s (%d protocol errors, %d dropped \
-     clients)\n"
-    completed (fmt_seconds wall) (Atomic.get errors) (Atomic.get failures);
+    "  completed %d round-trips in %s (%d error statuses: %d busy, %d \
+     deadline/cancelled; %d dropped clients)\n"
+    completed (fmt_seconds wall) (Atomic.get errors) (Atomic.get busy)
+    (Atomic.get cancelled) (Atomic.get failures);
   Printf.printf "  throughput: %.1f req/s\n" throughput;
   Printf.printf "  latency: p50 %s  p95 %s  p99 %s  max %s\n"
     (fmt_seconds (p 50.0)) (fmt_seconds (p 95.0)) (fmt_seconds (p 99.0))
@@ -1225,11 +1234,13 @@ let loadgen () =
       let oc = open_out path in
       Printf.fprintf oc
         "{\"label\":\"%s\",\"clients\":%d,\"requests_per_client\":%d,\
-         \"completed\":%d,\"protocol_errors\":%d,\"dropped_clients\":%d,\
+         \"completed\":%d,\"protocol_errors\":%d,\"busy\":%d,\
+         \"cancelled\":%d,\"dropped_clients\":%d,\
          \"wall_seconds\":%s,\"throughput_rps\":%s,\"p50_s\":%s,\"p95_s\":%s,\
          \"p99_s\":%s,\"max_s\":%s}\n"
         (json_escape !loadgen_label) clients per_client completed
-        (Atomic.get errors) (Atomic.get failures) (json_num wall)
+        (Atomic.get errors) (Atomic.get busy) (Atomic.get cancelled)
+        (Atomic.get failures) (json_num wall)
         (json_num throughput) (json_num (p 50.0)) (json_num (p 95.0))
         (json_num (p 99.0)) (json_num (p 100.0));
       close_out oc;

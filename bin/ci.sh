@@ -93,4 +93,68 @@ if ! grep -q "pb_server stopped" "$SMOKE_LOG"; then
   exit 1
 fi
 
+# Admission + cancellation smoke: a deliberately starved server (one
+# evaluation slot, one queue slot, 200ms deadline) hit by a burst of
+# poison cross-join queries must (a) reject overflow with busy, (b)
+# cooperatively cancel the poison it does admit, and (c) still answer a
+# fresh query immediately afterwards.
+echo "== saturation smoke (admission busy + cooperative cancellation) =="
+POISON_LOG=_build/ci/poison_server.log
+./_build/default/bin/pb_server.exe --port 0 --size 80 --seed 7 \
+  --max-inflight 1 --max-queue 1 --deadline 0.2 >"$POISON_LOG" 2>&1 &
+POISON_PID=$!
+i=0
+while [ $i -lt 100 ]; do
+  grep -q "pb_server ready" "$POISON_LOG" 2>/dev/null && break
+  i=$((i + 1))
+  sleep 0.1
+done
+POISON_PORT=$(sed -n 's/.*listening on 127.0.0.1:\([0-9]*\).*/\1/p' "$POISON_LOG")
+if [ -z "$POISON_PORT" ]; then
+  echo "CI FAIL: saturation pb_server did not come up; log follows"
+  cat "$POISON_LOG"
+  kill "$POISON_PID" 2>/dev/null || true
+  exit 1
+fi
+./_build/default/bench/main.exe --loadgen --port "$POISON_PORT" \
+  --clients 6 --requests 4 --workload bench/workloads/net_poison.txt \
+  --label poison-burst --json-out _build/ci/poison.json \
+  >_build/ci/poison_loadgen.txt 2>&1
+BUSY=$(sed -n 's/.*"busy":\([0-9][0-9]*\).*/\1/p' _build/ci/poison.json)
+if [ -z "$BUSY" ] || [ "$BUSY" -lt 1 ]; then
+  echo "CI FAIL: expected >= 1 busy rejection past the admission queue;"
+  echo "         loadgen reported: ${BUSY:-no busy field}"
+  cat _build/ci/poison_loadgen.txt
+  kill "$POISON_PID" 2>/dev/null || true
+  exit 1
+fi
+printf '\\metrics\n\\quit\n' | \
+  ./_build/default/bin/pb_client.exe --port "$POISON_PORT" \
+  >_build/ci/poison_metrics.txt 2>&1
+NET_CANCELLED=$(sed -n 's/^pb_net_cancelled_total \([0-9][0-9]*\).*/\1/p' \
+  _build/ci/poison_metrics.txt | head -n 1)
+if [ -z "$NET_CANCELLED" ] || [ "$NET_CANCELLED" -lt 1 ]; then
+  echo "CI FAIL: expected pb_net_cancelled_total > 0 after the poison burst;"
+  echo "         \\metrics reported: ${NET_CANCELLED:-no counter}"
+  kill "$POISON_PID" 2>/dev/null || true
+  exit 1
+fi
+# The server must be healthy, not merely alive: a fresh query answers.
+printf 'SELECT COUNT(*) FROM recipes\n\\quit\n' | \
+  ./_build/default/bin/pb_client.exe --port "$POISON_PORT" \
+  >_build/ci/poison_fresh.txt 2>&1
+if ! grep -q "80" _build/ci/poison_fresh.txt; then
+  echo "CI FAIL: server did not answer a fresh query after the poison burst"
+  cat _build/ci/poison_fresh.txt
+  kill "$POISON_PID" 2>/dev/null || true
+  exit 1
+fi
+kill -TERM "$POISON_PID"
+POISON_EXIT=0
+wait "$POISON_PID" || POISON_EXIT=$?
+if [ "$POISON_EXIT" -ne 0 ]; then
+  echo "CI FAIL: saturation pb_server exited $POISON_EXIT on SIGTERM (expected 0)"
+  exit 1
+fi
+
 echo "CI OK"

@@ -98,7 +98,7 @@ let read_query text =
   in
   Pb_paql.Parser.parse src
 
-let print_report (r : Pb_core.Engine.report) =
+let print_result (r : Pb_core.Engine.result) =
   (match r.package with
   | Some pkg -> print_string (Pb_paql.Package.to_string pkg)
   | None -> print_endline "no valid package");
@@ -106,7 +106,10 @@ let print_report (r : Pb_core.Engine.report) =
   | Some v -> Printf.printf "objective: %g\n" v
   | None -> ());
   Printf.printf "strategy: %s%s, %.3fs\n" r.strategy_used
-    (if r.proven_optimal then " (proven optimal)" else "")
+    (match r.proof with
+    | Pb_core.Engine.Optimal | Pb_core.Engine.Infeasible -> " (proven optimal)"
+    | Pb_core.Engine.Feasible -> ""
+    | Pb_core.Engine.Cancelled -> " (cancelled)")
     r.elapsed;
   List.iter (fun (k, v) -> Printf.printf "  %s = %s\n" k v) r.stats
 
@@ -117,10 +120,10 @@ let run_cmd =
     let db = load_db tables size seed in
     let query = read_query query_text in
     print_endline (Pb_explore.Describe.describe_query query);
-    let report =
-      Pb_core.Engine.evaluate ~strategy:(to_engine_strategy strategy) db query
+    let result =
+      Pb_core.Engine.run ~strategy:(to_engine_strategy strategy) db query
     in
-    print_report report
+    print_result result
   in
   let term =
     Term.(const action $ tables_arg $ size_arg $ seed_arg $ strategy_arg $ query_arg)
@@ -183,14 +186,14 @@ let explain_cmd =
     print_endline "\ncost model (sec 5 'optimizing PaQL queries'):";
     print_string (Pb_core.Cost_model.to_table c);
     (* neighbourhood SQL for the current best package, if any *)
-    let report = Pb_core.Engine.evaluate db query in
-    (match report.Pb_core.Engine.package with
+    let result = Pb_core.Engine.run db query in
+    (match result.Pb_core.Engine.package with
     | Some pkg when Pb_paql.Package.cardinality pkg >= 1 ->
         let _, sql = Pb_core.Local_search.sql_replacements db c pkg ~k:1 in
         Printf.printf "\nlocal-search neighbourhood query (k=1, sec 4.2):\n%s\n" sql
     | _ -> ());
     print_endline "";
-    print_report report
+    print_result result
   in
   let term = Term.(const action $ tables_arg $ size_arg $ seed_arg $ query_arg) in
   Cmd.v

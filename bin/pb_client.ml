@@ -5,9 +5,11 @@
      pb_client --port 7878 --echo < session.txt
 
    Lines starting with '#' and blank lines are skipped in stdin mode, so
-   scripted sessions can carry comments. Exit status: 0 when every
-   request got a response (including protocol-level errors, which are
-   printed), 1 on connection failure. *)
+   scripted sessions can carry comments. Busy responses (the server's
+   admission queue is full) are retried with jittered exponential
+   backoff, up to --retries times. Exit status: 0 when every request got
+   a response (including error statuses, which are printed), 1 on
+   connection failure or version mismatch. *)
 
 open Cmdliner
 
@@ -26,6 +28,20 @@ let deadline_arg =
     & info [ "deadline" ] ~docv:"SECONDS"
         ~doc:"Per-request deadline sent with every request. 0 = none.")
 
+let retries_arg =
+  Arg.(
+    value & opt int 5
+    & info [ "retries" ] ~docv:"N"
+        ~doc:
+          "Retries for busy responses and busy connection rejections, with \
+           jittered exponential backoff. 0 disables retrying.")
+
+let retry_delay_arg =
+  Arg.(
+    value & opt float 0.05
+    & info [ "retry-delay" ] ~docv:"SECONDS"
+        ~doc:"Base backoff delay; attempt k waits about delay * 2^k.")
+
 let cmds_arg =
   Arg.(
     value & opt_all string []
@@ -43,7 +59,43 @@ let echo_arg =
 let is_quit line =
   match String.trim line with "\\quit" | "\\q" -> true | _ -> false
 
-let run host port deadline cmds echo =
+(* Jittered exponential backoff: attempt k sleeps base * 2^k scaled by a
+   random factor in [0.5, 1.5), so a burst of rejected clients does not
+   re-dogpile the server in lockstep. *)
+let backoff =
+  let rng =
+    Random.State.make
+      [| int_of_float (Unix.gettimeofday () *. 1e6); Unix.getpid () |]
+  in
+  fun ~base attempt ->
+    let d = base *. (2.0 ** float_of_int attempt) in
+    d *. (0.5 +. Random.State.float rng 1.0)
+
+let connect_with_retry ~host ~port ~retries ~base =
+  let rec go attempt =
+    match Pb_net.Client.connect ~host ~port () with
+    | client -> client
+    | exception Pb_net.Client.Rejected (Pb_net.Protocol.Busy, msg)
+      when attempt < retries ->
+        Printf.eprintf "pb_client: busy (%s); retrying\n%!" msg;
+        Unix.sleepf (backoff ~base attempt);
+        go (attempt + 1)
+    | exception Pb_net.Client.Rejected (status, msg) ->
+        Printf.eprintf "pb_client: server refused connection (%s): %s\n"
+          (Pb_net.Protocol.status_to_string status)
+          msg;
+        exit 1
+    | exception Pb_net.Client.Net_error msg ->
+        Printf.eprintf "pb_client: %s\n" msg;
+        exit 1
+    | exception Unix.Unix_error (err, _, _) ->
+        Printf.eprintf "pb_client: cannot connect to %s:%d: %s\n" host port
+          (Unix.error_message err);
+        exit 1
+  in
+  go 0
+
+let run host port deadline retries retry_delay cmds echo =
   let deadline = if deadline > 0.0 then Some deadline else None in
   let stdin_mode = cmds = [] in
   let next_line =
@@ -60,44 +112,50 @@ let run host port deadline cmds echo =
             pending := rest;
             Some line
   in
-  match Pb_net.Client.connect ~host ~port () with
-  | exception Unix.Unix_error (err, _, _) ->
-      Printf.eprintf "pb_client: cannot connect to %s:%d: %s\n" host port
-        (Unix.error_message err);
-      exit 1
-  | client ->
-      let rec loop () =
-        match next_line () with
-        | None -> ()
-        | Some line when stdin_mode && (String.trim line = "" || line.[0] = '#')
-          ->
-            loop ()
-        | Some line -> (
-            if echo then Printf.printf "pb> %s\n" line;
-            match Pb_net.Client.request ?deadline client line with
-            | Ok output ->
-                if output <> "" then print_endline output;
-                flush stdout;
-                if not (is_quit line) then loop ()
-            | Error (code, msg) ->
-                Printf.printf "error (%s): %s\n"
-                  (Pb_net.Protocol.error_code_to_string code)
-                  msg;
-                flush stdout;
-                (* busy/shutdown mean the server is hanging up on us *)
-                (match code with
-                | Pb_net.Protocol.Busy | Pb_net.Protocol.Shutting_down -> ()
-                | _ -> loop ())
-            | exception Pb_net.Client.Net_error msg ->
-                Printf.eprintf "pb_client: %s\n" msg;
-                exit 1)
-      in
-      loop ();
-      Pb_net.Client.close client
+  let client =
+    connect_with_retry ~host ~port ~retries ~base:retry_delay
+  in
+  let rec send line attempt =
+    match Pb_net.Client.request ?deadline client line with
+    | { Pb_net.Protocol.status = Pb_net.Protocol.Busy; _ }
+      when attempt < retries ->
+        Unix.sleepf (backoff ~base:retry_delay attempt);
+        send line (attempt + 1)
+    | resp -> resp
+  in
+  let rec loop () =
+    match next_line () with
+    | None -> ()
+    | Some line when stdin_mode && (String.trim line = "" || line.[0] = '#') ->
+        loop ()
+    | Some line -> (
+        if echo then Printf.printf "pb> %s\n" line;
+        match send line 0 with
+        | { Pb_net.Protocol.status = Pb_net.Protocol.Ok; body } ->
+            if body <> "" then print_endline body;
+            flush stdout;
+            if not (is_quit line) then loop ()
+        | { Pb_net.Protocol.status; body } ->
+            Printf.printf "error (%s): %s\n"
+              (Pb_net.Protocol.status_to_string status)
+              body;
+            flush stdout;
+            (* the server hangs up after announcing shutdown *)
+            (match status with
+            | Pb_net.Protocol.Shutting_down -> ()
+            | _ -> loop ())
+        | exception Pb_net.Client.Net_error msg ->
+            Printf.eprintf "pb_client: %s\n" msg;
+            exit 1)
+  in
+  loop ();
+  Pb_net.Client.close client
 
 let cmd =
   let term =
-    Term.(const run $ host_arg $ port_arg $ deadline_arg $ cmds_arg $ echo_arg)
+    Term.(
+      const run $ host_arg $ port_arg $ deadline_arg $ retries_arg
+      $ retry_delay_arg $ cmds_arg $ echo_arg)
   in
   Cmd.v
     (Cmd.info "pb_client" ~version:"1.0.0"

@@ -28,13 +28,31 @@ let max_conns_arg =
           "Maximum live connections; beyond this, clients are rejected \
            with a busy error instead of queueing.")
 
+let max_inflight_arg =
+  Arg.(
+    value & opt int 64
+    & info [ "max-inflight" ] ~docv:"N"
+        ~doc:
+          "Maximum requests evaluating concurrently; further requests wait \
+           in the admission queue.")
+
+let max_queue_arg =
+  Arg.(
+    value & opt int 128
+    & info [ "max-queue" ] ~docv:"N"
+        ~doc:
+          "Admission queue depth; a request arriving past it is answered \
+           with a busy status immediately (backpressure).")
+
 let deadline_arg =
   Arg.(
     value & opt float 0.0
     & info [ "deadline" ] ~docv:"SECONDS"
         ~doc:
-          "Default per-request deadline; requests past it get a protocol \
-           error. 0 disables the default (clients can still set their own).")
+          "Default per-request deadline; past it the request's governance \
+           token is cancelled and the client gets a deadline status with \
+           the partial result. 0 disables the default (clients can still \
+           set their own).")
 
 let tables_arg =
   Arg.(
@@ -102,8 +120,8 @@ let load_db tables size seed db_dir =
           tables;
       db
 
-let serve host port max_conns deadline tables size seed db_dir slowlog
-    plan_cache =
+let serve host port max_conns max_inflight max_queue deadline tables size
+    seed db_dir slowlog plan_cache =
   let db = load_db tables size seed db_dir in
   if slowlog > 0.0 then Pb_obs.Slow_log.set_threshold (Some slowlog);
   let config =
@@ -112,6 +130,8 @@ let serve host port max_conns deadline tables size seed db_dir slowlog
       host;
       port;
       max_connections = max_conns;
+      max_inflight;
+      max_queue;
       default_deadline = (if deadline > 0.0 then Some deadline else None);
       plan_cache_capacity = max 0 plan_cache;
     }
@@ -139,9 +159,9 @@ let serve host port max_conns deadline tables size seed db_dir slowlog
 let cmd =
   let term =
     Term.(
-      const serve $ host_arg $ port_arg $ max_conns_arg $ deadline_arg
-      $ tables_arg $ size_arg $ seed_arg $ db_dir_arg $ slowlog_arg
-      $ plan_cache_arg)
+      const serve $ host_arg $ port_arg $ max_conns_arg $ max_inflight_arg
+      $ max_queue_arg $ deadline_arg $ tables_arg $ size_arg $ seed_arg
+      $ db_dir_arg $ slowlog_arg $ plan_cache_arg)
   in
   Cmd.v
     (Cmd.info "pb_server" ~version:"1.0.0"

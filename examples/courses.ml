@@ -23,7 +23,7 @@ let schedule_query ~require_cs301 =
 
 let show_schedule db query_text =
   let query = Pb_paql.Parser.parse query_text in
-  let report = Pb_core.Engine.evaluate db query in
+  let report = Pb_core.Engine.run db query in
   (match report.Pb_core.Engine.package with
   | Some pkg ->
       print_string
@@ -36,7 +36,7 @@ let show_schedule db query_text =
         | Some v -> Printf.sprintf "%g" v
         | None -> "-")
         report.Pb_core.Engine.strategy_used
-        (if report.Pb_core.Engine.proven_optimal then " (proven optimal)" else "")
+        (if (report.Pb_core.Engine.proof = Pb_core.Engine.Optimal) then " (proven optimal)" else "")
   | None -> print_endline "no feasible schedule");
   report
 

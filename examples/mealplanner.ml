@@ -66,7 +66,7 @@ let () =
   in
   let refined = minimize_fat.Suggest.refined in
   Printf.printf "refined query: %s\n" (Pb_paql.Ast.to_string refined);
-  let report = Pb_core.Engine.evaluate db refined in
+  let report = Pb_core.Engine.run db refined in
   (match report.Pb_core.Engine.package with
   | Some pkg -> print_string (Package.to_string pkg)
   | None -> print_endline "no valid package");

@@ -31,7 +31,7 @@ let () =
   print_string (Pb_explore.Describe.describe_query query);
   print_newline ();
 
-  let report = Pb_core.Engine.evaluate db query in
+  let report = Pb_core.Engine.run db query in
   match report.Pb_core.Engine.package with
   | None -> print_endline "no feasible portfolio"
   | Some pkg ->
@@ -70,12 +70,12 @@ let () =
       | Some r -> Printf.printf "expected return: %g%% (summed)\n" r
       | None -> ());
       Printf.printf "strategy: %s%s\n" report.Pb_core.Engine.strategy_used
-        (if report.Pb_core.Engine.proven_optimal then " (proven optimal)"
+        (if (report.Pb_core.Engine.proof = Pb_core.Engine.Optimal) then " (proven optimal)"
          else "");
 
       (* Compare against the heuristic to illustrate §4's trade-off. *)
       let ls =
-        Pb_core.Engine.evaluate
+        Pb_core.Engine.run
           ~strategy:
             (Pb_core.Engine.Local_search Pb_core.Local_search.default_params)
           db query

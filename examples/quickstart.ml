@@ -27,7 +27,7 @@ let () =
   print_newline ();
 
   (* 3. evaluate with the default (hybrid) strategy *)
-  let report = Pb_core.Engine.evaluate db query in
+  let report = Pb_core.Engine.run db query in
   (match report.Pb_core.Engine.package with
   | Some pkg ->
       print_endline "Best package:";
@@ -43,13 +43,13 @@ let () =
   print_endline "Strategy comparison:";
   List.iter
     (fun strategy ->
-      let r = Pb_core.Engine.evaluate ~strategy db query in
+      let r = Pb_core.Engine.run ~strategy db query in
       Printf.printf "  %-22s objective=%-8s optimal=%-5b %.3f s\n"
         r.Pb_core.Engine.strategy_used
         (match r.Pb_core.Engine.objective with
         | Some v -> Printf.sprintf "%g" v
         | None -> "-")
-        r.Pb_core.Engine.proven_optimal r.Pb_core.Engine.elapsed)
+        (r.Pb_core.Engine.proof = Pb_core.Engine.Optimal) r.Pb_core.Engine.elapsed)
     [
       Pb_core.Engine.Brute_force { use_pruning = true };
       Pb_core.Engine.Ilp;

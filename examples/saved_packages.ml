@@ -35,7 +35,7 @@ let () =
 
   banner "Solve and save";
   let pkg =
-    match (Pb_core.Engine.evaluate db query).Pb_core.Engine.package with
+    match (Pb_core.Engine.run db query).Pb_core.Engine.package with
     | Some pkg -> pkg
     | None -> failwith "no valid meal plan"
   in

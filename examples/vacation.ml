@@ -47,7 +47,7 @@ let () =
   List.iter
     (fun dest ->
       let query = Pb_paql.Parser.parse (base_query dest) in
-      let report = Pb_core.Engine.evaluate db query in
+      let report = Pb_core.Engine.run db query in
       match (report.Pb_core.Engine.package, report.Pb_core.Engine.objective) with
       | Some pkg, Some rating ->
           Printf.printf "%-12s rating %-5g $%-8g %s\n" dest rating
@@ -78,7 +78,7 @@ let () =
               SUM(V.rating)"
              dest)
       in
-      let report = Pb_core.Engine.evaluate db tight in
+      let report = Pb_core.Engine.run db tight in
       print_endline "\nSame trip with a $1,500 budget:";
       (match report.Pb_core.Engine.package with
       | Some pkg2 ->

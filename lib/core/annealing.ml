@@ -1,6 +1,7 @@
 module Ast = Pb_paql.Ast
 module Semantics = Pb_paql.Semantics
 module Prng = Pb_util.Prng
+module Gov = Pb_util.Gov
 
 type params = {
   seed : int;
@@ -100,7 +101,7 @@ let objective_term (c : Coeffs.t) mult =
 let energy params c mult =
   violation c mult +. (params.objective_weight *. objective_term c mult)
 
-let search ?(params = default_params) (c : Coeffs.t) =
+let search ?(params = default_params) ?gov (c : Coeffs.t) =
   let rng = Prng.create params.seed in
   let n = c.Coeffs.n in
   if n = 0 then
@@ -153,7 +154,12 @@ let search ?(params = default_params) (c : Coeffs.t) =
       in
       consider ();
       let card = ref (Array.fold_left ( + ) 0 mult) in
-      for _step = 1 to params.steps do
+      let steps_taken = ref 0 in
+      let stopped () =
+        match gov with Some g -> Gov.check g <> None | None -> false
+      in
+      let step = ref 1 in
+      while !step <= params.steps && not (!step land 255 = 0 && stopped ()) do
         (* Propose: replace (common), add, or remove. *)
         let kind = Prng.int rng 4 in
         let proposal =
@@ -202,12 +208,14 @@ let search ?(params = default_params) (c : Coeffs.t) =
               List.iter (fun i -> mult.(i) <- mult.(i) - 1) ins;
               card := !card - delta_card
             end);
-        temperature := !temperature *. params.cooling
+        temperature := !temperature *. params.cooling;
+        incr steps_taken;
+        incr step
       done;
       {
         best = Option.map (Coeffs.package_of_mult c) !best_mult;
         best_objective = !best_obj;
-        steps_taken = params.steps;
+        steps_taken = !steps_taken;
         accepted = !accepted;
         valid_visits = !valid_visits;
       }

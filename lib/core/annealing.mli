@@ -27,8 +27,12 @@ type outcome = {
   best : Pb_paql.Package.t option;
   best_objective : float option;
   steps_taken : int;
+      (** proposals actually made; less than [params.steps] when the
+          governance token stopped the walk early *)
   accepted : int;  (** proposals accepted *)
   valid_visits : int;  (** states passing the compiled validity check *)
 }
 
-val search : ?params:params -> Coeffs.t -> outcome
+val search : ?params:params -> ?gov:Pb_util.Gov.t -> Coeffs.t -> outcome
+(** [gov]'s cancellation flag and deadline are polled every 256 steps;
+    a stop ends the walk early, keeping the best valid state visited. *)

@@ -1,6 +1,14 @@
 module Ast = Pb_paql.Ast
 module Semantics = Pb_paql.Semantics
 module Pool = Pb_par.Pool
+module Gov = Pb_util.Gov
+
+(* Cancellation/deadline poll (budget is enforced through the captured
+   [max_examined], not through the token's meter, so the walk stays
+   bit-identical at any pool size for non-cancelled runs — the poll only
+   changes behaviour once a stop has actually been requested). *)
+let stopped gov () =
+  match gov with Some g -> Gov.check g <> None | None -> false
 
 type outcome = {
   best : Pb_paql.Package.t option;
@@ -47,12 +55,16 @@ let objective_of c mult =
   | Some (Some _) -> Coeffs.objective_of_mult c mult
   | Some None -> Semantics.objective_value ~db:c.Coeffs.db c.query (Coeffs.package_of_mult c mult)
 
-let search_sequential ~max_examined ~lo ~hi (c : Coeffs.t) =
+let search_sequential ~gov ~max_examined ~lo ~hi (c : Coeffs.t) =
   let st =
     { examined = 0; best_mult = None; best_obj = None; truncated = false }
   in
   let dir = objective_dir c in
   let visit mult =
+    if st.examined land 255 = 0 && stopped gov () then begin
+      st.truncated <- true;
+      raise Stop
+    end;
     if st.examined >= max_examined then begin
       st.truncated <- true;
       raise Stop
@@ -114,7 +126,7 @@ type chunk_res = {
   cr_dirty : bool;  (* aborted early: counts unusable, must re-run *)
 }
 
-let search_parallel pool ~max_examined ~lo ~hi (c : Coeffs.t) =
+let search_parallel pool ~gov ~max_examined ~lo ~hi (c : Coeffs.t) =
   let n = c.n and max_mult = c.max_mult in
   let dir = objective_dir c in
   (* Prefix length: enough chunks to keep every domain busy. *)
@@ -170,16 +182,22 @@ let search_parallel pool ~max_examined ~lo ~hi (c : Coeffs.t) =
         end
       in
       let visit mult =
-        if speculative && st.examined land 255 = 0 then begin
-          flush ();
-          if
-            Atomic.get global_examined >= max_examined
-            || Atomic.get found_idx < idx
-          then begin
-            dirty := true;
-            raise Stop
+        if st.examined land 255 = 0 then
+          if speculative then begin
+            flush ();
+            if
+              Atomic.get global_examined >= max_examined
+              || Atomic.get found_idx < idx
+              || stopped gov ()
+            then begin
+              dirty := true;
+              raise Stop
+            end
           end
-        end;
+          else if stopped gov () then begin
+            st.truncated <- true;
+            raise Stop
+          end;
         if st.examined >= budget then begin
           st.truncated <- true;
           raise Stop
@@ -232,7 +250,11 @@ let search_parallel pool ~max_examined ~lo ~hi (c : Coeffs.t) =
       }
     in
     let results = Array.make nchunks None in
-    Pool.parallel_for pool ~chunk_size:1 nchunks (fun idx ->
+    (* [should_stop] skips chunks still queued once a cancellation or
+       deadline lands; the replay below notices the stop before it would
+       ever need a skipped chunk's result. *)
+    Pool.parallel_for pool ~chunk_size:1 ~should_stop:(stopped gov) nchunks
+      (fun idx ->
         results.(idx) <- Some (run_chunk ~speculative:true idx ~budget:max_examined));
     (* Replay in chunk order. *)
     let remaining = ref max_examined in
@@ -242,7 +264,22 @@ let search_parallel pool ~max_examined ~lo ~hi (c : Coeffs.t) =
     let stop = ref false in
     let idx = ref 0 in
     while (not !stop) && !idx < nchunks do
-      let r = match results.(!idx) with Some r -> r | None -> assert false in
+      if stopped gov () then begin
+        (* A cancelled walk reports what it merged so far; replay (and
+           any dirty-chunk re-run) must not keep burning CPU. *)
+        truncated := true;
+        stop := true
+      end
+      else begin
+      let r =
+        match results.(!idx) with
+        | Some r -> r
+        | None ->
+            (* Chunk skipped by [should_stop] on a stop that has since
+               been observed here only in a racy interleaving; re-run it
+               within the remaining budget. *)
+            run_chunk ~speculative:false !idx ~budget:!remaining
+      in
       let r =
         if r.cr_dirty || r.cr_examined > !remaining then
           run_chunk ~speculative:false !idx ~budget:!remaining
@@ -280,6 +317,7 @@ let search_parallel pool ~max_examined ~lo ~hi (c : Coeffs.t) =
         stop := true
       end;
       incr idx
+      end
     done;
     {
       best = Option.map (Coeffs.package_of_mult c) !g_mult;
@@ -293,20 +331,37 @@ let search_parallel pool ~max_examined ~lo ~hi (c : Coeffs.t) =
    prefix split would dominate the suffix work. *)
 let par_min_n = 10
 
-let search ?pool ?(use_pruning = true) ?(max_examined = 5_000_000)
-    (c : Coeffs.t) =
+let search ?pool ?gov ?(use_pruning = true) (c : Coeffs.t) =
   let pool = match pool with Some p -> p | None -> Pool.get_default () in
+  (* The candidate budget comes from the governance token (remaining
+     family-wide [Bf_candidates] allowance), captured once up front so
+     the walk's truncation point is deterministic; no token means the
+     historical 5M default. *)
+  let max_examined =
+    match gov with
+    | Some g -> (
+        match Gov.budget_left g Gov.Bf_candidates with
+        | Some left -> left
+        | None -> max_int)
+    | None -> 5_000_000
+  in
   let nm = c.n * c.max_mult in
   let b =
     if use_pruning then Pruning.cardinality_bounds c
     else { Pruning.lo = 0; hi = nm }
   in
   let lo = max 0 b.lo and hi = min nm b.hi in
-  if lo > hi then
-    { best = None; best_objective = None; examined = 0; complete = true }
-  else if Pool.size pool > 1 && c.n >= par_min_n then
-    search_parallel pool ~max_examined ~lo ~hi c
-  else search_sequential ~max_examined ~lo ~hi c
+  let out =
+    if lo > hi then
+      { best = None; best_objective = None; examined = 0; complete = true }
+    else if Pool.size pool > 1 && c.n >= par_min_n then
+      search_parallel pool ~gov ~max_examined ~lo ~hi c
+    else search_sequential ~gov ~max_examined ~lo ~hi c
+  in
+  (match gov with
+  | Some g -> Gov.spend g Gov.Bf_candidates out.examined
+  | None -> ());
+  out
 
 let enumerate_valid ?(use_pruning = true) ?(limit = 10_000) (c : Coeffs.t) =
   let nm = c.n * c.max_mult in

@@ -13,25 +13,31 @@ type outcome = {
   best_objective : float option;
   examined : int;  (** candidate packages fully checked *)
   complete : bool;
-      (** false when [max_examined] stopped the walk early, in which case
-          [best] is only best-so-far *)
+      (** false when the candidate budget, a cancellation, or a deadline
+          stopped the walk early, in which case [best] is only
+          best-so-far *)
 }
 
 val search :
   ?pool:Pb_par.Pool.t ->
+  ?gov:Pb_util.Gov.t ->
   ?use_pruning:bool ->
-  ?max_examined:int ->
   Coeffs.t ->
   outcome
-(** [use_pruning] defaults to true; [max_examined] (default 5_000_000)
-    bounds the number of candidate packages checked. For queries without
-    an objective the walk stops at the first valid package.
+(** [use_pruning] defaults to true. The number of candidate packages
+    checked is bounded by [gov]'s remaining [Bf_candidates] budget
+    (captured once at entry, spent back on return); without a token the
+    historical default of 5_000_000 applies. The token's cancellation
+    flag and deadline are polled every 256 candidates — a stop returns
+    the best-so-far with [complete = false]. For queries without an
+    objective the walk stops at the first valid package.
 
     [pool] (default {!Pb_par.Pool.get_default}) parallelises the walk by
-    partitioning the multiplicity space on a lexicographic prefix; the
-    outcome is bit-identical to the sequential walk at any pool size
-    (same [best], [best_objective], [examined] and [complete]), and pool
-    size 1 runs the sequential code path unchanged. *)
+    partitioning the multiplicity space on a lexicographic prefix; for
+    runs that are not cancelled mid-walk the outcome is bit-identical to
+    the sequential walk at any pool size (same [best], [best_objective],
+    [examined] and [complete]), and pool size 1 runs the sequential code
+    path unchanged. *)
 
 val enumerate_valid :
   ?use_pruning:bool ->

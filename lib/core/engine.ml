@@ -6,6 +6,7 @@ module Milp = Pb_lp.Milp
 module Trace = Pb_obs.Trace
 module Metrics = Pb_obs.Metrics
 module Pool = Pb_par.Pool
+module Gov = Pb_util.Gov
 
 (* Typed strategy counters. Each run bumps the process-wide metric and
    the enclosing span, and still renders the (key, value) pair into the
@@ -68,6 +69,27 @@ let strategy_name = function
   | Sql_generation _ -> "sql-generation"
   | Hybrid -> "hybrid"
 
+type proof = Optimal | Feasible | Infeasible | Cancelled
+
+let proof_to_string = function
+  | Optimal -> "optimal"
+  | Feasible -> "feasible"
+  | Infeasible -> "infeasible"
+  | Cancelled -> "cancelled"
+
+type result = {
+  package : Package.t option;
+  objective : float option;
+  proof : proof;
+  strategy_used : string;
+  elapsed : float;
+  stats : (string * string) list;
+}
+
+(* Internal per-strategy report; [proven_optimal] means "this answer is
+   exact" (a proof of optimality when a package is present, a proof of
+   infeasibility when none is).  The public [result] is derived from it
+   plus the governance token's fate. *)
 type report = {
   package : Package.t option;
   objective : float option;
@@ -104,7 +126,7 @@ let objective_of db (c : Coeffs.t) pkg =
   | None -> None
   | Some _ -> Semantics.objective_value ~db c.query pkg
 
-let run_brute_force ~pool ~use_pruning ~max_examined (c : Coeffs.t) =
+let run_brute_force ~pool ~gov ~use_pruning (c : Coeffs.t) =
   let name = if use_pruning then "brute-force+pruning" else "brute-force" in
   let report, elapsed =
     Trace.timed
@@ -112,7 +134,7 @@ let run_brute_force ~pool ~use_pruning ~max_examined (c : Coeffs.t) =
       ~attrs:[ ("candidates", string_of_int c.n) ]
       (fun () ->
         Metrics.incr m_runs;
-        let out = Brute_force.search ~pool ~use_pruning ~max_examined c in
+        let out = Brute_force.search ~pool ~gov ~use_pruning c in
         {
           package = out.best;
           objective = out.best_objective;
@@ -129,7 +151,7 @@ let run_brute_force ~pool ~use_pruning ~max_examined (c : Coeffs.t) =
   in
   { report with elapsed }
 
-let run_ilp ~max_nodes db (c : Coeffs.t) =
+let run_ilp ~gov db (c : Coeffs.t) =
   let report, elapsed =
     Trace.timed ~name:"strategy.ilp"
       ~attrs:[ ("candidates", string_of_int c.n) ]
@@ -151,7 +173,7 @@ let run_ilp ~max_nodes db (c : Coeffs.t) =
           }
         else begin
           let t = Translate.build c in
-          let sol = Milp.solve ~max_nodes t.model in
+          let sol = Milp.solve ~gov t.model in
           let package, proven =
             match sol.status with
             | Milp.Optimal ->
@@ -188,13 +210,13 @@ let run_ilp ~max_nodes db (c : Coeffs.t) =
   in
   { report with elapsed }
 
-let run_local_search ?cancel ~params db (c : Coeffs.t) =
+let run_local_search ~gov ~params db (c : Coeffs.t) =
   let report, elapsed =
     Trace.timed ~name:"strategy.local-search"
       ~attrs:[ ("candidates", string_of_int c.n) ]
       (fun () ->
         Metrics.incr m_runs;
-        let out = Local_search.search ~params ?cancel db c in
+        let out = Local_search.search ~params ~gov db c in
         let objective =
           match out.best with Some pkg -> objective_of db c pkg | None -> None
         in
@@ -217,13 +239,13 @@ let run_local_search ?cancel ~params db (c : Coeffs.t) =
   in
   { report with elapsed }
 
-let run_anneal ~params db (c : Coeffs.t) =
+let run_anneal ~gov ~params db (c : Coeffs.t) =
   let report, elapsed =
     Trace.timed ~name:"strategy.annealing"
       ~attrs:[ ("candidates", string_of_int c.n) ]
       (fun () ->
         Metrics.incr m_runs;
-        let out = Annealing.search ~params c in
+        let out = Annealing.search ~params ~gov c in
         let objective =
           match out.Annealing.best with
           | Some pkg -> objective_of db c pkg
@@ -245,13 +267,13 @@ let run_anneal ~params db (c : Coeffs.t) =
   in
   { report with elapsed }
 
-let run_sql_generation ~params db (c : Coeffs.t) =
+let run_sql_generation ~gov ~params db (c : Coeffs.t) =
   let report, elapsed =
     Trace.timed ~name:"strategy.sql-generation"
       ~attrs:[ ("candidates", string_of_int c.n) ]
       (fun () ->
         Metrics.incr m_runs;
-        let out = Sql_generate.search ~params db c in
+        let out = Sql_generate.search ~params ~gov db c in
         {
           package = out.Sql_generate.best;
           objective = out.Sql_generate.best_objective;
@@ -278,7 +300,7 @@ let better_report (c : Coeffs.t) a b =
   | Some pa, Some pb ->
       if Pb_paql.Semantics.compare_quality c.query pa pb >= 0 then a else b
 
-let run_hybrid ~pool ~ilp_max_nodes ~bf_max_examined db (c : Coeffs.t) =
+let run_hybrid ~pool ~gov db (c : Coeffs.t) =
   let tag report reason =
     { report with stats = ("hybrid_choice", reason) :: report.stats }
   in
@@ -311,15 +333,12 @@ let run_hybrid ~pool ~ilp_max_nodes ~bf_max_examined db (c : Coeffs.t) =
             Printf.sprintf "cost model chose %s (%s)"
               choice.Cost_model.strategy_label choice.Cost_model.note
           in
-          let run = function
-            | "brute-force" ->
-                run_brute_force ~pool ~use_pruning:false
-                  ~max_examined:bf_max_examined c
+          let run gov = function
+            | "brute-force" -> run_brute_force ~pool ~gov ~use_pruning:false c
             | "brute-force+pruning" ->
-                run_brute_force ~pool ~use_pruning:true
-                  ~max_examined:bf_max_examined c
-            | "ilp" -> run_ilp ~max_nodes:ilp_max_nodes db c
-            | _ -> run_local_search ~params:Local_search.default_params db c
+                run_brute_force ~pool ~gov ~use_pruning:true c
+            | "ilp" -> run_ilp ~gov db c
+            | _ -> run_local_search ~gov ~params:Local_search.default_params db c
           in
           if Pool.size pool > 1 && choice.Cost_model.exact then begin
             (* Race the exact leg against a speculative local search on
@@ -332,9 +351,13 @@ let run_hybrid ~pool ~ilp_max_nodes ~bf_max_examined db (c : Coeffs.t) =
                scratch database, and every Database operation (lazy
                index builds included) is serialized by its internal
                mutex, so the legs share no unsynchronized mutable state.
-               The merge is deterministic: a proven-optimal leg wins
-               outright and the speculative search is cancelled (its
-               result discarded), otherwise local search was never
+               Each leg runs under its own child of the request token:
+               children share the parent's budgets and deadline but add
+               a private cancellation flag, so the winning exact leg can
+               cancel the speculative search without poisoning the
+               parent.  The merge is deterministic: a proven-optimal leg
+               wins outright and the speculative search is cancelled
+               (its result discarded), otherwise local search was never
                cancelled, ran to its seeded deterministic end, and the
                merge equals the sequential fallback — bit-identical
                reports at any pool size.  Note the invariance covers
@@ -342,14 +365,16 @@ let run_hybrid ~pool ~ilp_max_nodes ~bf_max_examined db (c : Coeffs.t) =
                already bumped metrics counters and emitted trace spans,
                so metrics/trace totals may differ between pool sizes
                even though reports are identical. *)
+            let g_exact = Gov.child gov and g_ls = Gov.child gov in
             match
               Pool.race pool
                 [
                   (fun _cancelled ->
-                    let r = run choice.Cost_model.strategy_label in
+                    let r = run g_exact choice.Cost_model.strategy_label in
+                    if r.proven_optimal then Gov.cancel g_ls;
                     (r, r.proven_optimal));
-                  (fun cancelled ->
-                    ( run_local_search ~cancel:cancelled
+                  (fun _cancelled ->
+                    ( run_local_search ~gov:g_ls
                         ~params:Local_search.default_params db c,
                       false ));
                 ]
@@ -363,12 +388,18 @@ let run_hybrid ~pool ~ilp_max_nodes ~bf_max_examined db (c : Coeffs.t) =
             | _ -> assert false
           end
           else begin
-            let report = run choice.Cost_model.strategy_label in
-            if choice.Cost_model.exact && not report.proven_optimal then
+            let report = run gov choice.Cost_model.strategy_label in
+            if
+              choice.Cost_model.exact
+              && (not report.proven_optimal)
+              && Gov.fate gov = None
+            then
               (* Budget ran out before a proof: keep the better of the
-                 partial answer and a local-search pass. *)
+                 partial answer and a local-search pass.  When the token
+                 itself stopped the leg (cancellation or deadline) the
+                 fallback would stop at its first poll too, so skip it. *)
               let ls =
-                run_local_search ~params:Local_search.default_params db c
+                run_local_search ~gov ~params:Local_search.default_params db c
               in
               tag (better_report c report ls)
                 (reason ^ "; budget exhausted, kept best of it and local-search")
@@ -378,30 +409,51 @@ let run_hybrid ~pool ~ilp_max_nodes ~bf_max_examined db (c : Coeffs.t) =
   in
   { report with elapsed }
 
-let evaluate_coeffs ?pool ?(strategy = Hybrid) ?(ilp_max_nodes = 200_000)
-    ?(bf_max_examined = 5_000_000) db (c : Coeffs.t) =
+let run_coeffs ?pool ?gov ?(strategy = Hybrid) db (c : Coeffs.t) =
   let pool = match pool with Some p -> p | None -> Pool.get_default () in
+  let gov = match gov with Some g -> g | None -> Gov.create () in
   (* Every run_* times itself through its strategy span, so the report's
      elapsed is the strategy's own wall clock (hybrid: both legs); the
-     engine.evaluate span around it additionally covers verification. *)
-  Trace.with_span ~name:"engine.evaluate" (fun () ->
+     engine.run span around it additionally covers verification. *)
+  Trace.with_span ~name:"engine.run" (fun () ->
       let report =
         match strategy with
-        | Brute_force { use_pruning } ->
-            run_brute_force ~pool ~use_pruning ~max_examined:bf_max_examined c
-        | Ilp -> run_ilp ~max_nodes:ilp_max_nodes db c
-        | Local_search params -> run_local_search ~params db c
-        | Anneal params -> run_anneal ~params db c
-        | Sql_generation params -> run_sql_generation ~params db c
-        | Hybrid -> run_hybrid ~pool ~ilp_max_nodes ~bf_max_examined db c
+        | Brute_force { use_pruning } -> run_brute_force ~pool ~gov ~use_pruning c
+        | Ilp -> run_ilp ~gov db c
+        | Local_search params -> run_local_search ~gov ~params db c
+        | Anneal params -> run_anneal ~gov ~params db c
+        | Sql_generation params -> run_sql_generation ~gov ~params db c
+        | Hybrid -> run_hybrid ~pool ~gov db c
       in
-      verified db c report)
+      let report = verified db c report in
+      let proof =
+        match Gov.fate gov with
+        | Some _ -> Cancelled
+        | None -> (
+            if not report.proven_optimal then Feasible
+            else
+              match report.package with
+              | Some _ -> Optimal
+              | None -> Infeasible)
+      in
+      let stats =
+        match Gov.fate gov with
+        | Some r -> ("stopped", Gov.reason_to_string r) :: report.stats
+        | None -> report.stats
+      in
+      {
+        package = report.package;
+        objective = report.objective;
+        proof;
+        strategy_used = report.strategy_used;
+        elapsed = report.elapsed;
+        stats;
+      })
 
-let evaluate ?pool ?strategy ?ilp_max_nodes ?bf_max_examined db query =
-  evaluate_coeffs ?pool ?strategy ?ilp_max_nodes ?bf_max_examined db
-    (Coeffs.make db query)
+let run ?pool ?gov ?strategy db query =
+  run_coeffs ?pool ?gov ?strategy db (Coeffs.make db query)
 
-let next_packages ?(limit = 5) ?(ilp_max_nodes = 200_000) db query =
+let next_packages ?gov ?(limit = 5) db query =
   let c = Coeffs.make db query in
   if linearizable c && c.max_mult = 1 then begin
     let t = Translate.build c in
@@ -409,7 +461,7 @@ let next_packages ?(limit = 5) ?(ilp_max_nodes = 200_000) db query =
     let rec loop acc k =
       if k = 0 then List.rev acc
       else
-        let sol = Milp.solve ~max_nodes:ilp_max_nodes t.model in
+        let sol = Milp.solve ?gov t.model in
         match sol.status with
         | Milp.Optimal | Milp.Feasible when Array.length sol.x > 0 ->
             let pkg = Translate.package_of_solution c t sol.x in

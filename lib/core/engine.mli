@@ -14,9 +14,16 @@
 
     With a {!Pb_par.Pool} of size > 1 the hybrid strategy races the
     chosen exact leg against a speculative local search on separate
-    domains instead of running them back-to-back; the merge rule is the
-    same as the sequential fallback, so reports are bit-identical at any
-    pool size. *)
+    domains instead of running them back-to-back; each leg runs under a
+    {!Pb_util.Gov.child} of the request token and a proven-optimal exact
+    leg cancels the speculative one. The merge rule is the same as the
+    sequential fallback, so results are bit-identical at any pool size.
+
+    Every run is governed by a {!Pb_util.Gov.t} token carrying the
+    deadline, cancellation flag and resource budgets; when the caller
+    does not supply one, [Gov.create ()] provides the historical default
+    budgets (200k branch-and-bound nodes, 5M brute-force candidates) with
+    no deadline. *)
 
 type strategy =
   | Brute_force of { use_pruning : bool }
@@ -31,12 +38,25 @@ type strategy =
 
 val strategy_name : strategy -> string
 
-type report = {
+type proof =
+  | Optimal
+      (** the returned package is proven optimal (or, for objective-less
+          queries, proven valid) *)
+  | Feasible
+      (** best answer found within the budgets; no proof of optimality.
+          [package = None] here means the strategy found nothing but
+          infeasibility was not proven either *)
+  | Infeasible  (** proven: no valid package exists *)
+  | Cancelled
+      (** the governance token was cancelled or its deadline passed;
+          [package], if any, is the best incumbent at the stop *)
+
+val proof_to_string : proof -> string
+
+type result = {
   package : Pb_paql.Package.t option;  (** None: no valid package found *)
   objective : float option;
-  proven_optimal : bool;
-      (** true when the strategy proves optimality (or, for objective-less
-          queries, when a package is found / infeasibility is proven) *)
+  proof : proof;
   strategy_used : string;  (** strategy that produced the answer *)
   elapsed : float;
       (** wall-clock seconds of the strategy run itself, measured through
@@ -44,42 +64,48 @@ type report = {
           budget-exhausted fallback) *)
   stats : (string * string) list;
       (** per-strategy counters for display; each also feeds a typed
-          [pb_engine_*] counter in {!Pb_obs.Metrics} *)
+          [pb_engine_*] counter in {!Pb_obs.Metrics}. A governed stop
+          adds a [("stopped", reason)] entry. *)
 }
 
-val evaluate :
+val run :
   ?pool:Pb_par.Pool.t ->
+  ?gov:Pb_util.Gov.t ->
   ?strategy:strategy ->
-  ?ilp_max_nodes:int ->
-  ?bf_max_examined:int ->
   Pb_sql.Database.t ->
   Pb_paql.Ast.t ->
-  report
+  result
 (** Parse-tree-in, package-out evaluation ([strategy] defaults to
     [Hybrid]). Every returned package has been re-checked against the
     {!Pb_paql.Semantics} oracle; a strategy whose answer fails the oracle
     is reported as having found nothing (with a ["verification"] stat),
     rather than returning a wrong package.
 
+    [gov] governs the whole run — budgets, deadline and cancellation are
+    observed inside every strategy loop and inside governed SQL
+    evaluation. A cancellation or deadline stop yields
+    [proof = Cancelled] with the best incumbent found so far; a plain
+    budget stop yields [Feasible] (and, under [Hybrid], still triggers
+    the local-search fallback, exactly as the un-governed engine did).
+
     [pool] (default {!Pb_par.Pool.get_default}, i.e. sized by
     [PB_DOMAINS]) parallelises brute-force enumeration and the hybrid
-    strategy's exact-vs-local-search fallback; pool size 1 runs the
+    strategy's exact-vs-local-search race; pool size 1 runs the
     sequential code paths unchanged. *)
 
-val evaluate_coeffs :
+val run_coeffs :
   ?pool:Pb_par.Pool.t ->
+  ?gov:Pb_util.Gov.t ->
   ?strategy:strategy ->
-  ?ilp_max_nodes:int ->
-  ?bf_max_examined:int ->
   Pb_sql.Database.t ->
   Coeffs.t ->
-  report
+  result
 (** Same, reusing a prepared {!Coeffs.t} (benchmarks call this to keep
     candidate generation out of the measured region). *)
 
 val next_packages :
+  ?gov:Pb_util.Gov.t ->
   ?limit:int ->
-  ?ilp_max_nodes:int ->
   Pb_sql.Database.t ->
   Pb_paql.Ast.t ->
   Pb_paql.Package.t list
@@ -88,5 +114,7 @@ val next_packages :
     adding a no-good cut over the tuple variables after each answer, so
     indicator variables never spuriously differentiate packages. Falls
     back to pruned enumeration when the query is not linearizable.
-    [limit] defaults to 5. Requires a query without REPEAT for the ILP
-    path (cuts are binary); REPEAT queries use the enumeration path. *)
+    [limit] defaults to 5. [gov] is shared across the successive solves
+    (so a node budget bounds their total, and cancellation stops the
+    sequence). Requires a query without REPEAT for the ILP path (cuts
+    are binary); REPEAT queries use the enumeration path. *)

@@ -6,6 +6,7 @@ module Relation = Pb_relation.Relation
 module Schema = Pb_relation.Schema
 module Value = Pb_relation.Value
 module Prng = Pb_util.Prng
+module Gov = Pb_util.Gov
 
 type params = {
   seed : int;
@@ -276,7 +277,7 @@ let build_neighborhood_sql indexed sums ~card ~k ~max_mult body =
     (String.concat ", " froms)
     (String.concat " AND " (condition :: List.rev !guards))
 
-let sql_replacements _db (c : Coeffs.t) pkg ~k =
+let sql_replacements ?gov _db (c : Coeffs.t) pkg ~k =
   if k < 1 || k > 3 then invalid_arg "sql_replacements: k must be in 1..3";
   if Package.cardinality pkg < k then
     invalid_arg "sql_replacements: package smaller than k";
@@ -300,7 +301,7 @@ let sql_replacements _db (c : Coeffs.t) pkg ~k =
       indexed.body
   in
   let result =
-    match Pb_sql.Executor.execute_sql scratch sql with
+    match Pb_sql.Executor.execute_sql ?gov scratch sql with
     | Pb_sql.Executor.Rows rel -> rel
     | _ -> assert false
   in
@@ -450,8 +451,15 @@ let random_start (c : Coeffs.t) rng ~bounds =
   done;
   mult
 
-let search ?(params = default_params) ?(cancel = fun () -> false) db
-    (c : Coeffs.t) =
+let search ?(params = default_params) ?gov db (c : Coeffs.t) =
+  (* Round-level poll: cancellation or deadline only.  The restart loop
+     additionally meters the token's [Ls_restarts] budget. *)
+  let cancel () = match gov with Some g -> Gov.check g <> None | None -> false in
+  let restart_stopped () =
+    match gov with
+    | Some g -> Gov.check ~resource:Gov.Ls_restarts g <> None
+    | None -> false
+  in
   let rng = Prng.create params.seed in
   let indexed =
     match c.formula with
@@ -506,10 +514,12 @@ let search ?(params = default_params) ?(cancel = fun () -> false) db
     end
   in
   let restarts_used = ref 0 in
+  (try
   if bounds.Pruning.lo <= bounds.Pruning.hi && c.n > 0 then
     for _restart = 1 to params.restarts do
-      if not (cancel ()) then begin
+      if not (restart_stopped ()) then begin
       incr restarts_used;
+      (match gov with Some g -> Gov.spend g Gov.Ls_restarts 1 | None -> ());
       let start = random_start c rng ~bounds in
       Array.blit start 0 st.mult 0 c.n;
       st.card <- Array.fold_left ( + ) 0 st.mult;
@@ -570,7 +580,7 @@ let search ?(params = default_params) ?(cancel = fun () -> false) db
               st.sql_queries <- st.sql_queries + 1;
               let pkg = Coeffs.package_of_mult c st.mult in
               let moves, _ =
-                sql_replacements db c pkg ~k:params.replacement_k
+                sql_replacements ?gov db c pkg ~k:params.replacement_k
               in
               moves
             end
@@ -635,7 +645,11 @@ let search ?(params = default_params) ?(cancel = fun () -> false) db
         done
       end
       end
-    done;
+    done
+  with Gov.Interrupted _ ->
+    (* The neighbourhood SQL query hit the stop mid-statement; keep the
+       best package found so far, like any other cancellation. *)
+    ());
   {
     best = Option.map (Coeffs.package_of_mult c) !best_mult;
     best_objective = !best_obj;

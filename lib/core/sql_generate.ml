@@ -1,5 +1,6 @@
 module Analyze = Pb_paql.Analyze
 module Ast = Pb_paql.Ast
+module Gov = Pb_util.Gov
 module Semantics = Pb_paql.Semantics
 module Relation = Pb_relation.Relation
 module Schema = Pb_relation.Schema
@@ -87,7 +88,7 @@ let rec condition_of ~atom_col ~card formula =
           if witness_side then "(" ^ String.concat " OR " parts ^ ")"
           else "(" ^ String.concat " AND " parts ^ ")")
 
-let search ?(params = default_params) db (c : Coeffs.t) =
+let search ?(params = default_params) ?gov db (c : Coeffs.t) =
   match c.Coeffs.formula with
   | Error reason -> not_applicable ("formula not linearizable: " ^ reason)
   | Ok formula -> (
@@ -179,10 +180,16 @@ let search ?(params = default_params) db (c : Coeffs.t) =
                       end
                 end
               in
+              let interrupted = ref false in
               Fun.protect
                 ~finally:(fun () -> Pb_sql.Database.drop db tmp_table)
                 (fun () ->
+                  try
                   for card = lo to hi do
+                    (match gov with
+                    | Some g when Gov.check g <> None ->
+                        raise (Gov.Interrupted (Option.get (Gov.check g)))
+                    | _ -> ());
                     if card = 0 then
                       (* The empty package needs no query. *)
                       consider (Array.make c.Coeffs.n 0)
@@ -224,7 +231,7 @@ let search ?(params = default_params) db (c : Coeffs.t) =
                           where order
                       in
                       issued := sql :: !issued;
-                      match Pb_sql.Executor.execute_sql db sql with
+                      match Pb_sql.Executor.execute_sql ?gov db sql with
                       | Pb_sql.Executor.Rows rel
                         when Relation.cardinality rel > 0 ->
                           let row = Relation.row rel 0 in
@@ -238,13 +245,18 @@ let search ?(params = default_params) db (c : Coeffs.t) =
                           consider mult
                       | _ -> ()
                     end
-                  done);
+                  done
+                  with Gov.Interrupted _ ->
+                    (* Stop mid-sweep: whatever cardinalities completed
+                       still yield their exact per-cardinality winners,
+                       but the sweep as a whole is no longer exhaustive. *)
+                    interrupted := true);
               {
                 best = Option.map (Coeffs.package_of_mult c) !best_mult;
                 best_objective = !best_obj;
                 queries_issued = List.length !issued;
                 sql = List.rev !issued;
-                applicable = true;
-                reason = "";
+                applicable = not !interrupted;
+                reason = (if !interrupted then "interrupted" else "");
               }
             end))

@@ -38,7 +38,11 @@ type outcome = {
 }
 
 val search :
-  ?params:params -> Pb_sql.Database.t -> Coeffs.t -> outcome
+  ?params:params -> ?gov:Pb_util.Gov.t -> Pb_sql.Database.t -> Coeffs.t -> outcome
 (** Exact when [applicable] is true: every cardinality within the pruning
     bounds is enumerated by a query. Temporary tables are installed under
-    [__pb_gen] and dropped afterwards. *)
+    [__pb_gen] and dropped afterwards. [gov] is polled between
+    cardinalities and inside each generation query; a stop keeps the
+    best package found by the completed queries and reports
+    [applicable = false] with reason ["interrupted"], since the sweep is
+    no longer exhaustive. *)

@@ -20,8 +20,8 @@ type t = {
 }
 
 let start ?(seed = 11) db query =
-  let report = Pb_core.Engine.evaluate db query in
-  match report.Pb_core.Engine.package with
+  let result = Pb_core.Engine.run db query in
+  match result.Pb_core.Engine.package with
   | None -> Error "query has no valid package"
   | Some pkg ->
       Ok
@@ -74,7 +74,7 @@ let resample_ilp t ~keep =
         !terms Model.Ge
         (1.0 -. float_of_int !ones))
     t.history;
-  let sol = Milp.solve ~max_nodes:50_000 model in
+  let sol = Milp.solve ~gov:(Pb_util.Gov.create ~milp_nodes:50_000 ()) model in
   match sol.Milp.status with
   | Milp.Optimal | Milp.Feasible when Array.length sol.Milp.x > 0 ->
       let pkg = Pb_core.Translate.package_of_solution c translated sol.Milp.x in

@@ -4,12 +4,12 @@ module Package = Pb_paql.Package
 type t = { query : Ast.t; sample : Package.t option }
 
 let create db query =
-  let report = Pb_core.Engine.evaluate db query in
-  { query; sample = report.Pb_core.Engine.package }
+  let result = Pb_core.Engine.run db query in
+  { query; sample = result.Pb_core.Engine.package }
 
 let refine db t query =
-  let report = Pb_core.Engine.evaluate db query in
-  match report.Pb_core.Engine.package with
+  let result = Pb_core.Engine.run db query in
+  match result.Pb_core.Engine.package with
   | Some pkg -> { query; sample = Some pkg }
   | None -> { t with query }
 

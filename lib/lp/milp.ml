@@ -1,5 +1,6 @@
 module Trace = Pb_obs.Trace
 module Metrics = Pb_obs.Metrics
+module Gov = Pb_util.Gov
 
 let m_bb_nodes =
   Metrics.counter ~help:"Branch-and-bound nodes explored"
@@ -76,8 +77,8 @@ let maximization_sense model =
   | Model.Maximize _ -> true
   | Model.Minimize _ -> false
 
-let rec solve_impl ?(max_nodes = 200_000) ?time_limit ?(eps = 1e-6)
-    ?(node_order = Dfs) ?(presolve = false) model =
+let rec solve_impl ~gov ?(eps = 1e-6) ?(node_order = Dfs) ?(presolve = false)
+    model =
   if presolve then
     match Presolve.presolve model with
     | Presolve.Proven_infeasible ->
@@ -89,23 +90,12 @@ let rec solve_impl ?(max_nodes = 200_000) ?time_limit ?(eps = 1e-6)
           lp_iterations = 0;
         }
     | Presolve.Reduced { model = reduced; _ } ->
-        solve_impl ~max_nodes ?time_limit ~eps ~node_order ~presolve:false
-          reduced
+        solve_impl ~gov ~eps ~node_order ~presolve:false reduced
   else
   let n = Model.num_vars model in
   let saved_bounds = Array.init n (Model.bounds model) in
   let restore () =
     Array.iteri (fun i (lo, hi) -> Model.set_bounds model i lo hi) saved_bounds
-  in
-  let deadline =
-    match time_limit with
-    | Some s -> Some (Unix.gettimeofday () +. s)
-    | None -> None
-  in
-  let out_of_time () =
-    match deadline with
-    | Some d -> Unix.gettimeofday () > d
-    | None -> false
   in
   let maximize = maximization_sense model in
   let better a b = if maximize then a > b +. 1e-9 else a < b -. 1e-9 in
@@ -158,9 +148,15 @@ let rec solve_impl ?(max_nodes = 200_000) ?time_limit ?(eps = 1e-6)
     match pop () with
     | None -> ()
     | Some node ->
-        if !nodes_explored >= max_nodes || out_of_time () then budget_hit := true
+        (* One governance poll per node pop: cancellation/deadline stop
+           the whole solve, the node budget stops just this strategy;
+           either way the best incumbent found so far is returned with
+           [Feasible] rather than a proof claim. *)
+        if Gov.check ~resource:Gov.Milp_nodes gov <> None then
+          budget_hit := true
         else begin
           incr nodes_explored;
+          Gov.spend gov Gov.Milp_nodes 1;
           Metrics.incr m_bb_nodes;
           apply node;
           let relax = Simplex.solve model in
@@ -240,17 +236,16 @@ let rec solve_impl ?(max_nodes = 200_000) ?time_limit ?(eps = 1e-6)
       in
       { status; x = [||]; objective = nan; nodes; lp_iterations }
 
-let solve ?max_nodes ?time_limit ?eps ?node_order ?presolve model =
+let solve ?gov ?eps ?node_order ?presolve model =
+  let gov = match gov with Some g -> g | None -> Gov.create () in
   Trace.with_span ~name:"milp.solve" (fun () ->
       Metrics.incr m_solves;
-      let sol =
-        solve_impl ?max_nodes ?time_limit ?eps ?node_order ?presolve model
-      in
+      let sol = solve_impl ~gov ?eps ?node_order ?presolve model in
       Trace.add_count "bb_nodes" sol.nodes;
       Trace.add_count "lp_pivots" sol.lp_iterations;
       sol)
 
-let solve_all ?(max_solutions = 10) ?max_nodes ?time_limit model =
+let solve_all ?(max_solutions = 10) ?gov model =
   let n = Model.num_vars model in
   for i = 0 to n - 1 do
     if Model.is_integer model i then begin
@@ -263,7 +258,7 @@ let solve_all ?(max_solutions = 10) ?max_nodes ?time_limit model =
   let rec loop acc k =
     if k = 0 then List.rev acc
     else
-      let sol = solve ?max_nodes ?time_limit model in
+      let sol = solve ?gov model in
       match sol.status with
       | Optimal | Feasible when Array.length sol.x > 0 ->
           (* No-good cut: sum of selected complements + unselected vars

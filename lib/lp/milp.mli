@@ -2,13 +2,17 @@
 
     Depth-first search with best-bound tie-breaking, most-fractional
     branching, an LP-rounding primal heuristic to obtain early incumbents,
-    and optional node/time budgets. This is the "state-of-the-art
-    constraint optimization solver" role of §4 — exact on the instance
-    sizes the experiments use. *)
+    and resource governance through {!Pb_util.Gov}: one token poll per
+    node pop, so a cancellation, deadline, or node-budget stop returns
+    the best incumbent found so far as [Feasible]. This is the
+    "state-of-the-art constraint optimization solver" role of §4 — exact
+    on the instance sizes the experiments use. *)
 
 type status =
   | Optimal         (** proven optimal integer solution *)
-  | Feasible        (** budget exhausted; best incumbent returned *)
+  | Feasible
+      (** stopped early (node budget, deadline, or cancellation via the
+          governance token); best incumbent returned *)
   | Infeasible
   | Unbounded
 
@@ -27,25 +31,28 @@ type node_order =
           bound; typically fewer nodes, more frontier bookkeeping *)
 
 val solve :
-  ?max_nodes:int ->
-  ?time_limit:float ->
+  ?gov:Pb_util.Gov.t ->
   ?eps:float ->
   ?node_order:node_order ->
   ?presolve:bool ->
   Model.t ->
   solution
-(** [solve model] finds an optimal integral assignment. [max_nodes]
-    defaults to 200_000; [time_limit] (seconds, wall clock) defaults to
-    none; [eps] is the integrality tolerance (default 1e-6); [node_order]
-    defaults to {!Dfs}; [presolve] (default false) runs {!Presolve} first
-    and solves the reduced model (same variable indexing, so the solution
-    vector needs no translation). The model's variable bounds are mutated
-    during the search and restored before returning. *)
+(** [solve model] finds an optimal integral assignment. [gov] governs
+    the search — its [Milp_nodes] budget replaces the old ad-hoc
+    [max_nodes], its deadline the old [time_limit], and cancelling it
+    stops the solve at the next node pop; all three return the best
+    incumbent as {!Feasible}. When omitted, a private
+    [Pb_util.Gov.create ()] supplies the historical default of 200_000
+    nodes and no deadline. [eps] is the integrality tolerance (default
+    1e-6); [node_order] defaults to {!Dfs}; [presolve] (default false)
+    runs {!Presolve} first and solves the reduced model (same variable
+    indexing, so the solution vector needs no translation). The model's
+    variable bounds are mutated during the search and restored before
+    returning. *)
 
 val solve_all :
   ?max_solutions:int ->
-  ?max_nodes:int ->
-  ?time_limit:float ->
+  ?gov:Pb_util.Gov.t ->
   Model.t ->
   (float array * float) list
 (** Enumerate successive optimal-then-suboptimal solutions of a pure

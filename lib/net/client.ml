@@ -1,6 +1,7 @@
 type t = { ic : in_channel; oc : out_channel }
 
 exception Net_error of string
+exception Rejected of Protocol.status * string
 
 let resolve_host host =
   match Unix.inet_addr_of_string host with
@@ -12,6 +13,34 @@ let resolve_host host =
       | { Unix.h_addr_list; _ } -> h_addr_list.(0)
       | exception Not_found -> raise (Net_error ("cannot resolve host " ^ host)))
 
+(* Version negotiation: send our hello, require the server's hello with
+   the same version back. A server that rejects the connection outright
+   (busy / shutting down) answers the hello with an error response
+   instead — surface that as [Rejected] so callers can back off and
+   retry rather than treating it as protocol damage. *)
+let handshake t =
+  (try Protocol.write_frame t.oc (Protocol.encode_hello Protocol.version)
+   with Sys_error msg -> raise (Net_error ("handshake send failed: " ^ msg)));
+  match Protocol.read_frame t.ic with
+  | Protocol.Eof -> raise (Net_error "server closed during handshake")
+  | Protocol.Bad msg -> raise (Net_error ("handshake framing error: " ^ msg))
+  | Protocol.Frame payload -> (
+      match Protocol.decode_hello payload with
+      | Ok v when v = Protocol.version -> ()
+      | Ok v ->
+          raise
+            (Net_error
+               (Printf.sprintf
+                  "protocol version mismatch: server speaks v%d, this client \
+                   speaks v%d"
+                  v Protocol.version))
+      | Error hello_err -> (
+          match Protocol.decode_response payload with
+          | Ok { Protocol.status; body } when Protocol.is_error status ->
+              raise (Rejected (status, body))
+          | Ok _ | Error _ ->
+              raise (Net_error ("bad handshake reply: " ^ hello_err))))
+
 let connect ?(host = "127.0.0.1") ~port () =
   Sys.set_signal Sys.sigpipe Sys.Signal_ignore;
   let fd = Unix.socket ~cloexec:true Unix.PF_INET Unix.SOCK_STREAM 0 in
@@ -19,7 +48,14 @@ let connect ?(host = "127.0.0.1") ~port () =
    with e ->
      (try Unix.close fd with Unix.Unix_error _ -> ());
      raise e);
-  { ic = Unix.in_channel_of_descr fd; oc = Unix.out_channel_of_descr fd }
+  let t =
+    { ic = Unix.in_channel_of_descr fd; oc = Unix.out_channel_of_descr fd }
+  in
+  (try handshake t
+   with e ->
+     close_out_noerr t.oc;
+     raise e);
+  t
 
 let request ?deadline t text =
   (try

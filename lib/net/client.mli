@@ -2,24 +2,38 @@
     strictly one in-flight request at a time. Used by the [pb_client]
     CLI, the bench load generator, and the tests.
 
+    {!connect} performs the protocol-v2 handshake: it sends a hello
+    frame and requires the server's hello carrying the same version; a
+    mismatch (including a v1 server, which answers with an unversioned
+    error) raises {!Net_error} naming both versions. A server refusing
+    the connection outright (connection limit, shutdown) raises
+    {!Rejected} instead, so callers can back off and retry.
+
     Transport-level failures (server gone, framing desync) raise
-    {!Net_error}; protocol-level failures (busy, deadline, bad request)
-    come back as [Error] values, because the connection is still usable
-    after them — except [busy]/[shutdown], after which the server hangs
-    up. *)
+    {!Net_error}; request-level outcomes (busy, deadline, cancelled, bad
+    request) come back as {!Protocol.response} values with a non-[Ok]
+    status, and the connection stays usable after them. *)
 
 type t
 
 exception Net_error of string
 
+exception Rejected of Protocol.status * string
+(** The server refused the connection during the handshake (e.g. [busy]
+    at the connection limit, [shutdown] while draining) — back off and
+    retry rather than treating the stream as broken. *)
+
 val connect : ?host:string -> port:int -> unit -> t
-(** Connect to [host] (default 127.0.0.1; dotted quad or hostname).
-    Ignores [SIGPIPE] process-wide. Raises [Unix.Unix_error] on refusal. *)
+(** Connect to [host] (default 127.0.0.1; dotted quad or hostname) and
+    negotiate the protocol version. Ignores [SIGPIPE] process-wide.
+    Raises [Unix.Unix_error] on refusal, {!Net_error} on version
+    mismatch, {!Rejected} when the server turns the connection away. *)
 
 val request : ?deadline:float -> t -> string -> Protocol.response
 (** Send one REPL input line and wait for the response. [deadline] is a
-    per-request wall-clock budget in seconds, enforced server-side.
-    Raises {!Net_error} if the connection dies. *)
+    per-request wall-clock budget in seconds, enforced server-side by
+    cooperative cancellation. Raises {!Net_error} if the connection
+    dies. *)
 
 val close : t -> unit
 

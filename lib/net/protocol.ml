@@ -1,30 +1,41 @@
 let max_frame = 8 * 1024 * 1024
+let version = 2
+let magic = "PB2"
 
 type request = { text : string; deadline : float option }
 
-type error_code =
+type status =
+  | Ok
   | Busy
   | Deadline_exceeded
+  | Cancelled
   | Bad_request
   | Shutting_down
   | Internal
 
-type response = (string, error_code * string) result
+type response = { status : status; body : string }
+type client_frame = Hello of int | Req of request
 
-let error_code_to_string = function
+let status_to_string = function
+  | Ok -> "ok"
   | Busy -> "busy"
   | Deadline_exceeded -> "deadline"
+  | Cancelled -> "cancelled"
   | Bad_request -> "proto"
   | Shutting_down -> "shutdown"
   | Internal -> "internal"
 
-let error_code_of_string = function
+let status_of_string = function
+  | "ok" -> Some Ok
   | "busy" -> Some Busy
   | "deadline" -> Some Deadline_exceeded
+  | "cancelled" -> Some Cancelled
   | "proto" -> Some Bad_request
   | "shutdown" -> Some Shutting_down
   | "internal" -> Some Internal
   | _ -> None
+
+let is_error = function Ok -> false | _ -> true
 
 (* ---- framing --------------------------------------------------------- *)
 
@@ -79,36 +90,64 @@ let split_first_line s =
   | None -> (s, "")
   | Some i -> (String.sub s 0 i, String.sub s (i + 1) (String.length s - i - 1))
 
+(* A peer still speaking the unversioned (v1) protocol sends headers
+   beginning with REQ / OK / ERR. Recognizing them lets both sides name
+   the mismatch instead of reporting line noise. *)
+let v1_header header =
+  match String.split_on_char ' ' header with
+  | "REQ" :: _ | "OK" :: _ | "ERR" :: _ -> true
+  | _ -> false
+
+let version_mismatch header =
+  if v1_header header then
+    Printf.sprintf
+      "protocol version mismatch: peer speaks the unversioned v1 protocol, \
+       this side requires %s (v%d)"
+      magic version
+  else Printf.sprintf "bad header %S (expected a %s payload)" header magic
+
+let encode_hello v = Printf.sprintf "%s HELLO %d" magic v
+
+let decode_hello payload =
+  let header, _ = split_first_line payload in
+  match String.split_on_char ' ' header with
+  | [ m; "HELLO"; v ] when m = magic -> (
+      match int_of_string_opt v with
+      | Some v -> Stdlib.Ok v
+      | None -> Stdlib.Error (Printf.sprintf "bad hello version %S" v))
+  | _ -> Stdlib.Error (version_mismatch header)
+
 let encode_request { text; deadline } =
   let header =
     match deadline with
-    | None -> "REQ"
-    | Some d -> Printf.sprintf "REQ %g" d
+    | None -> magic ^ " REQ"
+    | Some d -> Printf.sprintf "%s REQ %g" magic d
   in
   header ^ "\n" ^ text
 
-let decode_request payload =
+let decode_client_frame payload =
   let header, text = split_first_line payload in
   match String.split_on_char ' ' header with
-  | [ "REQ" ] -> Ok { text; deadline = None }
-  | [ "REQ"; d ] -> (
+  | [ m; "HELLO"; v ] when m = magic -> (
+      match int_of_string_opt v with
+      | Some v -> Stdlib.Ok (Hello v)
+      | None -> Stdlib.Error (Printf.sprintf "bad hello version %S" v))
+  | [ m; "REQ" ] when m = magic -> Stdlib.Ok (Req { text; deadline = None })
+  | [ m; "REQ"; d ] when m = magic -> (
       match float_of_string_opt d with
       | Some d when d > 0.0 && Float.is_finite d ->
-          Ok { text; deadline = Some d }
-      | Some _ | None -> Error (Printf.sprintf "bad deadline %S" d))
-  | _ -> Error (Printf.sprintf "bad request header %S" header)
+          Stdlib.Ok (Req { text; deadline = Some d })
+      | Some _ | None -> Stdlib.Error (Printf.sprintf "bad deadline %S" d))
+  | _ -> Stdlib.Error (version_mismatch header)
 
-let encode_response = function
-  | Ok body -> "OK\n" ^ body
-  | Error (code, msg) ->
-      Printf.sprintf "ERR %s\n%s" (error_code_to_string code) msg
+let encode_response { status; body } =
+  Printf.sprintf "%s %s\n%s" magic (status_to_string status) body
 
 let decode_response payload =
   let header, body = split_first_line payload in
   match String.split_on_char ' ' header with
-  | [ "OK" ] -> Ok (Ok body)
-  | [ "ERR"; code ] -> (
-      match error_code_of_string code with
-      | Some code -> Ok (Error (code, body))
-      | None -> Error (Printf.sprintf "unknown error code %S" code))
-  | _ -> Error (Printf.sprintf "bad response header %S" header)
+  | [ m; code ] when m = magic -> (
+      match status_of_string code with
+      | Some status -> Stdlib.Ok { status; body }
+      | None -> Stdlib.Error (Printf.sprintf "unknown status code %S" code))
+  | _ -> Stdlib.Error (version_mismatch header)

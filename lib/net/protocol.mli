@@ -1,5 +1,6 @@
-(** Wire protocol for the PackageBuilder server: a length-delimited text
-    framing with a one-line header inside each frame.
+(** Wire protocol for the PackageBuilder server, version 2: a
+    length-delimited text framing with a versioned one-line header inside
+    each frame.
 
     {2 Framing}
 
@@ -12,29 +13,47 @@
     contain any bytes, including newlines. Frames larger than
     {!max_frame} are rejected without reading the payload, because a
     reader that has seen an oversized header can no longer trust the
-    stream.
+    stream. The framing layer is unchanged from protocol v1; versioning
+    lives in the payload headers.
+
+    {2 Handshake}
+
+    A client opens with a hello frame and the server answers with its
+    own:
+
+    {v PB2 HELLO <version> v}
+
+    Each side refuses to proceed when the versions differ; a v1 peer
+    (headers [REQ]/[OK]/[ERR] without the [PB2] magic) is detected and
+    named explicitly in the error.
 
     {2 Requests}
 
-    A request payload is a header line followed by the input text:
-
-    {v REQ [<deadline seconds>]\n<input line for the REPL> v}
+    {v PB2 REQ [<deadline seconds>]\n<input line for the REPL> v}
 
     The optional deadline is a positive float; when present the server
-    aborts the request with a [deadline] error once that much wall-clock
-    time has elapsed. Without it the server's default applies.
+    cancels the request's governance token once that much wall-clock
+    time has elapsed and answers with the [deadline] status (carrying
+    whatever partial output the evaluation produced). Without it the
+    server's default applies.
 
     {2 Responses}
 
-    {v OK\n<output text> v}
-    {v ERR <code>\n<message> v}
+    {v PB2 <status>\n<body> v}
 
-    where [<code>] is one of [busy], [deadline], [proto], [shutdown],
-    [internal] — see {!error_code}. The codec never raises on malformed
-    input; decoders return [Error] and {!read_frame} returns {!Bad}. *)
+    where [<status>] is one of [ok], [busy], [deadline], [cancelled],
+    [proto], [shutdown], [internal] — see {!status}. The codec never
+    raises on malformed input; decoders return [Error] and {!read_frame}
+    returns {!Bad}. *)
 
 val max_frame : int
 (** Maximum accepted payload size in bytes (8 MiB). *)
+
+val version : int
+(** Protocol version spoken by this build (2). *)
+
+val magic : string
+(** Payload-header magic, ["PB2"]. *)
 
 type request = {
   text : string;  (** the REPL input line (PaQL, SQL, or \ command) *)
@@ -42,17 +61,28 @@ type request = {
       (** per-request wall-clock budget in seconds; [None] = server default *)
 }
 
-type error_code =
-  | Busy  (** connection limit reached; retry later *)
-  | Deadline_exceeded  (** the request ran past its deadline *)
-  | Bad_request  (** unparseable frame or header *)
+type status =
+  | Ok  (** request evaluated; body is the REPL output *)
+  | Busy  (** admission queue full or connection limit reached; retry *)
+  | Deadline_exceeded
+      (** the request's deadline passed and its evaluation was
+          cooperatively cancelled; body may carry partial output *)
+  | Cancelled  (** the request's governance token was cancelled *)
+  | Bad_request  (** unparseable frame or header, or version mismatch *)
   | Shutting_down  (** server is draining; no new requests *)
   | Internal  (** unexpected server-side exception *)
 
-type response = (string, error_code * string) result
+type response = { status : status; body : string }
 
-val error_code_to_string : error_code -> string
-val error_code_of_string : string -> error_code option
+type client_frame =
+  | Hello of int  (** handshake carrying the client's protocol version *)
+  | Req of request
+
+val status_to_string : status -> string
+val status_of_string : string -> status option
+
+val is_error : status -> bool
+(** Everything but {!Ok}. *)
 
 (** {1 Framing} *)
 
@@ -78,8 +108,17 @@ val read_frame_gen :
 
 (** {1 Payload codecs} *)
 
+val encode_hello : int -> string
+(** Hello payload, sent by both sides during the handshake. *)
+
+val decode_hello : string -> (int, string) result
+
 val encode_request : request -> string
-val decode_request : string -> (request, string) result
+
+val decode_client_frame : string -> (client_frame, string) result
+(** Server-side decoding of either hello or request payloads. A v1
+    [REQ] header decodes to a version-mismatch error naming both
+    protocols. *)
 
 val encode_response : response -> string
 val decode_response : string -> (response, string) result

@@ -1,11 +1,14 @@
 module Repl = Pb_shell.Repl
 module Metrics = Pb_obs.Metrics
 module Slow_log = Pb_obs.Slow_log
+module Gov = Pb_util.Gov
 
 type config = {
   host : string;
   port : int;
   max_connections : int;
+  max_inflight : int;
+  max_queue : int;
   default_deadline : float option;
   poll_interval : float;
   plan_cache_capacity : int;
@@ -16,13 +19,43 @@ let default_config =
     host = "127.0.0.1";
     port = 7878;
     max_connections = 64;
+    max_inflight = 64;
+    max_queue = 128;
     default_deadline = None;
     poll_interval = 0.05;
     plan_cache_capacity = 128;
   }
 
+(* ---- request admission ------------------------------------------------ *)
+
+(* Bounded two-stage admission: at most [max_inflight] requests evaluate
+   concurrently; up to [max_queue] more wait on a condition variable;
+   past that, the request is rejected with [busy] immediately
+   (backpressure, not unbounded buffering). Connection threads block
+   here, so the queue costs one parked thread per waiter — bounded by
+   [max_connections]. *)
+type admission = {
+  adm_mu : Mutex.t;
+  adm_nonfull : Condition.t;
+  adm_max_inflight : int;
+  adm_max_queue : int;
+  mutable adm_inflight : int;
+  mutable adm_queued : int;
+}
+
+let admission_create ~max_inflight ~max_queue =
+  {
+    adm_mu = Mutex.create ();
+    adm_nonfull = Condition.create ();
+    adm_max_inflight = max max_inflight 1;
+    adm_max_queue = max max_queue 0;
+    adm_inflight = 0;
+    adm_queued = 0;
+  }
+
 type t = {
   config : config;
+  admission : admission;
   db : Pb_sql.Database.t;
   (* One prepared-plan cache for the whole server: sessions are per
      connection, but the cache (and the memos inside it) is thread-safe,
@@ -50,8 +83,15 @@ let m_connections =
   Metrics.counter ~help:"connections admitted" "pb_net_connections_total"
 
 let m_busy =
-  Metrics.counter ~help:"connections rejected at the max-connection limit"
+  Metrics.counter
+    ~help:"requests or connections rejected with busy (admission queue or \
+           connection limit full)"
     "pb_net_busy_rejections_total"
+
+let m_cancelled =
+  Metrics.counter
+    ~help:"requests whose governance token was cancelled (deadline included)"
+    "pb_net_cancelled_total"
 
 let m_deadline =
   Metrics.counter ~help:"requests aborted past their deadline"
@@ -64,6 +104,14 @@ let m_errors =
 let m_active =
   Metrics.gauge ~help:"currently admitted connections"
     "pb_net_active_connections"
+
+let m_inflight =
+  Metrics.gauge ~help:"requests currently evaluating"
+    "pb_net_inflight_requests"
+
+let m_queue_depth =
+  Metrics.gauge ~help:"requests parked in the admission queue"
+    "pb_net_queue_depth"
 
 let m_paql_seconds =
   Metrics.histogram ~help:"wall time of PaQL requests"
@@ -94,57 +142,51 @@ let latency_histogram text =
 
 let set_active_gauge t = Metrics.set m_active (float_of_int (Atomic.get t.active))
 
-(* ---- deadline watchdog ------------------------------------------------ *)
+(* call with adm_mu held *)
+let admission_gauges a =
+  Metrics.set m_inflight (float_of_int a.adm_inflight);
+  Metrics.set m_queue_depth (float_of_int a.adm_queued)
 
-(* Run [f] on a worker thread and wait for completion via a pipe, up to
-   [deadline] seconds. On timeout the worker is NOT killed (OCaml offers
-   no safe cancellation): it is abandoned — it finishes in the
-   background, its result is dropped, and its completion byte lands on a
-   pipe whose read end is already closed (harmless: SIGPIPE is ignored
-   process-wide, see [start]). Exceptions from [f] re-raise here. *)
-let run_with_deadline ~deadline f =
-  match deadline with
-  | None -> `Done (f ())
-  | Some d ->
-      let result = ref None in
-      let mu = Mutex.create () in
-      let r_fd, w_fd = Unix.pipe ~cloexec:true () in
-      let (_ : Thread.t) =
-        Thread.create
-          (fun () ->
-            let r = match f () with v -> Ok v | exception e -> Error e in
-            Mutex.lock mu;
-            result := Some r;
-            Mutex.unlock mu;
-            (try ignore (Unix.write_substring w_fd "x" 0 1)
-             with Unix.Unix_error _ -> ());
-            try Unix.close w_fd with Unix.Unix_error _ -> ())
-          ()
-      in
-      let deadline_at = Unix.gettimeofday () +. d in
-      let rec wait () =
-        let remaining = deadline_at -. Unix.gettimeofday () in
-        if remaining <= 0.0 then `Timed_out
-        else
-          match Unix.select [ r_fd ] [] [] remaining with
-          | exception Unix.Unix_error (Unix.EINTR, _, _) -> wait ()
-          | [], _, _ -> wait ()
-          | _ -> `Completed
-      in
-      let outcome = wait () in
-      (try Unix.close r_fd with Unix.Unix_error _ -> ());
-      (match outcome with
-      | `Timed_out -> `Timeout
-      | `Completed -> (
-          Mutex.lock mu;
-          let r = !result in
-          Mutex.unlock mu;
-          match r with
-          | Some (Ok v) -> `Done v
-          | Some (Error e) -> raise e
-          | None -> `Timeout (* unreachable: the pipe fired after the write *)))
+let admit a =
+  Mutex.lock a.adm_mu;
+  let verdict =
+    if a.adm_inflight < a.adm_max_inflight then begin
+      a.adm_inflight <- a.adm_inflight + 1;
+      `Admitted
+    end
+    else if a.adm_queued >= a.adm_max_queue then `Busy
+    else begin
+      a.adm_queued <- a.adm_queued + 1;
+      admission_gauges a;
+      while a.adm_inflight >= a.adm_max_inflight do
+        Condition.wait a.adm_nonfull a.adm_mu
+      done;
+      a.adm_queued <- a.adm_queued - 1;
+      a.adm_inflight <- a.adm_inflight + 1;
+      `Admitted
+    end
+  in
+  admission_gauges a;
+  Mutex.unlock a.adm_mu;
+  verdict
+
+let release a =
+  Mutex.lock a.adm_mu;
+  a.adm_inflight <- a.adm_inflight - 1;
+  admission_gauges a;
+  Condition.signal a.adm_nonfull;
+  Mutex.unlock a.adm_mu
 
 (* ---- request handling ------------------------------------------------- *)
+
+(* Deadlines are enforced cooperatively: each request evaluates on its
+   connection thread under a fresh governance token carrying the
+   deadline. Every engine and SQL loop polls the token, so an overrun
+   request stops within a few hundred loop iterations of the deadline —
+   it is cancelled, not abandoned: no worker thread keeps burning CPU
+   behind the client's back (the v1 watchdog did exactly that), and the
+   connection slot frees as soon as the cancelled evaluation returns
+   its best incumbent. *)
 
 (* Returns (response, close_connection_after). *)
 let handle_request t session (req : Protocol.request) =
@@ -154,28 +196,46 @@ let handle_request t session (req : Protocol.request) =
     | Some _ as d -> d
     | None -> t.config.default_deadline
   in
+  let gov = Gov.create ?deadline_in:deadline () in
   let start = Unix.gettimeofday () in
   let outcome =
-    match run_with_deadline ~deadline (fun () -> Repl.handle session req.Protocol.text) with
-    | o -> o
-    | exception e -> `Raised e
+    match Repl.handle ~gov session req.Protocol.text with
+    | reaction -> Ok reaction
+    | exception e -> Error e
   in
   let elapsed = Unix.gettimeofday () -. start in
   Metrics.observe (latency_histogram req.Protocol.text) elapsed;
   ignore (Slow_log.observe ~query:("net " ^ req.Protocol.text) ~elapsed);
   match outcome with
-  | `Done reaction -> (Ok reaction.Repl.output, reaction.Repl.quit)
-  | `Timeout ->
-      Metrics.incr m_deadline;
-      let d = match deadline with Some d -> d | None -> 0.0 in
-      ( Error
-          ( Protocol.Deadline_exceeded,
-            Printf.sprintf
-              "request exceeded its %gs deadline (evaluation abandoned)" d ),
-        false )
-  | `Raised e ->
+  | Ok reaction -> (
+      let body = reaction.Repl.output in
+      match Gov.fate gov with
+      | None -> ({ Protocol.status = Protocol.Ok; body }, reaction.Repl.quit)
+      | Some Gov.Deadline ->
+          Metrics.incr m_deadline;
+          Metrics.incr m_cancelled;
+          let d = match deadline with Some d -> d | None -> 0.0 in
+          ( {
+              Protocol.status = Protocol.Deadline_exceeded;
+              body =
+                Printf.sprintf
+                  "request exceeded its %gs deadline (evaluation cancelled)\n%s"
+                  d body;
+            },
+            reaction.Repl.quit )
+      | Some reason ->
+          Metrics.incr m_cancelled;
+          ( {
+              Protocol.status = Protocol.Cancelled;
+              body =
+                Printf.sprintf "request cancelled (%s)\n%s"
+                  (Gov.reason_to_string reason) body;
+            },
+            reaction.Repl.quit ))
+  | Error e ->
       Metrics.incr m_errors;
-      (Error (Protocol.Internal, Printexc.to_string e), false)
+      ( { Protocol.status = Protocol.Internal; body = Printexc.to_string e },
+        false )
 
 (* ---- connection lifecycle --------------------------------------------- *)
 
@@ -240,6 +300,11 @@ let conn_main t fd =
     | () -> true
     | exception Sys_error _ -> false
   in
+  let send_hello () =
+    match Protocol.write_frame oc (Protocol.encode_hello Protocol.version) with
+    | () -> true
+    | exception Sys_error _ -> false
+  in
   let finally () =
     close_out_noerr oc;
     (* close_out closes the underlying fd *)
@@ -254,21 +319,55 @@ let conn_main t fd =
             (* The stream is out of sync; report once and hang up. *)
             Metrics.incr m_errors;
             ignore
-              (respond (Error (Protocol.Bad_request, "framing error: " ^ msg)))
+              (respond
+                 {
+                   Protocol.status = Protocol.Bad_request;
+                   body = "framing error: " ^ msg;
+                 })
         | `Frame payload -> (
-            match Protocol.decode_request payload with
+            match Protocol.decode_client_frame payload with
             | Error msg ->
                 Metrics.incr m_errors;
-                if respond (Error (Protocol.Bad_request, msg)) then loop ()
-            | Ok req ->
-                let resp, close_after = handle_request t session req in
-                if respond resp && not close_after then loop ())
+                if
+                  respond
+                    { Protocol.status = Protocol.Bad_request; body = msg }
+                then loop ()
+            | Ok (Protocol.Hello v) ->
+                (* Answer with our version either way; on mismatch the
+                   client refuses to proceed, so hang up after telling
+                   it who we are. *)
+                if send_hello () && v = Protocol.version then loop ()
+            | Ok (Protocol.Req req) -> (
+                match admit t.admission with
+                | `Busy ->
+                    Metrics.incr m_busy;
+                    if
+                      respond
+                        {
+                          Protocol.status = Protocol.Busy;
+                          body =
+                            Printf.sprintf
+                              "server busy: %d requests in flight and %d \
+                               queued; retry later"
+                              t.admission.adm_max_inflight
+                              t.admission.adm_max_queue;
+                        }
+                    then loop ()
+                | `Admitted ->
+                    let resp, close_after =
+                      Fun.protect
+                        ~finally:(fun () -> release t.admission)
+                        (fun () -> handle_request t session req)
+                    in
+                    if respond resp && not close_after then loop ()))
       in
       loop ())
 
-let reject fd code msg =
+let reject fd status msg =
   let oc = Unix.out_channel_of_descr fd in
-  (try Protocol.write_frame oc (Protocol.encode_response (Error (code, msg)))
+  (try
+     Protocol.write_frame oc
+       (Protocol.encode_response { Protocol.status; body = msg })
    with Sys_error _ -> ());
   close_out_noerr oc
 
@@ -333,6 +432,9 @@ let start ?(config = default_config) db =
   let t =
     {
       config;
+      admission =
+        admission_create ~max_inflight:config.max_inflight
+          ~max_queue:config.max_queue;
       db;
       plan_cache = Pb_sql.Plan_cache.create ~capacity:config.plan_cache_capacity ();
       listen;

@@ -11,17 +11,25 @@
     Concurrency model: one accept thread plus one thread per live
     connection ([unix] + [threads]; query evaluation inside a request
     still fans out over the {!Pb_par} default domain pool). Admission is
-    bounded: when [max_connections] sessions are live, further clients
-    are sent one [busy] error frame and closed immediately instead of
-    queueing (backpressure, not buffering).
+    bounded at two levels: when [max_connections] sessions are live,
+    further clients are sent one [busy] frame and closed immediately;
+    and at most [max_inflight] requests evaluate concurrently, with up
+    to [max_queue] more parked in a bounded admission queue — a request
+    arriving past both limits is answered [busy] at once and the
+    connection stays usable (backpressure, not unbounded buffering).
+    Queue depth and in-flight count are exported as the
+    [pb_net_queue_depth] and [pb_net_inflight_requests] gauges.
 
     Deadlines: a request carrying a deadline (or inheriting
-    [default_deadline]) runs on a watchdog; past the deadline the client
-    gets a [deadline] protocol error and the {e connection stays usable}.
-    The evaluation itself is not killed — OCaml has no safe thread
-    cancellation — it is abandoned: it finishes in the background and its
-    result is discarded. Abandoned work still burns CPU; the deadline
-    bounds client-observed latency, not server load.
+    [default_deadline]) evaluates on its connection thread under a
+    per-request {!Pb_util.Gov} token carrying that deadline. Every
+    engine and SQL loop polls the token, so an overrun request is
+    {e cancelled cooperatively} — it stops consuming CPU within a few
+    hundred loop iterations, frees its connection slot, and the client
+    gets a [deadline] response carrying the evaluation's best partial
+    output. (Protocol v1 instead abandoned a watchdogged worker thread
+    that kept burning CPU to completion.) Cancelled requests are counted
+    by [pb_net_cancelled_total].
 
     Shutdown: {!request_stop} (async-signal-safe: it only flips an
     atomic) makes the accept loop exit and every connection close after
@@ -33,6 +41,11 @@ type config = {
   host : string;  (** bind address, default ["127.0.0.1"] *)
   port : int;  (** TCP port; [0] picks an ephemeral port (see {!port}) *)
   max_connections : int;  (** live-session cap; excess get [busy] *)
+  max_inflight : int;
+      (** requests evaluating concurrently; clamped to >= 1 *)
+  max_queue : int;
+      (** requests parked waiting for an in-flight slot; a request
+          arriving when the queue is full is answered [busy] *)
   default_deadline : float option;
       (** applied to requests that carry no deadline; [None] = unlimited *)
   poll_interval : float;
@@ -44,8 +57,9 @@ type config = {
 }
 
 val default_config : config
-(** [127.0.0.1:7878], 64 connections, no default deadline, 50ms poll,
-    128 cached plans. *)
+(** [127.0.0.1:7878], 64 connections, 64 in-flight requests with a
+    128-deep admission queue, no default deadline, 50ms poll, 128 cached
+    plans. *)
 
 type t
 

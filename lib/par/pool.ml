@@ -213,11 +213,15 @@ let map_chunks pool ?chunk_size ~n f =
 let map_reduce pool ?chunk_size ~n ~map ~reduce init =
   List.fold_left reduce init (map_chunks pool ?chunk_size ~n map)
 
-let parallel_for pool ?chunk_size n f =
+let parallel_for pool ?chunk_size ?(should_stop = fun () -> false) n f =
   map_chunks pool ?chunk_size ~n (fun ~lo ~hi ->
-      for i = lo to hi - 1 do
-        f i
-      done)
+      (* One poll per chunk: queued chunks of an already-stopped region
+         are skipped wholesale instead of running to completion.  The
+         caller is responsible for noticing which indexes never ran. *)
+      if not (should_stop ()) then
+        for i = lo to hi - 1 do
+          f i
+        done)
   |> ignore
 
 let race pool legs =

@@ -42,10 +42,18 @@ val set_default_size : int -> unit
 
 (** {1 Parallel regions} *)
 
-val parallel_for : t -> ?chunk_size:int -> int -> (int -> unit) -> unit
+val parallel_for :
+  t -> ?chunk_size:int -> ?should_stop:(unit -> bool) -> int -> (int -> unit) -> unit
 (** [parallel_for pool n f] runs [f i] for every [i] in [0, n), split
     into contiguous chunks across the pool.  Returns once every call
-    has finished.  [f] must only write to disjoint state per index. *)
+    has finished.  [f] must only write to disjoint state per index.
+
+    [should_stop] (default: never) is polled once at each chunk head;
+    after it first answers [true], chunks that have not yet started are
+    skipped entirely — how a governance token stops queued work without
+    tearing down the pool.  Indexes inside skipped chunks are simply
+    never visited; callers that must distinguish "ran" from "skipped"
+    record completion per index themselves. *)
 
 val map_chunks : t -> ?chunk_size:int -> n:int -> (lo:int -> hi:int -> 'a) -> 'a list
 (** [map_chunks pool ~n f] covers [0, n) with contiguous ranges

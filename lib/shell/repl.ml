@@ -2,6 +2,7 @@ module Store = Pb_paql.Package_store
 module Trace = Pb_obs.Trace
 module Metrics = Pb_obs.Metrics
 module Slow_log = Pb_obs.Slow_log
+module Gov = Pb_util.Gov
 
 type state = {
   db : Pb_sql.Database.t;
@@ -55,34 +56,41 @@ let is_paql line =
   | tokens ->
       List.exists (function Pb_sql.Lexer.Keyword "PACKAGE" -> true | _ -> false) tokens
 
-let run_paql st text =
+(* Proof annotation in the one-line strategy footer: proven outcomes
+   keep the historical "(proven optimal)" wording, a governed stop is
+   called out, a plain feasible answer stays bare. *)
+let proof_suffix = function
+  | Pb_core.Engine.Optimal | Pb_core.Engine.Infeasible -> " (proven optimal)"
+  | Pb_core.Engine.Feasible -> ""
+  | Pb_core.Engine.Cancelled -> " (cancelled)"
+
+let run_paql ?gov st text =
   match Pb_paql.Parser.parse text with
   | exception Pb_paql.Parser.Parse_error msg -> ok ("paql error: " ^ msg)
   | query -> (
-      match Pb_core.Engine.evaluate st.db query with
+      match Pb_core.Engine.run ?gov st.db query with
       | exception Failure msg -> ok ("error: " ^ msg)
-      | report ->
+      | result ->
           st.last_query <- Some query;
-          st.last_package <- report.Pb_core.Engine.package;
+          st.last_package <- result.Pb_core.Engine.package;
           ignore
             (Slow_log.observe ~query:text
-               ~elapsed:report.Pb_core.Engine.elapsed);
+               ~elapsed:result.Pb_core.Engine.elapsed);
           let buf = Buffer.create 256 in
-          (match report.Pb_core.Engine.package with
+          (match result.Pb_core.Engine.package with
           | Some pkg -> Buffer.add_string buf (Pb_paql.Package.to_string pkg)
           | None -> Buffer.add_string buf "no valid package\n");
-          (match report.Pb_core.Engine.objective with
+          (match result.Pb_core.Engine.objective with
           | Some v -> Buffer.add_string buf (Printf.sprintf "objective: %g\n" v)
           | None -> ());
           Buffer.add_string buf
             (Printf.sprintf "strategy: %s%s, %.3fs"
-               report.Pb_core.Engine.strategy_used
-               (if report.Pb_core.Engine.proven_optimal then " (proven optimal)"
-                else "")
-               report.Pb_core.Engine.elapsed);
+               result.Pb_core.Engine.strategy_used
+               (proof_suffix result.Pb_core.Engine.proof)
+               result.Pb_core.Engine.elapsed);
           ok (Buffer.contents buf))
 
-let run_sql st text =
+let run_sql ?gov st text =
   (* Prepared-statement path: repeat text skips lex/parse/resolve and
      reuses the cached statement's compiled closures via [memo]. *)
   match
@@ -96,7 +104,7 @@ let run_sql st text =
         Trace.timed ~name:"sql.script" (fun () ->
             List.iter
               (fun stmt ->
-                match Pb_sql.Executor.execute ~memo st.db stmt with
+                match Pb_sql.Executor.execute ~memo ?gov st.db stmt with
                 | Pb_sql.Executor.Rows rel ->
                     Buffer.add_string buf
                       (Pb_relation.Relation.to_table ~max_rows:40 rel)
@@ -109,11 +117,13 @@ let run_sql st text =
       | (), elapsed ->
           ignore (Slow_log.observe ~query:text ~elapsed);
           ok (String.trim (Buffer.contents buf))
-      | exception Pb_sql.Executor.Eval_error msg -> ok ("sql error: " ^ msg))
+      | exception Pb_sql.Executor.Eval_error msg -> ok ("sql error: " ^ msg)
+      | exception Gov.Interrupted r ->
+          ok ("cancelled: " ^ Gov.reason_to_string r))
 
 (* EXPLAIN ANALYZE: actually run the query with tracing on, then print
    the span tree plus the engine/SQL counter deltas the run caused. *)
-let explain_analyze st text =
+let explain_analyze ?gov st text =
   match Pb_paql.Parser.parse text with
   | exception Pb_paql.Parser.Parse_error msg -> ok ("paql error: " ^ msg)
   | query -> (
@@ -121,21 +131,21 @@ let explain_analyze st text =
       Trace.reset ();
       Trace.set_enabled true;
       let before = Metrics.snapshot () in
-      match Pb_core.Engine.evaluate st.db query with
+      match Pb_core.Engine.run ?gov st.db query with
       | exception e ->
           Trace.set_enabled was_enabled;
           (match e with
           | Failure msg -> ok ("error: " ^ msg)
           | e -> raise e)
-      | report ->
+      | result ->
           let after = Metrics.snapshot () in
           let tree = Trace.render_tree () in
           Trace.set_enabled was_enabled;
           st.last_query <- Some query;
-          st.last_package <- report.Pb_core.Engine.package;
+          st.last_package <- result.Pb_core.Engine.package;
           ignore
             (Slow_log.observe ~query:text
-               ~elapsed:report.Pb_core.Engine.elapsed);
+               ~elapsed:result.Pb_core.Engine.elapsed);
           let buf = Buffer.create 512 in
           Buffer.add_string buf tree;
           let deltas =
@@ -154,15 +164,14 @@ let explain_analyze st text =
                 Buffer.add_string buf (Printf.sprintf "  %s +%g\n" name d))
               deltas
           end;
-          (match report.Pb_core.Engine.objective with
+          (match result.Pb_core.Engine.objective with
           | Some v -> Buffer.add_string buf (Printf.sprintf "objective: %g\n" v)
           | None -> ());
           Buffer.add_string buf
             (Printf.sprintf "strategy: %s%s, %.3fs"
-               report.Pb_core.Engine.strategy_used
-               (if report.Pb_core.Engine.proven_optimal then " (proven optimal)"
-                else "")
-               report.Pb_core.Engine.elapsed);
+               result.Pb_core.Engine.strategy_used
+               (proof_suffix result.Pb_core.Engine.proof)
+               result.Pb_core.Engine.elapsed);
           ok (Buffer.contents buf))
 
 (* "\explain analyze Q" routes to explain_analyze; bare "\explain Q"
@@ -178,7 +187,7 @@ let split_analyze text =
   then Some (strip (String.sub text n (String.length text - n)))
   else None
 
-let command st name raw_arg =
+let command ?gov st name raw_arg =
   (* \complete is whitespace-sensitive: "SELECT " and "SELECT" sit in
      different grammatical positions. Everything else trims. *)
   if name = "complete" then
@@ -231,7 +240,7 @@ let command st name raw_arg =
       else ok ("no saved package named " ^ name)
   | "explain", text when split_analyze text <> None -> (
       match split_analyze text with
-      | Some query_text -> explain_analyze st query_text
+      | Some query_text -> explain_analyze ?gov st query_text
       | None -> assert false)
   | "explain", text -> (
       match Pb_paql.Parser.parse text with
@@ -259,7 +268,9 @@ let command st name raw_arg =
           match (int_of_string_opt k, Pb_paql.Parser.parse text) with
           | None, _ -> ok "usage: \\next K QUERY"
           | Some k, query ->
-              let packages = Pb_core.Engine.next_packages ~limit:k st.db query in
+              let packages =
+                Pb_core.Engine.next_packages ?gov ~limit:k st.db query
+              in
               if packages = [] then ok "no valid package"
               else
                 ok
@@ -331,7 +342,7 @@ let left_trim s =
   let i = go 0 in
   String.sub s i (n - i)
 
-let handle st line =
+let handle ?gov st line =
   let trimmed = strip line in
   if trimmed = "" then ok ""
   else if trimmed.[0] = '\\' then begin
@@ -342,10 +353,10 @@ let handle st line =
     in
     match String.index_opt body ' ' with
     | Some i ->
-        command st
+        command ?gov st
           (String.sub body 0 i)
           (String.sub body (i + 1) (String.length body - i - 1))
-    | None -> command st body ""
+    | None -> command ?gov st body ""
   end
   else
     let line = trimmed in
@@ -354,4 +365,4 @@ let handle st line =
       let n = String.length line in
       if n > 0 && line.[n - 1] = ';' then String.sub line 0 (n - 1) else line
     in
-    if is_paql line then run_paql st line else run_sql st line
+    if is_paql line then run_paql ?gov st line else run_sql ?gov st line

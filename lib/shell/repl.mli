@@ -41,7 +41,15 @@ type reaction = {
   quit : bool;  (** true after [\quit] *)
 }
 
-val handle : state -> string -> reaction
+val handle : ?gov:Pb_util.Gov.t -> state -> string -> reaction
 (** Process one input line. The state is mutated in place (the database
     is shared); errors of any kind are reported in [output] rather than
-    raised. Blank lines produce empty output. *)
+    raised. Blank lines produce empty output.
+
+    [gov] governs the evaluation: PaQL queries run under it through
+    {!Pb_core.Engine.run} (a stop yields the best incumbent with a
+    "(cancelled)" footer), SQL statements poll it inside every operator
+    loop (a stop reports ["cancelled: <reason>"] as the output), and
+    [\next] shares it across its successive solves. The server passes a
+    per-request token carrying the request deadline; the interactive
+    CLI passes none. *)

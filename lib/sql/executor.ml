@@ -5,6 +5,12 @@ module Relation = Pb_relation.Relation
 module Trace = Pb_obs.Trace
 module Metrics = Pb_obs.Metrics
 module Pool = Pb_par.Pool
+module Gov = Pb_util.Gov
+
+(* Sampled governance poll for executor loops (projection, group-by,
+   distinct); a stop raises {!Gov.Interrupted}. *)
+let poll gov i =
+  if i land 255 = 0 then Gov.tick_opt ~resource:Gov.Sql_rows gov
 
 let m_selects =
   Metrics.counter ~help:"SELECT blocks evaluated (subqueries included)"
@@ -26,9 +32,11 @@ let like_match = Compile.like_match
 let scalar_function = Compile.scalar_function
 let binop_value = Compile.binop_value
 
-(* Mutually recursive with [select] because of IN/EXISTS subqueries. *)
-let rec eval_expr ?db schema row e =
-  let ev e = eval_expr ?db schema row e in
+(* Mutually recursive with [select] because of IN/EXISTS subqueries.
+   [gov] rides along so subquery evaluation inherits the request's
+   governance token. *)
+let rec eval_expr ?db ?gov schema row e =
+  let ev e = eval_expr ?db ?gov schema row e in
   match e with
   | Lit v -> v
   | Col name -> row.(Schema.index_of_exn schema name)
@@ -49,7 +57,7 @@ let rec eval_expr ?db schema row e =
       | None -> err "IN subquery requires a database context"
       | Some db ->
           let v = ev e in
-          let sub = select db q in
+          let sub = select ?gov db q in
           if Relation.cardinality sub > 0 && Schema.arity (Relation.schema sub) <> 1
           then err "IN subquery must return one column"
           else
@@ -60,7 +68,7 @@ let rec eval_expr ?db schema row e =
   | Exists q -> (
       match db with
       | None -> err "EXISTS subquery requires a database context"
-      | Some db -> Value.Bool (Relation.cardinality (select db q) > 0))
+      | Some db -> Value.Bool (Relation.cardinality (select ?gov db q) > 0))
   | Is_null (e, neg) ->
       let null = Value.is_null (ev e) in
       Value.Bool (if neg then not null else null)
@@ -82,7 +90,7 @@ and eval_case ev branches default =
   in
   walk branches
 
-and eval_agg_expr ?db schema group e =
+and eval_agg_expr ?db ?gov schema group e =
   let representative =
     match group with
     | r :: _ -> r
@@ -113,7 +121,7 @@ and eval_agg_expr ?db schema group e =
         | Some db ->
             (* The lhs may itself aggregate over the group. *)
             let v = ev lhs in
-            let rel = select db sub in
+            let rel = select ?gov db sub in
             if Relation.cardinality rel > 0 && Schema.arity (Relation.schema rel) <> 1
             then err "IN subquery must return one column"
             else
@@ -124,7 +132,7 @@ and eval_agg_expr ?db schema group e =
     | Exists sub -> (
         match db with
         | None -> err "EXISTS subquery requires a database context"
-        | Some db -> Value.Bool (Relation.cardinality (select db sub) > 0))
+        | Some db -> Value.Bool (Relation.cardinality (select ?gov db sub) > 0))
     | Is_null (e, neg) ->
         let null = Value.is_null (ev e) in
         Value.Bool (if neg then not null else null)
@@ -141,7 +149,7 @@ and eval_agg_expr ?db schema group e =
     let values =
       List.filter_map
         (fun r ->
-          let v = eval_expr ?db schema r arg in
+          let v = eval_expr ?db ?gov schema r arg in
           if Value.is_null v then None else Some v)
         group
     in
@@ -254,21 +262,30 @@ and expand_items schema items =
       | item -> [ item ])
     items
 
-and select ?memo db q =
-  let base = select_simple ?memo db q in
+and select ?memo ?gov db q =
+  let base = select_simple ?memo ?gov db q in
   (* Set operations, applied left to right over the first branch. *)
   List.fold_left
-    (fun acc (op, rhs) -> set_operation op acc (select_simple ?memo db rhs))
+    (fun acc (op, rhs) -> set_operation op acc (select_simple ?memo ?gov db rhs))
     base q.compound
 
 (* Compile one row-local expression, through the prepared-plan memo when the
    statement came from the cache. The fallback closes over [db] so subquery
    nodes re-enter the interpreter with the same context. *)
-and compile_row ?db ?memo schema e =
-  let fallback row e = eval_expr ?db schema row e in
+and compile_row ?db ?gov ?memo schema e =
   match memo with
-  | Some m -> Compile.Memo.expr m ~fallback schema e
-  | None -> Compile.expr ~fallback schema e
+  | Some m ->
+      (* Memoized closures are cached across requests by the plan cache,
+         so the fallback must NOT close over this request's governance
+         token — a stale token baked into a cached plan could cancel a
+         later, healthy request.  Subqueries reached through a memoized
+         plan therefore run un-governed (the enclosing operator loops
+         still poll). *)
+      let fallback row e = eval_expr ?db schema row e in
+      Compile.Memo.expr m ~fallback schema e
+  | None ->
+      let fallback row e = eval_expr ?db ?gov schema row e in
+      Compile.expr ~fallback schema e
 
 (* Key used for duplicate detection in DISTINCT and set operations:
    numerics normalize (3 = 3.0), types otherwise separate so Int 1 and
@@ -325,14 +342,14 @@ and set_operation op left right =
               (fun row -> not (Hashtbl.mem right_keys (dedup_key row)))
               (Relation.to_list left)))
 
-and select_simple ?memo db q =
+and select_simple ?memo ?gov db q =
   Trace.with_span ~name:"sql.select" (fun () ->
   Metrics.incr m_selects;
   let filtered, _plan_stats =
     try
-      Planner.execute db
-        ~eval:(fun schema row e -> eval_expr ~db schema row e)
-        ~compile:(fun schema e -> compile_row ~db ?memo schema e)
+      Planner.execute ?gov db
+        ~eval:(fun schema row e -> eval_expr ~db ?gov schema row e)
+        ~compile:(fun schema e -> compile_row ~db ?gov ?memo schema e)
         ~from:q.from ~where:q.where
     with Failure msg -> err "%s" msg
   in
@@ -395,7 +412,7 @@ and select_simple ?memo db q =
       let item_fns =
         List.map
           (function
-            | Expr_item (e, _) -> compile_row ~db ?memo schema e
+            | Expr_item (e, _) -> compile_row ~db ?gov ?memo schema e
             | Star_item -> assert false)
           items
       in
@@ -411,17 +428,27 @@ and select_simple ?memo db q =
       if Pool.size pool > 1 && n >= 512 then
         List.concat
           (Pool.map_chunks pool ~n (fun ~lo ~hi ->
-               List.init (hi - lo) (fun k -> project rows.(lo + k))))
-      else List.map project (Relation.to_list filtered)
+               List.init (hi - lo) (fun k ->
+                   poll gov k;
+                   project rows.(lo + k))))
+      else
+        List.mapi
+          (fun i row ->
+            poll gov i;
+            project row)
+          (Relation.to_list filtered)
     end
     else begin
       Trace.with_span ~name:"sql.group" (fun () ->
       (* Group rows by the GROUP BY key (single group when absent). *)
-      let key_fns = List.map (compile_row ~db ?memo schema) q.group_by in
+      let key_fns = List.map (compile_row ~db ?gov ?memo schema) q.group_by in
       let tbl = Hashtbl.create 64 in
       let order = ref [] in
+      let seen_rows = ref 0 in
       List.iter
         (fun row ->
+          poll gov !seen_rows;
+          incr seen_rows;
           let key = List.map (fun f -> Value.to_string (f row)) key_fns in
           (match Hashtbl.find_opt tbl key with
           | Some cell -> cell := row :: !cell
@@ -442,11 +469,12 @@ and select_simple ?memo db q =
       in
       List.filter_map
         (fun group ->
+          Gov.tick_opt ~resource:Gov.Sql_rows gov;
           let keep =
             match q.having with
             | None -> true
             | Some pred ->
-                Value.truthy (eval_agg_expr ~db schema group pred)
+                Value.truthy (eval_agg_expr ~db ?gov schema group pred)
           in
           if not keep then None
           else
@@ -454,7 +482,7 @@ and select_simple ?memo db q =
               ( Array.of_list
                   (List.map
                      (function
-                       | Expr_item (e, _) -> eval_agg_expr ~db schema group e
+                       | Expr_item (e, _) -> eval_agg_expr ~db ?gov schema group e
                        | Star_item -> assert false)
                      items),
                 `Group group ))
@@ -465,8 +493,11 @@ and select_simple ?memo db q =
     if not q.distinct then pairs
     else begin
       let seen = Hashtbl.create 64 in
+      let i = ref 0 in
       List.filter
         (fun (row, _) ->
+          poll gov !i;
+          incr i;
           let key = dedup_key row in
           if Hashtbl.mem seen key then false
           else (
@@ -491,7 +522,7 @@ and select_simple ?memo db q =
                 match e with
                 | Col name when Schema.index_of out_schema name <> None ->
                     `Out (Schema.index_of_exn out_schema name)
-                | _ -> `Src (compile_row ~db ?memo schema e, e)
+                | _ -> `Src (compile_row ~db ?gov ?memo schema e, e)
               in
               (plan, dir))
             keys
@@ -502,7 +533,7 @@ and select_simple ?memo db q =
           | `Src (f, e) -> (
               match provenance with
               | `Row src -> f src
-              | `Group group -> eval_agg_expr ~db schema group e)
+              | `Group group -> eval_agg_expr ~db ?gov schema group e)
         in
         let cmp a b =
           let rec walk = function
@@ -528,6 +559,7 @@ and select_simple ?memo db q =
     | Some k -> List.filteri (fun i _ -> i < k) pairs
   in
   let rows_out = List.length pairs in
+  (match gov with Some g -> Gov.spend g Gov.Sql_rows rows_out | None -> ());
   Metrics.incr ~by:rows_out m_rows_returned;
   Trace.add_count "rows_out" rows_out;
   Relation.create out_schema (List.map fst pairs))
@@ -536,9 +568,9 @@ and eval_const ?db e =
   let empty = Schema.make [] in
   eval_expr ?db empty [||] e
 
-let execute ?memo db stmt =
+let execute ?memo ?gov db stmt =
   match stmt with
-  | Select_stmt q -> Rows (select ?memo db q)
+  | Select_stmt q -> Rows (select ?memo ?gov db q)
   | Create_table (name, defs) ->
       let schema =
         Schema.make
@@ -575,7 +607,7 @@ let execute ?memo db stmt =
         match where with
         | None -> fun _row -> false
         | Some pred ->
-            let f = compile_row ~db schema pred in
+            let f = compile_row ~db ?gov schema pred in
             fun row -> not (Value.truthy (f row))
       in
       let kept = Relation.filter keep rel in
@@ -589,10 +621,12 @@ let execute ?memo db stmt =
         match where with
         | None -> fun _row -> true
         | Some pred ->
-            let f = compile_row ~db schema pred in
+            let f = compile_row ~db ?gov schema pred in
             fun row -> Value.truthy (f row)
       in
-      let set_fns = List.map (fun (col, e) -> (col, compile_row ~db schema e)) sets in
+      let set_fns =
+        List.map (fun (col, e) -> (col, compile_row ~db ?gov schema e)) sets
+      in
       let update row =
         if not (hit_fn row) then row
         else begin
@@ -614,4 +648,4 @@ let execute ?memo db stmt =
       Database.drop db name;
       Created
 
-let execute_sql db src = execute db (Parser.parse_statement src)
+let execute_sql ?gov db src = execute ?gov db (Parser.parse_statement src)

@@ -16,19 +16,21 @@ type result =
 
 val eval_expr :
   ?db:Database.t ->
+  ?gov:Pb_util.Gov.t ->
   Pb_relation.Schema.t ->
   Pb_relation.Value.t array ->
   Ast.expr ->
   Pb_relation.Value.t
 (** Evaluate a scalar expression against one row. Aggregate nodes raise
     {!Eval_error} here (they only make sense over a group); subqueries need
-    [db]. *)
+    [db] and inherit [gov]. *)
 
 val eval_const : ?db:Database.t -> Ast.expr -> Pb_relation.Value.t
 (** Evaluate a row-independent expression (literals/arithmetic). *)
 
 val eval_agg_expr :
   ?db:Database.t ->
+  ?gov:Pb_util.Gov.t ->
   Pb_relation.Schema.t ->
   Pb_relation.Value.t array list ->
   Ast.expr ->
@@ -39,13 +41,29 @@ val eval_agg_expr :
     package validator reuses to check SUCH THAT constraints, treating the
     candidate package as one group. *)
 
-val select : ?memo:Compile.Memo.t -> Database.t -> Ast.select -> Pb_relation.Relation.t
+val select :
+  ?memo:Compile.Memo.t ->
+  ?gov:Pb_util.Gov.t ->
+  Database.t ->
+  Ast.select ->
+  Pb_relation.Relation.t
 (** Run a SELECT. When [memo] is supplied (by the prepared-plan cache),
     compiled expression closures are reused across executions of the same
-    statement instead of being rebuilt. *)
+    statement instead of being rebuilt.
 
-val execute : ?memo:Compile.Memo.t -> Database.t -> Ast.statement -> result
-val execute_sql : Database.t -> string -> result
+    [gov] is the request's governance token: it is polled (sampled)
+    inside every planner and executor loop, and a stop raises
+    {!Pb_util.Gov.Interrupted} — SQL has no useful partial result, so
+    cancellation abandons the statement outright. One caveat: the
+    fallback interpreter baked into {e memoized} compiled closures is
+    deliberately gov-free (those closures are cached across requests by
+    the plan cache, and a stale token must not cancel a later request),
+    so subqueries reached through a cached plan run un-governed; the
+    enclosing operator loops still poll. *)
+
+val execute :
+  ?memo:Compile.Memo.t -> ?gov:Pb_util.Gov.t -> Database.t -> Ast.statement -> result
+val execute_sql : ?gov:Pb_util.Gov.t -> Database.t -> string -> result
 (** Parse then execute a single statement. *)
 
 val like_match : pattern:string -> string -> bool

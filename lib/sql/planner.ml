@@ -6,25 +6,44 @@ module Relation = Pb_relation.Relation
 module Trace = Pb_obs.Trace
 module Metrics = Pb_obs.Metrics
 module Pool = Pb_par.Pool
+module Gov = Pb_util.Gov
 
 (* Below this many rows a parallel pass costs more in chunk bookkeeping
    than it saves; operators fall back to the plain sequential loop. *)
 let par_threshold = 512
 
+(* Governance poll for SQL operator loops, sampled every [poll_mask + 1]
+   iterations so the atomic loads stay off the per-row fast path.  SQL
+   has no useful partial answer, so a stop raises {!Gov.Interrupted}
+   (possibly from a worker domain — [Pool.run_region] re-raises it on
+   the submitter). *)
+let poll_mask = 255
+
+let poll gov i =
+  if i land poll_mask = 0 then Gov.tick_opt ~resource:Gov.Sql_rows gov
+
 (* Order-preserving filter: rows are predicate-tested in parallel chunks
    over the default pool and the surviving rows concatenated in chunk
    order, so the output is identical to [Relation.filter] at any pool
    size.  The predicate must be pure reads (it runs on worker domains). *)
-let chunked_filter pred rel =
+let chunked_filter ?gov pred rel =
   let pool = Pool.get_default () in
   let rows = Relation.rows rel in
   let n = Array.length rows in
-  if Pool.size pool <= 1 || n < par_threshold then Relation.filter pred rel
+  if Pool.size pool <= 1 || n < par_threshold then begin
+    let out = ref [] in
+    for i = n - 1 downto 0 do
+      poll gov i;
+      if pred rows.(i) then out := rows.(i) :: !out
+    done;
+    Relation.create (Relation.schema rel) !out
+  end
   else
     let parts =
       Pool.map_chunks pool ~n (fun ~lo ~hi ->
           let out = ref [] in
           for i = hi - 1 downto lo do
+            poll gov i;
             if pred rows.(i) then out := rows.(i) :: !out
           done;
           !out)
@@ -53,6 +72,11 @@ let m_hash_join_probe_rows =
 let m_nested_products =
   Metrics.counter ~help:"Nested-loop products (no usable equi-join key)"
     "pb_sql_nested_products_total"
+
+let m_product_rows =
+  Metrics.counter
+    ~help:"Rows materialized by nested-loop products (cancellation poll point)"
+    "pb_sql_product_rows_total"
 
 let m_pushed_predicates =
   Metrics.counter ~help:"Predicates applied below the top of the join tree"
@@ -164,7 +188,7 @@ let sargable schema expr =
       Some (c, (Some (lo, true), Some (hi, true)))
   | _ -> None
 
-let scan db ~compile ~stats table_name qualified_rel conjs =
+let scan ?gov db ~compile ~stats table_name qualified_rel conjs =
   Trace.with_span ~name:"sql.scan" ~attrs:[ ("table", table_name) ] (fun () ->
   let schema = Relation.schema qualified_rel in
   (* Try to satisfy one sargable conjunct with a declared index. *)
@@ -205,7 +229,7 @@ let scan db ~compile ~stats table_name qualified_rel conjs =
         Metrics.incr m_pushed_predicates;
         (* Compiled once here, then invoked per row on worker domains. *)
         let pred = compile schema conj in
-        chunked_filter (fun row -> Value.truthy (pred row)) acc)
+        chunked_filter ?gov (fun row -> Value.truthy (pred row)) acc)
       rel remaining
   in
   Trace.add_count "rows_out" (Relation.cardinality out);
@@ -249,7 +273,7 @@ end
 
 module Join_tbl = Hashtbl.Make (Join_key)
 
-let hash_join ~compile left right keys =
+let hash_join ?gov ~compile left right keys =
   Trace.with_span ~name:"sql.hash_join" (fun () ->
   Metrics.incr m_hash_joins;
   Metrics.incr ~by:(Relation.cardinality right) m_hash_join_build_rows;
@@ -273,7 +297,10 @@ let hash_join ~compile left right keys =
   let rkeys =
     let n = Array.length rrows in
     let out = Array.make n [] in
-    let fill i = out.(i) <- key_values right_fns rrows.(i) in
+    let fill i =
+      poll gov i;
+      out.(i) <- key_values right_fns rrows.(i)
+    in
     if par n then Pool.parallel_for pool n fill
     else
       for i = 0 to n - 1 do
@@ -294,6 +321,7 @@ let hash_join ~compile left right keys =
   let probe_chunk ~lo ~hi =
     let out = ref [] in
     for i = lo to hi - 1 do
+      poll gov i;
       let lrow = lrows.(i) in
       let values = key_values left_fns lrow in
       if not (List.exists Value.is_null values) then
@@ -314,9 +342,54 @@ let hash_join ~compile left right keys =
   Trace.add_count "rows_out" (Relation.cardinality joined);
   joined)
 
+(* Nested-loop product with a governance poll and a metered row count.
+   This is where a poison cross-join burns its CPU, so it is the single
+   most important cancellation point in the SQL engine: the row counter
+   is flushed to the metrics registry at every poll, which is what lets
+   the abandoned-worker regression test observe "the counter stopped
+   incrementing" from outside.  Row order is identical to
+   [Relation.product] (outer left, inner right). *)
+let governed_product ?gov a b =
+  Trace.with_span ~name:"sql.product" (fun () ->
+      let arows = Relation.rows a and brows = Relation.rows b in
+      let out = ref [] in
+      let produced = ref 0 and pending = ref 0 in
+      let flush () =
+        Metrics.incr ~by:!pending m_product_rows;
+        (match gov with
+        | Some g -> Gov.spend g Gov.Sql_rows !pending
+        | None -> ());
+        pending := 0
+      in
+      (try
+         Array.iter
+           (fun ra ->
+             Array.iter
+               (fun rb ->
+                 if !produced land poll_mask = 0 then begin
+                   flush ();
+                   Gov.tick_opt ~resource:Gov.Sql_rows gov
+                 end;
+                 incr produced;
+                 incr pending;
+                 out := Array.append ra rb :: !out)
+               brows)
+           arows
+       with e ->
+         flush ();
+         raise e);
+      flush ();
+      let p =
+        Relation.create
+          (Schema.concat (Relation.schema a) (Relation.schema b))
+          (List.rev !out)
+      in
+      Trace.add_count "rows_out" !produced;
+      p)
+
 (* ---- the plan -------------------------------------------------------- *)
 
-let execute ?compile db ~eval ~from ~where =
+let execute ?compile ?gov db ~eval ~from ~where =
   (* Callers that don't compile (e.g. the naive ablation in \plan) get a
      degenerate compile_fn that closes over the interpreter. *)
   let compile =
@@ -363,7 +436,7 @@ let execute ?compile db ~eval ~from ~where =
           (fun i (table_name, rel) ->
             let conjs = single_table_conjuncts i in
             List.iter consume conjs;
-            scan db ~compile ~stats table_name rel conjs)
+            scan ?gov db ~compile ~stats table_name rel conjs)
           tables
       in
       let apply_ready acc =
@@ -375,7 +448,7 @@ let execute ?compile db ~eval ~from ~where =
               stats :=
                 { !stats with pushed_predicates = !stats.pushed_predicates + 1 };
               let pred = compile schema conj in
-              chunked_filter (fun row -> Value.truthy (pred row)) acc
+              chunked_filter ?gov (fun row -> Value.truthy (pred row)) acc
             end
             else acc)
           acc all_conjuncts
@@ -397,16 +470,13 @@ let execute ?compile db ~eval ~from ~where =
                   if keys <> [] then begin
                     List.iter (fun (conj, _, _) -> consume conj) keys;
                     stats := { !stats with hash_joins = !stats.hash_joins + 1 };
-                    hash_join ~compile acc next keys
+                    hash_join ?gov ~compile acc next keys
                   end
                   else begin
                     stats :=
                       { !stats with nested_products = !stats.nested_products + 1 };
                     Metrics.incr m_nested_products;
-                    Trace.with_span ~name:"sql.product" (fun () ->
-                        let p = Relation.product acc next in
-                        Trace.add_count "rows_out" (Relation.cardinality p);
-                        p)
+                    governed_product ?gov acc next
                   end
                 in
                 apply_ready joined)
@@ -422,7 +492,7 @@ let execute ?compile db ~eval ~from ~where =
             if is_consumed conj then acc
             else
               let pred = compile final_schema conj in
-              chunked_filter (fun row -> Value.truthy (pred row)) acc)
+              chunked_filter ?gov (fun row -> Value.truthy (pred row)) acc)
           joined all_conjuncts
       in
       Trace.add_count "rows_out" (Relation.cardinality result);

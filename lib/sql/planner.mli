@@ -42,6 +42,7 @@ type stats = {
 
 val execute :
   ?compile:compile_fn ->
+  ?gov:Pb_util.Gov.t ->
   Database.t ->
   eval:eval_fn ->
   from:Ast.table_ref list ->
@@ -50,7 +51,15 @@ val execute :
 (** Fully filtered join result, schema in FROM order with each table's
     columns qualified by its alias (or table name). Raises
     {!Executor.Eval_error}-style [Failure]s through the evaluation
-    callback on unknown tables/columns. *)
+    callback on unknown tables/columns.
+
+    [gov] is polled (sampled, every 256 rows) inside every operator loop
+    — scan filters, hash-join build/probe, nested-loop products, final
+    filters — and a stop raises {!Pb_util.Gov.Interrupted}: a runaway
+    cross join is abandoned within a few hundred rows of the deadline
+    rather than materialized to completion. Products also meter their
+    output through [pb_sql_product_rows_total] and the token's
+    [Sql_rows] budget. *)
 
 val naive :
   Database.t ->

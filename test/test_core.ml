@@ -239,7 +239,9 @@ let test_brute_force_truncation_flag () =
     Coeffs.make db
       (q "SELECT PACKAGE(i) AS p FROM items i SUCH THAT SUM(p.w) >= 1 MAXIMIZE SUM(p.v)")
   in
-  let out = Brute_force.search ~max_examined:100 c in
+  let out =
+    Brute_force.search ~gov:(Pb_util.Gov.create ~bf_candidates:100 ()) c
+  in
   Alcotest.(check bool) "incomplete" false out.Brute_force.complete
 
 let test_enumerate_valid () =
@@ -256,12 +258,12 @@ let test_enumerate_valid () =
 
 let strategies_to_test db query_src =
   let query = q query_src in
-  let exact = Engine.evaluate ~strategy:(Engine.Brute_force { use_pruning = true }) db query in
-  let ilp = Engine.evaluate ~strategy:Engine.Ilp db query in
-  let hybrid = Engine.evaluate db query in
+  let exact = Engine.run ~strategy:(Engine.Brute_force { use_pruning = true }) db query in
+  let ilp = Engine.run ~strategy:Engine.Ilp db query in
+  let hybrid = Engine.run db query in
   (exact, ilp, hybrid)
 
-let check_same_objective name (a : Engine.report) (b : Engine.report) =
+let check_same_objective name (a : Engine.result) (b : Engine.result) =
   match (a.Engine.objective, b.Engine.objective) with
   | Some x, Some y -> Alcotest.(check (float 1e-6)) name x y
   | None, None -> ()
@@ -272,8 +274,8 @@ let check_same_objective name (a : Engine.report) (b : Engine.report) =
 let test_strategies_agree_knapsack () =
   let db = items_db 9 in
   let exact, ilp, hybrid = strategies_to_test db knapsack_query in
-  Alcotest.(check bool) "bf proves" true exact.Engine.proven_optimal;
-  Alcotest.(check bool) "ilp proves" true ilp.Engine.proven_optimal;
+  Alcotest.(check bool) "bf proves" true (exact.Engine.proof = Engine.Optimal);
+  Alcotest.(check bool) "ilp proves" true (ilp.Engine.proof = Engine.Optimal);
   check_same_objective "bf = ilp" exact ilp;
   check_same_objective "bf = hybrid" exact hybrid
 
@@ -328,7 +330,7 @@ let test_infeasible_all_strategies () =
   let query = q src in
   List.iter
     (fun strategy ->
-      let r = Engine.evaluate ~strategy db query in
+      let r = Engine.run ~strategy db query in
       Alcotest.(check bool) "no package" true (r.Engine.package = None))
     [
       Engine.Brute_force { use_pruning = true };
@@ -342,7 +344,7 @@ let test_engine_result_is_valid () =
   let query = q knapsack_query in
   List.iter
     (fun strategy ->
-      let r = Engine.evaluate ~strategy db query in
+      let r = Engine.run ~strategy db query in
       match r.Engine.package with
       | Some pkg ->
           Alcotest.(check bool) "oracle-valid" true
@@ -363,7 +365,7 @@ let test_local_search_finds_valid () =
   in
   let query = q src in
   let r =
-    Engine.evaluate ~strategy:(Engine.Local_search Local_search.default_params)
+    Engine.run ~strategy:(Engine.Local_search Local_search.default_params)
       db query
   in
   match r.Engine.package with
@@ -381,7 +383,7 @@ let test_local_search_nonlinear_fallback () =
   let query = q src in
   let c = Coeffs.make db query in
   Alcotest.(check bool) "opaque" true (Result.is_error c.Coeffs.formula);
-  let r = Engine.evaluate db query in
+  let r = Engine.run db query in
   (match r.Engine.package with
   | Some pkg ->
       Alcotest.(check bool) "valid" true (Semantics.is_valid ~db query pkg)
@@ -437,13 +439,13 @@ let test_sql_replacements_k2 () =
 let test_hybrid_choices () =
   (* Small space -> brute force; bigger linear -> ilp. *)
   let db_small = items_db 6 in
-  let r_small = Engine.evaluate db_small (q knapsack_query) in
+  let r_small = Engine.run db_small (q knapsack_query) in
   Alcotest.(check string) "small goes exhaustive" "brute-force+pruning"
     r_small.Engine.strategy_used;
   let db_big = items_db 200 in
-  let r_big = Engine.evaluate db_big (q knapsack_query) in
+  let r_big = Engine.run db_big (q knapsack_query) in
   Alcotest.(check string) "big linear goes ilp" "ilp" r_big.Engine.strategy_used;
-  Alcotest.(check bool) "still optimal" true r_big.Engine.proven_optimal
+  Alcotest.(check bool) "still optimal" true (r_big.Engine.proof = Engine.Optimal)
 
 let test_next_packages_distinct_and_ordered () =
   let db = items_db 8 in
@@ -477,6 +479,27 @@ let test_next_packages_nonlinear_path () =
       Alcotest.(check bool) "valid" true (Semantics.is_valid ~db query p))
     packages
 
+let test_precancelled_gov () =
+  (* A token cancelled before the run starts: every strategy returns
+     promptly, reports [Cancelled], and claims no proof. *)
+  let db = items_db 8 in
+  let query = q knapsack_query in
+  List.iter
+    (fun strategy ->
+      let gov = Pb_util.Gov.create () in
+      Pb_util.Gov.cancel gov;
+      let r = Engine.run ~gov ~strategy db query in
+      Alcotest.(check bool) "proof is cancelled" true
+        (r.Engine.proof = Engine.Cancelled);
+      Alcotest.(check bool) "stop reason recorded" true
+        (List.mem_assoc "stopped" r.Engine.stats))
+    [
+      Engine.Brute_force { use_pruning = true };
+      Engine.Ilp;
+      Engine.Local_search Local_search.default_params;
+      Engine.Hybrid;
+    ]
+
 let test_empty_candidates () =
   let db = items_db 5 in
   let src =
@@ -485,7 +508,7 @@ let test_empty_candidates () =
   let query = q src in
   List.iter
     (fun strategy ->
-      let r = Engine.evaluate ~strategy db query in
+      let r = Engine.run ~strategy db query in
       Alcotest.(check bool) "nothing" true (r.Engine.package = None))
     [
       Engine.Brute_force { use_pruning = true };
@@ -540,6 +563,8 @@ let suite =
       test_sql_replacements_match_paper_example;
     Alcotest.test_case "sql replacements k=2" `Quick test_sql_replacements_k2;
     Alcotest.test_case "hybrid strategy choices" `Quick test_hybrid_choices;
+    Alcotest.test_case "pre-cancelled governance token" `Quick
+      test_precancelled_gov;
     Alcotest.test_case "next packages ordered+distinct" `Quick
       test_next_packages_distinct_and_ordered;
     Alcotest.test_case "next packages non-linear path" `Quick

@@ -69,14 +69,21 @@ let query_of i =
   Buffer.contents buf
 
 let evaluate i strategy =
-  Engine.evaluate ~strategy ~ilp_max_nodes:500_000 (db_of i)
+  Engine.run ~strategy
+    ~gov:(Pb_util.Gov.create ~milp_nodes:500_000 ())
+    (db_of i)
     (Parser.parse (query_of i))
 
 let oracle i = evaluate i (Engine.Brute_force { use_pruning = true })
-let feasible (r : Engine.report) = Option.is_some r.package
+let feasible (r : Engine.result) = Option.is_some r.package
+
+let proven (r : Engine.result) =
+  match r.proof with
+  | Engine.Optimal | Engine.Infeasible -> true
+  | Engine.Feasible | Engine.Cancelled -> false
 let tol = 1e-6
 
-let objectives_agree (a : Engine.report) (b : Engine.report) =
+let objectives_agree (a : Engine.result) (b : Engine.result) =
   match (a.objective, b.objective) with
   | Some x, Some y -> Float.abs (x -. y) <= tol
   | None, None -> true
@@ -91,7 +98,7 @@ let check_exact name strategy ~skip =
     (fun i ->
       let bf = oracle i in
       let other = evaluate i strategy in
-      if (not bf.proven_optimal) || (not other.proven_optimal) || skip other
+      if (not (proven bf)) || (not (proven other)) || skip other
       then true
       else if feasible bf <> feasible other then
         QCheck.Test.fail_reportf "feasibility: bf=%b %s=%b on %s" (feasible bf)
@@ -113,7 +120,7 @@ let prop_ilp = check_exact "ilp" Engine.Ilp ~skip:(fun _ -> false)
 let prop_sqlgen =
   check_exact "sql-generation"
     (Engine.Sql_generation Pb_core.Sql_generate.default_params)
-    ~skip:(fun (r : Engine.report) ->
+    ~skip:(fun (r : Engine.result) ->
       List.mem_assoc "not_applicable" r.stats)
 
 let prop_pruning =
@@ -130,7 +137,7 @@ let prop_local_search =
     (QCheck.make ~print:print_inst inst_gen)
     (fun i ->
       let bf = oracle i in
-      if not bf.proven_optimal then true
+      if not (proven bf) then true
       else
         let ls = evaluate i (Engine.Local_search Pb_core.Local_search.default_params) in
         if (not (feasible bf)) && feasible ls then
@@ -150,8 +157,47 @@ let prop_local_search =
 (* The hybrid policy may pick any strategy, but its answer must carry the
    same objective as the oracle whenever it claims a proof. *)
 let prop_hybrid =
-  check_exact "hybrid" Engine.Hybrid ~skip:(fun (r : Engine.report) ->
-      not r.proven_optimal)
+  check_exact "hybrid" Engine.Hybrid ~skip:(fun (r : Engine.result) ->
+      not (proven r))
+
+(* Governance monotonicity: starving a run of resources may cost it the
+   proof, or the package altogether — but whatever package it does
+   return can never be BETTER than the unlimited run's proven optimum
+   (every returned package passes the semantic oracle, so a "better"
+   one would disprove the optimum). *)
+let prop_gov_never_better =
+  QCheck.Test.make ~count:60
+    ~name:"a resource-limited run never beats the unlimited one"
+    (QCheck.make
+       ~print:(fun (i, nodes, cands) ->
+         Printf.sprintf "%s milp_nodes=%d bf_candidates=%d" (print_inst i)
+           nodes cands)
+       Gen.(triple inst_gen (int_range 1 40) (int_range 1 30)))
+    (fun (i, nodes, cands) ->
+      let db = db_of i in
+      let q = Parser.parse (query_of i) in
+      let full = Engine.run ~gov:(Pb_util.Gov.unlimited ()) db q in
+      let limited =
+        Engine.run
+          ~gov:(Pb_util.Gov.create ~milp_nodes:nodes ~bf_candidates:cands ())
+          db q
+      in
+      if not (proven full) then true
+      else if (not (feasible full)) && feasible limited then
+        QCheck.Test.fail_reportf
+          "limited run found a package on an infeasible query %s"
+          (print_inst i)
+      else
+        match (i.dir, full.objective, limited.objective) with
+        | Max, Some opt, Some got when got > opt +. tol ->
+            QCheck.Test.fail_reportf
+              "limited run beat the max optimum %g > %g on %s" got opt
+              (print_inst i)
+        | Min, Some opt, Some got when got < opt -. tol ->
+            QCheck.Test.fail_reportf
+              "limited run beat the min optimum %g < %g on %s" got opt
+              (print_inst i)
+        | _ -> true)
 
 (* ---- compiled expression evaluation vs the interpreter ---------------- *)
 
@@ -334,5 +380,6 @@ let suite =
   List.map QCheck_alcotest.to_alcotest
     [
       prop_ilp; prop_sqlgen; prop_pruning; prop_local_search; prop_hybrid;
+      prop_gov_never_better;
       prop_compiled_eq_interpreted; prop_like_compiled;
     ]

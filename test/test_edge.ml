@@ -43,7 +43,7 @@ let test_empty_table_all_strategies () =
   in
   List.iter
     (fun strategy ->
-      let r = Engine.evaluate ~strategy db query in
+      let r = Engine.run ~strategy db query in
       Alcotest.(check bool)
         (Engine.strategy_name strategy)
         true
@@ -58,7 +58,7 @@ let test_single_row_table () =
   in
   List.iter
     (fun strategy ->
-      let r = Engine.evaluate ~strategy db query in
+      let r = Engine.run ~strategy db query in
       match r.Engine.package with
       | Some pkg ->
           Alcotest.(check int)
@@ -81,7 +81,7 @@ let test_repeat_zero_equals_absent () =
   let q2 = Parser.parse "SELECT PACKAGE(t) AS p FROM t SUCH THAT COUNT(*) = 2" in
   Alcotest.(check int) "same multiplicity" (Pb_paql.Ast.max_multiplicity q1)
     (Pb_paql.Ast.max_multiplicity q2);
-  let r1 = Engine.evaluate db q1 and r2 = Engine.evaluate db q2 in
+  let r1 = Engine.run db q1 and r2 = Engine.run db q2 in
   Alcotest.(check bool) "same feasibility" (r1.Engine.package <> None)
     (r2.Engine.package <> None)
 
@@ -91,7 +91,7 @@ let test_all_tuples_package () =
   let query =
     Parser.parse "SELECT PACKAGE(t) AS p FROM t SUCH THAT COUNT(*) = 3"
   in
-  match (Engine.evaluate db query).Engine.package with
+  match (Engine.run db query).Engine.package with
   | Some pkg -> Alcotest.(check int) "all" 3 (Pb_paql.Package.cardinality pkg)
   | None -> Alcotest.fail "expected the full relation"
 
@@ -157,9 +157,9 @@ let test_conflicting_constraints_proven_infeasible () =
     Parser.parse
       "SELECT PACKAGE(t) AS p FROM t SUCH THAT COUNT(*) = 2 AND COUNT(*) = 3"
   in
-  let r = Engine.evaluate db query in
+  let r = Engine.run db query in
   Alcotest.(check bool) "no package" true (r.Engine.package = None);
-  Alcotest.(check bool) "proven" true r.Engine.proven_optimal
+  Alcotest.(check bool) "proven" true (r.Engine.proof = Engine.Infeasible)
 
 let test_negative_values_in_sums () =
   let db = Database.create () in
@@ -173,9 +173,9 @@ let test_negative_values_in_sums () =
   in
   (* valid: {-5,-2} sum -7; {-5,-2,3} sum -4 invalid *)
   let bf =
-    Engine.evaluate ~strategy:(Engine.Brute_force { use_pruning = true }) db query
+    Engine.run ~strategy:(Engine.Brute_force { use_pruning = true }) db query
   in
-  let ilp = Engine.evaluate ~strategy:Engine.Ilp db query in
+  let ilp = Engine.run ~strategy:Engine.Ilp db query in
   (match (bf.Engine.objective, ilp.Engine.objective) with
   | Some a, Some b -> Alcotest.(check (float 1e-9)) "agree" a b
   | _ -> Alcotest.fail "expected packages");
@@ -193,9 +193,9 @@ let test_strict_inequalities () =
   in
   (* sums of pairs: 5 (2+3), 6 (2+4), 7 (3+4): only 6 qualifies strictly *)
   let bf =
-    Engine.evaluate ~strategy:(Engine.Brute_force { use_pruning = true }) db query
+    Engine.run ~strategy:(Engine.Brute_force { use_pruning = true }) db query
   in
-  let ilp = Engine.evaluate ~strategy:Engine.Ilp db query in
+  let ilp = Engine.run ~strategy:Engine.Ilp db query in
   (match bf.Engine.package with
   | Some pkg ->
       Alcotest.(check (float 1e-9)) "w sum 6" 6.0 (Pb_paql.Package.sum_column pkg "w")
@@ -211,7 +211,7 @@ let test_objective_count_star () =
       "SELECT PACKAGE(t) AS p FROM t SUCH THAT SUM(p.w) <= 4 MAXIMIZE COUNT(*)"
   in
   (* best: {1,3} or {1,2}: cardinality 2 *)
-  match Engine.evaluate ~strategy:Engine.Ilp db query with
+  match Engine.run ~strategy:Engine.Ilp db query with
   | { Engine.objective = Some v; _ } -> Alcotest.(check (float 1e-9)) "2" 2.0 v
   | _ -> Alcotest.fail "expected"
 
@@ -229,9 +229,9 @@ let test_case_in_paql_objective () =
   | Some (Some _) -> ()
   | _ -> Alcotest.fail "CASE objective should be linear");
   let bf =
-    Engine.evaluate ~strategy:(Engine.Brute_force { use_pruning = true }) db query
+    Engine.run ~strategy:(Engine.Brute_force { use_pruning = true }) db query
   in
-  let ilp = Engine.evaluate ~strategy:Engine.Ilp db query in
+  let ilp = Engine.run ~strategy:Engine.Ilp db query in
   match (bf.Engine.objective, ilp.Engine.objective) with
   | Some a, Some b ->
       Alcotest.(check (float 1e-6)) "agree" a b;
@@ -268,7 +268,7 @@ let test_milp_budget_returns_feasible () =
   Model.set_objective m
     (Model.Maximize
        (Array.to_list (Array.mapi (fun i v -> (float_of_int (10 - i), v)) vars)));
-  let s = Pb_lp.Milp.solve ~max_nodes:1 m in
+  let s = Pb_lp.Milp.solve ~gov:(Pb_util.Gov.create ~milp_nodes:1 ()) m in
   Alcotest.(check bool) "not optimal status" true
     (s.Pb_lp.Milp.status = Pb_lp.Milp.Feasible
     || s.Pb_lp.Milp.status = Pb_lp.Milp.Optimal)

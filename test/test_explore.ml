@@ -49,7 +49,7 @@ let test_describe_repeat_and_or () =
   Alcotest.(check bool) "either/or" true (contains text "either")
 
 let sample_of db q =
-  match (Pb_core.Engine.evaluate db q).Pb_core.Engine.package with
+  match (Pb_core.Engine.run db q).Pb_core.Engine.package with
   | Some pkg -> pkg
   | None -> Alcotest.fail "no sample package"
 

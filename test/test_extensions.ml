@@ -208,7 +208,7 @@ let test_annealing_finds_valid () =
   let db = items_db 60 in
   let query = Parser.parse meal_query in
   let r =
-    Engine.evaluate ~strategy:(Engine.Anneal Annealing.default_params) db query
+    Engine.run ~strategy:(Engine.Anneal Annealing.default_params) db query
   in
   match r.Engine.package with
   | Some pkg ->
@@ -218,9 +218,9 @@ let test_annealing_finds_valid () =
 let test_annealing_near_optimal () =
   let db = items_db 60 in
   let query = Parser.parse meal_query in
-  let exact = Engine.evaluate ~strategy:Engine.Ilp db query in
+  let exact = Engine.run ~strategy:Engine.Ilp db query in
   let anneal =
-    Engine.evaluate ~strategy:(Engine.Anneal Annealing.default_params) db query
+    Engine.run ~strategy:(Engine.Anneal Annealing.default_params) db query
   in
   match (exact.Engine.objective, anneal.Engine.objective) with
   | Some e, Some a ->
@@ -238,7 +238,7 @@ let test_annealing_empty_candidates () =
        THAT COUNT(*) = 1"
   in
   let r =
-    Engine.evaluate ~strategy:(Engine.Anneal Annealing.default_params) db query
+    Engine.run ~strategy:(Engine.Anneal Annealing.default_params) db query
   in
   Alcotest.(check bool) "no package" true (r.Engine.package = None)
 
@@ -246,7 +246,7 @@ let test_annealing_deterministic () =
   let db = items_db 40 in
   let query = Parser.parse meal_query in
   let run () =
-    (Engine.evaluate ~strategy:(Engine.Anneal Annealing.default_params) db query)
+    (Engine.run ~strategy:(Engine.Anneal Annealing.default_params) db query)
       .Engine.objective
   in
   Alcotest.(check (option (float 1e-9))) "same seed, same answer" (run ()) (run ())

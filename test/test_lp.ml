@@ -263,6 +263,75 @@ let test_check_feasible () =
   Alcotest.(check bool) "violates constr" false (Model.check_feasible m [| 0.2 |]);
   Alcotest.(check bool) "violates bound" false (Model.check_feasible m [| 1.5 |])
 
+(* ---- governance ------------------------------------------------------- *)
+
+module Gov = Pb_util.Gov
+
+(* A strongly correlated knapsack (value = weight + 1, capacity at half
+   the total weight): B&B needs hundreds of thousands of nodes to close
+   the gap, so a cancellation fired a few hundred nodes in always lands
+   long before the proof does. *)
+let hard_knapsack n =
+  let m = Model.create () in
+  let w = Array.init n (fun i -> float_of_int (20 + ((i * 37) mod 51))) in
+  let vars =
+    Array.init n (fun i ->
+        Model.add_var m ~integer:true ~upper:1.0 (Printf.sprintf "x%d" i))
+  in
+  let total = Array.fold_left ( +. ) 0.0 w in
+  Model.add_constr m
+    (Array.to_list (Array.mapi (fun i v -> (w.(i), v)) vars))
+    Model.Le (Float.of_int (int_of_float (total /. 2.0)) +. 0.5);
+  Model.set_objective m
+    (Model.Maximize
+       (Array.to_list (Array.mapi (fun i v -> (w.(i) +. 1.0, v)) vars)));
+  m
+
+let test_milp_cancel_mid_search () =
+  let m = hard_knapsack 24 in
+  let gov = Gov.create () in
+  let finished = Atomic.make false in
+  (* cancel from another thread once the search is demonstrably deep *)
+  let canceller =
+    Thread.create
+      (fun () ->
+        while
+          (not (Atomic.get finished)) && Gov.spent gov Gov.Milp_nodes < 200
+        do
+          Thread.yield ()
+        done;
+        Gov.cancel gov)
+      ()
+  in
+  let s = Milp.solve ~gov m in
+  Atomic.set finished true;
+  Thread.join canceller;
+  Alcotest.(check bool) "cancelled mid-search" true (s.status = Milp.Feasible);
+  Alcotest.(check bool) "kept the best incumbent" true
+    (Array.length s.x = Model.num_vars m);
+  Alcotest.(check bool) "incumbent is feasible" true (Model.check_feasible m s.x);
+  Alcotest.(check bool) "made progress before the cancel" true (s.nodes >= 200)
+
+let test_milp_precancelled_returns_immediately () =
+  let m = hard_knapsack 24 in
+  let gov = Gov.create () in
+  Gov.cancel gov;
+  let s = Milp.solve ~gov m in
+  Alcotest.(check bool) "no proof claim" true (s.status = Milp.Feasible);
+  Alcotest.(check int) "no nodes explored" 0 s.nodes
+
+let test_milp_deadline_returns_quickly () =
+  let m = hard_knapsack 24 in
+  let t0 = Unix.gettimeofday () in
+  let s = Milp.solve ~gov:(Gov.create ~deadline_in:0.05 ()) m in
+  let elapsed = Unix.gettimeofday () -. t0 in
+  Alcotest.(check bool) "deadline stop" true (s.status = Milp.Feasible);
+  (* the full solve takes seconds; a 50ms deadline must cut it well
+     short (generous bound for slow CI) *)
+  Alcotest.(check bool) "returned quickly" true (elapsed < 1.0);
+  Alcotest.(check bool) "best incumbent returned" true
+    (Model.check_feasible m s.x)
+
 let suite =
   [
     Alcotest.test_case "lp basic" `Quick test_lp_basic;
@@ -285,4 +354,10 @@ let suite =
     Alcotest.test_case "solve_all distinct" `Quick test_solve_all_distinct;
     Alcotest.test_case "model validation" `Quick test_model_validation;
     Alcotest.test_case "check_feasible" `Quick test_check_feasible;
+    Alcotest.test_case "milp cancel mid-search" `Quick
+      test_milp_cancel_mid_search;
+    Alcotest.test_case "milp pre-cancelled token" `Quick
+      test_milp_precancelled_returns_immediately;
+    Alcotest.test_case "milp deadline returns quickly" `Quick
+      test_milp_deadline_returns_quickly;
   ]

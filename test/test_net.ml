@@ -1,6 +1,7 @@
 (* Tests for the wire-protocol layer: codec round-trips, malformed
-   frames, and a loopback client/server covering the serving semantics —
-   per-session isolation, deadlines, backpressure, graceful shutdown. *)
+   frames, version negotiation, and a loopback client/server covering
+   the serving semantics — per-session isolation, cooperative deadlines,
+   admission backpressure, graceful shutdown. *)
 
 module Protocol = Pb_net.Protocol
 module Server = Pb_net.Server
@@ -104,11 +105,12 @@ let test_frame_malformed () =
 let test_request_codec () =
   List.iter
     (fun req ->
-      match Protocol.decode_request (Protocol.encode_request req) with
-      | Ok r ->
+      match Protocol.decode_client_frame (Protocol.encode_request req) with
+      | Ok (Protocol.Req r) ->
           Alcotest.(check string) "text" req.Protocol.text r.Protocol.text;
           Alcotest.(check bool) "deadline" true
             (r.Protocol.deadline = req.Protocol.deadline)
+      | Ok (Protocol.Hello _) -> Alcotest.fail "request decoded as hello"
       | Error e -> Alcotest.fail e)
     [
       { Protocol.text = "\\tables"; deadline = None };
@@ -116,27 +118,49 @@ let test_request_codec () =
       { Protocol.text = "line one\nline two"; deadline = Some 0.125 };
       { Protocol.text = ""; deadline = None };
     ];
-  (match Protocol.decode_request "REQ -1\nx" with
+  (match Protocol.decode_client_frame "PB2 REQ -1\nx" with
   | Error _ -> ()
   | Ok _ -> Alcotest.fail "negative deadline accepted");
-  (match Protocol.decode_request "REQ nan\nx" with
+  (match Protocol.decode_client_frame "PB2 REQ nan\nx" with
   | Error _ -> ()
   | Ok _ -> Alcotest.fail "nan deadline accepted");
-  match Protocol.decode_request "NOPE\nx" with
+  (match Protocol.decode_client_frame "NOPE\nx" with
   | Error _ -> ()
-  | Ok _ -> Alcotest.fail "bad verb accepted"
+  | Ok _ -> Alcotest.fail "bad verb accepted");
+  (* an unversioned v1 request header is recognized and named *)
+  match Protocol.decode_client_frame "REQ 2.5\nSELECT 1" with
+  | Error msg ->
+      Alcotest.(check bool) "names the v1 protocol" true (contains msg "v1")
+  | Ok _ -> Alcotest.fail "v1 request header accepted"
+
+let test_hello_codec () =
+  (match Protocol.decode_hello (Protocol.encode_hello Protocol.version) with
+  | Ok v -> Alcotest.(check int) "version round-trips" Protocol.version v
+  | Error e -> Alcotest.fail e);
+  (match Protocol.decode_client_frame (Protocol.encode_hello 7) with
+  | Ok (Protocol.Hello 7) -> ()
+  | _ -> Alcotest.fail "hello frame did not decode");
+  (match Protocol.decode_hello "PB2 HELLO seven" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "non-numeric version accepted");
+  (* a v1 response header in place of a hello is named explicitly *)
+  match Protocol.decode_hello "OK\nwhatever" with
+  | Error msg ->
+      Alcotest.(check bool) "names the v1 protocol" true (contains msg "v1")
+  | Ok _ -> Alcotest.fail "v1 header accepted as hello"
 
 let test_response_codec () =
   let cases : Protocol.response list =
     [
-      Ok "plain output";
-      Ok "";
-      Ok "multi\nline\noutput";
-      Error (Protocol.Busy, "server busy");
-      Error (Protocol.Deadline_exceeded, "too slow");
-      Error (Protocol.Bad_request, "what");
-      Error (Protocol.Shutting_down, "bye");
-      Error (Protocol.Internal, "boom");
+      { status = Protocol.Ok; body = "plain output" };
+      { status = Protocol.Ok; body = "" };
+      { status = Protocol.Ok; body = "multi\nline\noutput" };
+      { status = Protocol.Busy; body = "server busy" };
+      { status = Protocol.Deadline_exceeded; body = "too slow" };
+      { status = Protocol.Cancelled; body = "token cancelled" };
+      { status = Protocol.Bad_request; body = "what" };
+      { status = Protocol.Shutting_down; body = "bye" };
+      { status = Protocol.Internal; body = "boom" };
     ]
   in
   List.iter
@@ -145,9 +169,13 @@ let test_response_codec () =
       | Ok r -> Alcotest.(check bool) "response round-trips" true (r = resp)
       | Error e -> Alcotest.fail e)
     cases;
-  match Protocol.decode_response "ERR gremlins\nx" with
+  (match Protocol.decode_response "PB2 gremlins\nx" with
   | Error _ -> ()
-  | Ok _ -> Alcotest.fail "unknown error code accepted"
+  | Ok _ -> Alcotest.fail "unknown status code accepted");
+  match Protocol.decode_response "ERR busy\nx" with
+  | Error msg ->
+      Alcotest.(check bool) "names the v1 protocol" true (contains msg "v1")
+  | Ok _ -> Alcotest.fail "v1 response header accepted"
 
 (* ---- loopback server -------------------------------------------------- *)
 
@@ -168,13 +196,13 @@ let paql_line =
    slow at any pool size, used to trigger deadlines and exercise drain. *)
 let slow_sql = "SELECT COUNT(*) FROM recipes a, recipes b, recipes c"
 
-let ok_or_fail = function
-  | Ok output -> output
-  | Error (code, msg) ->
+let ok_or_fail (r : Protocol.response) =
+  match r.Protocol.status with
+  | Protocol.Ok -> r.Protocol.body
+  | s ->
       Alcotest.fail
-        (Printf.sprintf "unexpected protocol error %s: %s"
-           (Protocol.error_code_to_string code)
-           msg)
+        (Printf.sprintf "unexpected status %s: %s" (Protocol.status_to_string s)
+           r.Protocol.body)
 
 let test_loopback_basic () =
   Server.with_server ~config:test_config (make_db 40) (fun server ->
@@ -228,11 +256,11 @@ let test_loopback_concurrent_clients () =
                 if i mod 2 = 0 then Client.request c "SELECT COUNT(*) FROM recipes"
                 else Client.request c paql_line
               in
-              match r with
-              | Ok out ->
-                  let want = if i mod 2 = 0 then "40" else "objective:" in
-                  if not (contains out want) then Atomic.incr failures
-              | Error _ -> Atomic.incr failures
+              if r.Protocol.status <> Protocol.Ok then Atomic.incr failures
+              else
+                let want = if i mod 2 = 0 then "40" else "objective:" in
+                if not (contains r.Protocol.body want) then
+                  Atomic.incr failures
             done)
       in
       let threads = List.init 4 (fun i -> Thread.create worker i) in
@@ -243,20 +271,51 @@ let test_loopback_concurrent_clients () =
 let test_loopback_deadline () =
   Server.with_server ~config:test_config (make_db 100) (fun server ->
       Client.with_connection ~port:(Server.port server) (fun c ->
-          (match Client.request ~deadline:0.02 c slow_sql with
-          | Error (Protocol.Deadline_exceeded, msg) ->
+          let r = Client.request ~deadline:0.02 c slow_sql in
+          (match r.Protocol.status with
+          | Protocol.Deadline_exceeded ->
               Alcotest.(check bool) "mentions the deadline" true
-                (contains msg "deadline")
-          | Ok _ -> Alcotest.fail "slow query beat a 20ms deadline"
-          | Error (code, msg) ->
+                (contains r.Protocol.body "deadline")
+          | Protocol.Ok -> Alcotest.fail "slow query beat a 20ms deadline"
+          | s ->
               Alcotest.fail
-                (Printf.sprintf "wrong error %s: %s"
-                   (Protocol.error_code_to_string code)
-                   msg));
+                (Printf.sprintf "wrong status %s: %s"
+                   (Protocol.status_to_string s) r.Protocol.body));
           (* the connection survives a deadline error *)
           let after = ok_or_fail (Client.request c "\\tables") in
           Alcotest.(check bool) "connection usable after deadline" true
             (contains after "recipes")))
+
+let product_rows () =
+  match
+    List.assoc_opt "pb_sql_product_rows_total" (Pb_obs.Metrics.snapshot ())
+  with
+  | Some v -> v
+  | None -> 0.0
+
+(* Regression for the v1 watchdog leak: a request that overruns its
+   deadline must STOP — observable as the row-production counter going
+   quiet — and must free its connection slot, not keep a worker thread
+   burning CPU behind the client's back. *)
+let test_overrun_request_stops () =
+  Server.with_server ~config:test_config (make_db 100) (fun server ->
+      Client.with_connection ~port:(Server.port server) (fun c ->
+          let r = Client.request ~deadline:0.05 c slow_sql in
+          Alcotest.(check string) "deadline status" "deadline"
+            (Protocol.status_to_string r.Protocol.status);
+          (* once the response is out, the evaluation is dead: the
+             planner's row counter stops moving *)
+          let s1 = product_rows () in
+          Thread.delay 0.15;
+          let s2 = product_rows () in
+          Alcotest.(check (float 0.0)) "no rows produced after cancel" s1 s2;
+          (* the same connection answers a fresh request immediately *)
+          let after = ok_or_fail (Client.request c "\\tables") in
+          Alcotest.(check bool) "slot freed after cancel" true
+            (contains after "recipes");
+          let dump = ok_or_fail (Client.request c "\\metrics") in
+          Alcotest.(check bool) "cancellation counted" true
+            (contains dump "pb_net_cancelled_total")))
 
 let test_loopback_busy () =
   let config = { test_config with max_connections = 2 } in
@@ -267,39 +326,128 @@ let test_loopback_busy () =
               (* both admitted connections work *)
               ignore (ok_or_fail (Client.request a "\\tables"));
               ignore (ok_or_fail (Client.request b "\\tables"));
-              (* the (max+1)-th is rejected with busy *)
-              let c = Client.connect ~port () in
-              Fun.protect
-                ~finally:(fun () -> Client.close c)
-                (fun () ->
-                  match Client.request c "\\tables" with
-                  | Error (Protocol.Busy, msg) ->
-                      Alcotest.(check bool) "says busy" true
-                        (contains msg "busy")
-                  | Ok _ -> Alcotest.fail "over-limit connection admitted"
-                  | Error (code, _) ->
-                      Alcotest.fail
-                        ("wrong error: " ^ Protocol.error_code_to_string code))));
+              (* the (max+1)-th is turned away during the handshake *)
+              match Client.connect ~port () with
+              | exception Client.Rejected (Protocol.Busy, msg) ->
+                  Alcotest.(check bool) "says busy" true (contains msg "busy")
+              | c ->
+                  Client.close c;
+                  Alcotest.fail "over-limit connection admitted"));
       (* both slots free again: a new client is admitted *)
       let rec retry n =
-        Client.with_connection ~port (fun c ->
-            match Client.request c "\\tables" with
-            | Ok out -> out
-            | Error (Protocol.Busy, _) when n > 0 ->
-                Thread.delay 0.05;
-                retry (n - 1)
-            | Error (code, msg) ->
-                Alcotest.fail
-                  (Protocol.error_code_to_string code ^ ": " ^ msg))
+        match Client.connect ~port () with
+        | exception Client.Rejected (Protocol.Busy, _) when n > 0 ->
+            Thread.delay 0.05;
+            retry (n - 1)
+        | c ->
+            Fun.protect
+              ~finally:(fun () -> Client.close c)
+              (fun () -> ok_or_fail (Client.request c "\\tables"))
       in
       Alcotest.(check bool) "slot freed after close" true
         (contains (retry 40) "recipes"))
+
+(* Request-level backpressure: with one evaluation slot and no queue, a
+   second in-flight request gets [busy] — and the connection that heard
+   [busy] stays open and usable. *)
+let test_admission_queue_busy () =
+  let config = { test_config with max_inflight = 1; max_queue = 0 } in
+  Server.with_server ~config (make_db 120) (fun server ->
+      let port = Server.port server in
+      Client.with_connection ~port (fun a ->
+          Client.with_connection ~port (fun b ->
+              let slow =
+                Thread.create
+                  (fun () -> ignore (Client.request ~deadline:0.6 a slow_sql))
+                  ()
+              in
+              Thread.delay 0.15;
+              let r = Client.request b "\\tables" in
+              Alcotest.(check string) "queue-full rejection" "busy"
+                (Protocol.status_to_string r.Protocol.status);
+              Thread.join slow;
+              (* the slot frees once the slow request is cancelled *)
+              let rec retry n =
+                let r = Client.request b "\\tables" in
+                match r.Protocol.status with
+                | Protocol.Ok -> r.Protocol.body
+                | Protocol.Busy when n > 0 ->
+                    Thread.delay 0.05;
+                    retry (n - 1)
+                | s ->
+                    Alcotest.fail
+                      (Protocol.status_to_string s ^ ": " ^ r.Protocol.body)
+              in
+              Alcotest.(check bool) "connection survives busy" true
+                (contains (retry 40) "recipes"))))
+
+(* A v1 peer (unversioned REQ header, no hello) is answered with a
+   [proto] error naming the mismatch, not line noise. *)
+let test_server_names_v1_peer () =
+  Server.with_server ~config:test_config (make_db 10) (fun server ->
+      let fd = Unix.socket ~cloexec:true Unix.PF_INET Unix.SOCK_STREAM 0 in
+      Unix.connect fd
+        (Unix.ADDR_INET (Unix.inet_addr_loopback, Server.port server));
+      let oc = Unix.out_channel_of_descr fd in
+      let ic = Unix.in_channel_of_descr fd in
+      Fun.protect
+        ~finally:(fun () -> close_out_noerr oc)
+        (fun () ->
+          Protocol.write_frame oc "REQ\n\\tables";
+          match Protocol.read_frame ic with
+          | Protocol.Frame payload -> (
+              match Protocol.decode_response payload with
+              | Ok r ->
+                  Alcotest.(check string) "proto status" "proto"
+                    (Protocol.status_to_string r.Protocol.status);
+                  Alcotest.(check bool) "names the v1 protocol" true
+                    (contains r.Protocol.body "v1")
+              | Error e -> Alcotest.fail e)
+          | _ -> Alcotest.fail "no response to the v1 request"))
+
+(* The client refuses a server that answers the handshake with a
+   different version. *)
+let test_client_refuses_mismatch () =
+  let listen = Unix.socket ~cloexec:true Unix.PF_INET Unix.SOCK_STREAM 0 in
+  Unix.setsockopt listen Unix.SO_REUSEADDR true;
+  Unix.bind listen (Unix.ADDR_INET (Unix.inet_addr_loopback, 0));
+  Unix.listen listen 1;
+  let port =
+    match Unix.getsockname listen with
+    | Unix.ADDR_INET (_, p) -> p
+    | _ -> assert false
+  in
+  let srv =
+    Thread.create
+      (fun () ->
+        let fd, _ = Unix.accept ~cloexec:true listen in
+        let ic = Unix.in_channel_of_descr fd in
+        let oc = Unix.out_channel_of_descr fd in
+        ignore (Protocol.read_frame ic);
+        (try Protocol.write_frame oc (Protocol.encode_hello 99)
+         with Sys_error _ -> ());
+        ignore (Protocol.read_frame ic);
+        close_out_noerr oc)
+      ()
+  in
+  Fun.protect
+    ~finally:(fun () ->
+      (try Unix.close listen with Unix.Unix_error _ -> ());
+      Thread.join srv)
+    (fun () ->
+      match Client.connect ~port () with
+      | exception Client.Net_error msg ->
+          Alcotest.(check bool) "names the versions" true
+            (contains msg "version")
+      | c ->
+          Client.close c;
+          Alcotest.fail "connected across a version mismatch")
 
 let test_shutdown_drains () =
   let db = make_db 70 in
   let server = Server.start ~config:test_config db in
   let port = Server.port server in
-  let result = ref (Ok "") in
+  let result = ref { Protocol.status = Protocol.Internal; body = "unset" } in
   let client_thread =
     Thread.create
       (fun () ->
@@ -312,15 +460,14 @@ let test_shutdown_drains () =
   Server.shutdown server;
   Thread.join client_thread;
   (match !result with
-  | Ok out ->
+  | { Protocol.status = Protocol.Ok; body } ->
       (* 70^3 product rows *)
       Alcotest.(check bool) "in-flight request completed during drain" true
-        (contains out "343000")
-  | Error (code, msg) ->
+        (contains body "343000")
+  | { Protocol.status = s; body } ->
       Alcotest.fail
         (Printf.sprintf "drained request failed with %s: %s"
-           (Protocol.error_code_to_string code)
-           msg));
+           (Protocol.status_to_string s) body));
   (* the listener is gone: connecting now fails *)
   match Client.connect ~port () with
   | exception Unix.Unix_error (Unix.ECONNREFUSED, _, _) -> ()
@@ -348,6 +495,12 @@ let test_metrics_exposed () =
             (contains dump "pb_net_requests_total");
           Alcotest.(check bool) "active connection gauge exposed" true
             (contains dump "pb_net_active_connections");
+          Alcotest.(check bool) "inflight gauge exposed" true
+            (contains dump "pb_net_inflight_requests");
+          Alcotest.(check bool) "queue depth gauge exposed" true
+            (contains dump "pb_net_queue_depth");
+          Alcotest.(check bool) "cancellation counter exposed" true
+            (contains dump "pb_net_cancelled_total");
           Alcotest.(check bool) "latency histogram exposed" true
             (contains dump "pb_net_sql_request_seconds")))
 
@@ -357,6 +510,7 @@ let suite =
     Alcotest.test_case "frame streaming" `Quick test_frame_streaming;
     Alcotest.test_case "malformed frames" `Quick test_frame_malformed;
     Alcotest.test_case "request codec" `Quick test_request_codec;
+    Alcotest.test_case "hello codec" `Quick test_hello_codec;
     Alcotest.test_case "response codec" `Quick test_response_codec;
     Alcotest.test_case "loopback PaQL/SQL/commands" `Quick test_loopback_basic;
     Alcotest.test_case "per-session isolation" `Quick
@@ -365,8 +519,16 @@ let suite =
       test_loopback_concurrent_clients;
     Alcotest.test_case "deadline exceeded, connection survives" `Quick
       test_loopback_deadline;
+    Alcotest.test_case "overrun request stops consuming (leak regression)"
+      `Quick test_overrun_request_stops;
     Alcotest.test_case "max-connections busy rejection" `Quick
       test_loopback_busy;
+    Alcotest.test_case "admission queue backpressure" `Quick
+      test_admission_queue_busy;
+    Alcotest.test_case "server names a v1 peer" `Quick
+      test_server_names_v1_peer;
+    Alcotest.test_case "client refuses version mismatch" `Quick
+      test_client_refuses_mismatch;
     Alcotest.test_case "shutdown drains in-flight requests" `Quick
       test_shutdown_drains;
     Alcotest.test_case "shutdown is idempotent" `Quick test_shutdown_idempotent;

@@ -317,8 +317,8 @@ let test_explain_analyze () =
       | first :: _ ->
           Alcotest.(check bool)
             "root span first" true
-            (String.length first >= 15
-            && String.sub first 0 15 = "engine.evaluate")
+            (String.length first >= 10
+            && String.sub first 0 10 = "engine.run")
       | [] -> Alcotest.fail "empty output");
       List.iter
         (fun needle ->

@@ -138,7 +138,7 @@ let meal_query =
    COUNT(*) = 3 AND SUM(P.calories) BETWEEN 2000 AND 2500 MAXIMIZE \
    SUM(P.protein)"
 
-let report_fingerprint (r : Engine.report) =
+let report_fingerprint (r : Engine.result) =
   let pkg =
     match r.package with
     | None -> "none"
@@ -146,9 +146,10 @@ let report_fingerprint (r : Engine.report) =
         String.concat ","
           (List.map string_of_int (Array.to_list (Pb_paql.Package.multiplicities p)))
   in
-  Printf.sprintf "pkg=[%s] obj=%s proven=%b strategy=%s stats=[%s]" pkg
+  Printf.sprintf "pkg=[%s] obj=%s proof=%s strategy=%s stats=[%s]" pkg
     (match r.objective with None -> "none" | Some v -> Printf.sprintf "%.9g" v)
-    r.proven_optimal r.strategy_used
+    (Engine.proof_to_string r.proof)
+    r.strategy_used
     (String.concat ";" (List.map (fun (k, v) -> k ^ "=" ^ v) r.stats))
 
 let check_strategy_deterministic name strategy ~ilp_max_nodes =
@@ -157,8 +158,8 @@ let check_strategy_deterministic name strategy ~ilp_max_nodes =
     let c = Coeffs.make db (Parser.parse meal_query) in
     Pool.with_pool size (fun pool ->
         with_default_size size (fun () ->
-            report_fingerprint
-              (Engine.evaluate_coeffs ~pool ~strategy ~ilp_max_nodes db c)))
+            let gov = Pb_util.Gov.create ~milp_nodes:ilp_max_nodes () in
+            report_fingerprint (Engine.run_coeffs ~pool ~gov ~strategy db c)))
   in
   let reference = run 1 in
   List.iter
@@ -187,13 +188,17 @@ let test_brute_force_budget_deterministic () =
     (fun budget ->
       let reference =
         Pool.with_pool 1 (fun pool ->
-            Pb_core.Brute_force.search ~pool ~max_examined:budget c)
+            Pb_core.Brute_force.search ~pool
+              ~gov:(Pb_util.Gov.create ~bf_candidates:budget ())
+              c)
       in
       List.iter
         (fun size ->
           Pool.with_pool size (fun pool ->
               let out =
-                Pb_core.Brute_force.search ~pool ~max_examined:budget c
+                Pb_core.Brute_force.search ~pool
+                  ~gov:(Pb_util.Gov.create ~bf_candidates:budget ())
+                  c
               in
               let label what =
                 Printf.sprintf "budget %d pool %d: %s" budget size what

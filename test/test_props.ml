@@ -225,11 +225,11 @@ let prop_ilp_equals_brute_force =
       let db = db_of_table inst in
       let query = query_of_table inst in
       let bf =
-        Pb_core.Engine.evaluate
+        Pb_core.Engine.run
           ~strategy:(Pb_core.Engine.Brute_force { use_pruning = true })
           db query
       in
-      let ilp = Pb_core.Engine.evaluate ~strategy:Pb_core.Engine.Ilp db query in
+      let ilp = Pb_core.Engine.run ~strategy:Pb_core.Engine.Ilp db query in
       match (bf.Pb_core.Engine.objective, ilp.Pb_core.Engine.objective) with
       | Some a, Some b -> Float.abs (a -. b) < 1e-6
       | None, None ->
@@ -242,7 +242,7 @@ let prop_local_search_valid =
       let db = db_of_table inst in
       let query = query_of_table inst in
       let r =
-        Pb_core.Engine.evaluate
+        Pb_core.Engine.run
           ~strategy:
             (Pb_core.Engine.Local_search Pb_core.Local_search.default_params)
           db query

@@ -227,7 +227,7 @@ let prop_annealing_valid =
       let db = pkg_db inst in
       let query = pkg_query inst in
       let r =
-        Pb_core.Engine.evaluate
+        Pb_core.Engine.run
           ~strategy:(Pb_core.Engine.Anneal Pb_core.Annealing.default_params)
           db query
       in

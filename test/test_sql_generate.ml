@@ -130,11 +130,11 @@ let test_engine_strategy () =
        SUM(p.w) <= 12 MAXIMIZE SUM(p.v)"
   in
   let r =
-    Engine.evaluate
+    Engine.run
       ~strategy:(Engine.Sql_generation Sql_generate.default_params)
       db query
   in
-  Alcotest.(check bool) "proven optimal" true r.Engine.proven_optimal;
+  Alcotest.(check bool) "proven optimal" true (r.Engine.proof = Engine.Optimal);
   (match r.Engine.package with
   | Some pkg ->
       Alcotest.(check bool) "oracle-valid" true (Semantics.is_valid ~db query pkg)

@@ -22,7 +22,7 @@ let meal_query =
 
 let solved db =
   let query = Parser.parse meal_query in
-  match (Engine.evaluate db query).Engine.package with
+  match (Engine.run db query).Engine.package with
   | Some pkg -> (query, pkg)
   | None -> Alcotest.fail "no package to store"
 

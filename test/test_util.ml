@@ -175,6 +175,115 @@ let test_timeit () =
   Alcotest.(check int) "value" 42 value;
   Alcotest.(check bool) "non-negative time" true (elapsed >= 0.0)
 
+(* ---- governance tokens ------------------------------------------------ *)
+
+module Gov = Pb_util.Gov
+
+let test_gov_unlimited () =
+  let g = Gov.unlimited () in
+  for _ = 1 to 1000 do
+    Alcotest.(check bool) "never stops" true (Gov.check g = None)
+  done;
+  Gov.spend g Gov.Milp_nodes 10_000_000;
+  Alcotest.(check bool) "no budgets at all" true
+    (Gov.check ~resource:Gov.Milp_nodes g = None);
+  Alcotest.(check bool) "no fate" true (Gov.fate g = None);
+  Alcotest.(check bool) "no deadline" true (Gov.remaining_time g = None)
+
+let test_gov_cancel_latches () =
+  let g = Gov.create () in
+  Alcotest.(check bool) "starts clean" true (Gov.check g = None);
+  Gov.cancel g;
+  Gov.cancel g (* idempotent *);
+  Alcotest.(check bool) "cancelled" true (Gov.cancelled g);
+  Alcotest.(check bool) "check reports it" true
+    (Gov.check g = Some Gov.Cancelled);
+  Alcotest.(check bool) "fate latched" true (Gov.fate g = Some Gov.Cancelled);
+  Alcotest.check_raises "tick raises" (Gov.Interrupted Gov.Cancelled) (fun () ->
+      Gov.tick g)
+
+let test_gov_budget_not_latched () =
+  let g = Gov.create ~milp_nodes:10 ~bf_candidates:5 () in
+  Gov.spend g Gov.Milp_nodes 10;
+  (* the exhausted meter answers only when asked about that resource *)
+  Alcotest.(check bool) "milp meter exhausted" true
+    (Gov.check ~resource:Gov.Milp_nodes g = Some (Gov.Budget Gov.Milp_nodes));
+  Alcotest.(check bool) "other meters unaffected" true
+    (Gov.check ~resource:Gov.Bf_candidates g = None);
+  Alcotest.(check bool) "plain poll unaffected" true (Gov.check g = None);
+  (* budget exhaustion is a strategy-local outcome, not a request fate *)
+  Alcotest.(check bool) "no fate from budgets" true (Gov.fate g = None);
+  Alcotest.(check int) "spend recorded" 10 (Gov.spent g Gov.Milp_nodes);
+  Alcotest.(check bool) "nothing left" true
+    (Gov.budget_left g Gov.Milp_nodes = Some 0);
+  Alcotest.(check bool) "others still budgeted" true
+    (Gov.budget_left g Gov.Bf_candidates = Some 5)
+
+let test_gov_child_cancellation () =
+  let parent = Gov.create () in
+  let a = Gov.child parent and b = Gov.child parent in
+  (* cancelling one leg leaves the sibling and the parent running *)
+  Gov.cancel a;
+  Alcotest.(check bool) "a stopped" true (Gov.cancelled a);
+  Alcotest.(check bool) "b unaffected" false (Gov.cancelled b);
+  Alcotest.(check bool) "parent unaffected" false (Gov.cancelled parent);
+  (* cancelling the parent stops every descendant *)
+  Gov.cancel parent;
+  Alcotest.(check bool) "b sees ancestor cancel" true (Gov.cancelled b);
+  Alcotest.(check bool) "check agrees" true (Gov.check b = Some Gov.Cancelled)
+
+let test_gov_shared_spend () =
+  let parent = Gov.create ~bf_candidates:100 () in
+  let a = Gov.child parent and b = Gov.child parent in
+  Gov.spend a Gov.Bf_candidates 60;
+  Alcotest.(check int) "family total" 60 (Gov.spent parent Gov.Bf_candidates);
+  Alcotest.(check bool) "b shares the meter" true
+    (Gov.budget_left b Gov.Bf_candidates = Some 40);
+  Gov.spend b Gov.Bf_candidates 40;
+  Alcotest.(check bool) "a sees the family exhaust the budget" true
+    (Gov.check ~resource:Gov.Bf_candidates a
+    = Some (Gov.Budget Gov.Bf_candidates))
+
+let test_gov_deadline () =
+  let g = Gov.create ~deadline_in:0.005 () in
+  Thread.delay 0.02;
+  (* the clock is sampled on a subset of polls; a short poll loop must
+     still observe the deadline promptly *)
+  let rec poll n =
+    if n > 10_000 then None
+    else match Gov.check g with None -> poll (n + 1) | some -> some
+  in
+  Alcotest.(check bool) "deadline observed" true (poll 0 = Some Gov.Deadline);
+  Alcotest.(check bool) "fate latched" true (Gov.fate g = Some Gov.Deadline);
+  Alcotest.(check bool) "no time left" true
+    (Gov.remaining_time g = Some 0.0)
+
+let test_gov_cross_thread_cancel () =
+  let g = Gov.create () in
+  let t = Thread.create (fun () -> Thread.delay 0.01; Gov.cancel g) () in
+  (* poll like an evaluation loop until the other thread stops us *)
+  let rec loop n =
+    match Gov.check g with
+    | Some r -> Some r
+    | None ->
+        if n mod 1024 = 0 then Thread.yield ();
+        loop (n + 1)
+  in
+  let stopped = loop 0 in
+  Thread.join t;
+  Alcotest.(check bool) "stopped by the other thread" true
+    (stopped = Some Gov.Cancelled)
+
+let test_gov_reason_strings () =
+  Alcotest.(check string) "cancelled" "cancelled"
+    (Gov.reason_to_string Gov.Cancelled);
+  Alcotest.(check string) "deadline" "deadline"
+    (Gov.reason_to_string Gov.Deadline);
+  Alcotest.(check string) "budget" "budget:milp_nodes"
+    (Gov.reason_to_string (Gov.Budget Gov.Milp_nodes));
+  Alcotest.(check string) "budget sql" "budget:sql_rows"
+    (Gov.reason_to_string (Gov.Budget Gov.Sql_rows))
+
 let suite =
   [
     Alcotest.test_case "prng deterministic" `Quick test_prng_deterministic;
@@ -200,4 +309,15 @@ let suite =
     Alcotest.test_case "csv quoted" `Quick test_csv_quoted;
     Alcotest.test_case "csv unclosed quote" `Quick test_csv_unclosed_quote;
     Alcotest.test_case "timeit" `Quick test_timeit;
+    Alcotest.test_case "gov unlimited" `Quick test_gov_unlimited;
+    Alcotest.test_case "gov cancel latches" `Quick test_gov_cancel_latches;
+    Alcotest.test_case "gov budgets not latched" `Quick
+      test_gov_budget_not_latched;
+    Alcotest.test_case "gov child cancellation" `Quick
+      test_gov_child_cancellation;
+    Alcotest.test_case "gov shared spend counters" `Quick test_gov_shared_spend;
+    Alcotest.test_case "gov deadline" `Quick test_gov_deadline;
+    Alcotest.test_case "gov cross-thread cancel" `Quick
+      test_gov_cross_thread_cancel;
+    Alcotest.test_case "gov reason strings" `Quick test_gov_reason_strings;
   ]

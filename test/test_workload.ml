@@ -154,11 +154,12 @@ let test_courses_prerequisites_enforced () =
        SUM(S.is_cs201) <= SUM(S.is_cs101) AND SUM(S.is_cs301) <= \
        SUM(S.is_cs201) AND SUM(S.is_cs301) = 1 MAXIMIZE SUM(S.rating)"
   in
-  let r = Pb_core.Engine.evaluate ~strategy:Pb_core.Engine.Ilp db query in
+  let r = Pb_core.Engine.run ~strategy:Pb_core.Engine.Ilp db query in
   match r.Pb_core.Engine.package with
   | None -> Alcotest.fail "expected a schedule"
   | Some pkg ->
-      Alcotest.(check bool) "optimal" true r.Pb_core.Engine.proven_optimal;
+      Alcotest.(check bool) "optimal" true
+        (r.Pb_core.Engine.proof = Pb_core.Engine.Optimal);
       List.iter
         (fun code ->
           Alcotest.(check bool) (code ^ " present") true
