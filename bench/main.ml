@@ -1043,6 +1043,42 @@ let sql_bench () =
         (Pb_sql.Executor.execute_sql db
            "SELECT cuisine, COUNT(*), SUM(calories), AVG(cost) FROM recipes \
             WHERE protein > 10 GROUP BY cuisine ORDER BY cuisine"));
+  (* Tracing-overhead toggle: the filter scan bare vs inside an active
+     request trace context whose completed span tree lands in a trace
+     store — the exact per-request work pb_server does when
+     --trace-capacity > 0. Span cost is per operator, not per row, so
+     the two should be within a few percent. *)
+  let scan () =
+    ignore
+      (Pb_sql.Executor.execute_sql db
+         "SELECT id FROM recipes WHERE calories * 2 + protein - fat > 420 \
+          AND (cost / 2.0 < 6.5 OR rating >= 4.5) AND name LIKE '%ra%' AND \
+          gluten = 'free'")
+  in
+  let untraced = median_time scan in
+  let store = Pb_obs.Trace_store.create ~capacity:64 () in
+  let bench_tid = String.make 32 'b' in
+  let traced =
+    median_time (fun () ->
+        let started = Unix.gettimeofday () in
+        let (), spans =
+          Pb_obs.Trace.with_context ~trace_id:bench_tid (fun () -> scan ())
+        in
+        Pb_obs.Trace_store.add store
+          {
+            Pb_obs.Trace_store.trace_id = bench_tid;
+            started;
+            elapsed = Unix.gettimeofday () -. started;
+            status = "ok";
+            spans;
+            progress = [];
+          })
+  in
+  results :=
+    ( "filter_scan_trace_store",
+      [ ("traced_s", traced); ("untraced_s", untraced) ],
+      traced /. Float.max 1e-9 untraced )
+    :: !results;
   Pb_sql.Compile.set_enabled was_enabled;
   (* prepared-statement repetition on a small table, so lex/parse/compile
      dominates execution: cold clears the plan cache before every request,
@@ -1228,21 +1264,66 @@ let loadgen () =
   Printf.printf "  latency: p50 %s  p95 %s  p99 %s  max %s\n"
     (fmt_seconds (p 50.0)) (fmt_seconds (p 95.0)) (fmt_seconds (p 99.0))
     (fmt_seconds (p 100.0));
+  (* Full cumulative histogram over the same bucket bounds the server's
+     pb_net_*_request_seconds histograms use, so client-observed and
+     server-observed latency distributions line up bucket for bucket. *)
+  let bucket_bounds = [ 0.0005; 0.001; 0.005; 0.01; 0.05; 0.1; 0.5; 1.0; 5.0 ] in
+  let cumulative le = List.length (List.filter (fun v -> v <= le) all) in
+  let latency_sum = List.fold_left ( +. ) 0.0 all in
+  (* End-to-end trace check: send one traced request with a fresh
+     client-generated id and require the server to hand the span tree
+     back under exactly that id. *)
+  let trace_check =
+    match Pb_net.Client.connect ~host:!loadgen_host ~port:!loadgen_port () with
+    | exception _ -> "unavailable"
+    | c ->
+        Fun.protect
+          ~finally:(fun () -> Pb_net.Client.close c)
+          (fun () ->
+            let id = Pb_net.Protocol.fresh_trace_id () in
+            match Pb_net.Client.request ~trace:id c statements.(0) with
+            | exception Pb_net.Client.Net_error _ -> "unavailable"
+            | _ -> (
+                match Pb_net.Client.request c ("\\traces " ^ id) with
+                | exception Pb_net.Client.Net_error _ -> "unavailable"
+                | resp ->
+                    let prefix = "trace " ^ id in
+                    let b = resp.Pb_net.Protocol.body in
+                    if
+                      resp.Pb_net.Protocol.status = Pb_net.Protocol.Ok
+                      && String.length b >= String.length prefix
+                      && String.sub b 0 (String.length prefix) = prefix
+                    then "ok"
+                    else "missing"))
+  in
+  Printf.printf "  traced sample: %s\n" trace_check;
   match !loadgen_json_out with
   | None -> ()
   | Some path ->
+      let buckets_json =
+        String.concat ","
+          (List.map
+             (fun le ->
+               Printf.sprintf "{\"le\":%s,\"count\":%d}" (json_num le)
+                 (cumulative le))
+             bucket_bounds
+          @ [ Printf.sprintf "{\"le\":\"+Inf\",\"count\":%d}" completed ])
+      in
       let oc = open_out path in
       Printf.fprintf oc
         "{\"label\":\"%s\",\"clients\":%d,\"requests_per_client\":%d,\
-         \"completed\":%d,\"protocol_errors\":%d,\"busy\":%d,\
+         \"nproc\":%d,\"completed\":%d,\"protocol_errors\":%d,\"busy\":%d,\
          \"cancelled\":%d,\"dropped_clients\":%d,\
          \"wall_seconds\":%s,\"throughput_rps\":%s,\"p50_s\":%s,\"p95_s\":%s,\
-         \"p99_s\":%s,\"max_s\":%s}\n"
-        (json_escape !loadgen_label) clients per_client completed
-        (Atomic.get errors) (Atomic.get busy) (Atomic.get cancelled)
+         \"p99_s\":%s,\"max_s\":%s,\"latency_sum_s\":%s,\
+         \"latency_buckets\":[%s],\"trace_check\":\"%s\"}\n"
+        (json_escape !loadgen_label) clients per_client
+        (Domain.recommended_domain_count ())
+        completed (Atomic.get errors) (Atomic.get busy) (Atomic.get cancelled)
         (Atomic.get failures) (json_num wall)
         (json_num throughput) (json_num (p 50.0)) (json_num (p 95.0))
-        (json_num (p 99.0)) (json_num (p 100.0));
+        (json_num (p 99.0)) (json_num (p 100.0)) (json_num latency_sum)
+        buckets_json trace_check;
       close_out oc;
       Printf.printf "  json written to %s\n" path
 

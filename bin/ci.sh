@@ -41,7 +41,7 @@ fi
 echo "== server smoke test (pb_server + scripted pb_client session) =="
 SMOKE_LOG=_build/ci/smoke_server.log
 ./_build/default/bin/pb_server.exe --port 0 --size 80 --seed 7 \
-  >"$SMOKE_LOG" 2>&1 &
+  --metrics-port 0 >"$SMOKE_LOG" 2>&1 &
 SMOKE_PID=$!
 i=0
 while [ $i -lt 100 ]; do
@@ -77,6 +77,62 @@ PLAN_HITS=$(sed -n 's/^pb_sql_plan_cache_hits_total \([0-9][0-9]*\).*/\1/p' \
 if [ -z "$PLAN_HITS" ] || [ "$PLAN_HITS" -lt 1 ]; then
   echo "CI FAIL: expected pb_sql_plan_cache_hits_total > 0 after a repeated"
   echo "         statement; \\metrics reported: ${PLAN_HITS:-no counter}"
+  kill "$SMOKE_PID" 2>/dev/null || true
+  exit 1
+fi
+
+# Pull-based exposition smoke: the sidecar HTTP endpoint must serve the
+# Prometheus text format with the request counter advanced by the
+# scripted session above, and /healthz must report an ok status with
+# the admission limits.
+echo "== metrics endpoint smoke (curl /metrics + /healthz) =="
+METRICS_PORT=$(sed -n \
+  's|.*metrics on http://127.0.0.1:\([0-9]*\).*|\1|p' "$SMOKE_LOG")
+if [ -z "$METRICS_PORT" ]; then
+  echo "CI FAIL: pb_server did not announce a metrics port; log follows"
+  cat "$SMOKE_LOG"
+  kill "$SMOKE_PID" 2>/dev/null || true
+  exit 1
+fi
+curl -sf "http://127.0.0.1:$METRICS_PORT/metrics" \
+  >_build/ci/smoke_scrape.txt || {
+  echo "CI FAIL: curl /metrics failed"
+  kill "$SMOKE_PID" 2>/dev/null || true
+  exit 1
+}
+# Exposition grammar: TYPE headers, and every sample line is
+# "name[{labels}] value".
+if ! grep -q '^# TYPE pb_net_requests_total counter' _build/ci/smoke_scrape.txt; then
+  echo "CI FAIL: /metrics lacks the TYPE header for pb_net_requests_total"
+  kill "$SMOKE_PID" 2>/dev/null || true
+  exit 1
+fi
+if grep -v '^#' _build/ci/smoke_scrape.txt | grep -q -v \
+  '^[a-zA-Z_:][a-zA-Z0-9_:]*\({[^}]*}\)\{0,1\} [0-9+.eE-]*$'; then
+  echo "CI FAIL: /metrics sample line breaks the exposition grammar:"
+  grep -v '^#' _build/ci/smoke_scrape.txt | grep -v \
+    '^[a-zA-Z_:][a-zA-Z0-9_:]*\({[^}]*}\)\{0,1\} [0-9+.eE-]*$' | head -n 3
+  kill "$SMOKE_PID" 2>/dev/null || true
+  exit 1
+fi
+NET_REQS=$(sed -n 's/^pb_net_requests_total \([0-9][0-9]*\).*/\1/p' \
+  _build/ci/smoke_scrape.txt | head -n 1)
+if [ -z "$NET_REQS" ] || [ "$NET_REQS" -lt 1 ]; then
+  echo "CI FAIL: pb_net_requests_total did not advance over the scrape;"
+  echo "         /metrics reported: ${NET_REQS:-no counter}"
+  kill "$SMOKE_PID" 2>/dev/null || true
+  exit 1
+fi
+curl -sf "http://127.0.0.1:$METRICS_PORT/healthz" \
+  >_build/ci/smoke_health.txt || {
+  echo "CI FAIL: curl /healthz failed"
+  kill "$SMOKE_PID" 2>/dev/null || true
+  exit 1
+}
+if ! grep -q '"status":"ok"' _build/ci/smoke_health.txt || \
+   ! grep -q '"max_inflight"' _build/ci/smoke_health.txt; then
+  echo "CI FAIL: /healthz did not report an ok status with limits:"
+  cat _build/ci/smoke_health.txt
   kill "$SMOKE_PID" 2>/dev/null || true
   exit 1
 fi

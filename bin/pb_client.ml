@@ -56,6 +56,16 @@ let echo_arg =
         ~doc:"Print each request as 'pb> CMD' before its response (for \
               readable scripted transcripts).")
 
+let trace_arg =
+  Arg.(
+    value & flag
+    & info [ "trace" ]
+        ~doc:
+          "Send a fresh client-generated trace id with every request and, \
+           after each response, print the client-side round-trip latency \
+           together with the server-side span tree for that id (fetched \
+           via a follow-up \\\\traces request).")
+
 let is_quit line =
   match String.trim line with "\\quit" | "\\q" -> true | _ -> false
 
@@ -95,7 +105,7 @@ let connect_with_retry ~host ~port ~retries ~base =
   in
   go 0
 
-let run host port deadline retries retry_delay cmds echo =
+let run host port deadline retries retry_delay cmds echo trace =
   let deadline = if deadline > 0.0 then Some deadline else None in
   let stdin_mode = cmds = [] in
   let next_line =
@@ -115,13 +125,28 @@ let run host port deadline retries retry_delay cmds echo =
   let client =
     connect_with_retry ~host ~port ~retries ~base:retry_delay
   in
-  let rec send line attempt =
-    match Pb_net.Client.request ?deadline client line with
+  let rec send ?trace line attempt =
+    match Pb_net.Client.request ?deadline ?trace client line with
     | { Pb_net.Protocol.status = Pb_net.Protocol.Busy; _ }
       when attempt < retries ->
         Unix.sleepf (backoff ~base:retry_delay attempt);
-        send line (attempt + 1)
+        send ?trace line (attempt + 1)
     | resp -> resp
+  in
+  (* Client-side latency next to the server-side span tree: the id was
+     ours, so the tree the server retained for it is provably this very
+     request's. *)
+  let print_trace id elapsed =
+    Printf.printf "trace %s  client round-trip %.3fs\n" id elapsed;
+    match send ("\\traces " ^ id) 0 with
+    | { Pb_net.Protocol.status = Pb_net.Protocol.Ok; body } ->
+        print_endline body
+    | { Pb_net.Protocol.status; body } ->
+        Printf.printf "error (%s): %s\n"
+          (Pb_net.Protocol.status_to_string status)
+          body
+    | exception Pb_net.Client.Net_error msg ->
+        Printf.eprintf "pb_client: %s\n" msg
   in
   let rec loop () =
     match next_line () with
@@ -130,15 +155,30 @@ let run host port deadline retries retry_delay cmds echo =
         loop ()
     | Some line -> (
         if echo then Printf.printf "pb> %s\n" line;
-        match send line 0 with
+        let trace_id =
+          if trace && not (is_quit line) then
+            Some (Pb_net.Protocol.fresh_trace_id ())
+          else None
+        in
+        let t0 = Unix.gettimeofday () in
+        match send ?trace:trace_id line 0 with
         | { Pb_net.Protocol.status = Pb_net.Protocol.Ok; body } ->
             if body <> "" then print_endline body;
+            Option.iter
+              (fun id -> print_trace id (Unix.gettimeofday () -. t0))
+              trace_id;
             flush stdout;
             if not (is_quit line) then loop ()
         | { Pb_net.Protocol.status; body } ->
             Printf.printf "error (%s): %s\n"
               (Pb_net.Protocol.status_to_string status)
               body;
+            (match status with
+            | Pb_net.Protocol.Shutting_down -> ()
+            | _ ->
+                Option.iter
+                  (fun id -> print_trace id (Unix.gettimeofday () -. t0))
+                  trace_id);
             flush stdout;
             (* the server hangs up after announcing shutdown *)
             (match status with
@@ -155,7 +195,7 @@ let cmd =
   let term =
     Term.(
       const run $ host_arg $ port_arg $ deadline_arg $ retries_arg
-      $ retry_delay_arg $ cmds_arg $ echo_arg)
+      $ retry_delay_arg $ cmds_arg $ echo_arg $ trace_arg)
   in
   Cmd.v
     (Cmd.info "pb_client" ~version:"1.0.0"

@@ -94,6 +94,25 @@ let plan_cache_arg =
            connections. 0 disables caching: every request re-parses — \
            the benchmark baseline.")
 
+let metrics_port_arg =
+  Arg.(
+    value & opt (some int) None
+    & info [ "metrics-port" ] ~docv:"PORT"
+        ~doc:
+          "Serve GET /metrics (Prometheus text exposition), /healthz \
+           (admission depths vs limits as JSON) and /traces/<id> (span \
+           tree as JSON) over plain HTTP/1.1 on this port; 0 picks an \
+           ephemeral one (printed on startup). Disabled when absent.")
+
+let trace_capacity_arg =
+  Arg.(
+    value & opt int 256
+    & info [ "trace-capacity" ] ~docv:"N"
+        ~doc:
+          "Completed request traces retained for \\\\traces and \
+           /traces/<id>, evicted FIFO. 0 disables request tracing \
+           entirely (the zero-overhead baseline).")
+
 let load_db tables size seed db_dir =
   match db_dir with
   | Some dir when Sys.file_exists (Filename.concat dir "manifest.txt") ->
@@ -121,7 +140,7 @@ let load_db tables size seed db_dir =
       db
 
 let serve host port max_conns max_inflight max_queue deadline tables size
-    seed db_dir slowlog plan_cache =
+    seed db_dir slowlog plan_cache metrics_port trace_capacity =
   let db = load_db tables size seed db_dir in
   if slowlog > 0.0 then Pb_obs.Slow_log.set_threshold (Some slowlog);
   let config =
@@ -134,6 +153,7 @@ let serve host port max_conns max_inflight max_queue deadline tables size
       max_queue;
       default_deadline = (if deadline > 0.0 then Some deadline else None);
       plan_cache_capacity = max 0 plan_cache;
+      trace_capacity = max 0 trace_capacity;
     }
   in
   let server = Pb_net.Server.start ~config db in
@@ -145,9 +165,21 @@ let serve host port max_conns max_inflight max_queue deadline tables size
     (List.length (Pb_sql.Database.table_names db))
     max_conns
     (if deadline > 0.0 then Printf.sprintf ", deadline %gs" deadline else "");
+  let http =
+    match metrics_port with
+    | Some p ->
+        let h =
+          Pb_obs.Http.start ~host ~port:p (Pb_net.Server.http_handler server)
+        in
+        Printf.printf "pb_server metrics on http://%s:%d\n" host
+          (Pb_obs.Http.port h);
+        Some h
+    | None -> None
+  in
   print_string "pb_server ready\n";
   flush stdout;
   Pb_net.Server.join server;
+  Option.iter Pb_obs.Http.stop http;
   (match db_dir with
   | Some dir ->
       Pb_sql.Persist.save_dir db dir;
@@ -161,7 +193,8 @@ let cmd =
     Term.(
       const serve $ host_arg $ port_arg $ max_conns_arg $ max_inflight_arg
       $ max_queue_arg $ deadline_arg $ tables_arg $ size_arg $ seed_arg
-      $ db_dir_arg $ slowlog_arg $ plan_cache_arg)
+      $ db_dir_arg $ slowlog_arg $ plan_cache_arg $ metrics_port_arg
+      $ trace_capacity_arg)
   in
   Cmd.v
     (Cmd.info "pb_server" ~version:"1.0.0"

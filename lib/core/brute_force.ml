@@ -1,6 +1,7 @@
 module Ast = Pb_paql.Ast
 module Semantics = Pb_paql.Semantics
 module Pool = Pb_par.Pool
+module Progress = Pb_obs.Progress
 module Gov = Pb_util.Gov
 
 (* Cancellation/deadline poll (budget is enforced through the captured
@@ -9,6 +10,17 @@ module Gov = Pb_util.Gov
    changes behaviour once a stop has actually been requested). *)
 let stopped gov () =
   match gov with Some g -> Gov.check g <> None | None -> false
+
+(* Incumbent improvements go to the progress stream keyed by the token's
+   family. Emission points sit on the deterministic side of the search —
+   the sequential walk and the parallel replay merge, never inside
+   speculative chunks — so the trajectory is identical at any pool size. *)
+let emit_incumbent gov ~nodes obj =
+  match gov with
+  | Some g ->
+      Progress.incumbent ~key:(Gov.family_id g) ~strategy:"brute-force" ~nodes
+        obj
+  | None -> ()
 
 type outcome = {
   best : Pb_paql.Package.t option;
@@ -84,11 +96,13 @@ let search_sequential ~gov ~max_examined ~lo ~hi (c : Coeffs.t) =
               if st.best_mult = None then st.best_mult <- Some (Array.copy mult)
           | Some v, None ->
               st.best_mult <- Some (Array.copy mult);
-              st.best_obj <- Some v
+              st.best_obj <- Some v;
+              emit_incumbent gov ~nodes:st.examined v
           | Some v, Some best ->
               if Semantics.better dir v best then begin
                 st.best_mult <- Some (Array.copy mult);
-                st.best_obj <- Some v
+                st.best_obj <- Some v;
+                emit_incumbent gov ~nodes:st.examined v
               end)
     end
   in
@@ -297,7 +311,10 @@ let search_parallel pool ~gov ~max_examined ~lo ~hi (c : Coeffs.t) =
           | None, _ -> ()
           | Some _, None ->
               g_mult := r.cr_best_mult;
-              g_obj := r.cr_best_obj
+              g_obj := r.cr_best_obj;
+              (match r.cr_best_obj with
+              | Some v -> emit_incumbent gov ~nodes:!acc_examined v
+              | None -> ())
           | Some _, Some _ -> (
               match (r.cr_best_obj, !g_obj) with
               | None, _ ->
@@ -306,11 +323,13 @@ let search_parallel pool ~gov ~max_examined ~lo ~hi (c : Coeffs.t) =
                   ()
               | Some v, None ->
                   g_mult := r.cr_best_mult;
-                  g_obj := Some v
+                  g_obj := Some v;
+                  emit_incumbent gov ~nodes:!acc_examined v
               | Some v, Some best ->
                   if Semantics.better d v best then begin
                     g_mult := r.cr_best_mult;
-                    g_obj := Some v
+                    g_obj := Some v;
+                    emit_incumbent gov ~nodes:!acc_examined v
                   end)));
       if r.cr_truncated then begin
         truncated := true;

@@ -5,6 +5,7 @@ module Model = Pb_lp.Model
 module Milp = Pb_lp.Milp
 module Trace = Pb_obs.Trace
 module Metrics = Pb_obs.Metrics
+module Progress = Pb_obs.Progress
 module Pool = Pb_par.Pool
 module Gov = Pb_util.Gov
 
@@ -84,6 +85,11 @@ type result = {
   strategy_used : string;
   elapsed : float;
   stats : (string * string) list;
+  progress : Progress.event list;
+      (* incumbent trajectory of this run, oldest first; kept out of
+         [stats] because the speculative hybrid leg makes the event
+         count pool-size-dependent while the stats fingerprint must stay
+         bit-identical at any pool size *)
 }
 
 (* Internal per-strategy report; [proven_optimal] means "this answer is
@@ -414,41 +420,55 @@ let run_coeffs ?pool ?gov ?(strategy = Hybrid) db (c : Coeffs.t) =
   let gov = match gov with Some g -> g | None -> Gov.create () in
   (* Every run_* times itself through its strategy span, so the report's
      elapsed is the strategy's own wall clock (hybrid: both legs); the
-     engine.run span around it additionally covers verification. *)
-  Trace.with_span ~name:"engine.run" (fun () ->
-      let report =
-        match strategy with
-        | Brute_force { use_pruning } -> run_brute_force ~pool ~gov ~use_pruning c
-        | Ilp -> run_ilp ~gov db c
-        | Local_search params -> run_local_search ~gov ~params db c
-        | Anneal params -> run_anneal ~gov ~params db c
-        | Sql_generation params -> run_sql_generation ~gov ~params db c
-        | Hybrid -> run_hybrid ~pool ~gov db c
-      in
-      let report = verified db c report in
-      let proof =
-        match Gov.fate gov with
-        | Some _ -> Cancelled
-        | None -> (
-            if not report.proven_optimal then Feasible
-            else
-              match report.package with
-              | Some _ -> Optimal
-              | None -> Infeasible)
-      in
-      let stats =
-        match Gov.fate gov with
-        | Some r -> ("stopped", Gov.reason_to_string r) :: report.stats
-        | None -> report.stats
-      in
-      {
-        package = report.package;
-        objective = report.objective;
-        proof;
-        strategy_used = report.strategy_used;
-        elapsed = report.elapsed;
-        stats;
-      })
+     engine.run span around it additionally covers verification. The
+     progress recorder is keyed by the token's family, so incumbents
+     emitted by hybrid race legs running under child tokens on pool
+     domains still land in this run's trajectory. *)
+  let result, progress =
+    Progress.with_recorder ~key:(Gov.family_id gov) (fun () ->
+        Trace.with_span ~name:"engine.run" (fun () ->
+            let report =
+              match strategy with
+              | Brute_force { use_pruning } ->
+                  run_brute_force ~pool ~gov ~use_pruning c
+              | Ilp -> run_ilp ~gov db c
+              | Local_search params -> run_local_search ~gov ~params db c
+              | Anneal params -> run_anneal ~gov ~params db c
+              | Sql_generation params -> run_sql_generation ~gov ~params db c
+              | Hybrid -> run_hybrid ~pool ~gov db c
+            in
+            let report = verified db c report in
+            (* The hybrid race polls child tokens only, so a stop that
+               originated on the request token (pre-cancellation, its
+               deadline) may not have latched on it yet — one boundary
+               poll makes [fate] below reliable at any pool size. *)
+            ignore (Gov.refresh gov);
+            let proof =
+              match Gov.fate gov with
+              | Some _ -> Cancelled
+              | None -> (
+                  if not report.proven_optimal then Feasible
+                  else
+                    match report.package with
+                    | Some _ -> Optimal
+                    | None -> Infeasible)
+            in
+            let stats =
+              match Gov.fate gov with
+              | Some r -> ("stopped", Gov.reason_to_string r) :: report.stats
+              | None -> report.stats
+            in
+            {
+              package = report.package;
+              objective = report.objective;
+              proof;
+              strategy_used = report.strategy_used;
+              elapsed = report.elapsed;
+              stats;
+              progress = [];
+            }))
+  in
+  { result with progress }
 
 let run ?pool ?gov ?strategy db query =
   run_coeffs ?pool ?gov ?strategy db (Coeffs.make db query)

@@ -66,6 +66,13 @@ type result = {
       (** per-strategy counters for display; each also feeds a typed
           [pb_engine_*] counter in {!Pb_obs.Metrics}. A governed stop
           adds a [("stopped", reason)] entry. *)
+  progress : Pb_obs.Progress.event list;
+      (** incumbent trajectory of this run, oldest first: one event per
+          improvement of the best-known package, recorded by every
+          strategy (branch-and-bound, brute force, local search —
+          hybrid race legs included). Deliberately not part of [stats]:
+          speculative hybrid legs make the event {e count} depend on the
+          pool size even though the report itself is bit-identical. *)
 }
 
 val run :

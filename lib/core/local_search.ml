@@ -6,6 +6,7 @@ module Relation = Pb_relation.Relation
 module Schema = Pb_relation.Schema
 module Value = Pb_relation.Value
 module Prng = Pb_util.Prng
+module Progress = Pb_obs.Progress
 module Gov = Pb_util.Gov
 
 type params = {
@@ -509,7 +510,12 @@ let search ?(params = default_params) ?gov db (c : Coeffs.t) =
           in
           if better_than_prev then begin
             best_mult := Some (Array.copy st.mult);
-            best_obj := Some v
+            best_obj := Some v;
+            match gov with
+            | Some g ->
+                Progress.incumbent ~key:(Gov.family_id g)
+                  ~strategy:"local-search" ~nodes:st.total_rounds v
+            | None -> ()
           end
     end
   in

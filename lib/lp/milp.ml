@@ -1,5 +1,6 @@
 module Trace = Pb_obs.Trace
 module Metrics = Pb_obs.Metrics
+module Progress = Pb_obs.Progress
 module Gov = Pb_util.Gov
 
 let m_bb_nodes =
@@ -105,14 +106,6 @@ let rec solve_impl ~gov ?(eps = 1e-6) ?(node_order = Dfs) ?(presolve = false)
   let lp_iterations = ref 0 in
   let saw_unbounded = ref false in
   let budget_hit = ref false in
-  let record x =
-    let obj = Model.objective_value model x in
-    if better obj !incumbent_obj then begin
-      incumbent := Some (Array.copy x);
-      incumbent_obj := obj;
-      Metrics.incr m_incumbents
-    end
-  in
   let apply node =
     restore ();
     (* nbounds is child-first; apply ancestors before descendants so the
@@ -123,6 +116,27 @@ let rec solve_impl ~gov ?(eps = 1e-6) ?(node_order = Dfs) ?(presolve = false)
   in
   let root_bound = if maximize then infinity else neg_infinity in
   let stack = ref [ { nbounds = []; depth = 0; parent_bound = root_bound } ] in
+  (* [bound] is the current node's relaxation objective; the global dual
+     bound reported to the progress stream also folds in every node
+     still awaiting exploration, so it is monotone (non-increasing when
+     maximizing) even as the stack drains. *)
+  let record ~bound x =
+    let obj = Model.objective_value model x in
+    if better obj !incumbent_obj then begin
+      incumbent := Some (Array.copy x);
+      incumbent_obj := obj;
+      Metrics.incr m_incumbents;
+      let global_bound =
+        List.fold_left
+          (fun acc n ->
+            if maximize then Float.max acc n.parent_bound
+            else Float.min acc n.parent_bound)
+          bound !stack
+      in
+      Progress.incumbent ~key:(Gov.family_id gov) ~strategy:"ilp"
+        ~bound:global_bound ~nodes:!nodes_explored obj
+    end
+  in
   (* Pop according to the node order: head for DFS, best parent bound for
      best-first (maximization sense; parent_bound is already signed). *)
   let pop () =
@@ -188,14 +202,14 @@ let rec solve_impl ~gov ?(eps = 1e-6) ?(node_order = Dfs) ?(presolve = false)
                   else
                     match rounding_heuristic model ~eps relax.x with
                     | Some snapped ->
-                        record snapped;
+                        record ~bound snapped;
                         -1
                     | None -> most_fractional model ~eps:1e-12 relax.x
                 in
                 if branch_var < 0 then ()
                 else begin
                   (match rounding_heuristic model ~eps relax.x with
-                  | Some point -> record point
+                  | Some point -> record ~bound point
                   | None -> ());
                   let v = relax.x.(branch_var) in
                   let lo, hi = Model.bounds model branch_var in

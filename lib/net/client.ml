@@ -57,10 +57,10 @@ let connect ?(host = "127.0.0.1") ~port () =
      raise e);
   t
 
-let request ?deadline t text =
+let request ?deadline ?trace t text =
   (try
      Protocol.write_frame t.oc
-       (Protocol.encode_request { Protocol.text; deadline })
+       (Protocol.encode_request { Protocol.text; deadline; trace })
    with Sys_error msg -> raise (Net_error ("send failed: " ^ msg)));
   match Protocol.read_frame t.ic with
   | Protocol.Frame payload -> (

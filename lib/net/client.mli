@@ -29,11 +29,14 @@ val connect : ?host:string -> port:int -> unit -> t
     Raises [Unix.Unix_error] on refusal, {!Net_error} on version
     mismatch, {!Rejected} when the server turns the connection away. *)
 
-val request : ?deadline:float -> t -> string -> Protocol.response
+val request : ?deadline:float -> ?trace:string -> t -> string -> Protocol.response
 (** Send one REPL input line and wait for the response. [deadline] is a
     per-request wall-clock budget in seconds, enforced server-side by
-    cooperative cancellation. Raises {!Net_error} if the connection
-    dies. *)
+    cooperative cancellation. [trace] is a client-generated trace id
+    ({!Protocol.valid_trace_id}, see {!Protocol.fresh_trace_id}); the
+    server adopts it as the root of the request's span tree, which stays
+    retrievable by that id afterwards ([\traces <id>]). Raises
+    {!Net_error} if the connection dies. *)
 
 val close : t -> unit
 

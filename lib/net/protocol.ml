@@ -2,7 +2,28 @@ let max_frame = 8 * 1024 * 1024
 let version = 2
 let magic = "PB2"
 
-type request = { text : string; deadline : float option }
+type request = { text : string; deadline : float option; trace : string option }
+
+(* Trace ids are 16 bytes as 32 lowercase hex chars, client-generated.
+   Validation is strict so the id can be embedded verbatim in shell
+   commands, URLs and exposition labels. *)
+let valid_trace_id s =
+  String.length s = 32
+  && String.for_all (function '0' .. '9' | 'a' .. 'f' -> true | _ -> false) s
+
+let hex = "0123456789abcdef"
+let rng_mu = Mutex.create ()
+let rng = lazy (Random.State.make_self_init ())
+
+let fresh_trace_id () =
+  Mutex.lock rng_mu;
+  let st = Lazy.force rng in
+  let b = Bytes.create 32 in
+  for i = 0 to 31 do
+    Bytes.set b i hex.[Random.State.int st 16]
+  done;
+  Mutex.unlock rng_mu;
+  Bytes.unsafe_to_string b
 
 type status =
   | Ok
@@ -117,13 +138,40 @@ let decode_hello payload =
       | None -> Stdlib.Error (Printf.sprintf "bad hello version %S" v))
   | _ -> Stdlib.Error (version_mismatch header)
 
-let encode_request { text; deadline } =
+let encode_request { text; deadline; trace } =
   let header =
-    match deadline with
-    | None -> magic ^ " REQ"
-    | Some d -> Printf.sprintf "%s REQ %g" magic d
+    String.concat " "
+      (magic :: "REQ"
+      :: ((match deadline with Some d -> [ Printf.sprintf "%g" d ] | None -> [])
+         @ match trace with Some id -> [ "trace=" ^ id ] | None -> []))
   in
   header ^ "\n" ^ text
+
+(* REQ header fields after the verb, in any order: a bare positive float
+   is the deadline, [trace=<32 lowercase hex>] the trace context. Both
+   are optional (a v2 peer predating the trace field simply omits it);
+   duplicates and malformed values reject the frame. *)
+let decode_req_fields text fields =
+  let rec go deadline trace = function
+    | [] -> Stdlib.Ok (Req { text; deadline; trace })
+    | tok :: rest ->
+        let n = String.length tok in
+        if n > 6 && String.sub tok 0 6 = "trace=" then
+          let id = String.sub tok 6 (n - 6) in
+          if trace <> None then
+            Stdlib.Error "duplicate trace field in request header"
+          else if not (valid_trace_id id) then
+            Stdlib.Error (Printf.sprintf "bad trace id %S" id)
+          else go deadline (Some id) rest
+        else if deadline <> None then
+          Stdlib.Error (Printf.sprintf "bad request field %S" tok)
+        else
+          match float_of_string_opt tok with
+          | Some d when d > 0.0 && Float.is_finite d -> go (Some d) trace rest
+          | Some _ | None ->
+              Stdlib.Error (Printf.sprintf "bad deadline %S" tok)
+  in
+  go None None fields
 
 let decode_client_frame payload =
   let header, text = split_first_line payload in
@@ -132,12 +180,7 @@ let decode_client_frame payload =
       match int_of_string_opt v with
       | Some v -> Stdlib.Ok (Hello v)
       | None -> Stdlib.Error (Printf.sprintf "bad hello version %S" v))
-  | [ m; "REQ" ] when m = magic -> Stdlib.Ok (Req { text; deadline = None })
-  | [ m; "REQ"; d ] when m = magic -> (
-      match float_of_string_opt d with
-      | Some d when d > 0.0 && Float.is_finite d ->
-          Stdlib.Ok (Req { text; deadline = Some d })
-      | Some _ | None -> Stdlib.Error (Printf.sprintf "bad deadline %S" d))
+  | m :: "REQ" :: fields when m = magic -> decode_req_fields text fields
   | _ -> Stdlib.Error (version_mismatch header)
 
 let encode_response { status; body } =

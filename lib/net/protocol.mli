@@ -29,13 +29,21 @@
 
     {2 Requests}
 
-    {v PB2 REQ [<deadline seconds>]\n<input line for the REPL> v}
+    {v PB2 REQ [<deadline seconds>] [trace=<id>]\n<input line for the REPL> v}
 
     The optional deadline is a positive float; when present the server
     cancels the request's governance token once that much wall-clock
     time has elapsed and answers with the [deadline] status (carrying
     whatever partial output the evaluation produced). Without it the
     server's default applies.
+
+    The optional [trace=] field carries the request's distributed trace
+    context: a client-generated id of 16 random bytes as 32 lowercase
+    hex characters. The server adopts it as the root of the request's
+    span tree, retrievable afterwards by that id ([\traces <id>] over
+    the wire, [/traces/<id>] over HTTP). A v2 peer predating the field
+    simply omits it and the server generates an id — backward
+    compatible within v2; both fields are accepted in either order.
 
     {2 Responses}
 
@@ -59,7 +67,16 @@ type request = {
   text : string;  (** the REPL input line (PaQL, SQL, or \ command) *)
   deadline : float option;
       (** per-request wall-clock budget in seconds; [None] = server default *)
+  trace : string option;
+      (** client-generated trace id ({!valid_trace_id}); [None] lets the
+          server generate one *)
 }
+
+val valid_trace_id : string -> bool
+(** 32 lowercase hex characters (16 bytes), nothing else. *)
+
+val fresh_trace_id : unit -> string
+(** A new random trace id. Thread-safe; self-seeded on first use. *)
 
 type status =
   | Ok  (** request evaluated; body is the REPL output *)

@@ -1,6 +1,10 @@
 module Repl = Pb_shell.Repl
 module Metrics = Pb_obs.Metrics
 module Slow_log = Pb_obs.Slow_log
+module Trace = Pb_obs.Trace
+module Trace_store = Pb_obs.Trace_store
+module Progress = Pb_obs.Progress
+module Http = Pb_obs.Http
 module Gov = Pb_util.Gov
 
 type config = {
@@ -12,6 +16,7 @@ type config = {
   default_deadline : float option;
   poll_interval : float;
   plan_cache_capacity : int;
+  trace_capacity : int;
 }
 
 let default_config =
@@ -24,6 +29,7 @@ let default_config =
     default_deadline = None;
     poll_interval = 0.05;
     plan_cache_capacity = 128;
+    trace_capacity = 256;
   }
 
 (* ---- request admission ------------------------------------------------ *)
@@ -198,44 +204,79 @@ let handle_request t session (req : Protocol.request) =
   in
   let gov = Gov.create ?deadline_in:deadline () in
   let start = Unix.gettimeofday () in
-  let outcome =
+  (* Tracing: adopt the client's trace id (or mint one) as the root of
+     this request's span tree, and record solver incumbents under the
+     governance token's family so progress events survive the hop onto
+     pool worker domains. Both are skipped entirely when the store is
+     disabled ([trace_capacity = 0]) — evaluation then runs without any
+     context and span creation stays on its two-atomic-load fast path. *)
+  let tracing = t.config.trace_capacity > 0 in
+  let trace_id =
+    match req.Protocol.trace with
+    | Some id -> id
+    | None -> Protocol.fresh_trace_id ()
+  in
+  let run () =
     match Repl.handle ~gov session req.Protocol.text with
     | reaction -> Ok reaction
     | exception e -> Error e
   in
+  let outcome, spans, progress =
+    if tracing then
+      let (outcome, progress), spans =
+        Trace.with_context ~trace_id (fun () ->
+            Progress.with_recorder ~key:(Gov.family_id gov) run)
+      in
+      (outcome, spans, progress)
+    else (run (), [], [])
+  in
   let elapsed = Unix.gettimeofday () -. start in
   Metrics.observe (latency_histogram req.Protocol.text) elapsed;
   ignore (Slow_log.observe ~query:("net " ^ req.Protocol.text) ~elapsed);
-  match outcome with
-  | Ok reaction -> (
-      let body = reaction.Repl.output in
-      match Gov.fate gov with
-      | None -> ({ Protocol.status = Protocol.Ok; body }, reaction.Repl.quit)
-      | Some Gov.Deadline ->
-          Metrics.incr m_deadline;
-          Metrics.incr m_cancelled;
-          let d = match deadline with Some d -> d | None -> 0.0 in
-          ( {
-              Protocol.status = Protocol.Deadline_exceeded;
-              body =
-                Printf.sprintf
-                  "request exceeded its %gs deadline (evaluation cancelled)\n%s"
-                  d body;
-            },
-            reaction.Repl.quit )
-      | Some reason ->
-          Metrics.incr m_cancelled;
-          ( {
-              Protocol.status = Protocol.Cancelled;
-              body =
-                Printf.sprintf "request cancelled (%s)\n%s"
-                  (Gov.reason_to_string reason) body;
-            },
-            reaction.Repl.quit ))
-  | Error e ->
-      Metrics.incr m_errors;
-      ( { Protocol.status = Protocol.Internal; body = Printexc.to_string e },
-        false )
+  let resp, close_after =
+    match outcome with
+    | Ok reaction -> (
+        let body = reaction.Repl.output in
+        match Gov.fate gov with
+        | None -> ({ Protocol.status = Protocol.Ok; body }, reaction.Repl.quit)
+        | Some Gov.Deadline ->
+            Metrics.incr m_deadline;
+            Metrics.incr m_cancelled;
+            let d = match deadline with Some d -> d | None -> 0.0 in
+            ( {
+                Protocol.status = Protocol.Deadline_exceeded;
+                body =
+                  Printf.sprintf
+                    "request exceeded its %gs deadline (evaluation \
+                     cancelled)\n%s"
+                    d body;
+              },
+              reaction.Repl.quit )
+        | Some reason ->
+            Metrics.incr m_cancelled;
+            ( {
+                Protocol.status = Protocol.Cancelled;
+                body =
+                  Printf.sprintf "request cancelled (%s)\n%s"
+                    (Gov.reason_to_string reason) body;
+              },
+              reaction.Repl.quit ))
+    | Error e ->
+        Metrics.incr m_errors;
+        ( { Protocol.status = Protocol.Internal; body = Printexc.to_string e },
+          false )
+  in
+  if tracing then
+    Trace_store.add Trace_store.default
+      {
+        Trace_store.trace_id;
+        started = start;
+        elapsed;
+        status = Protocol.status_to_string resp.Protocol.status;
+        spans;
+        progress;
+      };
+  (resp, close_after)
 
 (* ---- connection lifecycle --------------------------------------------- *)
 
@@ -446,10 +487,74 @@ let start ?(config = default_config) db =
       finished = false;
     }
   in
+  Trace_store.set_capacity Trace_store.default config.trace_capacity;
   t.accept_thread <- Some (Thread.create accept_loop t);
   t
 
 let port t = t.bound_port
+
+(* ---- pull-based exposition -------------------------------------------- *)
+
+let health_json t =
+  let a = t.admission in
+  Mutex.lock a.adm_mu;
+  let inflight = a.adm_inflight and queued = a.adm_queued in
+  Mutex.unlock a.adm_mu;
+  let active = Atomic.get t.active in
+  let status =
+    if Atomic.get t.stop then "draining"
+    else if queued >= a.adm_max_queue || active >= t.config.max_connections
+    then "saturated"
+    else "ok"
+  in
+  Printf.sprintf
+    "{\"status\":%S,\"inflight\":%d,\"max_inflight\":%d,\"queued\":%d,\
+     \"max_queue\":%d,\"active_connections\":%d,\"max_connections\":%d}"
+    status inflight a.adm_max_inflight queued a.adm_max_queue active
+    t.config.max_connections
+
+let traces_prefix = "/traces/"
+
+let http_handler t path =
+  match path with
+  | "/metrics" ->
+      Some
+        {
+          Http.code = 200;
+          content_type = "text/plain; version=0.0.4; charset=utf-8";
+          body = Metrics.dump ();
+        }
+  | "/healthz" ->
+      Some
+        {
+          Http.code = 200;
+          content_type = "application/json";
+          body = health_json t;
+        }
+  | "/traces" ->
+      let ids = Trace_store.ids Trace_store.default in
+      Some
+        {
+          Http.code = 200;
+          content_type = "application/json";
+          body =
+            Printf.sprintf "{\"traces\":[%s]}"
+              (String.concat "," (List.map (Printf.sprintf "%S") ids));
+        }
+  | _ ->
+      let n = String.length traces_prefix in
+      if String.length path > n && String.sub path 0 n = traces_prefix then
+        let id = String.sub path n (String.length path - n) in
+        match Trace_store.find Trace_store.default id with
+        | Some entry ->
+            Some
+              {
+                Http.code = 200;
+                content_type = "application/json";
+                body = Trace_store.to_json entry;
+              }
+        | None -> None
+      else None
 
 let request_stop t = Atomic.set t.stop true
 

@@ -54,12 +54,18 @@ type config = {
   plan_cache_capacity : int;
       (** entries in the shared prepared-plan cache; [0] disables caching
           (every request re-parses — the benchmark baseline) *)
+  trace_capacity : int;
+      (** completed request traces retained in
+          {!Pb_obs.Trace_store.default} (FIFO eviction); [0] disables
+          tracing entirely — requests evaluate without a span context or
+          progress recorder, leaving span creation on its disabled fast
+          path *)
 }
 
 val default_config : config
 (** [127.0.0.1:7878], 64 connections, 64 in-flight requests with a
     128-deep admission queue, no default deadline, 50ms poll, 128 cached
-    plans. *)
+    plans, 256 retained traces. *)
 
 type t
 
@@ -71,6 +77,19 @@ val start : ?config:config -> Pb_sql.Database.t -> t
 
 val port : t -> int
 (** The actual bound port — useful with [config.port = 0]. *)
+
+val health_json : t -> string
+(** One-line JSON health summary: admission-queue depth and in-flight
+    count against their limits, live connections against theirs, and an
+    overall [status] of [ok], [saturated] (a limit is reached) or
+    [draining] (shutdown in progress). *)
+
+val http_handler : t -> string -> Pb_obs.Http.response option
+(** Route table for the metrics endpoint ({!Pb_obs.Http.start}):
+    [/metrics] answers the Prometheus text exposition of the default
+    registry, [/healthz] answers {!health_json}, [/traces] lists
+    retained trace ids and [/traces/<id>] answers that trace's span tree
+    and progress events as JSON. Anything else is [None] (404). *)
 
 val request_stop : t -> unit
 (** Begin graceful shutdown. Async-signal-safe; returns immediately. *)

@@ -1,0 +1,28 @@
+(** Minimal HTTP/1.1 server for pull-based exposition.
+
+    Serves GET requests only, one response per connection
+    ([Connection: close]), no keep-alive, no TLS — just enough for a
+    Prometheus scraper or a curl to pull [/metrics], [/healthz] and
+    [/traces/<id>] without occupying the package-query wire protocol.
+    One accept thread plus a short-lived thread per connection; idle
+    connections are cut by a 5s receive timeout. *)
+
+type response = { code : int; content_type : string; body : string }
+
+type handler = string -> response option
+(** Maps a request path (query string stripped) to a response; [None]
+    answers 404. An exception from the handler answers 500. *)
+
+type t
+
+val start : ?host:string -> ?poll_interval:float -> port:int -> handler -> t
+(** Bind (default host [127.0.0.1]; port [0] picks an ephemeral one, see
+    {!port}), spawn the accept thread, return immediately. Ignores
+    [SIGPIPE] process-wide. Raises [Unix.Unix_error] if the port is
+    taken. [poll_interval] (default 50ms) bounds stop latency. *)
+
+val port : t -> int
+(** The actually bound port. *)
+
+val stop : t -> unit
+(** Stop accepting, wait for in-flight responses, close the socket. *)

@@ -150,11 +150,35 @@ let fnum v =
     Printf.sprintf "%.0f" v
   else Printf.sprintf "%g" v
 
+(* Exposition-format escaping. HELP text escapes backslash and newline;
+   label values additionally escape the double quote.  (A raw newline in
+   either would desynchronise every line-oriented consumer of the
+   exposition, which is why the format mandates these.) *)
+let escape ~quote s =
+  let needs c = c = '\\' || c = '\n' || (quote && c = '"') in
+  if not (String.exists needs s) then s
+  else begin
+    let buf = Buffer.create (String.length s + 8) in
+    String.iter
+      (fun c ->
+        match c with
+        | '\\' -> Buffer.add_string buf "\\\\"
+        | '\n' -> Buffer.add_string buf "\\n"
+        | '"' when quote -> Buffer.add_string buf "\\\""
+        | c -> Buffer.add_char buf c)
+      s;
+    Buffer.contents buf
+  end
+
+let escape_help = escape ~quote:false
+let escape_label = escape ~quote:true
+
 let dump ?(registry = default) () =
   let buf = Buffer.create 1024 in
   let header name help kind =
     if help <> "" then
-      Buffer.add_string buf (Printf.sprintf "# HELP %s %s\n" name help);
+      Buffer.add_string buf
+        (Printf.sprintf "# HELP %s %s\n" name (escape_help help));
     Buffer.add_string buf (Printf.sprintf "# TYPE %s %s\n" name kind)
   in
   List.iter
@@ -178,8 +202,8 @@ let dump ?(registry = default) () =
                 if i < Array.length h.bounds then fnum h.bounds.(i) else "+Inf"
               in
               Buffer.add_string buf
-                (Printf.sprintf "%s_bucket{le=\"%s\"} %d\n" h.h_name le
-                   !cumulative))
+                (Printf.sprintf "%s_bucket{le=\"%s\"} %d\n" h.h_name
+                   (escape_label le) !cumulative))
             h.buckets;
           Buffer.add_string buf
             (Printf.sprintf "%s_sum %s\n" h.h_name (fnum h.sum));

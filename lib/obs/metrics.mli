@@ -61,10 +61,19 @@ val snapshot : ?registry:registry -> unit -> (string * float) list
     name; histograms contribute [name_count] and [name_sum]. Used for
     before/after deltas (EXPLAIN ANALYZE, bench scenarios). *)
 
+val escape_help : string -> string
+(** Exposition-format HELP escaping: [\ ] as [\\], newline as [\n]. *)
+
+val escape_label : string -> string
+(** Exposition-format label-value escaping: like {!escape_help} plus
+    the double-quote character, which gains a backslash. *)
+
 val dump : ?registry:registry -> unit -> string
 (** Prometheus text exposition format: [# HELP]/[# TYPE] headers, then
     sample lines; histograms expose cumulative [name_bucket{le="…"}]
-    series plus [name_sum] and [name_count]. *)
+    series (the [+Inf] bucket always present and equal to [name_count])
+    plus [name_sum] and [name_count]. HELP text and label values are
+    escaped per the format ({!escape_help}, {!escape_label}). *)
 
 val reset : ?registry:registry -> unit -> unit
 (** Zero every instrument's value (registrations are kept). *)

@@ -1,5 +1,7 @@
 module Store = Pb_paql.Package_store
 module Trace = Pb_obs.Trace
+module Trace_store = Pb_obs.Trace_store
+module Progress = Pb_obs.Progress
 module Metrics = Pb_obs.Metrics
 module Slow_log = Pb_obs.Slow_log
 module Gov = Pb_util.Gov
@@ -38,6 +40,7 @@ let help_text =
       "  \\explain QUERY        pruning bounds, cost model, plan";
       "  \\explain analyze QUERY run the query; print span tree + counters";
       "  \\metrics              dump the metrics registry (Prometheus text)";
+      "  \\traces [ID]          list retained request traces / show one";
       "  \\slowlog [S|off|clear] slow-query log; S = threshold in seconds";
       "  \\plan SQL             show the SQL planner's decisions";
       "  \\complete PREFIX      auto-suggest next tokens";
@@ -164,6 +167,15 @@ let explain_analyze ?gov st text =
                 Buffer.add_string buf (Printf.sprintf "  %s +%g\n" name d))
               deltas
           end;
+          (match result.Pb_core.Engine.progress with
+          | [] -> ()
+          | events ->
+              Buffer.add_string buf "progress:\n";
+              List.iter
+                (fun e ->
+                  Buffer.add_string buf
+                    ("  " ^ Progress.event_to_string e ^ "\n"))
+                events);
           (match result.Pb_core.Engine.objective with
           | Some v -> Buffer.add_string buf (Printf.sprintf "objective: %g\n" v)
           | None -> ());
@@ -310,6 +322,30 @@ let command ?gov st name raw_arg =
                    stats.Pb_sql.Planner.nested_products
                    stats.Pb_sql.Planner.pushed_predicates)))
   | "metrics", _ -> ok (String.trim (Metrics.dump ()))
+  | "traces", "" -> (
+      match Trace_store.ids Trace_store.default with
+      | [] -> ok "(no retained traces)"
+      | ids ->
+          ok
+            (String.concat "\n"
+               (List.filter_map
+                  (fun id ->
+                    Option.map
+                      (fun e ->
+                        Printf.sprintf "%s  %-9s %8.3fs  %d span(s)"
+                          e.Trace_store.trace_id e.Trace_store.status
+                          e.Trace_store.elapsed
+                          (List.length e.Trace_store.spans))
+                      (Trace_store.find Trace_store.default id))
+                  ids)))
+  | "traces", id -> (
+      match Trace_store.find Trace_store.default id with
+      | Some entry -> ok (String.trim (Trace_store.render entry))
+      | None -> ok ("no retained trace with id " ^ id))
+  (* Undocumented crash lever for the error-path regression tests: the
+     server must answer [internal] and its admission gauges must return
+     to zero after the handler raises. *)
+  | "panic", msg -> failwith (if msg = "" then "panic" else msg)
   | "slowlog", "" ->
       let header =
         match Slow_log.threshold () with

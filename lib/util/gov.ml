@@ -34,6 +34,7 @@ let reason_to_string = function
   | Budget r -> "budget:" ^ resource_name r
 
 type t = {
+  family : int;  (* unique per root token; children inherit it *)
   deadline : float;  (* absolute gettimeofday instant; infinity = none *)
   limits : int array;  (* per-resource; max_int = unlimited *)
   spent_counters : int Atomic.t array;  (* shared across the family *)
@@ -43,6 +44,8 @@ type t = {
   polls : int Atomic.t;  (* throttles clock reads in [check] *)
 }
 
+let family_counter = Atomic.make 0
+
 let norm_limit = function
   | Some n when n > 0 -> n
   | Some _ -> max_int (* <= 0 means unlimited *)
@@ -50,6 +53,7 @@ let norm_limit = function
 
 let make ~deadline ~limits =
   {
+    family = Atomic.fetch_and_add family_counter 1;
     deadline;
     limits;
     spent_counters = Array.init n_resources (fun _ -> Atomic.make 0);
@@ -90,6 +94,8 @@ let child t =
     latched = Atomic.make None;
     polls = Atomic.make 0;
   }
+
+let family_id t = t.family
 
 let cancel t = Atomic.set t.cancel_flag true
 
@@ -135,6 +141,19 @@ let check ?resource t =
         match resource with
         | Some r when over_budget t r -> Some (Budget r)
         | _ -> None)
+
+(* Boundary poll: unlike [check], the clock is read unconditionally —
+   this runs once per request/run, not at loop heads, so sampling would
+   only cost correctness (a deadline observed solely by child tokens
+   must still latch here). *)
+let refresh t =
+  match Atomic.get t.latched with
+  | Some _ as r -> r
+  | None ->
+      if cancelled t then latch t Cancelled
+      else if t.deadline < infinity && Unix.gettimeofday () > t.deadline then
+        latch t Deadline
+      else None
 
 let tick ?resource t =
   match check ?resource t with None -> () | Some r -> raise (Interrupted r)

@@ -71,6 +71,12 @@ val child : t -> t
     parent (or any ancestor) also stops the child; cancelling the child
     does not stop the parent. *)
 
+val family_id : t -> int
+(** Process-unique id of the token's root family; {!child} tokens share
+    their root's id. Observability keys per-run event streams by it
+    (progress recorders survive the hybrid race because both legs'
+    child tokens map back to the request's family). *)
+
 val cancel : t -> unit
 (** Flip the cancellation flag. Thread/domain/signal-safe; idempotent. *)
 
@@ -99,6 +105,14 @@ val fate : t -> reason option
     engine uses to decide between reporting [Cancelled] and a mere
     budget-exhausted [Feasible] (budget stops are reported by each
     strategy's own outcome, not latched here). *)
+
+val refresh : t -> reason option
+(** Like {!check} with no resource, but always consults the wall clock
+    (ordinary polls sample it). Called once at a run boundary it makes
+    {!fate} reliable even when the run only ever polled {e child}
+    tokens — the hybrid race runs its legs under children, whose
+    latches are private, so a stop that originated on the request token
+    itself would otherwise go unlatched on it. *)
 
 val spend : t -> resource -> int -> unit
 (** Record consumption. Counters are shared across the whole token

@@ -517,6 +517,78 @@ let test_empty_candidates () =
       Engine.Hybrid;
     ]
 
+(* Acceptance for the progress telemetry: a governed solve must leave an
+   incumbent trajectory — at least two improvements, each strictly better
+   than the last, work counters never going backwards, and (for
+   branch-and-bound) an optimality gap that never widens. *)
+let test_progress_trajectory () =
+  let db = items_db 12 in
+  let query =
+    q
+      "SELECT PACKAGE(i) AS p FROM items i SUCH THAT COUNT(*) = 3 AND \
+       SUM(p.w) <= 30 MAXIMIZE SUM(p.v)"
+  in
+  let check_improving ~better evs =
+    let rec go = function
+      | a :: (b :: _ as rest) ->
+          Alcotest.(check bool) "objective strictly improves" true
+            (better b.Pb_obs.Progress.objective a.Pb_obs.Progress.objective);
+          Alcotest.(check bool) "work counter monotone" true
+            (b.Pb_obs.Progress.nodes >= a.Pb_obs.Progress.nodes);
+          (match (a.Pb_obs.Progress.gap, b.Pb_obs.Progress.gap) with
+          | Some ga, Some gb ->
+              Alcotest.(check bool) "gap never widens" true (gb <= ga +. 1e-9)
+          | _ -> ());
+          go rest
+      | _ -> ()
+    in
+    go evs
+  in
+  (* brute force on a MINIMIZE query: the enumeration reaches the most
+     expensive triple first, so the incumbent must improve repeatedly on
+     the way down to the cheapest one *)
+  let min_query =
+    q "SELECT PACKAGE(i) AS p FROM items i SUCH THAT COUNT(*) = 3 MINIMIZE \
+       SUM(p.v)"
+  in
+  let gov = Pb_util.Gov.create ~bf_candidates:5_000_000 () in
+  let r =
+    Engine.run ~gov
+      ~strategy:(Engine.Brute_force { use_pruning = false })
+      db min_query
+  in
+  let evs = r.Engine.progress in
+  Alcotest.(check bool)
+    (Printf.sprintf "at least two incumbents (got %d)" (List.length evs))
+    true
+    (List.length evs >= 2);
+  check_improving ~better:(fun b a -> b < a) evs;
+  List.iter
+    (fun e ->
+      Alcotest.(check string) "strategy tag" "brute-force"
+        e.Pb_obs.Progress.strategy)
+    evs;
+  (match (r.Engine.objective, List.rev evs) with
+  | Some obj, last :: _ ->
+      Alcotest.(check (float 1e-6))
+        "last incumbent is the returned objective" obj
+        last.Pb_obs.Progress.objective
+  | _ -> Alcotest.fail "no objective from a maximize query");
+  (* branch-and-bound: incumbents carry a proven bound and a gap *)
+  let r2 = Engine.run ~gov:(Pb_util.Gov.create ()) ~strategy:Engine.Ilp db query in
+  let evs2 = r2.Engine.progress in
+  Alcotest.(check bool) "ilp records incumbents" true (List.length evs2 >= 1);
+  List.iter
+    (fun e ->
+      Alcotest.(check string) "ilp tag" "ilp" e.Pb_obs.Progress.strategy;
+      match e.Pb_obs.Progress.bound with
+      | Some b ->
+          Alcotest.(check bool) "bound dominates the incumbent" true
+            (b >= e.Pb_obs.Progress.objective -. 1e-6)
+      | None -> ())
+    evs2;
+  check_improving ~better:(fun b a -> b > a) evs2
+
 let suite =
   [
     Alcotest.test_case "coeffs basic" `Quick test_coeffs_basic;
@@ -570,4 +642,6 @@ let suite =
     Alcotest.test_case "next packages non-linear path" `Quick
       test_next_packages_nonlinear_path;
     Alcotest.test_case "empty candidate set" `Quick test_empty_candidates;
+    Alcotest.test_case "progress trajectory on governed solves" `Quick
+      test_progress_trajectory;
   ]

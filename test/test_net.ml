@@ -109,14 +109,25 @@ let test_request_codec () =
       | Ok (Protocol.Req r) ->
           Alcotest.(check string) "text" req.Protocol.text r.Protocol.text;
           Alcotest.(check bool) "deadline" true
-            (r.Protocol.deadline = req.Protocol.deadline)
+            (r.Protocol.deadline = req.Protocol.deadline);
+          Alcotest.(check bool) "trace" true
+            (r.Protocol.trace = req.Protocol.trace)
       | Ok (Protocol.Hello _) -> Alcotest.fail "request decoded as hello"
       | Error e -> Alcotest.fail e)
     [
-      { Protocol.text = "\\tables"; deadline = None };
-      { Protocol.text = "SELECT 1"; deadline = Some 2.5 };
-      { Protocol.text = "line one\nline two"; deadline = Some 0.125 };
-      { Protocol.text = ""; deadline = None };
+      { Protocol.text = "\\tables"; deadline = None; trace = None };
+      { Protocol.text = "SELECT 1"; deadline = Some 2.5; trace = None };
+      {
+        Protocol.text = "line one\nline two";
+        deadline = Some 0.125;
+        trace = Some (String.make 32 'a');
+      };
+      { Protocol.text = ""; deadline = None; trace = None };
+      {
+        Protocol.text = "SELECT 1";
+        deadline = None;
+        trace = Some "0123456789abcdef0123456789abcdef";
+      };
     ];
   (match Protocol.decode_client_frame "PB2 REQ -1\nx" with
   | Error _ -> ()
@@ -124,6 +135,37 @@ let test_request_codec () =
   (match Protocol.decode_client_frame "PB2 REQ nan\nx" with
   | Error _ -> ()
   | Ok _ -> Alcotest.fail "nan deadline accepted");
+  (* trace= and deadline accepted in either order *)
+  (let tid = String.make 32 'c' in
+   match
+     Protocol.decode_client_frame
+       (Printf.sprintf "PB2 REQ trace=%s 1.5\nSELECT 1" tid)
+   with
+  | Ok (Protocol.Req r) ->
+      Alcotest.(check bool) "reordered deadline" true
+        (r.Protocol.deadline = Some 1.5);
+      Alcotest.(check bool) "reordered trace" true
+        (r.Protocol.trace = Some tid)
+  | Ok _ | Error _ -> Alcotest.fail "reordered header fields rejected");
+  (match
+     Protocol.decode_client_frame "PB2 REQ trace=SHOUTY-NOT-HEX\nSELECT 1"
+   with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "malformed trace id accepted");
+  (match Protocol.decode_client_frame "PB2 REQ trace=abc\nSELECT 1" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "short trace id accepted");
+  (let tid = String.make 32 'd' in
+   match
+     Protocol.decode_client_frame
+       (Printf.sprintf "PB2 REQ trace=%s trace=%s\nx" tid tid)
+   with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "duplicate trace field accepted");
+  (* fresh ids are valid and effectively unique *)
+  let a = Protocol.fresh_trace_id () and b = Protocol.fresh_trace_id () in
+  Alcotest.(check bool) "fresh id valid" true (Protocol.valid_trace_id a);
+  Alcotest.(check bool) "fresh ids differ" true (a <> b);
   (match Protocol.decode_client_frame "NOPE\nx" with
   | Error _ -> ()
   | Ok _ -> Alcotest.fail "bad verb accepted");
@@ -504,6 +546,177 @@ let test_metrics_exposed () =
           Alcotest.(check bool) "latency histogram exposed" true
             (contains dump "pb_net_sql_request_seconds")))
 
+(* ---- tracing + exposition --------------------------------------------- *)
+
+(* Tentpole leg 1: a client-generated trace id rides the wire-v2 header,
+   the server adopts it as the root of the request's span tree, and the
+   tree is retrievable under that exact id — over the wire (\traces) and
+   over HTTP (/traces/<id>). *)
+let test_trace_propagation () =
+  Pb_obs.Trace_store.clear Pb_obs.Trace_store.default;
+  Server.with_server ~config:test_config (make_db 40) (fun server ->
+      Client.with_connection ~port:(Server.port server) (fun c ->
+          let id = Protocol.fresh_trace_id () in
+          ignore (ok_or_fail (Client.request ~trace:id c paql_line));
+          (* \traces <id>: the retained tree is headed by OUR id *)
+          let tree = ok_or_fail (Client.request c ("\\traces " ^ id)) in
+          Alcotest.(check bool) "tree headed by the client's id" true
+            (contains tree ("trace " ^ id));
+          Alcotest.(check bool) "root request span present" true
+            (contains tree "request");
+          Alcotest.(check bool) "engine span nested inside" true
+            (contains tree "engine.run");
+          (* /traces/<id>: the JSON tree's root span id IS the trace id *)
+          (match Server.http_handler server ("/traces/" ^ id) with
+          | Some { Pb_obs.Http.code; content_type; body } ->
+              Alcotest.(check int) "trace endpoint 200" 200 code;
+              Alcotest.(check bool) "json content type" true
+                (contains content_type "json");
+              Alcotest.(check bool) "trace_id field" true
+                (contains body (Printf.sprintf "\"trace_id\":%S" id));
+              Alcotest.(check bool) "root span id substituted" true
+                (contains body (Printf.sprintf "\"id\":%S" id))
+          | None -> Alcotest.fail "traced request not retrievable over HTTP");
+          (* unknown ids are a 404, not an empty tree *)
+          match Server.http_handler server ("/traces/" ^ String.make 32 'f') with
+          | None -> ()
+          | Some _ -> Alcotest.fail "unknown trace id served"))
+
+(* Backward compatibility within v2: a request with no trace= field is
+   still traced, under a server-generated id. *)
+let test_trace_server_generated_id () =
+  Pb_obs.Trace_store.clear Pb_obs.Trace_store.default;
+  Server.with_server ~config:test_config (make_db 20) (fun server ->
+      Client.with_connection ~port:(Server.port server) (fun c ->
+          ignore (ok_or_fail (Client.request c "SELECT COUNT(*) FROM recipes"));
+          let ids = Pb_obs.Trace_store.ids Pb_obs.Trace_store.default in
+          Alcotest.(check bool) "untraced request was retained" true
+            (List.length ids >= 1);
+          let gen = List.hd ids in
+          Alcotest.(check bool) "server-generated id is well-formed" true
+            (Protocol.valid_trace_id gen);
+          let shown = ok_or_fail (Client.request c ("\\traces " ^ gen)) in
+          Alcotest.(check bool) "retrievable under the generated id" true
+            (contains shown ("trace " ^ gen));
+          (* and \traces with no argument lists it *)
+          let listing = ok_or_fail (Client.request c "\\traces") in
+          Alcotest.(check bool) "listing includes the id" true
+            (contains listing gen)))
+
+(* trace_capacity = 0 is the documented zero-overhead baseline: nothing
+   is retained and \traces says so. *)
+let test_trace_disabled () =
+  Pb_obs.Trace_store.clear Pb_obs.Trace_store.default;
+  let config = { test_config with trace_capacity = 0 } in
+  Server.with_server ~config (make_db 20) (fun server ->
+      Client.with_connection ~port:(Server.port server) (fun c ->
+          let id = Protocol.fresh_trace_id () in
+          ignore (ok_or_fail (Client.request ~trace:id c "\\tables"));
+          Alcotest.(check int) "nothing retained" 0
+            (Pb_obs.Trace_store.length Pb_obs.Trace_store.default);
+          let shown = ok_or_fail (Client.request c ("\\traces " ^ id)) in
+          Alcotest.(check bool) "\\traces reports no such trace" true
+            (contains shown "no retained trace")))
+
+let gauge name =
+  match List.assoc_opt name (Pb_obs.Metrics.snapshot ()) with
+  | Some v -> v
+  | None -> Alcotest.fail (name ^ " not in metrics snapshot")
+
+let wait_gauges_zero () =
+  let rec go n =
+    if gauge "pb_net_inflight_requests" = 0.0
+       && gauge "pb_net_queue_depth" = 0.0
+    then ()
+    else if n = 0 then
+      Alcotest.fail
+        (Printf.sprintf "gauges stuck: inflight=%g queue=%g"
+           (gauge "pb_net_inflight_requests")
+           (gauge "pb_net_queue_depth"))
+    else begin
+      Thread.delay 0.05;
+      go (n - 1)
+    end
+  in
+  go 60
+
+(* Regression: the admission gauges must return to zero when a handler
+   raises (the \panic crash lever) — the release sits in a Fun.protect,
+   not on the happy path. *)
+let test_gauges_zero_after_handler_raise () =
+  Server.with_server ~config:test_config (make_db 20) (fun server ->
+      Client.with_connection ~port:(Server.port server) (fun c ->
+          let r = Client.request c "\\panic boom" in
+          Alcotest.(check string) "handler raise surfaces as internal"
+            "internal"
+            (Protocol.status_to_string r.Protocol.status);
+          Alcotest.(check bool) "message carried" true
+            (contains r.Protocol.body "boom");
+          wait_gauges_zero ();
+          (* the connection survives the crash *)
+          let after = ok_or_fail (Client.request c "\\tables") in
+          Alcotest.(check bool) "connection usable after raise" true
+            (contains after "recipes")))
+
+(* Regression: a client vanishing mid-request must not leak its
+   admission slot — the response write fails, but the gauges drain. *)
+let test_gauges_zero_after_disconnect () =
+  Server.with_server ~config:test_config (make_db 60) (fun server ->
+      let fd = Unix.socket ~cloexec:true Unix.PF_INET Unix.SOCK_STREAM 0 in
+      Unix.connect fd
+        (Unix.ADDR_INET (Unix.inet_addr_loopback, Server.port server));
+      let oc = Unix.out_channel_of_descr fd in
+      let ic = Unix.in_channel_of_descr fd in
+      Protocol.write_frame oc (Protocol.encode_hello Protocol.version);
+      (match Protocol.read_frame ic with
+      | Protocol.Frame _ -> ()
+      | _ -> Alcotest.fail "no hello reply");
+      Protocol.write_frame oc
+        (Protocol.encode_request
+           { Protocol.text = slow_sql; deadline = Some 0.3; trace = None });
+      (* hang up while the request is evaluating *)
+      Thread.delay 0.05;
+      close_out_noerr oc;
+      wait_gauges_zero ();
+      (* and the server still serves new clients *)
+      Client.with_connection ~port:(Server.port server) (fun c ->
+          Alcotest.(check bool) "server healthy after disconnect" true
+            (contains (ok_or_fail (Client.request c "\\tables")) "recipes")))
+
+(* The HTTP endpoints the standalone exposition server mounts. *)
+let test_http_handler_endpoints () =
+  Server.with_server ~config:test_config (make_db 20) (fun server ->
+      Client.with_connection ~port:(Server.port server) (fun c ->
+          ignore (ok_or_fail (Client.request c "SELECT COUNT(*) FROM recipes")));
+      (match Server.http_handler server "/metrics" with
+      | Some { Pb_obs.Http.code; content_type; body } ->
+          Alcotest.(check int) "metrics 200" 200 code;
+          Alcotest.(check bool) "prometheus content type" true
+            (contains content_type "text/plain; version=0.0.4");
+          Alcotest.(check bool) "exposition has TYPE lines" true
+            (contains body "# TYPE pb_net_requests_total counter");
+          Alcotest.(check bool) "request counter sampled" true
+            (contains body "pb_net_requests_total")
+      | None -> Alcotest.fail "/metrics unmounted");
+      (match Server.http_handler server "/healthz" with
+      | Some { Pb_obs.Http.code; content_type; body } ->
+          Alcotest.(check int) "healthz 200" 200 code;
+          Alcotest.(check bool) "json content type" true
+            (contains content_type "application/json");
+          Alcotest.(check bool) "reports ok" true
+            (contains body "\"status\":\"ok\"");
+          Alcotest.(check bool) "reports limits" true
+            (contains body "\"max_inflight\"")
+      | None -> Alcotest.fail "/healthz unmounted");
+      (match Server.http_handler server "/traces" with
+      | Some { Pb_obs.Http.body; _ } ->
+          Alcotest.(check bool) "trace index is json" true
+            (contains body "\"traces\":[")
+      | None -> Alcotest.fail "/traces unmounted");
+      match Server.http_handler server "/nope" with
+      | None -> ()
+      | Some _ -> Alcotest.fail "unknown path served")
+
 let suite =
   [
     Alcotest.test_case "frame roundtrip" `Quick test_frame_roundtrip;
@@ -533,4 +746,16 @@ let suite =
       test_shutdown_drains;
     Alcotest.test_case "shutdown is idempotent" `Quick test_shutdown_idempotent;
     Alcotest.test_case "net metrics exposed" `Quick test_metrics_exposed;
+    Alcotest.test_case "trace id propagates client -> server -> tree" `Quick
+      test_trace_propagation;
+    Alcotest.test_case "untraced request gets a server-generated id" `Quick
+      test_trace_server_generated_id;
+    Alcotest.test_case "trace capacity 0 disables retention" `Quick
+      test_trace_disabled;
+    Alcotest.test_case "gauges return to zero after handler raise" `Quick
+      test_gauges_zero_after_handler_raise;
+    Alcotest.test_case "gauges return to zero after mid-request disconnect"
+      `Quick test_gauges_zero_after_disconnect;
+    Alcotest.test_case "http handler endpoints" `Quick
+      test_http_handler_endpoints;
   ]

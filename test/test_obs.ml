@@ -381,6 +381,344 @@ let test_slowlog_command () =
         "bad argument" true
         (contains "usage" (out "\\slowlog nonsense")))
 
+(* ---- exposition escaping --------------------------------------------- *)
+
+(* Exact-format locks: Prometheus scrapers parse HELP text and label
+   values byte-by-byte, so the escaping rules are wire format, not
+   cosmetics. *)
+let test_exposition_escaping () =
+  Alcotest.(check string)
+    "help: backslash doubled" "a\\\\b"
+    (Metrics.escape_help "a\\b");
+  Alcotest.(check string)
+    "help: newline becomes \\n" "x\\ny"
+    (Metrics.escape_help "x\ny");
+  Alcotest.(check string)
+    "help: quotes untouched" "say \"hi\""
+    (Metrics.escape_help "say \"hi\"");
+  Alcotest.(check string)
+    "label: quote gains a backslash" "say \\\"hi\\\""
+    (Metrics.escape_label "say \"hi\"");
+  Alcotest.(check string)
+    "label: all three at once" "\\\\ \\\" \\n"
+    (Metrics.escape_label "\\ \" \n");
+  (* dump applies the rules: a raw newline in HELP text would split the
+     comment line and corrupt every sample after it *)
+  let r = Metrics.create () in
+  ignore
+    (Metrics.counter ~registry:r ~help:"line1\nline2 \\ slash"
+       "pb_test_esc_total");
+  Alcotest.(check bool)
+    "HELP line escaped in the dump" true
+    (contains "# HELP pb_test_esc_total line1\\nline2 \\\\ slash"
+       (Metrics.dump ~registry:r ()))
+
+(* ---- request trace contexts ------------------------------------------ *)
+
+let tid_a = String.make 32 'a'
+let tid_b = String.make 32 'b'
+
+let test_with_context () =
+  Trace.reset ();
+  Trace.set_enabled false;
+  let v, spans =
+    Trace.with_context ~trace_id:tid_a (fun () ->
+        Alcotest.(check (option string))
+          "context visible inside" (Some tid_a)
+          (Trace.current_trace_id ());
+        Trace.with_span ~name:"engine.run" (fun () ->
+            Trace.with_span ~name:"milp.solve" (fun () -> ()));
+        42)
+  in
+  Alcotest.(check int) "value threaded through" 42 v;
+  Alcotest.(check (option string))
+    "context uninstalled after" None
+    (Trace.current_trace_id ());
+  (match spans with
+  | [ root; engine; milp ] ->
+      Alcotest.(check string) "root is the request span" "request"
+        root.Trace.name;
+      Alcotest.(check int) "root has no parent" (-1) root.Trace.parent;
+      Alcotest.(check (option string))
+        "root carries the trace id" (Some tid_a)
+        (List.assoc_opt "trace_id" root.Trace.attrs);
+      Alcotest.(check int) "engine under root" root.Trace.id
+        engine.Trace.parent;
+      Alcotest.(check int) "milp under engine" engine.Trace.id
+        milp.Trace.parent
+  | spans ->
+      Alcotest.fail
+        (Printf.sprintf "expected 3 spans, got %d" (List.length spans)));
+  (* context spans bypass the global ring while tracing is disabled *)
+  Alcotest.(check int) "global ring untouched" 0
+    (List.length (Trace.spans ()))
+
+let test_with_context_reentrant () =
+  Trace.reset ();
+  Trace.set_enabled false;
+  let (), outer_spans =
+    Trace.with_context ~trace_id:tid_a (fun () ->
+        Trace.with_span ~name:"outer.op" (fun () -> ());
+        let (), inner_spans =
+          Trace.with_context ~trace_id:tid_b (fun () ->
+              Trace.with_span ~name:"inner.op" (fun () -> ()))
+        in
+        Alcotest.(check bool)
+          "inner context collected its own span" true
+          (List.exists (fun sp -> sp.Trace.name = "inner.op") inner_spans);
+        Alcotest.(check (option string))
+          "outer context restored" (Some tid_a)
+          (Trace.current_trace_id ()))
+  in
+  Alcotest.(check bool)
+    "outer kept its span" true
+    (List.exists (fun sp -> sp.Trace.name = "outer.op") outer_spans);
+  Alcotest.(check bool)
+    "outer did not swallow the inner tree" false
+    (List.exists (fun sp -> sp.Trace.name = "inner.op") outer_spans);
+  (* exception safety: the context is gone after a raise *)
+  (try
+     ignore (Trace.with_context ~trace_id:tid_a (fun () -> failwith "kaboom"))
+   with Failure _ -> ());
+  Alcotest.(check (option string))
+    "context uninstalled on raise" None
+    (Trace.current_trace_id ())
+
+(* ---- trace store ------------------------------------------------------ *)
+
+module Trace_store = Pb_obs.Trace_store
+
+let mk_entry ?(spans = []) ?(progress = []) ?(status = "ok") id =
+  {
+    Trace_store.trace_id = id;
+    started = 0.0;
+    elapsed = 0.125;
+    status;
+    spans;
+    progress;
+  }
+
+let test_trace_store_fifo () =
+  let s = Trace_store.create ~capacity:2 () in
+  Trace_store.add s (mk_entry "id1");
+  Trace_store.add s (mk_entry "id2");
+  Trace_store.add s (mk_entry "id3");
+  Alcotest.(check int) "capped" 2 (Trace_store.length s);
+  Alcotest.(check (list string))
+    "oldest evicted, oldest first" [ "id2"; "id3" ]
+    (Trace_store.ids s);
+  Alcotest.(check bool) "evicted id gone" true
+    (Trace_store.find s "id1" = None);
+  (* re-adding an id replaces its entry in place *)
+  Trace_store.add s (mk_entry ~status:"deadline" "id3");
+  Alcotest.(check int) "replace does not grow" 2 (Trace_store.length s);
+  (match Trace_store.find s "id3" with
+  | Some e -> Alcotest.(check string) "replaced" "deadline" e.Trace_store.status
+  | None -> Alcotest.fail "replaced entry vanished");
+  (* shrinking evicts immediately; zero disables the store *)
+  Trace_store.set_capacity s 1;
+  Alcotest.(check (list string)) "shrunk to newest" [ "id3" ] (Trace_store.ids s);
+  Trace_store.set_capacity s 0;
+  Trace_store.add s (mk_entry "id4");
+  Alcotest.(check int) "capacity 0 stores nothing" 0 (Trace_store.length s);
+  Trace_store.set_capacity s 4;
+  Trace_store.add s (mk_entry "id5");
+  Trace_store.clear s;
+  Alcotest.(check int) "clear empties" 0 (Trace_store.length s)
+
+let test_trace_store_json_root_id () =
+  let root =
+    {
+      Trace.id = 7;
+      parent = -1;
+      name = "request";
+      attrs = [ ("trace_id", tid_a) ];
+      counters = [];
+      start = 0.0;
+      elapsed = 0.5;
+    }
+  in
+  let child =
+    {
+      Trace.id = 8;
+      parent = 7;
+      name = "engine.run";
+      attrs = [];
+      counters = [];
+      start = 0.1;
+      elapsed = 0.3;
+    }
+  in
+  let entry = mk_entry ~spans:[ root; child ] tid_a in
+  let json = Trace_store.to_json entry in
+  (* the root span's internal id is replaced by the wire trace id, so a
+     client can verify the tree is rooted at the id it generated *)
+  Alcotest.(check bool)
+    "root id is the trace id" true
+    (contains (Printf.sprintf "\"id\":%S" tid_a) json);
+  Alcotest.(check bool) "root parent is null" true
+    (contains "\"parent\":null" json);
+  Alcotest.(check bool)
+    "child's parent names the root by trace id" true
+    (contains (Printf.sprintf "\"parent\":%S" tid_a) json);
+  Alcotest.(check bool)
+    "status field" true
+    (contains "\"status\":\"ok\"" json);
+  (* and the human rendering leads with the id *)
+  let text = Trace_store.render entry in
+  Alcotest.(check bool) "render header" true (contains ("trace " ^ tid_a) text);
+  Alcotest.(check bool) "render has spans" true (contains "engine.run" text)
+
+(* ---- solver progress telemetry ---------------------------------------- *)
+
+module Progress = Pb_obs.Progress
+
+let test_progress_recorder () =
+  let (), events =
+    Progress.with_recorder ~key:42 (fun () ->
+        Progress.incumbent ~key:42 ~strategy:"test" ~bound:10.0 ~nodes:5 8.0;
+        Progress.incumbent ~key:42 ~strategy:"test" ~nodes:9 9.5;
+        (* infinite bounds are dropped, not recorded as infinities *)
+        Progress.incumbent ~key:42 ~strategy:"test" ~bound:Float.infinity
+          ~nodes:12 9.9;
+        (* a different family's events do not leak in *)
+        Progress.incumbent ~key:7 ~strategy:"other" ~nodes:1 1.0)
+  in
+  (match events with
+  | [ a; b; c ] ->
+      Alcotest.(check (list int)) "seq numbering" [ 0; 1; 2 ]
+        [ a.Progress.seq; b.Progress.seq; c.Progress.seq ];
+      Alcotest.(check (float 0.0)) "objective" 8.0 a.Progress.objective;
+      Alcotest.(check (option (float 0.0))) "bound kept" (Some 10.0)
+        a.Progress.bound;
+      Alcotest.(check (option (float 1e-9)))
+        "gap = |bound-obj| / max(1,|obj|)" (Some 0.25) a.Progress.gap;
+      Alcotest.(check int) "nodes" 5 a.Progress.nodes;
+      Alcotest.(check string) "strategy" "test" a.Progress.strategy;
+      Alcotest.(check (option (float 0.0))) "no bound -> none" None
+        b.Progress.bound;
+      Alcotest.(check (option (float 0.0))) "no bound -> no gap" None
+        b.Progress.gap;
+      Alcotest.(check (option (float 0.0))) "infinite bound dropped" None
+        c.Progress.bound
+  | evs ->
+      Alcotest.fail (Printf.sprintf "expected 3 events, got %d" (List.length evs)));
+  (* emission with no recorder installed is a silent no-op *)
+  Progress.incumbent ~key:999 ~strategy:"ghost" ~nodes:0 1.0
+
+let test_progress_capacity_and_nesting () =
+  (* the buffer keeps the newest events; seq exposes the loss *)
+  let (), events =
+    Progress.with_recorder ~capacity:2 ~key:5 (fun () ->
+        for i = 1 to 4 do
+          Progress.incumbent ~key:5 ~strategy:"t" ~nodes:i (float_of_int i)
+        done)
+  in
+  Alcotest.(check (list int)) "newest kept, seq shows drops" [ 2; 3 ]
+    (List.map (fun e -> e.Progress.seq) events);
+  (* nested recorders (server outside, engine inside) both hear events *)
+  let (((), inner), outer) =
+    Progress.with_recorder ~key:5 (fun () ->
+        Progress.with_recorder ~key:5 (fun () ->
+            Progress.incumbent ~key:5 ~strategy:"t" ~nodes:1 1.0))
+  in
+  Alcotest.(check int) "inner recorder heard it" 1 (List.length inner);
+  Alcotest.(check int) "outer recorder heard it too" 1 (List.length outer)
+
+let test_progress_rendering () =
+  Alcotest.(check (option (float 1e-9)))
+    "gap_of clamps small objectives" (Some 0.5)
+    (Progress.gap_of ~objective:0.5 (Some 1.0));
+  Alcotest.(check (option (float 1e-9)))
+    "gap_of on negatives" (Some 0.25)
+    (Progress.gap_of ~objective:(-8.0) (Some (-10.0)));
+  let ev =
+    {
+      Progress.seq = 3;
+      elapsed = 1.25;
+      objective = 42.0;
+      bound = Some 45.5;
+      gap = Some 0.0833;
+      nodes = 17;
+      strategy = "ilp";
+    }
+  in
+  Alcotest.(check string)
+    "event line format"
+    "#3 +1.250s ilp obj=42 bound=45.5 gap=0.0833 nodes=17"
+    (Progress.event_to_string ev);
+  let bare = { ev with seq = 0; elapsed = 0.5; bound = None; gap = None } in
+  Alcotest.(check string)
+    "bound and gap omitted together" "#0 +0.500s ilp obj=42 nodes=17"
+    (Progress.event_to_string bare);
+  let json = Progress.to_json [ bare ] in
+  Alcotest.(check bool) "json nulls absent bound" true
+    (contains "\"bound\":null" json);
+  Alcotest.(check bool) "json array" true
+    (String.length json >= 2 && json.[0] = '[')
+
+(* ---- http exposition server ------------------------------------------- *)
+
+let http_raw port data =
+  let fd = Unix.socket ~cloexec:true Unix.PF_INET Unix.SOCK_STREAM 0 in
+  Unix.connect fd (Unix.ADDR_INET (Unix.inet_addr_loopback, port));
+  let oc = Unix.out_channel_of_descr fd in
+  let ic = Unix.in_channel_of_descr fd in
+  output_string oc data;
+  flush oc;
+  let buf = Buffer.create 256 in
+  (try
+     while true do
+       Buffer.add_channel buf ic 1
+     done
+   with End_of_file | Sys_error _ -> ());
+  close_out_noerr oc;
+  Buffer.contents buf
+
+let http_get port path =
+  http_raw port ("GET " ^ path ^ " HTTP/1.1\r\nHost: t\r\n\r\n")
+
+let test_http_server () =
+  let handler path =
+    match path with
+    | "/ok" ->
+        Some
+          {
+            Pb_obs.Http.code = 200;
+            content_type = "text/plain";
+            body = "hello\n";
+          }
+    | "/boom" -> failwith "handler crash"
+    | _ -> None
+  in
+  let h = Pb_obs.Http.start ~port:0 handler in
+  Fun.protect
+    ~finally:(fun () -> Pb_obs.Http.stop h)
+    (fun () ->
+      let port = Pb_obs.Http.port h in
+      let ok = http_get port "/ok" in
+      Alcotest.(check bool) "200 status line" true
+        (contains "HTTP/1.1 200 OK" ok);
+      Alcotest.(check bool) "content type" true
+        (contains "Content-Type: text/plain" ok);
+      Alcotest.(check bool) "content length" true
+        (contains "Content-Length: 6" ok);
+      Alcotest.(check bool) "one-shot connection" true
+        (contains "Connection: close" ok);
+      Alcotest.(check bool) "body" true (contains "hello" ok);
+      (* query strings are stripped before routing *)
+      Alcotest.(check bool) "query string ignored" true
+        (contains "HTTP/1.1 200 OK" (http_get port "/ok?x=1"));
+      Alcotest.(check bool) "unknown path is 404" true
+        (contains "HTTP/1.1 404" (http_get port "/nope"));
+      Alcotest.(check bool) "handler exception is 500" true
+        (contains "HTTP/1.1 500" (http_get port "/boom"));
+      Alcotest.(check bool) "non-GET is 405" true
+        (contains "HTTP/1.1 405"
+           (http_raw port "POST /ok HTTP/1.1\r\nHost: t\r\n\r\n"));
+      Alcotest.(check bool) "garbage request line is 400" true
+        (contains "HTTP/1.1 400" (http_raw port "gremlins\r\n\r\n")))
+
 let suite =
   [
     ("span nesting, attrs and counters.", `Quick, test_span_nesting);
@@ -400,4 +738,16 @@ let suite =
     ("EXPLAIN ANALYZE parse error is safe.", `Quick, test_explain_analyze_bad_query);
     ("\\metrics dumps the registry.", `Quick, test_metrics_command);
     ("\\slowlog command cycle.", `Quick, test_slowlog_command);
+    ("exposition escaping exact format.", `Quick, test_exposition_escaping);
+    ("request trace contexts collect spans.", `Quick, test_with_context);
+    ("trace contexts nest and survive raises.", `Quick,
+     test_with_context_reentrant);
+    ("trace store FIFO eviction and capacity.", `Quick, test_trace_store_fifo);
+    ("trace store json roots at the trace id.", `Quick,
+     test_trace_store_json_root_id);
+    ("progress recorder captures incumbents.", `Quick, test_progress_recorder);
+    ("progress capacity and nested recorders.", `Quick,
+     test_progress_capacity_and_nesting);
+    ("progress gap and rendering format.", `Quick, test_progress_rendering);
+    ("http server GET/404/405/500.", `Quick, test_http_server);
   ]
