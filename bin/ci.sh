@@ -213,4 +213,59 @@ if [ "$POISON_EXIT" -ne 0 ]; then
   exit 1
 fi
 
+# SketchRefine serving smoke: a 100k-row server with a 10s request
+# deadline must answer a package query evaluated with the sticky
+# \strategy sketch-refine — a package plus objective and a
+# sketch-refine footer, never a "(cancelled)" one: even when the
+# deadline fires mid-refine, the anytime contract serves the current
+# incumbent with status ok.
+echo "== sketch-refine smoke (100k rows through pb_server, 10s deadline) =="
+SR_LOG=_build/ci/sr_server.log
+./_build/default/bin/pb_server.exe --port 0 --size 100000 --seed 7 \
+  --deadline 10 >"$SR_LOG" 2>&1 &
+SR_PID=$!
+i=0
+while [ $i -lt 200 ]; do
+  grep -q "pb_server ready" "$SR_LOG" 2>/dev/null && break
+  i=$((i + 1))
+  sleep 0.2
+done
+SR_PORT=$(sed -n 's/.*listening on 127.0.0.1:\([0-9]*\).*/\1/p' "$SR_LOG")
+if [ -z "$SR_PORT" ]; then
+  echo "CI FAIL: sketch-refine pb_server did not come up; log follows"
+  cat "$SR_LOG"
+  kill "$SR_PID" 2>/dev/null || true
+  exit 1
+fi
+printf '\\strategy sketch-refine\nSELECT PACKAGE(R) AS P FROM recipes R SUCH THAT COUNT(*) BETWEEN 3 AND 5 AND SUM(P.calories) <= 3000 MAXIMIZE SUM(P.protein)\n\\quit\n' | \
+  ./_build/default/bin/pb_client.exe --port "$SR_PORT" \
+  >_build/ci/sr_smoke_out.txt 2>&1
+if ! grep -q "strategy set to sketch-refine" _build/ci/sr_smoke_out.txt; then
+  echo "CI FAIL: \\strategy sketch-refine was not accepted:"
+  cat _build/ci/sr_smoke_out.txt
+  kill "$SR_PID" 2>/dev/null || true
+  exit 1
+fi
+if ! grep -q "^objective:" _build/ci/sr_smoke_out.txt || \
+   ! grep -q "strategy: sketch-refine" _build/ci/sr_smoke_out.txt; then
+  echo "CI FAIL: sketch-refine query did not return a package + objective:"
+  tail -n 20 _build/ci/sr_smoke_out.txt
+  kill "$SR_PID" 2>/dev/null || true
+  exit 1
+fi
+if grep -q "(cancelled)" _build/ci/sr_smoke_out.txt; then
+  echo "CI FAIL: sketch-refine run reported (cancelled) instead of serving"
+  echo "         its anytime incumbent:"
+  tail -n 20 _build/ci/sr_smoke_out.txt
+  kill "$SR_PID" 2>/dev/null || true
+  exit 1
+fi
+kill -TERM "$SR_PID"
+SR_EXIT=0
+wait "$SR_PID" || SR_EXIT=$?
+if [ "$SR_EXIT" -ne 0 ]; then
+  echo "CI FAIL: sketch-refine pb_server exited $SR_EXIT on SIGTERM (expected 0)"
+  exit 1
+fi
+
 echo "CI OK"

@@ -44,6 +44,14 @@ let m_pruning_cutoffs =
   Metrics.counter ~help:"Queries proven infeasible by cardinality bounds alone"
     "pb_engine_pruning_cutoffs_total"
 
+let m_sr_partitions =
+  Metrics.counter ~help:"Sketch-refine partitions built"
+    "pb_engine_sketch_partitions_total"
+
+let m_sr_refine_steps =
+  Metrics.counter ~help:"Sketch-refine refine-leg MILPs solved"
+    "pb_engine_sketch_refine_steps_total"
+
 let m_verification_failures =
   Metrics.counter ~help:"Answers rejected by the semantic safety net"
     "pb_engine_verification_failures_total"
@@ -59,6 +67,7 @@ type strategy =
   | Local_search of Local_search.params
   | Anneal of Annealing.params
   | Sql_generation of Sql_generate.params
+  | Sketch_refine of Sketch_refine.params
   | Hybrid
 
 let strategy_name = function
@@ -68,6 +77,7 @@ let strategy_name = function
   | Local_search _ -> "local-search"
   | Anneal _ -> "annealing"
   | Sql_generation _ -> "sql-generation"
+  | Sketch_refine _ -> "sketch-refine"
   | Hybrid -> "hybrid"
 
 type proof = Optimal | Feasible | Infeasible | Cancelled
@@ -103,6 +113,11 @@ type report = {
   strategy_used : string;
   elapsed : float;
   stats : (string * string) list;
+  anytime : bool;
+      (* the strategy's governed-stop answer is a deliberate best-so-far
+         incumbent (SketchRefine's serving contract): a deadline or
+         cancellation that still yielded a package downgrades to
+         [Feasible] instead of [Cancelled] *)
 }
 
 let linearizable (c : Coeffs.t) =
@@ -147,6 +162,7 @@ let run_brute_force ~pool ~gov ~use_pruning (c : Coeffs.t) =
           proven_optimal = out.complete;
           strategy_used = name;
           elapsed = 0.0;
+          anytime = false;
           stats =
             [
               stat_count ~key:"candidates_examined" m_candidates_examined
@@ -175,6 +191,7 @@ let run_ilp ~gov db (c : Coeffs.t) =
             proven_optimal = false;
             strategy_used = "ilp";
             elapsed = 0.0;
+            anytime = false;
             stats = [ ("not_applicable", reason) ];
           }
         else begin
@@ -195,6 +212,7 @@ let run_ilp ~gov db (c : Coeffs.t) =
             proven_optimal = proven;
             strategy_used = "ilp";
             elapsed = 0.0;
+            anytime = false;
             stats =
               [
                 (* bb_nodes/lp_iterations are metered inside Pb_lp. *)
@@ -232,6 +250,7 @@ let run_local_search ~gov ~params db (c : Coeffs.t) =
           proven_optimal = false;
           strategy_used = "local-search";
           elapsed = 0.0;
+          anytime = false;
           stats =
             [
               stat_count ~key:"rounds" m_ls_rounds out.stats.rounds;
@@ -263,6 +282,7 @@ let run_anneal ~gov ~params db (c : Coeffs.t) =
           proven_optimal = false;
           strategy_used = "annealing";
           elapsed = 0.0;
+          anytime = false;
           stats =
             [
               stat_count ~key:"steps" m_anneal_steps out.Annealing.steps_taken;
@@ -289,6 +309,7 @@ let run_sql_generation ~gov ~params db (c : Coeffs.t) =
           proven_optimal = out.Sql_generate.applicable;
           strategy_used = "sql-generation";
           elapsed = 0.0;
+          anytime = false;
           stats =
             (stat_count ~key:"queries_issued" m_sqlgen_queries
                out.Sql_generate.queries_issued
@@ -296,6 +317,59 @@ let run_sql_generation ~gov ~params db (c : Coeffs.t) =
             (if out.Sql_generate.applicable then []
              else [ ("not_applicable", out.Sql_generate.reason) ]));
         })
+  in
+  { report with elapsed }
+
+let run_sketch_refine ~pool ~gov ~params db (c : Coeffs.t) =
+  let report, elapsed =
+    Trace.timed ~name:"strategy.sketch-refine"
+      ~attrs:[ ("candidates", string_of_int c.n) ]
+      (fun () ->
+        Metrics.incr m_runs;
+        let out = Sketch_refine.search ~params ~pool ~gov c in
+        if not out.Sketch_refine.applicable then
+          {
+            package = None;
+            objective = None;
+            proven_optimal = false;
+            strategy_used = "sketch-refine";
+            elapsed = 0.0;
+            anytime = false;
+            stats = [ ("not_applicable", out.Sketch_refine.reason) ];
+          }
+        else
+          let objective =
+            match out.Sketch_refine.best with
+            | Some pkg -> objective_of db c pkg
+            | None -> None
+          in
+          {
+            package = out.Sketch_refine.best;
+            objective;
+            proven_optimal = out.Sketch_refine.proven_optimal;
+            strategy_used = "sketch-refine";
+            elapsed = 0.0;
+            anytime = true;
+            stats =
+              [
+                stat_count ~key:"partitions" m_sr_partitions
+                  out.Sketch_refine.partitions_built;
+                stat_count ~key:"refine_steps" m_sr_refine_steps
+                  out.Sketch_refine.refine_steps;
+                ( "refined_partitions",
+                  string_of_int out.Sketch_refine.refined_partitions );
+                ( "stuck_partitions",
+                  string_of_int out.Sketch_refine.stuck_partitions );
+                ("sketch_status", out.Sketch_refine.sketch_status);
+              ]
+              @ (match out.Sketch_refine.bound with
+                | Some b -> [ ("bound", Printf.sprintf "%.9g" b) ]
+                | None -> [])
+              @
+              (match out.Sketch_refine.gap with
+              | Some g -> [ ("gap", Printf.sprintf "%.9g" g) ]
+              | None -> []);
+          })
   in
   { report with elapsed }
 
@@ -327,6 +401,7 @@ let run_hybrid ~pool ~gov db (c : Coeffs.t) =
             proven_optimal = true;
             strategy_used = "hybrid(pruning)";
             elapsed = 0.0;
+            anytime = false;
             stats =
               [ ("hybrid_choice", "pruning bounds empty: proven infeasible") ];
           }
@@ -435,6 +510,8 @@ let run_coeffs ?pool ?gov ?(strategy = Hybrid) db (c : Coeffs.t) =
               | Local_search params -> run_local_search ~gov ~params db c
               | Anneal params -> run_anneal ~gov ~params db c
               | Sql_generation params -> run_sql_generation ~gov ~params db c
+              | Sketch_refine params ->
+                  run_sketch_refine ~pool ~gov ~params db c
               | Hybrid -> run_hybrid ~pool ~gov db c
             in
             let report = verified db c report in
@@ -445,6 +522,12 @@ let run_coeffs ?pool ?gov ?(strategy = Hybrid) db (c : Coeffs.t) =
             ignore (Gov.refresh gov);
             let proof =
               match Gov.fate gov with
+              | Some _ when report.anytime && report.package <> None ->
+                  (* Anytime strategies treat a governed stop with an
+                     incumbent in hand as a legitimate best-so-far
+                     answer: Feasible, with ("stopped", reason) in the
+                     stats recording why refinement ended early. *)
+                  Feasible
               | Some _ -> Cancelled
               | None -> (
                   if not report.proven_optimal then Feasible

@@ -34,6 +34,15 @@ type strategy =
   | Sql_generation of Sql_generate.params
       (** §4 option (i): enumerate candidate packages with SQL self-joins;
           exact but only applicable for narrow cardinality bounds *)
+  | Sketch_refine of Sketch_refine.params
+      (** partition–sketch–refine (Brucato et al., SIGMOD'16): cluster
+          the candidates over the constraint attributes, solve a small
+          representative-level MILP, then refine one partition at a time
+          with its real tuples — refine legs fan out on the domain pool
+          under {!Pb_util.Gov.child} tokens. Scales to relations where a
+          whole-relation MILP cannot even build its model; reports a
+          sound optimality bound and gap when available (see
+          {!Sketch_refine}) *)
   | Hybrid
 
 val strategy_name : strategy -> string
@@ -49,7 +58,12 @@ type proof =
   | Infeasible  (** proven: no valid package exists *)
   | Cancelled
       (** the governance token was cancelled or its deadline passed;
-          [package], if any, is the best incumbent at the stop *)
+          [package], if any, is the best incumbent at the stop.
+          {e Anytime} strategies ([Sketch_refine]) instead report a
+          governed stop that still has an incumbent in hand as
+          [Feasible] — the partial answer is their serving contract —
+          with a [("stopped", reason)] stat recording the early end;
+          [Cancelled] then only appears when the stop left no package *)
 
 val proof_to_string : proof -> string
 

@@ -1,0 +1,90 @@
+type t = {
+  groups : int array array;
+  centroids : float array array;
+}
+
+let group_count t = Array.length t.groups
+
+let group_of t i =
+  let found = ref (-1) in
+  Array.iteri
+    (fun p g -> if !found < 0 && Array.exists (fun j -> j = i) g then found := p)
+    t.groups;
+  if !found < 0 then invalid_arg "Partition.group_of: index out of range";
+  !found
+
+(* Dimension with the widest [max - min] over the group; ties go to the
+   lowest dimension, and a group constant in every feature returns None
+   (unsplittable). *)
+let widest_dim features idx =
+  let best = ref (-1) and best_spread = ref 0.0 in
+  Array.iteri
+    (fun dim f ->
+      let lo = ref f.(idx.(0)) and hi = ref f.(idx.(0)) in
+      Array.iter
+        (fun i ->
+          let v = f.(i) in
+          if v < !lo then lo := v;
+          if v > !hi then hi := v)
+        idx;
+      let s = !hi -. !lo in
+      if s > !best_spread then begin
+        best := dim;
+        best_spread := s
+      end)
+    features;
+  if !best < 0 then None else Some !best
+
+let sort_asc a = Array.sort compare (a : int array)
+
+let build ~target ~features ~n =
+  if n = 0 then { groups = [||]; centroids = [||] }
+  else begin
+    let target = max 1 (min target n) in
+    (* [splittable] and [final] together always partition [0, n). *)
+    let splittable = ref [ Array.init n Fun.id ] and final = ref [] in
+    let count () = List.length !splittable + List.length !final in
+    let rec pick best = function
+      | [] -> best
+      | g :: rest ->
+          let better =
+            match best with
+            | None -> true
+            | Some b ->
+                Array.length g > Array.length b
+                || (Array.length g = Array.length b && g.(0) < b.(0))
+          in
+          pick (if better then Some g else best) rest
+    in
+    while count () < target && !splittable <> [] do
+      let g = Option.get (pick None !splittable) in
+      splittable := List.filter (fun h -> h != g) !splittable;
+      match widest_dim features g with
+      | None -> final := g :: !final
+      | Some dim ->
+          let f = features.(dim) in
+          let by_value = Array.copy g in
+          Array.sort
+            (fun i j -> compare (f.(i), i) (f.(j), j))
+            by_value;
+          let m = Array.length by_value in
+          let left = Array.sub by_value 0 (m / 2)
+          and right = Array.sub by_value (m / 2) (m - (m / 2)) in
+          sort_asc left;
+          sort_asc right;
+          splittable := left :: right :: !splittable
+    done;
+    let groups = Array.of_list (!splittable @ !final) in
+    Array.sort (fun a b -> compare a.(0) b.(0)) groups;
+    let d = Array.length features in
+    let centroids =
+      Array.map
+        (fun g ->
+          Array.init d (fun dim ->
+              let f = features.(dim) in
+              Array.fold_left (fun acc i -> acc +. f.(i)) 0.0 g
+              /. float_of_int (Array.length g)))
+        groups
+    in
+    { groups; centroids }
+  end

@@ -30,6 +30,14 @@ type t = {
   vars : int array;  (** vars.(i) = model variable of candidate tuple i *)
 }
 
+val strict_eps : float
+(** Epsilon used to tighten strict comparisons (1e-6). *)
+
+val cmp_to_row : Pb_paql.Analyze.cmp -> float -> Pb_lp.Model.sense * float
+(** Map a comparison to a solver row sense: [Le]/[Ge] pass through,
+    [Lt]/[Gt] tighten the right-hand side by {!strict_eps}. Shared with
+    {!Sketch_refine} so both model builders agree on strictness. *)
+
 val build : Coeffs.t -> t
 (** Model with multiplicity variables, all constraint rows, and the
     (possibly zero) objective. *)

@@ -331,3 +331,25 @@ let check_global_constraint (q : Ast.t) =
 let validate_query q =
   let* () = check_base_constraint q in
   check_global_constraint q
+
+(* ---- Constraint-attribute extraction ------------------------------ *)
+
+let aggregate_arguments (q : Ast.t) =
+  let seen = Hashtbl.create 8 in
+  let out = ref [] in
+  let visit e =
+    iter_expr
+      (fun node ->
+        match node with
+        | Sql.Agg (_, Some arg) ->
+            let key = Sql.expr_to_string arg in
+            if not (Hashtbl.mem seen key) then begin
+              Hashtbl.add seen key ();
+              out := arg :: !out
+            end
+        | _ -> ())
+      e
+  in
+  Option.iter visit q.such_that;
+  (match q.objective with Some (_, e) -> visit e | None -> ());
+  List.rev !out

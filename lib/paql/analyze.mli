@@ -62,3 +62,12 @@ val check_global_constraint : Ast.t -> (unit, string) result
 
 val validate_query : Ast.t -> (unit, string) result
 (** Both checks. *)
+
+val aggregate_arguments : Ast.t -> Pb_sql.Ast.expr list
+(** The distinct aggregate argument expressions (the [e] of SUM(e),
+    AVG(e), MIN(e), MAX(e)) appearing in SUCH THAT and the objective, in
+    first-appearance order (SUCH THAT first). These are the attributes a
+    package's global constraints actually depend on — the partitioning
+    key of the SketchRefine strategy: tuples that agree on all of them
+    are interchangeable for every global constraint. COUNT contributes
+    nothing (it is attribute-free). *)

@@ -11,13 +11,21 @@ type state = {
   cache : Pb_sql.Plan_cache.t;
   mutable last_query : Pb_paql.Ast.t option;
   mutable last_package : Pb_paql.Package.t option;
+  mutable strategy : Pb_core.Engine.strategy;
+      (* sticky per-session evaluation strategy, set by \strategy *)
 }
 
 let create ?cache db =
   let cache =
     match cache with Some c -> c | None -> Pb_sql.Plan_cache.create ()
   in
-  { db; cache; last_query = None; last_package = None }
+  {
+    db;
+    cache;
+    last_query = None;
+    last_package = None;
+    strategy = Pb_core.Engine.Hybrid;
+  }
 
 let database st = st.db
 
@@ -43,6 +51,7 @@ let help_text =
       "  \\traces [ID]          list retained request traces / show one";
       "  \\slowlog [S|off|clear] slow-query log; S = threshold in seconds";
       "  \\plan SQL             show the SQL planner's decisions";
+      "  \\strategy [NAME]      show or set the evaluation strategy";
       "  \\complete PREFIX      auto-suggest next tokens";
       "  \\next K QUERY         top-K packages";
       "  \\dump DIR             persist the database to a directory";
@@ -59,6 +68,22 @@ let is_paql line =
   | tokens ->
       List.exists (function Pb_sql.Lexer.Keyword "PACKAGE" -> true | _ -> false) tokens
 
+(* The sticky \strategy command: every name the engine knows, using the
+   same spellings Engine.strategy_name prints in result footers. *)
+let strategies =
+  [
+    ("hybrid", Pb_core.Engine.Hybrid);
+    ("ilp", Pb_core.Engine.Ilp);
+    ("brute-force", Pb_core.Engine.Brute_force { use_pruning = false });
+    ("brute-force+pruning", Pb_core.Engine.Brute_force { use_pruning = true });
+    ("local-search", Pb_core.Engine.Local_search Pb_core.Local_search.default_params);
+    ("annealing", Pb_core.Engine.Anneal Pb_core.Annealing.default_params);
+    ("sql-generation", Pb_core.Engine.Sql_generation Pb_core.Sql_generate.default_params);
+    ("sketch-refine", Pb_core.Engine.Sketch_refine Pb_core.Sketch_refine.default_params);
+  ]
+
+let strategy_names = String.concat ", " (List.map fst strategies)
+
 (* Proof annotation in the one-line strategy footer: proven outcomes
    keep the historical "(proven optimal)" wording, a governed stop is
    called out, a plain feasible answer stays bare. *)
@@ -71,7 +96,7 @@ let run_paql ?gov st text =
   match Pb_paql.Parser.parse text with
   | exception Pb_paql.Parser.Parse_error msg -> ok ("paql error: " ^ msg)
   | query -> (
-      match Pb_core.Engine.run ?gov st.db query with
+      match Pb_core.Engine.run ?gov ~strategy:st.strategy st.db query with
       | exception Failure msg -> ok ("error: " ^ msg)
       | result ->
           st.last_query <- Some query;
@@ -134,7 +159,7 @@ let explain_analyze ?gov st text =
       Trace.reset ();
       Trace.set_enabled true;
       let before = Metrics.snapshot () in
-      match Pb_core.Engine.run ?gov st.db query with
+      match Pb_core.Engine.run ?gov ~strategy:st.strategy st.db query with
       | exception e ->
           Trace.set_enabled was_enabled;
           (match e with
@@ -271,6 +296,20 @@ let command ?gov st name raw_arg =
                    (Pb_core.Pruning.log2_unpruned c)
                    (Pb_core.Pruning.log2_pruned c b)
                    (String.trim (Pb_core.Cost_model.to_table c)))))
+  | "strategy", "" ->
+      ok
+        (Printf.sprintf "strategy: %s\navailable: %s"
+           (Pb_core.Engine.strategy_name st.strategy)
+           strategy_names)
+  | "strategy", name -> (
+      match List.assoc_opt (String.lowercase_ascii name) strategies with
+      | Some s ->
+          st.strategy <- s;
+          ok ("strategy set to " ^ Pb_core.Engine.strategy_name s)
+      | None ->
+          ok
+            (Printf.sprintf "unknown strategy: %s\navailable: %s" name
+               strategy_names))
   | "next", rest -> (
       match String.index_opt rest ' ' with
       | None -> ok "usage: \\next K QUERY"

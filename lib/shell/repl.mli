@@ -5,8 +5,9 @@
     Input forms:
 
     - PaQL queries (any line whose first keyword sequence contains
-      [PACKAGE]) — evaluated with the hybrid strategy; the result is
-      remembered for [\save];
+      [PACKAGE]) — evaluated with the session's sticky strategy
+      (hybrid until [\strategy] changes it); the result is remembered
+      for [\save];
     - SQL statements — executed against the session database;
     - backslash commands:
       {v
@@ -21,6 +22,7 @@
       \explain analyze QUERY run the query; print span tree + counters
       \metrics              dump the metrics registry (Prometheus text)
       \slowlog [S|off|clear] slow-query log; S = threshold in seconds
+      \strategy [NAME]      show or set the evaluation strategy
       \complete PREFIX      auto-suggest next tokens
       \next K QUERY         top-K packages
       \dump DIR             persist the database to a directory

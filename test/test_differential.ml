@@ -199,6 +199,137 @@ let prop_gov_never_better =
               (print_inst i)
         | _ -> true)
 
+(* ---- SketchRefine oracle suite ---------------------------------------- *)
+
+(* SketchRefine is heuristic-with-a-sound-bound, so the differential
+   contract is three-fold, checked over random (instance, partition
+   count) pairs against the brute-force oracle:
+
+   1. every package it returns satisfies every constraint — validated
+      through the compiled coefficients ([Coeffs.check]), not by asking
+      another solver;
+   2. whenever it claims a proof (Optimal / Infeasible), the claim
+      agrees with the oracle;
+   3. its reported bound really bounds the true optimum, so the true
+      optimum always lies within the strategy's own reported gap of the
+      returned objective. *)
+
+let sr_params parts = { Pb_core.Sketch_refine.partitions = Some parts; fanout = 2 }
+
+let print_sr (i, parts) = Printf.sprintf "%s partitions=%d" (print_inst i) parts
+
+let sr_gen = Gen.pair inst_gen (Gen.int_range 1 5)
+
+let prop_sketch_refine_valid =
+  QCheck.Test.make ~count:60
+    ~name:"sketch-refine packages valid (Coeffs.check); proofs agree with bf"
+    (QCheck.make ~print:print_sr sr_gen)
+    (fun (i, parts) ->
+      let db = db_of i in
+      let q = Parser.parse (query_of i) in
+      let c = Pb_core.Coeffs.make db q in
+      let r =
+        Engine.run_coeffs
+          ~gov:(Pb_util.Gov.create ~milp_nodes:500_000 ())
+          ~strategy:(Engine.Sketch_refine (sr_params parts))
+          db c
+      in
+      if List.mem_assoc "not_applicable" r.stats then true
+      else begin
+        (match r.package with
+        | Some pkg when not (Pb_core.Coeffs.check c pkg) ->
+            QCheck.Test.fail_reportf
+              "sketch-refine package violates a constraint on %s"
+              (print_sr (i, parts))
+        | _ -> ());
+        let bf = oracle i in
+        if not (proven bf) then true
+        else if (not (feasible bf)) && feasible r then
+          QCheck.Test.fail_reportf
+            "sketch-refine found a package on an infeasible query %s"
+            (print_sr (i, parts))
+        else
+          match r.proof with
+          | Engine.Infeasible when feasible bf ->
+              QCheck.Test.fail_reportf
+                "sketch-refine claimed Infeasible on a feasible query %s"
+                (print_sr (i, parts))
+          | Engine.Optimal when not (objectives_agree bf r) ->
+              QCheck.Test.fail_reportf
+                "sketch-refine claimed Optimal at %s but bf says %s on %s"
+                (match r.objective with
+                | None -> "-"
+                | Some v -> string_of_float v)
+                (match bf.objective with
+                | None -> "-"
+                | Some v -> string_of_float v)
+                (print_sr (i, parts))
+          | _ -> (
+              (* a heuristic answer can be suboptimal but never better
+                 than the proven optimum *)
+              match (i.dir, bf.objective, r.objective) with
+              | Max, Some opt, Some got when got > opt +. tol ->
+                  QCheck.Test.fail_reportf
+                    "sketch-refine beat the max optimum %g > %g on %s" got opt
+                    (print_sr (i, parts))
+              | Min, Some opt, Some got when got < opt -. tol ->
+                  QCheck.Test.fail_reportf
+                    "sketch-refine beat the min optimum %g < %g on %s" got opt
+                    (print_sr (i, parts))
+              | _ -> true)
+      end)
+
+(* The bound must truly bound, and the gap must truly contain: wherever
+   the exact oracle ran to a proof, the true optimum is on the right
+   side of [bound], hence within [gap * max(1, |objective|)] of the
+   returned objective — the "within its own reported gap" guarantee. *)
+let prop_sketch_refine_gap =
+  QCheck.Test.make ~count:60 ~name:"sketch-refine bound and gap are sound"
+    (QCheck.make ~print:print_sr sr_gen)
+    (fun (i, parts) ->
+      let bf = oracle i in
+      if not (proven bf) then true
+      else
+        let db = db_of i in
+        let q = Parser.parse (query_of i) in
+        let c = Pb_core.Coeffs.make db q in
+        let out =
+          Pb_core.Sketch_refine.search ~params:(sr_params parts)
+            ~pool:(Pb_par.Pool.get_default ())
+            ~gov:(Pb_util.Gov.unlimited ()) c
+        in
+        if not out.applicable then true
+        else begin
+          (match out.best with
+          | Some pkg when not (Pb_core.Coeffs.check c pkg) ->
+              QCheck.Test.fail_reportf
+                "search returned an invalid package on %s" (print_sr (i, parts))
+          | _ -> ());
+          if out.proven_optimal && out.best = None && feasible bf then
+            QCheck.Test.fail_reportf
+              "search proved infeasibility of a feasible query %s"
+              (print_sr (i, parts))
+          else
+            match (i.dir, bf.objective, out.bound) with
+            | Max, Some opt, Some b when opt > b +. tol ->
+                QCheck.Test.fail_reportf
+                  "bound %g below the true max optimum %g on %s" b opt
+                  (print_sr (i, parts))
+            | Min, Some opt, Some b when opt < b -. tol ->
+                QCheck.Test.fail_reportf
+                  "bound %g above the true min optimum %g on %s" b opt
+                  (print_sr (i, parts))
+            | _ -> (
+                match (bf.objective, out.best_objective, out.gap) with
+                | Some opt, Some v, Some g
+                  when Float.abs (opt -. v)
+                       > (g *. Float.max 1.0 (Float.abs v)) +. tol ->
+                    QCheck.Test.fail_reportf
+                      "true optimum %g outside reported gap %g of %g on %s"
+                      opt g v (print_sr (i, parts))
+                | _ -> true)
+        end)
+
 (* ---- compiled expression evaluation vs the interpreter ---------------- *)
 
 (* Random expressions over a schema with qualified columns (so suffix and
@@ -381,5 +512,6 @@ let suite =
     [
       prop_ilp; prop_sqlgen; prop_pruning; prop_local_search; prop_hybrid;
       prop_gov_never_better;
+      prop_sketch_refine_valid; prop_sketch_refine_gap;
       prop_compiled_eq_interpreted; prop_like_compiled;
     ]

@@ -21,6 +21,7 @@ let () =
       ("properties", Test_props.suite);
       ("properties-ext", Test_props2.suite);
       ("differential", Test_differential.suite);
+      ("partition", Test_partition.suite);
       ("par", Test_par.suite);
       ("net", Test_net.suite);
     ]

@@ -1,0 +1,272 @@
+(* Unit tests for the SketchRefine partitioner (lib/core/partition.ml)
+   and for the sketch-refine strategy's determinism and governance
+   contracts: partitions must be a disjoint complete cover with
+   in-bounds centroids on any input (including degenerate ones), the
+   whole strategy must be bit-identical at PB_DOMAINS=1 vs 8, and a
+   deadline that fires mid-refine must surrender the current incumbent
+   as [Feasible] — never [Cancelled] with a package in hand — leaving
+   no refine MILP running behind the caller's back. *)
+
+module Partition = Pb_core.Partition
+module Coeffs = Pb_core.Coeffs
+module Engine = Pb_core.Engine
+module Gov = Pb_util.Gov
+module Pool = Pb_par.Pool
+module Value = Pb_relation.Value
+module Relation = Pb_relation.Relation
+module Schema = Pb_relation.Schema
+
+(* ---- partitioner invariants ----------------------------------------- *)
+
+let random_features ~seed ~n ~d =
+  let st = Random.State.make [| seed |] in
+  Array.init d (fun _ ->
+      Array.init n (fun _ -> float_of_int (Random.State.int st 1000)))
+
+(* Disjointness, completeness, per-group ordering, size accounting and
+   the group-count ceiling, straight from the partition.mli contract. *)
+let check_invariants name (t : Partition.t) ~n ~target =
+  let groups = t.Partition.groups in
+  if n = 0 then
+    Alcotest.(check int) (name ^ ": empty input, no groups") 0
+      (Array.length groups)
+  else begin
+    Alcotest.(check bool)
+      (name ^ ": group count in [1, min target n]")
+      true
+      (let g = Array.length groups in
+       g >= 1 && g <= max 1 (min target n));
+    let seen = Array.make n false in
+    Array.iter
+      (fun g ->
+        Alcotest.(check bool) (name ^ ": nonempty group") true
+          (Array.length g > 0);
+        Array.iteri
+          (fun i idx ->
+            Alcotest.(check bool) (name ^ ": index in range") true
+              (idx >= 0 && idx < n);
+            Alcotest.(check bool) (name ^ ": disjoint groups") false seen.(idx);
+            seen.(idx) <- true;
+            if i > 0 then
+              Alcotest.(check bool) (name ^ ": ascending within group") true
+                (g.(i - 1) < idx))
+          g)
+      groups;
+    Alcotest.(check bool) (name ^ ": complete cover") true
+      (Array.for_all Fun.id seen);
+    Alcotest.(check int)
+      (name ^ ": sizes sum to n")
+      n
+      (Array.fold_left (fun acc g -> acc + Array.length g) 0 groups)
+  end
+
+(* Every centroid coordinate lies within its group's per-feature
+   [min, max] envelope. *)
+let check_centroids name (t : Partition.t) ~features =
+  Array.iteri
+    (fun gi g ->
+      Array.iteri
+        (fun dim f ->
+          let lo = Array.fold_left (fun a i -> Float.min a f.(i)) infinity g in
+          let hi =
+            Array.fold_left (fun a i -> Float.max a f.(i)) neg_infinity g
+          in
+          let c = t.Partition.centroids.(gi).(dim) in
+          Alcotest.(check bool)
+            (Printf.sprintf "%s: centroid (%d,%d) within [%g, %g]" name gi dim
+               lo hi)
+            true
+            (c >= lo -. 1e-9 && c <= hi +. 1e-9))
+        features)
+    t.Partition.groups
+
+let test_invariants_random () =
+  List.iter
+    (fun (n, d, target, seed) ->
+      let features = random_features ~seed ~n ~d in
+      let t = Partition.build ~target ~features ~n in
+      let name = Printf.sprintf "n=%d d=%d target=%d" n d target in
+      check_invariants name t ~n ~target;
+      check_centroids name t ~features;
+      (* group_of must agree with the groups arrays *)
+      Array.iteri
+        (fun gi g ->
+          Array.iter
+            (fun idx ->
+              Alcotest.(check int)
+                (name ^ ": group_of agrees")
+                gi
+                (Partition.group_of t idx))
+            g)
+        t.Partition.groups)
+    [ (500, 2, 23, 1); (64, 1, 8, 2); (100, 3, 100, 3); (17, 2, 5, 4) ]
+
+let test_degenerate () =
+  (* one row *)
+  let t = Partition.build ~target:4 ~features:[| [| 3.0 |] |] ~n:1 in
+  check_invariants "n=1" t ~n:1 ~target:4;
+  Alcotest.(check int) "n=1: one group" 1 (Partition.group_count t);
+  (* empty input *)
+  let t0 = Partition.build ~target:4 ~features:[| [||] |] ~n:0 in
+  Alcotest.(check int) "n=0: no groups" 0 (Partition.group_count t0);
+  (* all rows identical: nothing to split on, one group *)
+  let const = Array.make 40 7.5 in
+  let tc = Partition.build ~target:8 ~features:[| const; const |] ~n:40 in
+  check_invariants "all-identical" tc ~n:40 ~target:8;
+  Alcotest.(check int) "all-identical: one group" 1 (Partition.group_count tc);
+  (* no features at all (objective-less COUNT-only query): one group *)
+  let tf = Partition.build ~target:5 ~features:[||] ~n:10 in
+  check_invariants "no features" tf ~n:10 ~target:5;
+  Alcotest.(check int) "no features: one group" 1 (Partition.group_count tf);
+  (* fewer rows than requested partitions: clamps to n singleton groups *)
+  let distinct = Array.init 5 float_of_int in
+  let ts = Partition.build ~target:50 ~features:[| distinct |] ~n:5 in
+  check_invariants "target>n" ts ~n:5 ~target:50;
+  Alcotest.(check int) "target>n: n singleton groups" 5
+    (Partition.group_count ts);
+  (* nonpositive target clamps to one group *)
+  let tz = Partition.build ~target:0 ~features:[| distinct |] ~n:5 in
+  check_invariants "target=0" tz ~n:5 ~target:1;
+  Alcotest.(check int) "target=0: one group" 1 (Partition.group_count tz)
+
+let test_build_deterministic () =
+  let features = random_features ~seed:9 ~n:300 ~d:2 in
+  let t1 = Partition.build ~target:17 ~features ~n:300 in
+  let t2 = Partition.build ~target:17 ~features ~n:300 in
+  Alcotest.(check bool) "two builds are structurally equal" true (t1 = t2)
+
+(* ---- sketch-refine strategy: determinism across pool sizes ----------- *)
+
+let mk_db ?(b_range = 100) ~seed n =
+  let st = Random.State.make [| seed |] in
+  let schema =
+    Schema.make
+      [
+        { Schema.name = "id"; ty = Value.T_int };
+        { Schema.name = "a"; ty = Value.T_int };
+        { Schema.name = "b"; ty = Value.T_int };
+      ]
+  in
+  let rows =
+    List.init n (fun i ->
+        [|
+          Value.Int (i + 1);
+          Value.Int (1 + Random.State.int st 50);
+          Value.Int (Random.State.int st b_range);
+        |])
+  in
+  let db = Pb_sql.Database.create () in
+  Pb_sql.Database.put db "t" (Relation.create schema rows);
+  db
+
+let fingerprint (r : Engine.result) =
+  ( (match r.package with
+    | None -> []
+    | Some p -> Array.to_list (Pb_paql.Package.multiplicities p)),
+    r.objective,
+    Engine.proof_to_string r.proof,
+    r.stats )
+
+let test_pool_determinism () =
+  let query =
+    "SELECT PACKAGE(R) AS P FROM t R SUCH THAT COUNT(*) BETWEEN 1 AND 6 AND \
+     SUM(P.a) <= 60 MAXIMIZE SUM(P.b)"
+  in
+  let run pool_size =
+    Pool.with_pool pool_size (fun pool ->
+        let db = mk_db ~seed:7 300 in
+        let q = Pb_paql.Parser.parse query in
+        Engine.run ~pool ~gov:(Gov.unlimited ())
+          ~strategy:
+            (Engine.Sketch_refine
+               { Pb_core.Sketch_refine.partitions = Some 20; fanout = 4 })
+          db q)
+  in
+  let r1 = run 1 and r8 = run 8 in
+  Alcotest.(check bool) "found a package" true (Option.is_some r1.package);
+  Alcotest.(check bool) "pool size 1 and 8 bit-identical" true
+    (fingerprint r1 = fingerprint r8)
+
+(* ---- governance: deadline mid-refine -------------------------------- *)
+
+let milp_nodes_total () =
+  match
+    List.assoc_opt "pb_milp_nodes_total" (Pb_obs.Metrics.snapshot ())
+  with
+  | Some v -> v
+  | None -> 0.0
+
+(* A deadline that fires while refine legs are in flight must produce
+   [Feasible] with the current incumbent — never [Cancelled] when a
+   package is already in hand — and must join every leg before
+   returning: the global branch-and-bound node counter has to be
+   completely still afterwards. The instance (many small partitions,
+   a wide COUNT window spreading sketch mass across dozens of them) is
+   sized so refinement takes far longer than the deadline, while the
+   sketch itself finishes almost immediately and seeds an incumbent.
+   Deadlines race the machine, so we try a ladder of budgets and
+   require that at least one run is actually stopped mid-refine. *)
+let test_deadline_mid_refine () =
+  (* near-unique b values spread the sketch mass across dozens of small
+     partitions, so refinement takes many rounds while the sketch (and
+     its first materialised incumbent) completes almost immediately *)
+  let db = mk_db ~b_range:1_000_000 ~seed:11 20_000 in
+  let q =
+    Pb_paql.Parser.parse
+      "SELECT PACKAGE(R) AS P FROM t R SUCH THAT COUNT(*) BETWEEN 100 AND \
+       150 MAXIMIZE SUM(P.b)"
+  in
+  let c = Coeffs.make db q in
+  let attempt deadline =
+    let gov = Gov.create ~deadline_in:deadline ~milp_nodes:0 () in
+    Engine.run_coeffs ~gov
+      ~strategy:
+        (Engine.Sketch_refine
+           { Pb_core.Sketch_refine.partitions = Some 2000; fanout = 4 })
+      db c
+  in
+  let stopped (r : Engine.result) =
+    List.mem ("stopped", "deadline") r.stats
+  in
+  let rec find = function
+    | [] -> None
+    | d :: rest -> (
+        let r = attempt d in
+        match (stopped r, r.package) with
+        | true, Some _ -> Some r
+        | _ -> find rest)
+  in
+  match find [ 0.2; 0.12; 0.25; 0.06; 0.35; 0.03 ] with
+  | None ->
+      Alcotest.fail
+        "no attempt was deadline-stopped mid-refine with an incumbent in hand"
+  | Some r ->
+      (match r.proof with
+      | Engine.Feasible -> ()
+      | p ->
+          Alcotest.failf
+            "deadline stop with an incumbent must be Feasible, got %s"
+            (Engine.proof_to_string p));
+      (match r.package with
+      | Some pkg ->
+          Alcotest.(check bool) "incumbent satisfies all constraints" true
+            (Coeffs.check c pkg)
+      | None -> assert false);
+      (* no orphaned refine MILP: the node counter must be still *)
+      let s1 = milp_nodes_total () in
+      Thread.delay 0.15;
+      let s2 = milp_nodes_total () in
+      Alcotest.(check (float 0.0)) "no MILP still running after return" s1 s2
+
+let suite =
+  [
+    Alcotest.test_case "partition invariants on random inputs" `Quick
+      test_invariants_random;
+    Alcotest.test_case "partition degenerate inputs" `Quick test_degenerate;
+    Alcotest.test_case "partition build is deterministic" `Quick
+      test_build_deterministic;
+    Alcotest.test_case "sketch-refine identical at pool size 1 vs 8" `Quick
+      test_pool_determinism;
+    Alcotest.test_case "deadline mid-refine yields Feasible incumbent" `Slow
+      test_deadline_mid_refine;
+  ]

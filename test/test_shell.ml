@@ -267,6 +267,28 @@ let test_repl_paql_and_save () =
   let dropped = Repl.handle st "\\drop lunch" in
   Alcotest.(check bool) "dropped" true (contains dropped.Repl.output "dropped")
 
+let test_repl_strategy () =
+  let st = shell () in
+  Alcotest.(check bool) "default is hybrid" true
+    (contains (Repl.handle st "\\strategy").Repl.output "strategy: hybrid");
+  Alcotest.(check bool) "set sketch-refine" true
+    (contains (Repl.handle st "\\strategy sketch-refine").Repl.output
+       "strategy set to sketch-refine");
+  (* the sticky strategy drives subsequent PaQL evaluation *)
+  let r = Repl.handle st paql_line in
+  Alcotest.(check bool) "footer names sketch-refine" true
+    (contains r.Repl.output "strategy: sketch-refine");
+  Alcotest.(check bool) "query found a package" true
+    (contains r.Repl.output "objective:");
+  Alcotest.(check bool) "unknown strategy rejected" true
+    (contains (Repl.handle st "\\strategy bogus").Repl.output
+       "unknown strategy");
+  Alcotest.(check bool) "bogus name did not stick" true
+    (contains (Repl.handle st "\\strategy").Repl.output
+       "strategy: sketch-refine");
+  Alcotest.(check bool) "help lists it" true
+    (contains (Repl.handle st "\\help").Repl.output "\\strategy")
+
 let test_repl_save_without_query () =
   let st = shell () in
   Alcotest.(check bool) "nothing to save" true
@@ -345,6 +367,7 @@ let suite =
       test_repl_paql_and_save;
     Alcotest.test_case "repl save without query" `Quick
       test_repl_save_without_query;
+    Alcotest.test_case "repl sticky strategy" `Quick test_repl_strategy;
     Alcotest.test_case "repl explain + complete" `Quick
       test_repl_explain_and_complete;
     Alcotest.test_case "repl next" `Quick test_repl_next;
