@@ -986,6 +986,10 @@ let sql_bench () =
   (* (case, [metric name, seconds], speedup) *)
   let results : (string * (string * float) list * float) list ref = ref [] in
   let was_enabled = Pb_sql.Compile.is_enabled () in
+  let was_mode = Pb_store.Mode.current () in
+  (* The interpreted-vs-compiled duels measure the row engine; pin row
+     storage so the columnar fast path doesn't short-circuit both sides. *)
+  Pb_store.Mode.set Pb_store.Mode.Row;
   let duel name ?repeat f =
     Pb_sql.Compile.set_enabled false;
     let interp = median_time ?repeat f in
@@ -995,6 +999,21 @@ let sql_bench () =
     results :=
       (name, [ ("interpreted_s", interp); ("compiled_s", compiled) ], speedup)
       :: !results
+  in
+  (* Row-vs-columnar duels: the row side keeps expression compilation on
+     (the row engine at its best), the columnar side runs the batch
+     kernels. The warm-up call inside [median_time] builds the columnar
+     image, so timings exclude the one-off conversion. *)
+  let store_duel name ?repeat f =
+    Pb_sql.Compile.set_enabled true;
+    Pb_store.Mode.set Pb_store.Mode.Row;
+    let row = median_time ?repeat f in
+    Pb_store.Mode.set Pb_store.Mode.Columnar;
+    let columnar = median_time ?repeat f in
+    Pb_store.Mode.set Pb_store.Mode.Row;
+    let speedup = row /. Float.max 1e-9 columnar in
+    results :=
+      (name, [ ("row_s", row); ("columnar_s", columnar) ], speedup) :: !results
   in
   let scan_n = if !quick then 4000 else 20_000 in
   let db = recipes_db scan_n in
@@ -1047,6 +1066,36 @@ let sql_bench () =
         (Pb_sql.Executor.execute_sql db
            "SELECT cuisine, COUNT(*), SUM(calories), AVG(cost) FROM recipes \
             WHERE protein > 10 GROUP BY cuisine ORDER BY cuisine"));
+  (* Storage-engine duels (PB_STORE row vs columnar), same statements. *)
+  store_duel "store_filter_scan" (fun () ->
+      ignore
+        (Pb_sql.Executor.execute_sql db
+           "SELECT id FROM recipes WHERE calories * 2 + protein - fat > 420 \
+            AND (cost / 2.0 < 6.5 OR rating >= 4.5) AND name LIKE '%ra%' AND \
+            gluten = 'free'"));
+  store_duel "store_grouped_aggregate" (fun () ->
+      ignore
+        (Pb_sql.Executor.execute_sql db
+           "SELECT cuisine, COUNT(*), SUM(calories), AVG(cost) FROM recipes \
+            WHERE protein > 10 GROUP BY cuisine ORDER BY cuisine"));
+  (* Duplicate-heavy table: each distinct recipe appears 10 times, so the
+     columnar image collapses to a tenth of the rows and aggregates run
+     multiplicity-weighted — the case compression exists for. *)
+  let dup_copies = 10 in
+  let ddb =
+    let src = Pb_workload.Workload.recipes ~seed:7 ~n:(scan_n / dup_copies) () in
+    let module R = Pb_relation.Relation in
+    let base = Array.to_list (R.rows src) in
+    let rows = List.concat (List.init dup_copies (fun _ -> base)) in
+    let d = Pb_sql.Database.create () in
+    Pb_sql.Database.put d "dup_recipes" (R.create (R.schema src) rows);
+    d
+  in
+  store_duel "store_grouped_agg_duplicates" (fun () ->
+      ignore
+        (Pb_sql.Executor.execute_sql ddb
+           "SELECT cuisine, COUNT(*), SUM(calories), MAX(protein) FROM \
+            dup_recipes WHERE protein > 10 GROUP BY cuisine ORDER BY cuisine"));
   (* Tracing-overhead toggle: the filter scan bare vs inside an active
      request trace context whose completed span tree lands in a trace
      store — the exact per-request work pb_server does when
@@ -1120,6 +1169,7 @@ let sql_bench () =
       [ ("cold_s", cold); ("warm_s", warm) ],
       cold /. Float.max 1e-9 warm )
     :: !results;
+  Pb_store.Mode.set was_mode;
   let results = List.rev !results in
   Table.print
     ~align:[ Table.Left; Table.Left; Table.Right; Table.Left; Table.Right; Table.Right ]
@@ -1135,8 +1185,11 @@ let sql_bench () =
          | _ -> [ name; "?"; "?"; "?"; "?"; "?" ])
        results);
   let oc = open_out !sql_json_out in
-  Printf.fprintf oc "{\"quick\":%b,\"domains\":%d,\"cases\":[\n%s\n]}\n" !quick
+  Printf.fprintf oc
+    "{\"quick\":%b,\"domains\":%d,\"store_mode\":\"%s\",\"cases\":[\n%s\n]}\n"
+    !quick
     (Pb_par.Pool.size (Pb_par.Pool.get_default ()))
+    (Pb_store.Mode.to_string (Pb_store.Mode.current ()))
     (String.concat ",\n"
        (List.map
           (fun (name, metrics, speedup) ->
@@ -1294,9 +1347,10 @@ let paql_scale () =
     (List.rev !table_rows);
   let oc = open_out !paql_json_out in
   Printf.fprintf oc
-    "{\"quick\":%b,\"domains\":%d,\"node_budget\":%d,\"deadline_s\":%s,\"query\":\"%s\",\"runs\":[\n%s\n]}\n"
+    "{\"quick\":%b,\"domains\":%d,\"store_mode\":\"%s\",\"node_budget\":%d,\"deadline_s\":%s,\"query\":\"%s\",\"runs\":[\n%s\n]}\n"
     !quick
     (Pb_par.Pool.size pool)
+    (Pb_store.Mode.to_string (Pb_store.Mode.current ()))
     node_budget (json_num deadline)
     (json_escape paql_scale_query)
     (String.concat ",\n" (List.rev !records));
@@ -1468,13 +1522,16 @@ let loadgen () =
       in
       let oc = open_out path in
       Printf.fprintf oc
-        "{\"label\":\"%s\",\"clients\":%d,\"requests_per_client\":%d,\
+        "{\"label\":\"%s\",\"store_mode\":\"%s\",\"clients\":%d,\
+         \"requests_per_client\":%d,\
          \"nproc\":%d,\"completed\":%d,\"protocol_errors\":%d,\"busy\":%d,\
          \"cancelled\":%d,\"dropped_clients\":%d,\
          \"wall_seconds\":%s,\"throughput_rps\":%s,\"p50_s\":%s,\"p95_s\":%s,\
          \"p99_s\":%s,\"max_s\":%s,\"latency_sum_s\":%s,\
          \"latency_buckets\":[%s],\"trace_check\":\"%s\"}\n"
-        (json_escape !loadgen_label) clients per_client
+        (json_escape !loadgen_label)
+        (Pb_store.Mode.to_string (Pb_store.Mode.current ()))
+        clients per_client
         (Domain.recommended_domain_count ())
         completed (Atomic.get errors) (Atomic.get busy) (Atomic.get cancelled)
         (Atomic.get failures) (json_num wall)

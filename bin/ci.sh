@@ -34,6 +34,78 @@ if ! diff -u _build/ci/run_d1.norm _build/ci/run_d8.norm; then
   exit 1
 fi
 
+# Storage-engine differential gate: the same scripted session (DDL, DML,
+# duplicate rows, NULLs, scans, joins, grouped aggregates) replayed
+# against a PB_STORE=row server and a PB_STORE=columnar server must
+# produce byte-identical transcripts — the columnar engine is only
+# allowed to be faster, never different. The columnar server also
+# exposes /metrics, where the resident-bytes gauge must show the
+# storage subsystem actually engaged (tables converted and cached).
+echo "== storage differential (PB_STORE=row vs columnar transcripts) =="
+ROW_LOG=_build/ci/store_row_server.log
+COL_LOG=_build/ci/store_col_server.log
+PB_STORE=row ./_build/default/bin/pb_server.exe --port 0 --size 80 \
+  --seed 7 >"$ROW_LOG" 2>&1 &
+ROW_PID=$!
+PB_STORE=columnar ./_build/default/bin/pb_server.exe --port 0 --size 80 \
+  --seed 7 --metrics-port 0 >"$COL_LOG" 2>&1 &
+COL_PID=$!
+for log in "$ROW_LOG" "$COL_LOG"; do
+  i=0
+  while [ $i -lt 100 ]; do
+    grep -q "pb_server ready" "$log" 2>/dev/null && break
+    i=$((i + 1))
+    sleep 0.1
+  done
+done
+ROW_PORT=$(sed -n 's/.*listening on 127.0.0.1:\([0-9]*\).*/\1/p' "$ROW_LOG")
+COL_PORT=$(sed -n 's/.*listening on 127.0.0.1:\([0-9]*\).*/\1/p' "$COL_LOG")
+if [ -z "$ROW_PORT" ] || [ -z "$COL_PORT" ]; then
+  echo "CI FAIL: storage differential servers did not come up; logs follow"
+  cat "$ROW_LOG" "$COL_LOG"
+  kill "$ROW_PID" "$COL_PID" 2>/dev/null || true
+  exit 1
+fi
+./_build/default/bin/pb_client.exe --port "$ROW_PORT" --echo \
+  <test/smoke/store_session.txt >_build/ci/store_row.txt 2>&1
+./_build/default/bin/pb_client.exe --port "$COL_PORT" --echo \
+  <test/smoke/store_session.txt >_build/ci/store_col.txt 2>&1
+normalize _build/ci/store_row.txt >_build/ci/store_row.norm
+normalize _build/ci/store_col.txt >_build/ci/store_col.norm
+if ! diff -u _build/ci/store_row.norm _build/ci/store_col.norm; then
+  echo "CI FAIL: PB_STORE=row and PB_STORE=columnar transcripts differ"
+  kill "$ROW_PID" "$COL_PID" 2>/dev/null || true
+  exit 1
+fi
+STORE_METRICS_PORT=$(sed -n \
+  's|.*metrics on http://127.0.0.1:\([0-9]*\).*|\1|p' "$COL_LOG")
+curl -sf "http://127.0.0.1:$STORE_METRICS_PORT/metrics" \
+  >_build/ci/store_scrape.txt || {
+  echo "CI FAIL: curl /metrics on the columnar server failed"
+  kill "$ROW_PID" "$COL_PID" 2>/dev/null || true
+  exit 1
+}
+STORE_BYTES=$(sed -n 's/^pb_store_bytes_resident \([0-9][0-9]*\).*/\1/p' \
+  _build/ci/store_scrape.txt | head -n 1)
+if [ -z "$STORE_BYTES" ] || [ "$STORE_BYTES" -lt 1 ]; then
+  echo "CI FAIL: expected pb_store_bytes_resident > 0 on the columnar"
+  echo "         server; /metrics reported: ${STORE_BYTES:-no gauge}"
+  kill "$ROW_PID" "$COL_PID" 2>/dev/null || true
+  exit 1
+fi
+kill -TERM "$ROW_PID" "$COL_PID"
+STORE_EXIT=0
+wait "$ROW_PID" || STORE_EXIT=$?
+if [ "$STORE_EXIT" -ne 0 ]; then
+  echo "CI FAIL: row-store pb_server exited $STORE_EXIT on SIGTERM (expected 0)"
+  exit 1
+fi
+wait "$COL_PID" || STORE_EXIT=$?
+if [ "$STORE_EXIT" -ne 0 ]; then
+  echo "CI FAIL: columnar pb_server exited $STORE_EXIT on SIGTERM (expected 0)"
+  exit 1
+fi
+
 # Serving-path smoke test: boot pb_server on an ephemeral port with a
 # fixed synthetic workload, replay a scripted pb_client session, and
 # diff the (timing-normalised) transcript against the checked-in

@@ -36,6 +36,7 @@ type t = {
   db : Pb_sql.Database.t;
   query : Ast.t;
   candidates : Relation.t;
+  batch : Semantics.batch option;
   n : int;
   max_mult : int;
   formula : (compiled_formula, string) result;
@@ -45,27 +46,40 @@ type t = {
 (* Package-level expression arguments reference the package alias; the
    candidate relation is qualified by the input alias, so evaluate against
    a re-qualified view. *)
-let tuple_values_of ~pkg_schema ~rows expr =
-  (* One compile per aggregate argument, one closure call per tuple. No db
-     in the fallback: validation arguments are row-local (a subquery here
-     errors identically to the old interpreter call). *)
-  let eval_row =
-    Pb_sql.Compile.expr
-      ~fallback:(fun row e -> Pb_sql.Executor.eval_expr pkg_schema row e)
-      pkg_schema expr
+let tuple_values_of ?batch ~pkg_schema ~rows expr =
+  let by_rows () =
+    (* One compile per aggregate argument, one closure call per tuple. No
+       db in the fallback: validation arguments are row-local (a subquery
+       here errors identically to the old interpreter call). *)
+    let eval_row =
+      Pb_sql.Compile.expr
+        ~fallback:(fun row e -> Pb_sql.Executor.eval_expr pkg_schema row e)
+        pkg_schema expr
+    in
+    Array.map
+      (fun row ->
+        match Value.to_float (eval_row row) with
+        | Some x -> x
+        | None ->
+            Log.warn (fun m ->
+                m "non-numeric aggregate argument %s; treating as 0"
+                  (Pb_sql.Ast.expr_to_string expr));
+            0.0)
+      rows
   in
-  Array.map
-    (fun row ->
-      match Value.to_float (eval_row row) with
-      | Some x -> x
-      | None ->
-          Log.warn (fun m ->
-              m "non-numeric aggregate argument %s; treating as 0"
-                (Pb_sql.Ast.expr_to_string expr));
-          0.0)
-    rows
+  (* Columnar candidates: run the argument as a batch kernel (coefficient
+     extraction is the hot loop of [make] on large inputs). Kernel floats
+     are the same float image the row path computes, so the vectors are
+     bit-identical; the kernel bails (e.g. string-valued arguments,
+     subqueries) back to the per-row interpreter. *)
+  match batch with
+  | Some b -> (
+      match Semantics.batch_values b ~schema:pkg_schema expr with
+      | Some vals -> vals
+      | None -> by_rows ())
+  | None -> by_rows ()
 
-let compile_atom ~pkg_schema ~rows ~n = function
+let compile_atom ?batch ~pkg_schema ~rows ~n = function
   | Analyze.Linear { terms; cmp; rhs } ->
       let coef = Array.make n 0.0 in
       let has_sum = ref false in
@@ -76,27 +90,35 @@ let compile_atom ~pkg_schema ~rows ~n = function
               Array.iteri (fun i x -> coef.(i) <- x +. c) coef
           | Analyze.Sum_term e ->
               has_sum := true;
-              let vals = tuple_values_of ~pkg_schema ~rows e in
+              let vals = tuple_values_of ?batch ~pkg_schema ~rows e in
               Array.iteri (fun i x -> coef.(i) <- coef.(i) +. (c *. x)) vals)
         terms;
       C_linear { coef; cmp; rhs; has_sum = !has_sum }
   | Analyze.Avg_atom { arg; cmp; rhs } ->
-      C_avg { arg = tuple_values_of ~pkg_schema ~rows arg; cmp; rhs }
+      C_avg { arg = tuple_values_of ?batch ~pkg_schema ~rows arg; cmp; rhs }
   | Analyze.Extremum { maximum; arg; cmp; rhs } ->
-      C_ext { maximum; arg = tuple_values_of ~pkg_schema ~rows arg; cmp; rhs }
+      C_ext
+        { maximum; arg = tuple_values_of ?batch ~pkg_schema ~rows arg; cmp; rhs }
 
-let rec compile_formula ~pkg_schema ~rows ~n = function
+let rec compile_formula ?batch ~pkg_schema ~rows ~n = function
   | Analyze.True -> C_true
   | Analyze.False -> C_false
-  | Analyze.Atom a -> C_atom (compile_atom ~pkg_schema ~rows ~n a)
-  | Analyze.And fs -> C_and (List.map (compile_formula ~pkg_schema ~rows ~n) fs)
-  | Analyze.Or fs -> C_or (List.map (compile_formula ~pkg_schema ~rows ~n) fs)
+  | Analyze.Atom a -> C_atom (compile_atom ?batch ~pkg_schema ~rows ~n a)
+  | Analyze.And fs ->
+      C_and (List.map (compile_formula ?batch ~pkg_schema ~rows ~n) fs)
+  | Analyze.Or fs ->
+      C_or (List.map (compile_formula ?batch ~pkg_schema ~rows ~n) fs)
 
 let make db (query : Ast.t) =
   (match Analyze.validate_query query with
   | Ok () -> ()
   | Error msg -> failwith ("ill-formed PaQL query: " ^ msg));
-  let candidates = Semantics.candidates db query in
+  let batch = Semantics.candidates_batch db query in
+  let candidates =
+    match batch with
+    | Some b -> Semantics.batch_candidates b
+    | None -> Semantics.candidates db query
+  in
   let n = Relation.cardinality candidates in
   let rows = Relation.rows candidates in
   let pkg_schema =
@@ -107,7 +129,7 @@ let make db (query : Ast.t) =
     | None -> Ok C_true
     | Some e -> (
         match Analyze.linearize e with
-        | Ok f -> Ok (compile_formula ~pkg_schema ~rows ~n f)
+        | Ok f -> Ok (compile_formula ?batch ~pkg_schema ~rows ~n f)
         | Error reason -> Error reason)
   in
   let objective =
@@ -124,20 +146,22 @@ let make db (query : Ast.t) =
                 | Analyze.Count_term ->
                     Array.iteri (fun i x -> coef.(i) <- x +. c) coef
                 | Analyze.Sum_term arg ->
-                    let vals = tuple_values_of ~pkg_schema ~rows arg in
+                    let vals = tuple_values_of ?batch ~pkg_schema ~rows arg in
                     Array.iteri
                       (fun i x -> coef.(i) <- coef.(i) +. (c *. x))
                       vals)
               terms;
             Some (Some (dir, coef)))
   in
-  { db; query; candidates; n; max_mult = Ast.max_multiplicity query; formula; objective }
+  { db; query; candidates; batch; n; max_mult = Ast.max_multiplicity query;
+    formula; objective }
 
 let tuple_values t expr =
   let pkg_schema =
     Schema.qualify t.query.package_alias (Relation.schema t.candidates)
   in
-  tuple_values_of ~pkg_schema ~rows:(Relation.rows t.candidates) expr
+  tuple_values_of ?batch:t.batch ~pkg_schema
+    ~rows:(Relation.rows t.candidates) expr
 
 let atom_holds atom mult =
   let n = Array.length mult in

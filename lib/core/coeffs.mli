@@ -43,6 +43,10 @@ type t = {
   query : Pb_paql.Ast.t;
   candidates : Pb_relation.Relation.t;
       (** base-constraint survivors, input-alias-qualified *)
+  batch : Pb_paql.Semantics.batch option;
+      (** columnar view of [candidates] when the storage mode is columnar
+          and the base predicate vectorized — coefficient vectors are then
+          extracted by batch kernels (bit-identical floats) *)
   n : int;  (** number of candidate tuples *)
   max_mult : int;  (** per-tuple multiplicity cap (1 + REPEAT) *)
   formula : (compiled_formula, string) result;

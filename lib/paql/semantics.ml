@@ -1,22 +1,110 @@
 module Relation = Pb_relation.Relation
+module Schema = Pb_relation.Schema
 module Value = Pb_relation.Value
 module Executor = Pb_sql.Executor
+module Table = Pb_store.Table
+
+(* Candidates in columnar form: the input table's image plus the selected
+   distinct-row ids in original row order (candidate index i is row
+   [positions.(i)]), so PaQL coefficient extraction can run batch kernels
+   instead of per-tuple interpretation. *)
+type batch = {
+  table : Table.t;
+  schema : Schema.t;  (* input-alias-qualified *)
+  positions : int array;  (* candidate index -> distinct row id *)
+}
+
+let candidates_batch db (q : Ast.t) =
+  if not (Pb_store.Mode.columnar ()) then None
+  else
+    match Pb_sql.Database.find db q.input_relation with
+    | None -> None (* let [candidates] raise its usual error *)
+    | Some rel -> (
+        let table = Pb_sql.Database.columnar db q.input_relation rel in
+        let schema = Schema.qualify q.input_alias (Relation.schema rel) in
+        let keep =
+          match q.where with
+          | None -> Some None
+          | Some pred -> (
+              match Pb_sql.Columnar.bool_kernel schema table pred with
+              | Some k -> Some (Some (Pb_sql.Columnar.selection table k))
+              | None -> None)
+        in
+        match keep with
+        | None -> None
+        | Some sel ->
+            let hit id =
+              match sel with
+              | None -> true
+              | Some s -> Bytes.get s id = '\001'
+            in
+            let out = ref [] in
+            (match Table.order table with
+            | Some ord ->
+                Array.iter (fun id -> if hit id then out := id :: !out) ord
+            | None ->
+                for id = 0 to Table.distinct table - 1 do
+                  if hit id then out := id :: !out
+                done);
+            Some { table; schema; positions = Array.of_list (List.rev !out) })
+
+let batch_candidates b =
+  let mat = Table.row_materializer b.table in
+  Relation.create b.schema (Array.to_list (Array.map mat b.positions))
+
+let batch_values b ~schema expr =
+  match Pb_sql.Batch.compile schema b.table expr with
+  | None -> None
+  | Some k -> (
+      let module B = Pb_sql.Batch in
+      match k.B.kind with
+      | B.K_str ->
+          (* The row path warns per non-numeric tuple before substituting
+             0; keep that diagnostic by falling back. *)
+          None
+      | B.K_num | B.K_bool ->
+          let n = Table.distinct b.table in
+          let vals = Array.make n 0.0 in
+          let lo = ref 0 and chunks = ref 0 in
+          while !lo < n do
+            let len = min B.chunk (n - !lo) in
+            incr chunks;
+            (match k.B.run ~lo:!lo ~len with
+            | B.Num (v, nulls) ->
+                (* NULL maps to 0, exactly like the row path's
+                   [Value.to_float = None] substitution. *)
+                for i = 0 to len - 1 do
+                  if not (B.null_at nulls i) then vals.(!lo + i) <- v.(i)
+                done
+            | B.B3 bits ->
+                for i = 0 to len - 1 do
+                  if Bytes.get bits i = '\001' then vals.(!lo + i) <- 1.0
+                done
+            | B.Sv _ -> assert false);
+            lo := !lo + len
+          done;
+          Table.tick_chunks !chunks;
+          Some (Array.map (fun id -> vals.(id)) b.positions))
 
 let candidates db (q : Ast.t) =
-  let rel = Pb_sql.Database.find_exn db q.input_relation in
-  let qualified = Relation.rename q.input_alias rel in
-  match q.where with
-  | None -> qualified
-  | Some pred ->
-      let schema = Relation.schema qualified in
-      (* The base predicate runs once per input tuple: compile it, keeping
-         the interpreter (with db, for subqueries) as fallback. *)
-      let pred_fn =
-        Pb_sql.Compile.predicate
-          ~fallback:(fun row e -> Executor.eval_expr ~db schema row e)
-          schema pred
-      in
-      Relation.filter pred_fn qualified
+  match candidates_batch db q with
+  | Some b -> batch_candidates b
+  | None -> (
+      let rel = Pb_sql.Database.find_exn db q.input_relation in
+      let qualified = Relation.rename q.input_alias rel in
+      match q.where with
+      | None -> qualified
+      | Some pred ->
+          let schema = Relation.schema qualified in
+          (* The base predicate runs once per input tuple: compile it,
+             keeping the interpreter (with db, for subqueries) as
+             fallback. *)
+          let pred_fn =
+            Pb_sql.Compile.predicate
+              ~fallback:(fun row e -> Executor.eval_expr ~db schema row e)
+              schema pred
+          in
+          Relation.filter pred_fn qualified)
 
 let empty_package db (q : Ast.t) =
   Package.create (candidates db q) ~alias:q.package_alias

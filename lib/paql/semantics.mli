@@ -11,7 +11,33 @@ val candidates : Pb_sql.Database.t -> Ast.t -> Pb_relation.Relation.t
 (** Input relation restricted to rows satisfying the base constraints,
     with the schema qualified by the input alias. Row order (hence
     candidate indices) follows the stored relation. Raises [Failure] if
-    the input table does not exist. *)
+    the input table does not exist. Under columnar storage the base
+    predicate runs as a batch kernel when it compiles; the result is
+    identical either way. *)
+
+type batch = {
+  table : Pb_store.Table.t;
+  schema : Pb_relation.Schema.t;  (** input-alias-qualified *)
+  positions : int array;  (** candidate index -> distinct row id *)
+}
+(** Columnar view of the candidate set: candidate [i] is distinct row
+    [positions.(i)] of [table] (duplicates repeat the id). *)
+
+val candidates_batch : Pb_sql.Database.t -> Ast.t -> batch option
+(** Columnar candidate generation; [None] when the storage mode is [Row],
+    the input table is missing, or the base predicate doesn't compile to
+    a batch kernel. *)
+
+val batch_candidates : batch -> Pb_relation.Relation.t
+(** Materialize the batch into exactly what {!candidates} returns. *)
+
+val batch_values :
+  batch -> schema:Pb_relation.Schema.t -> Pb_sql.Ast.expr -> float array option
+(** Per-candidate float image of [expr] (the {!Pb_core} coefficient
+    vectors), evaluated by batch kernels against [schema] (the
+    package-alias-qualified view — column positions must align with the
+    table). NULLs map to 0 like the row path; [None] when the expression
+    doesn't compile or is string-valued (the row path owns its warning). *)
 
 val empty_package : Pb_sql.Database.t -> Ast.t -> Package.t
 (** Empty package over [candidates]. *)

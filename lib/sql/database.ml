@@ -15,6 +15,15 @@ type t = {
   tables : (string, Relation.t) Hashtbl.t;
   declared_indexes : (string, string list ref) Hashtbl.t;  (* table -> cols *)
   index_cache : (string * string, Index.t) Hashtbl.t;
+  (* Columnar image of a table, built lazily on first columnar scan and
+     dropped whenever the relation is replaced (same lifecycle as the
+     index cache). The row store the image was encoded from is kept
+     alongside so a caller holding an older snapshot of the relation never
+     gets an image of newer data (physical equality check). The global
+     pb_store_bytes_resident gauge tracks the sum of cached images across
+     catalogs. *)
+  columnar_cache :
+    (string, Value.t array array * Pb_store.Table.t) Hashtbl.t;
   (* Schema/DDL generation: bumped when the set of tables, a table's
      schema, or the declared indexes change — NOT on schema-preserving DML
      (INSERT/DELETE/UPDATE replace the relation with one of identical
@@ -30,6 +39,7 @@ let create () =
     tables = Hashtbl.create 16;
     declared_indexes = Hashtbl.create 8;
     index_cache = Hashtbl.create 8;
+    columnar_cache = Hashtbl.create 8;
     version = Atomic.make 0;
   }
 
@@ -48,6 +58,13 @@ let invalidate_indexes_unlocked db name =
     (fun (table, _) index -> if table = name then None else Some index)
     db.index_cache
 
+let forget_columnar_unlocked db name =
+  match Hashtbl.find_opt db.columnar_cache name with
+  | None -> ()
+  | Some (_, t) ->
+      Hashtbl.remove db.columnar_cache name;
+      Pb_store.Table.add_resident (-Pb_store.Table.bytes t)
+
 let find_unlocked db name = Hashtbl.find_opt db.tables (normalize name)
 
 let put db name rel =
@@ -60,6 +77,7 @@ let put db name rel =
       in
       Hashtbl.replace db.tables name rel;
       invalidate_indexes_unlocked db name;
+      forget_columnar_unlocked db name;
       if schema_changed then Atomic.incr db.version)
 
 let find db name = locked db (fun () -> find_unlocked db name)
@@ -75,7 +93,8 @@ let drop db name =
       if Hashtbl.mem db.tables name then Atomic.incr db.version;
       Hashtbl.remove db.tables name;
       Hashtbl.remove db.declared_indexes name;
-      invalidate_indexes_unlocked db name)
+      invalidate_indexes_unlocked db name;
+      forget_columnar_unlocked db name)
 
 let table_names db =
   locked db (fun () ->
@@ -129,6 +148,32 @@ let get_index db ~table ~column =
                 let index = Index.build rel column in
                 Hashtbl.add db.index_cache (table, column) index;
                 Some index))
+
+let columnar db name rel =
+  let name = normalize name in
+  locked db (fun () ->
+      match Hashtbl.find_opt db.columnar_cache name with
+      | Some (store, t) when store == Relation.rows rel -> t
+      | prev ->
+          (match prev with
+          | Some (_, old) ->
+              Pb_store.Table.add_resident (-Pb_store.Table.bytes old)
+          | None -> ());
+          (* Built under the catalog lock, like lazy index builds, so a
+             given snapshot is encoded at most once. [rel] may carry a
+             qualified (renamed) schema; only the values matter, and a
+             rename shares the row store, so the physical-equality check
+             above still hits for any alias of the same snapshot. *)
+          let t = Pb_store.Table.of_relation rel in
+          Hashtbl.replace db.columnar_cache name (Relation.rows rel, t);
+          Pb_store.Table.add_resident (Pb_store.Table.bytes t);
+          t)
+
+let columnar_cached db name rel =
+  locked db (fun () ->
+      match Hashtbl.find_opt db.columnar_cache (normalize name) with
+      | Some (store, t) when store == Relation.rows rel -> Some t
+      | _ -> None)
 
 let infer_column_ty cells =
   let non_null = List.filter (fun v -> v <> Value.Null) cells in

@@ -48,6 +48,20 @@ val get_index : t -> table:string -> column:string -> Index.t option
 (** The index, building and caching it on demand; [None] when not
     declared or the table is missing. *)
 
+val columnar : t -> string -> Pb_relation.Relation.t -> Pb_store.Table.t
+(** [columnar db name rel] is the columnar image of table [name]'s
+    snapshot [rel]: cached when it was encoded from the same physical row
+    store (a {!Pb_relation.Relation.rename} of the stored relation still
+    hits), rebuilt from [rel] otherwise. Built under the catalog lock and
+    dropped whenever the relation is replaced or dropped. Maintains the
+    [pb_store_bytes_resident] gauge. *)
+
+val columnar_cached :
+  t -> string -> Pb_relation.Relation.t -> Pb_store.Table.t option
+(** The cached columnar image for exactly this snapshot — never triggers
+    a build (used by {!Persist} to stream from columns when they are
+    already resident). *)
+
 val load_csv : t -> name:string -> string -> unit
 (** [load_csv db ~name path] creates table [name] from a CSV file whose
     first row is a header; column types are inferred per column from the

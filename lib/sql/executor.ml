@@ -189,79 +189,6 @@ and eval_agg_expr ?db ?gov schema group e =
   in
   ev e
 
-and contains_agg e =
-  match e with
-  | Agg _ -> true
-  | Lit _ | Col _ -> false
-  | Unary_minus e | Not e | Is_null (e, _) | Like (e, _, _) -> contains_agg e
-  | Binop (_, a, b) -> contains_agg a || contains_agg b
-  | Between (a, b, c) -> contains_agg a || contains_agg b || contains_agg c
-  | In_list (e, es, _) -> contains_agg e || List.exists contains_agg es
-  | In_query (e, _, _) -> contains_agg e
-  | Exists _ -> false
-  | Func (_, es) -> List.exists contains_agg es
-  | Case (branches, default) ->
-      List.exists (fun (c, e) -> contains_agg c || contains_agg e) branches
-      || (match default with Some e -> contains_agg e | None -> false)
-
-and infer_item_name i = function
-  | Star_item -> Printf.sprintf "col%d" i
-  | Expr_item (_, Some alias) -> alias
-  | Expr_item (Col c, None) ->
-      (* keep only the base name so result columns are addressable *)
-      let c = String.lowercase_ascii c in
-      (match String.rindex_opt c '.' with
-      | Some k -> String.sub c (k + 1) (String.length c - k - 1)
-      | None -> c)
-  | Expr_item (Agg (Count_star, _), None) -> "count"
-  | Expr_item (Agg (f, _), None) -> String.lowercase_ascii (agg_to_string f)
-  | Expr_item (_, None) -> Printf.sprintf "col%d" i
-
-and value_ty_fallback = function
-  | Some ty -> ty
-  | None -> Value.T_float
-
-and infer_expr_ty schema e =
-  (* Best-effort static type used to label result columns. *)
-  match e with
-  | Lit v -> value_ty_fallback (Value.ty_of v)
-  | Col name -> (
-      match Schema.column_ty schema name with
-      | Some ty -> ty
-      | None -> Value.T_str)
-  | Unary_minus e -> infer_expr_ty schema e
-  | Not _ | Is_null _ | Like _ | In_list _ | In_query _ | Exists _ ->
-      Value.T_bool
-  | Binop ((Add | Sub | Mul), a, b) -> (
-      match (infer_expr_ty schema a, infer_expr_ty schema b) with
-      | Value.T_int, Value.T_int -> Value.T_int
-      | _ -> Value.T_float)
-  | Binop (Div, _, _) -> Value.T_float
-  | Binop ((Eq | Neq | Lt | Le | Gt | Ge | And | Or), _, _) -> Value.T_bool
-  | Between _ -> Value.T_bool
-  | Agg ((Count_star | Count), _) -> Value.T_int
-  | Agg (Avg, _) -> Value.T_float
-  | Agg ((Sum | Min | Max), Some e) -> infer_expr_ty schema e
-  | Agg ((Sum | Min | Max), None) -> Value.T_float
-  | Func (name, _) -> (
-      match String.lowercase_ascii name with
-      | "length" | "round" | "floor" | "ceil" -> Value.T_int
-      | "lower" | "upper" -> Value.T_str
-      | _ -> Value.T_float)
-  | Case (branches, default) -> (
-      match (branches, default) with
-      | (_, e) :: _, _ -> infer_expr_ty schema e
-      | [], Some e -> infer_expr_ty schema e
-      | [], None -> Value.T_str)
-
-and expand_items schema items =
-  List.concat_map
-    (function
-      | Star_item ->
-          List.map (fun n -> Expr_item (Col n, Some n)) (Schema.names schema)
-      | item -> [ item ])
-    items
-
 and select ?memo ?gov db q =
   let base = select_simple ?memo ?gov db q in
   (* Set operations, applied left to right over the first branch. *)
@@ -345,6 +272,16 @@ and set_operation op left right =
 and select_simple ?memo ?gov db q =
   Trace.with_span ~name:"sql.select" (fun () ->
   Metrics.incr m_selects;
+  match Columnar.try_select ?gov db q with
+  | Some rel ->
+      (* The columnar engine answered the whole block; result-side
+         accounting matches the row path below. *)
+      let rows_out = Relation.cardinality rel in
+      (match gov with Some g -> Gov.spend g Gov.Sql_rows rows_out | None -> ());
+      Metrics.incr ~by:rows_out m_rows_returned;
+      Trace.add_count "rows_out" rows_out;
+      rel
+  | None ->
   let filtered, _plan_stats =
     try
       Planner.execute ?gov db
@@ -354,55 +291,9 @@ and select_simple ?memo ?gov db q =
     with Failure msg -> err "%s" msg
   in
   let schema = Relation.schema filtered in
-  let items = expand_items schema q.items in
-  let grouped_mode =
-    q.group_by <> []
-    || List.exists
-         (function Expr_item (e, _) -> contains_agg e | Star_item -> false)
-         items
-    || (match q.having with Some e -> contains_agg e | None -> false)
-  in
-  let out_schema =
-    (* Base names can collide in self-joins (e1.id, e2.id); fall back to
-       the qualified name, then to a positional suffix. *)
-    let raw = List.mapi (fun i item -> (infer_item_name i item, item)) items in
-    let tally = Hashtbl.create 16 in
-    List.iter
-      (fun (name, _) ->
-        Hashtbl.replace tally name
-          (1 + Option.value (Hashtbl.find_opt tally name) ~default:0))
-      raw;
-    let named =
-      List.map
-        (fun (name, item) ->
-          if Hashtbl.find tally name <= 1 then (name, item)
-          else
-            match item with
-            | Expr_item (Col c, None) -> (String.lowercase_ascii c, item)
-            | _ -> (name, item))
-        raw
-    in
-    let seen = Hashtbl.create 16 in
-    let uniquify name =
-      match Hashtbl.find_opt seen name with
-      | None ->
-          Hashtbl.add seen name 1;
-          name
-      | Some k ->
-          Hashtbl.replace seen name (k + 1);
-          Printf.sprintf "%s__%d" name (k + 1)
-    in
-    Schema.make
-      (List.map
-         (fun (name, item) ->
-           let ty =
-             match item with
-             | Expr_item (e, _) -> infer_expr_ty schema e
-             | Star_item -> Value.T_str
-           in
-           { Schema.name = uniquify name; ty })
-         named)
-  in
+  let items = Shape.expand_items schema q.items in
+  let grouped_mode = Shape.grouped q items in
+  let out_schema = Shape.output_schema schema items in
   (* Each output row keeps its provenance (source row or group) so that
      ORDER BY can reference source expressions that were not projected. *)
   let pairs =
@@ -600,35 +491,59 @@ let execute ?memo ?gov db stmt =
       let new_rows = List.map build rows in
       Database.put db name (Relation.append rel new_rows);
       Affected (List.length new_rows)
-  | Delete (name, where) ->
+  | Delete (name, where) -> (
       let rel = Database.find_exn db name in
       let schema = Relation.schema rel in
-      let keep =
+      let columnar =
         match where with
-        | None -> fun _row -> false
-        | Some pred ->
-            let f = compile_row ~db ?gov schema pred in
-            fun row -> not (Value.truthy (f row))
+        | Some pred -> Columnar.delete_keep ?gov db ~name rel pred
+        | None -> None
       in
-      let kept = Relation.filter keep rel in
-      Database.put db name kept;
-      Affected (Relation.cardinality rel - Relation.cardinality kept)
+      match columnar with
+      | Some (kept, affected) ->
+          Database.put db name kept;
+          Affected affected
+      | None ->
+          let keep =
+            match where with
+            | None -> fun _row -> false
+            | Some pred ->
+                let f = compile_row ~db ?gov schema pred in
+                fun row -> not (Value.truthy (f row))
+          in
+          let kept = Relation.filter keep rel in
+          Database.put db name kept;
+          Affected (Relation.cardinality rel - Relation.cardinality kept))
   | Update (name, sets, where) ->
       let rel = Database.find_exn db name in
       let schema = Relation.schema rel in
       let count = ref 0 in
-      let hit_fn =
+      let mask =
         match where with
-        | None -> fun _row -> true
-        | Some pred ->
+        | Some pred -> Columnar.update_mask ?gov db ~name rel pred
+        | None -> None
+      in
+      let hit_fn =
+        match (mask, where) with
+        | Some _, _ | None, None -> fun _row -> true
+        | None, Some pred ->
             let f = compile_row ~db ?gov schema pred in
             fun row -> Value.truthy (f row)
       in
       let set_fns =
         List.map (fun (col, e) -> (col, compile_row ~db ?gov schema e)) sets
       in
+      (* [pos] tracks the row position so a columnar-computed WHERE mask
+         can stand in for the per-row predicate. *)
+      let pos = ref (-1) in
       let update row =
-        if not (hit_fn row) then row
+        incr pos;
+        let hit =
+          match mask with
+          | Some m -> Bytes.get m !pos = '\001'
+          | None -> hit_fn row
+        in
+        if not hit then row
         else begin
           incr count;
           let out = Array.copy row in

@@ -71,6 +71,50 @@ let write_file_atomic path content =
       raise e);
   Sys.rename tmp path
 
+(* Streaming variant: the writer emits straight to the temp channel, so a
+   table is never held as one big string (the old path peaked at roughly
+   the relation's size again in serialized text). *)
+let write_stream_atomic path writer =
+  let tmp = path ^ ".tmp" in
+  let oc = open_out_bin tmp in
+  (match writer oc with
+  | () -> close_out oc
+  | exception e ->
+      close_out_noerr oc;
+      raise e);
+  Sys.rename tmp path
+
+let output_row oc row =
+  output_string oc
+    (Pb_util.Csv.row_to_string (Array.to_list (Array.map serialize_value row)));
+  output_char oc '\n'
+
+(* One CSV line per original row. When a columnar image of this exact
+   snapshot is already resident and compressed, serialize each distinct
+   row once and replay the cached line along the order walk — duplicates
+   cost a string write, not a re-serialization. *)
+let stream_table db table rel oc =
+  match Database.columnar_cached db table rel with
+  | Some tbl when Pb_store.Table.compressed tbl ->
+      let module T = Pb_store.Table in
+      let lines = Array.make (T.distinct tbl) None in
+      let line id =
+        match lines.(id) with
+        | Some s -> s
+        | None ->
+            let s =
+              Pb_util.Csv.row_to_string
+                (Array.to_list (Array.map serialize_value (T.get_row tbl id)))
+              ^ "\n"
+            in
+            lines.(id) <- Some s;
+            s
+      in
+      Array.iter
+        (fun id -> output_string oc (line id))
+        (Option.get (T.order tbl))
+  | _ -> List.iter (fun row -> output_row oc row) (Relation.to_list rel)
+
 let save_dir db dir =
   if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
   let tables = Database.table_names db in
@@ -96,14 +140,9 @@ let save_dir db dir =
       let indexes = String.concat "," (Database.indexed_columns db table) in
       Buffer.add_string manifest
         (Printf.sprintf "%s\t%s\t%s\n" table cols indexes);
-      let rows =
-        List.map
-          (fun row -> Array.to_list (Array.map serialize_value row))
-          (Relation.to_list rel)
-      in
-      write_file_atomic
+      write_stream_atomic
         (Filename.concat dir (table ^ ".csv"))
-        (Pb_util.Csv.to_string rows))
+        (stream_table db table rel))
     tables;
   (* The manifest rename is the commit point: every CSV it names is
      already durably in place when it appears. *)

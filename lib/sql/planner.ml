@@ -190,6 +190,20 @@ let sargable schema expr =
 
 let scan ?gov db ~compile ~stats table_name qualified_rel conjs =
   Trace.with_span ~name:"sql.scan" ~attrs:[ ("table", table_name) ] (fun () ->
+  match Columnar.scan ?gov db ~name:table_name qualified_rel conjs with
+  | Some out ->
+      (* Same accounting as the row path below: every base row is read,
+         and each conjunct counts as one pushed predicate. *)
+      let npush = List.length conjs in
+      stats :=
+        { !stats with pushed_predicates = !stats.pushed_predicates + npush };
+      Metrics.incr ~by:npush m_pushed_predicates;
+      let scanned = Relation.cardinality qualified_rel in
+      Metrics.incr ~by:scanned m_rows_scanned;
+      Trace.add_count "rows_scanned" scanned;
+      Trace.add_count "rows_out" (Relation.cardinality out);
+      out
+  | None ->
   let schema = Relation.schema qualified_rel in
   (* Try to satisfy one sargable conjunct with a declared index. *)
   let indexed_conjunct =

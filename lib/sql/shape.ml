@@ -1,0 +1,129 @@
+open Ast
+module Value = Pb_relation.Value
+module Schema = Pb_relation.Schema
+
+(* Output-shape inference for SELECT blocks — item expansion, result
+   column naming/typing, grouped-mode detection. Factored out of
+   [Executor] so the columnar fast path ([Columnar]) derives the exact
+   same output schema as the row engine from the same query. *)
+
+let rec contains_agg e =
+  match e with
+  | Agg _ -> true
+  | Lit _ | Col _ -> false
+  | Unary_minus e | Not e | Is_null (e, _) | Like (e, _, _) -> contains_agg e
+  | Binop (_, a, b) -> contains_agg a || contains_agg b
+  | Between (a, b, c) -> contains_agg a || contains_agg b || contains_agg c
+  | In_list (e, es, _) -> contains_agg e || List.exists contains_agg es
+  | In_query (e, _, _) -> contains_agg e
+  | Exists _ -> false
+  | Func (_, es) -> List.exists contains_agg es
+  | Case (branches, default) ->
+      List.exists (fun (c, e) -> contains_agg c || contains_agg e) branches
+      || (match default with Some e -> contains_agg e | None -> false)
+
+let infer_item_name i = function
+  | Star_item -> Printf.sprintf "col%d" i
+  | Expr_item (_, Some alias) -> alias
+  | Expr_item (Col c, None) ->
+      (* keep only the base name so result columns are addressable *)
+      let c = String.lowercase_ascii c in
+      (match String.rindex_opt c '.' with
+      | Some k -> String.sub c (k + 1) (String.length c - k - 1)
+      | None -> c)
+  | Expr_item (Agg (Count_star, _), None) -> "count"
+  | Expr_item (Agg (f, _), None) -> String.lowercase_ascii (agg_to_string f)
+  | Expr_item (_, None) -> Printf.sprintf "col%d" i
+
+let value_ty_fallback = function
+  | Some ty -> ty
+  | None -> Value.T_float
+
+let rec infer_expr_ty schema e =
+  (* Best-effort static type used to label result columns. *)
+  match e with
+  | Lit v -> value_ty_fallback (Value.ty_of v)
+  | Col name -> (
+      match Schema.column_ty schema name with
+      | Some ty -> ty
+      | None -> Value.T_str)
+  | Unary_minus e -> infer_expr_ty schema e
+  | Not _ | Is_null _ | Like _ | In_list _ | In_query _ | Exists _ ->
+      Value.T_bool
+  | Binop ((Add | Sub | Mul), a, b) -> (
+      match (infer_expr_ty schema a, infer_expr_ty schema b) with
+      | Value.T_int, Value.T_int -> Value.T_int
+      | _ -> Value.T_float)
+  | Binop (Div, _, _) -> Value.T_float
+  | Binop ((Eq | Neq | Lt | Le | Gt | Ge | And | Or), _, _) -> Value.T_bool
+  | Between _ -> Value.T_bool
+  | Agg ((Count_star | Count), _) -> Value.T_int
+  | Agg (Avg, _) -> Value.T_float
+  | Agg ((Sum | Min | Max), Some e) -> infer_expr_ty schema e
+  | Agg ((Sum | Min | Max), None) -> Value.T_float
+  | Func (name, _) -> (
+      match String.lowercase_ascii name with
+      | "length" | "round" | "floor" | "ceil" -> Value.T_int
+      | "lower" | "upper" -> Value.T_str
+      | _ -> Value.T_float)
+  | Case (branches, default) -> (
+      match (branches, default) with
+      | (_, e) :: _, _ -> infer_expr_ty schema e
+      | [], Some e -> infer_expr_ty schema e
+      | [], None -> Value.T_str)
+
+let expand_items schema items =
+  List.concat_map
+    (function
+      | Star_item ->
+          List.map (fun n -> Expr_item (Col n, Some n)) (Schema.names schema)
+      | item -> [ item ])
+    items
+
+let grouped (q : select) items =
+  q.group_by <> []
+  || List.exists
+       (function Expr_item (e, _) -> contains_agg e | Star_item -> false)
+       items
+  || (match q.having with Some e -> contains_agg e | None -> false)
+
+let output_schema schema items =
+  (* Base names can collide in self-joins (e1.id, e2.id); fall back to
+     the qualified name, then to a positional suffix. *)
+  let raw = List.mapi (fun i item -> (infer_item_name i item, item)) items in
+  let tally = Hashtbl.create 16 in
+  List.iter
+    (fun (name, _) ->
+      Hashtbl.replace tally name
+        (1 + Option.value (Hashtbl.find_opt tally name) ~default:0))
+    raw;
+  let named =
+    List.map
+      (fun (name, item) ->
+        if Hashtbl.find tally name <= 1 then (name, item)
+        else
+          match item with
+          | Expr_item (Col c, None) -> (String.lowercase_ascii c, item)
+          | _ -> (name, item))
+      raw
+  in
+  let seen = Hashtbl.create 16 in
+  let uniquify name =
+    match Hashtbl.find_opt seen name with
+    | None ->
+        Hashtbl.add seen name 1;
+        name
+    | Some k ->
+        Hashtbl.replace seen name (k + 1);
+        Printf.sprintf "%s__%d" name (k + 1)
+  in
+  Schema.make
+    (List.map
+       (fun (name, item) ->
+         let ty =
+           match item with
+           | Expr_item (e, _) -> infer_expr_ty schema e
+           | Star_item -> Value.T_str
+         in
+         { Schema.name = uniquify name; ty })
+       named)

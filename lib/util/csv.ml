@@ -65,12 +65,12 @@ let escape_field s =
     Buffer.add_char buf '"';
     Buffer.contents buf
 
+let row_to_string row = String.concat "," (List.map escape_field row)
+
 let to_string rows =
   match rows with
   | [] -> ""
-  | _ ->
-      let row_to_string row = String.concat "," (List.map escape_field row) in
-      String.concat "\n" (List.map row_to_string rows) ^ "\n"
+  | _ -> String.concat "\n" (List.map row_to_string rows) ^ "\n"
 
 let write_file path rows =
   let oc = open_out_bin path in

@@ -13,6 +13,10 @@ val parse_file : string -> string list list
 val escape_field : string -> string
 (** Quote a field if it contains a comma, quote, or newline. *)
 
+val row_to_string : string list -> string
+(** One record, escaped and comma-joined, without the line ending — the
+    streaming unit of {!to_string} (writers append ["\n"] per row). *)
+
 val to_string : string list list -> string
 (** Render rows as CSV text with [\n] line endings. *)
 

@@ -24,4 +24,5 @@ let () =
       ("partition", Test_partition.suite);
       ("par", Test_par.suite);
       ("net", Test_net.suite);
+      ("columnar", Test_columnar.suite);
     ]
