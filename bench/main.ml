@@ -1269,7 +1269,7 @@ let paql_scale () =
       (* sketch-refine across partition counts (None = ~sqrt n) *)
       List.iter
         (fun parts ->
-          let params = { Pb_core.Sketch_refine.partitions = parts; fanout = 4 } in
+          let params = { Pb_core.Sketch_refine.partitions = parts; fanout = 4; prepartition = None } in
           let gov = Pb_util.Gov.create ~deadline_in:deadline ~milp_nodes:node_budget () in
           let t0 = Unix.gettimeofday () in
           let out = Pb_core.Sketch_refine.search ~params ~pool ~gov c in
@@ -1368,6 +1368,9 @@ let loadgen_host = ref "127.0.0.1"
 let loadgen_port = ref 7878
 let loadgen_clients = ref 4
 let loadgen_requests = ref 100
+let loadgen_connections = ref 0
+let loadgen_rate = ref 0.0
+let loadgen_duration = ref 10.0
 let loadgen_workload : string option ref = ref None
 let loadgen_deadline = ref 0.0
 let loadgen_label = ref "loadgen"
@@ -1522,7 +1525,8 @@ let loadgen () =
       in
       let oc = open_out path in
       Printf.fprintf oc
-        "{\"label\":\"%s\",\"store_mode\":\"%s\",\"clients\":%d,\
+        "{\"label\":\"%s\",\"mode\":\"closed\",\"store_mode\":\"%s\",\
+         \"clients\":%d,\
          \"requests_per_client\":%d,\
          \"nproc\":%d,\"completed\":%d,\"protocol_errors\":%d,\"busy\":%d,\
          \"cancelled\":%d,\"dropped_clients\":%d,\
@@ -1538,6 +1542,337 @@ let loadgen () =
         (json_num throughput) (json_num (p 50.0)) (json_num (p 95.0))
         (json_num (p 99.0)) (json_num (p 100.0)) (json_num latency_sum)
         buckets_json trace_check;
+      close_out oc;
+      Printf.printf "  json written to %s\n" path
+
+(* ---- open-loop loadgen: one thread, a pool of non-blocking connections --- *)
+
+(* The closed-loop generator above measures the system at its natural
+   concurrency: every worker waits for its response before sending again,
+   so offered load collapses when the server slows down — latency hides.
+   The open-loop generator decouples arrivals from completions: requests
+   arrive on a Poisson process at --rate regardless of how the server is
+   doing, each grabbing an idle connection from a pool of --connections
+   persistent non-blocking connections multiplexed on one Poller. An
+   arrival that finds every connection busy is *dropped and counted* —
+   under overload the drop counter grows instead of the latency lying.
+   Without --rate the pool runs closed-loop (each connection re-issues on
+   completion), which is the apples-to-apples shape for comparing server
+   modes at high connection counts without spawning thousands of client
+   threads. *)
+
+type oconn = {
+  oc_fd : Unix.file_descr;
+  oc_asm : Pb_net.Assembler.t;
+  mutable oc_wbuf : string;  (* unwritten tail of the current frame *)
+  mutable oc_busy : bool;
+  mutable oc_t0 : float;
+  mutable oc_dead : bool;
+}
+
+let frame payload = Printf.sprintf "%d\n%s" (String.length payload) payload
+
+let resolve_addr host port =
+  let inet =
+    match Unix.inet_addr_of_string host with
+    | addr -> addr
+    | exception _ -> (Unix.gethostbyname host).Unix.h_addr_list.(0)
+  in
+  Unix.ADDR_INET (inet, port)
+
+let rec handshake_read fd asm buf =
+  match Pb_net.Assembler.next asm with
+  | `Frame f -> f
+  | `Bad msg -> failwith ("handshake: " ^ msg)
+  | `Awaiting ->
+      let n = Unix.read fd buf 0 (Bytes.length buf) in
+      if n = 0 then failwith "handshake: connection closed";
+      Pb_net.Assembler.feed asm ~len:n (Bytes.unsafe_to_string buf);
+      handshake_read fd asm buf
+
+let connect_nonblocking addr =
+  let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  match
+    Unix.connect fd addr;
+    let asm = Pb_net.Assembler.create () in
+    Pb_net.Client.write_all fd
+      (frame (Pb_net.Protocol.encode_hello Pb_net.Protocol.version));
+    let buf = Bytes.create 4096 in
+    let reply = handshake_read fd asm buf in
+    (match Pb_net.Protocol.decode_hello reply with
+    | Ok _ -> ()
+    | Error _ ->
+        (* not a hello: the server turned the connection away *)
+        let msg =
+          match Pb_net.Protocol.decode_response reply with
+          | Ok r -> r.Pb_net.Protocol.body
+          | Error e -> e
+        in
+        failwith ("rejected: " ^ msg));
+    Unix.set_nonblock fd;
+    { oc_fd = fd; oc_asm = asm; oc_wbuf = ""; oc_busy = false;
+      oc_t0 = 0.0; oc_dead = false }
+  with
+  | conn -> Some conn
+  | exception _ ->
+      (try Unix.close fd with _ -> ());
+      None
+
+let loadgen_open () =
+  let lines =
+    match !loadgen_workload with
+    | Some path -> read_workload_file path
+    | None -> default_workload_lines
+  in
+  if lines = [] then failwith "loadgen: workload file has no statements";
+  let statements = Array.of_list lines in
+  let n_stmts = Array.length statements in
+  let want_conns = max 1 !loadgen_connections in
+  let rate = !loadgen_rate in
+  let duration = max 0.1 !loadgen_duration in
+  let deadline =
+    if !loadgen_deadline > 0.0 then Some !loadgen_deadline else None
+  in
+  let addr = resolve_addr !loadgen_host !loadgen_port in
+  let prng = Pb_util.Prng.create 42 in
+  (* connect phase: sequential and blocking — predictable, and it doubles
+     as a connection-storm test of the server's accept path *)
+  let t_conn0 = Unix.gettimeofday () in
+  let conns =
+    Array.of_list
+      (List.filter_map
+         (fun _ -> connect_nonblocking addr)
+         (List.init want_conns (fun i -> i)))
+  in
+  let n_conns = Array.length conns in
+  let connect_seconds = Unix.gettimeofday () -. t_conn0 in
+  if n_conns = 0 then failwith "loadgen: no connection could be established";
+  Printf.printf "loadgen %s (open pool): %d/%d connections up in %s\n%!"
+    !loadgen_label n_conns want_conns (fmt_seconds connect_seconds);
+  let poller = Pb_net.Poller.create () in
+  let by_fd = Hashtbl.create (2 * n_conns) in
+  Array.iter
+    (fun c ->
+      Hashtbl.replace by_fd c.oc_fd c;
+      Pb_net.Poller.add poller c.oc_fd ~read:true ~write:false)
+    conns;
+  let latencies = ref [] in
+  let completed = ref 0 in
+  let errors = ref 0 in
+  let busy = ref 0 in
+  let cancelled = ref 0 in
+  let dropped_arrivals = ref 0 in
+  let dead_conns = ref 0 in
+  let stmt_i = ref 0 in
+  let cursor = ref 0 in
+  let update_interest c =
+    if not c.oc_dead then
+      Pb_net.Poller.modify poller c.oc_fd ~read:true
+        ~write:(c.oc_wbuf <> "")
+  in
+  let kill c =
+    if not c.oc_dead then begin
+      c.oc_dead <- true;
+      incr dead_conns;
+      Pb_net.Poller.remove poller c.oc_fd;
+      Hashtbl.remove by_fd c.oc_fd;
+      (try Unix.close c.oc_fd with _ -> ())
+    end
+  in
+  let flush_writes c =
+    let s = c.oc_wbuf in
+    let len = String.length s in
+    let off = ref 0 in
+    (try
+       while !off < len do
+         let n =
+           Unix.write_substring c.oc_fd s !off (len - !off)
+         in
+         off := !off + n
+       done
+     with
+    | Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.EINTR), _, _) ->
+        ()
+    | Unix.Unix_error _ -> kill c);
+    if not c.oc_dead then begin
+      c.oc_wbuf <- String.sub s !off (len - !off);
+      update_interest c
+    end
+  in
+  let send c =
+    let text = statements.(!stmt_i mod n_stmts) in
+    incr stmt_i;
+    let payload =
+      Pb_net.Protocol.encode_request
+        { Pb_net.Protocol.text; deadline; trace = None; data = false }
+    in
+    c.oc_busy <- true;
+    c.oc_t0 <- Unix.gettimeofday ();
+    c.oc_wbuf <- c.oc_wbuf ^ frame payload;
+    flush_writes c
+  in
+  let closed_loop = rate <= 0.0 in
+  let t_start = Unix.gettimeofday () in
+  let t_end = t_start +. duration in
+  let next_arrival = ref t_start in
+  let advance_arrival () =
+    let u = Pb_util.Prng.float prng 1.0 in
+    next_arrival := !next_arrival +. (-.log (1.0 -. u) /. rate)
+  in
+  let dispatch_arrival () =
+    (* round-robin scan for an idle connection; none idle = drop *)
+    let n = Array.length conns in
+    let rec scan k =
+      if k >= n then incr dropped_arrivals
+      else
+        let c = conns.((!cursor + k) mod n) in
+        if c.oc_dead || c.oc_busy then scan (k + 1)
+        else begin
+          cursor := (!cursor + k + 1) mod n;
+          send c
+        end
+    in
+    scan 0
+  in
+  if closed_loop then Array.iter (fun c -> if not c.oc_dead then send c) conns;
+  let on_response c body_frame =
+    match Pb_net.Protocol.decode_response body_frame with
+    | Error _ -> kill c
+    | Ok resp ->
+        let dt = Unix.gettimeofday () -. c.oc_t0 in
+        latencies := dt :: !latencies;
+        incr completed;
+        c.oc_busy <- false;
+        (match resp.Pb_net.Protocol.status with
+        | Pb_net.Protocol.Ok -> ()
+        | Pb_net.Protocol.Busy ->
+            incr busy;
+            incr errors
+        | Pb_net.Protocol.Deadline_exceeded | Pb_net.Protocol.Cancelled ->
+            incr cancelled;
+            incr errors
+        | _ -> incr errors);
+        if closed_loop && Unix.gettimeofday () < t_end then send c
+  in
+  let rbuf = Bytes.create 65536 in
+  let on_readable c =
+    match Unix.read c.oc_fd rbuf 0 (Bytes.length rbuf) with
+    | 0 -> kill c
+    | n ->
+        Pb_net.Assembler.feed c.oc_asm ~len:n (Bytes.unsafe_to_string rbuf);
+        let rec drain () =
+          if not c.oc_dead then
+            match Pb_net.Assembler.next c.oc_asm with
+            | `Frame f ->
+                on_response c f;
+                drain ()
+            | `Awaiting -> ()
+            | `Bad _ -> kill c
+        in
+        drain ()
+    | exception
+        Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.EINTR), _, _)
+      ->
+        ()
+    | exception Unix.Unix_error _ -> kill c
+  in
+  let in_flight () =
+    Array.fold_left
+      (fun acc c -> if (not c.oc_dead) && c.oc_busy then acc + 1 else acc)
+      0 conns
+  in
+  let grace_end = ref infinity in
+  let running = ref true in
+  while !running do
+    let now = Unix.gettimeofday () in
+    if (not closed_loop) && now < t_end then
+      while !next_arrival <= Unix.gettimeofday () && rate > 0.0 do
+        dispatch_arrival ();
+        advance_arrival ()
+      done;
+    let now = Unix.gettimeofday () in
+    if now >= t_end then begin
+      if !grace_end = infinity then grace_end := now +. 10.0;
+      if in_flight () = 0 || now >= !grace_end then running := false
+    end;
+    if !running then begin
+      let timeout =
+        if closed_loop || now >= t_end then 0.05
+        else Float.max 0.0 (Float.min 0.05 (!next_arrival -. now))
+      in
+      let events = Pb_net.Poller.wait poller ~timeout in
+      List.iter
+        (fun ev ->
+          match Hashtbl.find_opt by_fd ev.Pb_net.Poller.fd with
+          | None -> ()
+          | Some c ->
+              if ev.Pb_net.Poller.error then kill c
+              else begin
+                if ev.Pb_net.Poller.writable && c.oc_wbuf <> "" then
+                  flush_writes c;
+                if ev.Pb_net.Poller.readable then on_readable c
+              end)
+        events
+    end
+  done;
+  let wall = Unix.gettimeofday () -. t_start in
+  let died = !dead_conns in
+  Array.iter kill conns;
+  Pb_net.Poller.close poller;
+  let all = !latencies in
+  if !completed = 0 then failwith "loadgen: no request completed";
+  let sorted = List.sort compare all in
+  let p q = Stats.percentile q sorted in
+  let throughput = float_of_int !completed /. wall in
+  let mode = if closed_loop then "closed" else "open" in
+  Printf.printf
+    "loadgen %s: %s-loop, %d connections%s against %s:%d for %s\n"
+    !loadgen_label mode n_conns
+    (if closed_loop then "" else Printf.sprintf " at %g req/s offered" rate)
+    !loadgen_host !loadgen_port (fmt_seconds wall);
+  Printf.printf
+    "  completed %d round-trips (%d error statuses: %d busy, %d \
+     deadline/cancelled); %d arrivals dropped, %d connections died\n"
+    !completed !errors !busy !cancelled !dropped_arrivals died;
+  Printf.printf "  throughput: %.1f req/s\n" throughput;
+  Printf.printf "  latency: p50 %s  p95 %s  p99 %s  max %s\n"
+    (fmt_seconds (p 50.0)) (fmt_seconds (p 95.0)) (fmt_seconds (p 99.0))
+    (fmt_seconds (p 100.0));
+  match !loadgen_json_out with
+  | None -> ()
+  | Some path ->
+      let bucket_bounds =
+        [ 0.0005; 0.001; 0.005; 0.01; 0.05; 0.1; 0.5; 1.0; 5.0 ]
+      in
+      let cumulative le = List.length (List.filter (fun v -> v <= le) all) in
+      let buckets_json =
+        String.concat ","
+          (List.map
+             (fun le ->
+               Printf.sprintf "{\"le\":%s,\"count\":%d}" (json_num le)
+                 (cumulative le))
+             bucket_bounds
+          @ [ Printf.sprintf "{\"le\":\"+Inf\",\"count\":%d}" !completed ])
+      in
+      let oc = open_out path in
+      Printf.fprintf oc
+        "{\"label\":\"%s\",\"mode\":\"%s\",\"store_mode\":\"%s\",\
+         \"connections\":%d,\"connections_requested\":%d,\
+         \"offered_rate_rps\":%s,\"duration_s\":%s,\
+         \"connect_seconds\":%s,\"nproc\":%d,\"completed\":%d,\
+         \"protocol_errors\":%d,\"busy\":%d,\"cancelled\":%d,\
+         \"dropped_arrivals\":%d,\"dead_connections\":%d,\
+         \"wall_seconds\":%s,\"throughput_rps\":%s,\"p50_s\":%s,\
+         \"p95_s\":%s,\"p99_s\":%s,\"max_s\":%s,\"latency_buckets\":[%s]}\n"
+        (json_escape !loadgen_label) mode
+        (Pb_store.Mode.to_string (Pb_store.Mode.current ()))
+        n_conns want_conns (json_num rate) (json_num duration)
+        (json_num connect_seconds)
+        (Domain.recommended_domain_count ())
+        !completed !errors !busy !cancelled !dropped_arrivals died
+        (json_num wall) (json_num throughput) (json_num (p 50.0))
+        (json_num (p 95.0)) (json_num (p 99.0)) (json_num (p 100.0))
+        buckets_json;
       close_out oc;
       Printf.printf "  json written to %s\n" path
 
@@ -1598,6 +1933,21 @@ let () =
         | Some k when k >= 1 -> loadgen_requests := k
         | _ -> prerr_endline ("ignoring invalid --requests value: " ^ n));
         parse rest
+    | "--connections" :: n :: rest ->
+        (match int_of_string_opt n with
+        | Some k when k >= 1 -> loadgen_connections := k
+        | _ -> prerr_endline ("ignoring invalid --connections value: " ^ n));
+        parse rest
+    | "--rate" :: s :: rest ->
+        (match float_of_string_opt s with
+        | Some r when r > 0.0 -> loadgen_rate := r
+        | _ -> prerr_endline ("ignoring invalid --rate value: " ^ s));
+        parse rest
+    | "--duration" :: s :: rest ->
+        (match float_of_string_opt s with
+        | Some d when d > 0.0 -> loadgen_duration := d
+        | _ -> prerr_endline ("ignoring invalid --duration value: " ^ s));
+        parse rest
     | "--workload" :: path :: rest ->
         loadgen_workload := Some path;
         parse rest
@@ -1626,7 +1976,8 @@ let () =
     | _ :: rest -> parse rest
   in
   parse args;
-  if !run_loadgen then loadgen ()
+  if !run_loadgen then
+    if !loadgen_connections > 0 then loadgen_open () else loadgen ()
   else if !run_paql_scale then paql_scale ()
   else if !run_sql_bench then sql_bench ()
   else if !run_bechamel then micro_benchmarks ()

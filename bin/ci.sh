@@ -340,4 +340,101 @@ if [ "$SR_EXIT" -ne 0 ]; then
   exit 1
 fi
 
+# Shared-nothing router differential: the same scripted session replayed
+# against a single pb_server and against a pb_router fronting two hash
+# partitions of the same seeded data must produce byte-identical
+# transcripts (partial-aggregate merge and scan-pull are not allowed to
+# change answers). The router's /healthz must aggregate per-shard health.
+echo "== router differential (pb_router over 2 shards vs single node) =="
+SH0_LOG=_build/ci/shard0_server.log
+SH1_LOG=_build/ci/shard1_server.log
+ONE_LOG=_build/ci/router_single.log
+RT_LOG=_build/ci/router.log
+./_build/default/bin/pb_server.exe --port 0 --size 80 --seed 7 \
+  --shard 0/2 >"$SH0_LOG" 2>&1 &
+SH0_PID=$!
+./_build/default/bin/pb_server.exe --port 0 --size 80 --seed 7 \
+  --shard 1/2 >"$SH1_LOG" 2>&1 &
+SH1_PID=$!
+./_build/default/bin/pb_server.exe --port 0 --size 80 --seed 7 \
+  >"$ONE_LOG" 2>&1 &
+ONE_PID=$!
+for log in "$SH0_LOG" "$SH1_LOG" "$ONE_LOG"; do
+  i=0
+  while [ $i -lt 100 ]; do
+    grep -q "pb_server ready" "$log" 2>/dev/null && break
+    i=$((i + 1))
+    sleep 0.1
+  done
+done
+SH0_PORT=$(sed -n 's/.*listening on 127.0.0.1:\([0-9]*\).*/\1/p' "$SH0_LOG")
+SH1_PORT=$(sed -n 's/.*listening on 127.0.0.1:\([0-9]*\).*/\1/p' "$SH1_LOG")
+ONE_PORT=$(sed -n 's/.*listening on 127.0.0.1:\([0-9]*\).*/\1/p' "$ONE_LOG")
+if [ -z "$SH0_PORT" ] || [ -z "$SH1_PORT" ] || [ -z "$ONE_PORT" ]; then
+  echo "CI FAIL: router-stage pb_servers did not come up; logs follow"
+  cat "$SH0_LOG" "$SH1_LOG" "$ONE_LOG"
+  kill "$SH0_PID" "$SH1_PID" "$ONE_PID" 2>/dev/null || true
+  exit 1
+fi
+./_build/default/bin/pb_router.exe --port 0 \
+  --shard "127.0.0.1:$SH0_PORT" --shard "127.0.0.1:$SH1_PORT" \
+  --metrics-port 0 >"$RT_LOG" 2>&1 &
+RT_PID=$!
+i=0
+while [ $i -lt 100 ]; do
+  grep -q "pb_router ready" "$RT_LOG" 2>/dev/null && break
+  i=$((i + 1))
+  sleep 0.1
+done
+RT_PORT=$(sed -n 's/.*listening on 127.0.0.1:\([0-9]*\) .*/\1/p' "$RT_LOG")
+if [ -z "$RT_PORT" ]; then
+  echo "CI FAIL: pb_router did not come up; log follows"
+  cat "$RT_LOG"
+  kill "$RT_PID" "$SH0_PID" "$SH1_PID" "$ONE_PID" 2>/dev/null || true
+  exit 1
+fi
+./_build/default/bin/pb_client.exe --port "$ONE_PORT" --echo \
+  <test/smoke/store_session.txt >_build/ci/router_one.txt 2>&1
+./_build/default/bin/pb_client.exe --port "$RT_PORT" --echo \
+  <test/smoke/store_session.txt >_build/ci/router_rt.txt 2>&1
+normalize _build/ci/router_one.txt >_build/ci/router_one.norm
+normalize _build/ci/router_rt.txt >_build/ci/router_rt.norm
+if ! diff -u _build/ci/router_one.norm _build/ci/router_rt.norm; then
+  echo "CI FAIL: router transcript differs from the single-node transcript"
+  kill "$RT_PID" "$SH0_PID" "$SH1_PID" "$ONE_PID" 2>/dev/null || true
+  exit 1
+fi
+RT_METRICS_PORT=$(sed -n \
+  's|.*metrics on http://127.0.0.1:\([0-9]*\).*|\1|p' "$RT_LOG")
+curl -sf "http://127.0.0.1:$RT_METRICS_PORT/healthz" \
+  >_build/ci/router_health.txt || {
+  echo "CI FAIL: curl /healthz on pb_router failed"
+  kill "$RT_PID" "$SH0_PID" "$SH1_PID" "$ONE_PID" 2>/dev/null || true
+  exit 1
+}
+if ! grep -q '"status":"ok"' _build/ci/router_health.txt || \
+   ! grep -q '"shard":0' _build/ci/router_health.txt || \
+   ! grep -q '"shard":1' _build/ci/router_health.txt; then
+  echo "CI FAIL: router /healthz did not aggregate per-shard health:"
+  cat _build/ci/router_health.txt
+  kill "$RT_PID" "$SH0_PID" "$SH1_PID" "$ONE_PID" 2>/dev/null || true
+  exit 1
+fi
+kill -TERM "$RT_PID"
+RT_EXIT=0
+wait "$RT_PID" || RT_EXIT=$?
+if [ "$RT_EXIT" -ne 0 ]; then
+  echo "CI FAIL: pb_router exited $RT_EXIT on SIGTERM (expected 0)"
+  exit 1
+fi
+kill -TERM "$SH0_PID" "$SH1_PID" "$ONE_PID"
+for pid in "$SH0_PID" "$SH1_PID" "$ONE_PID"; do
+  SHARD_EXIT=0
+  wait "$pid" || SHARD_EXIT=$?
+  if [ "$SHARD_EXIT" -ne 0 ]; then
+    echo "CI FAIL: router-stage pb_server exited $SHARD_EXIT on SIGTERM"
+    exit 1
+  fi
+done
+
 echo "CI OK"

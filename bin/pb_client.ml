@@ -28,6 +28,15 @@ let deadline_arg =
     & info [ "deadline" ] ~docv:"SECONDS"
         ~doc:"Per-request deadline sent with every request. 0 = none.")
 
+let connect_timeout_arg =
+  Arg.(
+    value & opt float 0.0
+    & info [ "connect-timeout" ] ~docv:"SECONDS"
+        ~doc:
+          "Bound TCP connection establishment; a dead-but-routing address \
+           fails fast instead of waiting for the kernel's own timeout. \
+           0 = no bound.")
+
 let retries_arg =
   Arg.(
     value & opt int 5
@@ -81,9 +90,9 @@ let backoff =
     let d = base *. (2.0 ** float_of_int attempt) in
     d *. (0.5 +. Random.State.float rng 1.0)
 
-let connect_with_retry ~host ~port ~retries ~base =
+let connect_with_retry ~host ~port ~connect_timeout ~retries ~base =
   let rec go attempt =
-    match Pb_net.Client.connect ~host ~port () with
+    match Pb_net.Client.connect ~host ?connect_timeout ~port () with
     | client -> client
     | exception Pb_net.Client.Rejected (Pb_net.Protocol.Busy, msg)
       when attempt < retries ->
@@ -105,8 +114,11 @@ let connect_with_retry ~host ~port ~retries ~base =
   in
   go 0
 
-let run host port deadline retries retry_delay cmds echo trace =
+let run host port deadline connect_timeout retries retry_delay cmds echo trace =
   let deadline = if deadline > 0.0 then Some deadline else None in
+  let connect_timeout =
+    if connect_timeout > 0.0 then Some connect_timeout else None
+  in
   let stdin_mode = cmds = [] in
   let next_line =
     let pending = ref cmds in
@@ -123,7 +135,7 @@ let run host port deadline retries retry_delay cmds echo trace =
             Some line
   in
   let client =
-    connect_with_retry ~host ~port ~retries ~base:retry_delay
+    connect_with_retry ~host ~port ~connect_timeout ~retries ~base:retry_delay
   in
   let rec send ?trace line attempt =
     match Pb_net.Client.request ?deadline ?trace client line with
@@ -194,8 +206,8 @@ let run host port deadline retries retry_delay cmds echo trace =
 let cmd =
   let term =
     Term.(
-      const run $ host_arg $ port_arg $ deadline_arg $ retries_arg
-      $ retry_delay_arg $ cmds_arg $ echo_arg $ trace_arg)
+      const run $ host_arg $ port_arg $ deadline_arg $ connect_timeout_arg
+      $ retries_arg $ retry_delay_arg $ cmds_arg $ echo_arg $ trace_arg)
   in
   Cmd.v
     (Cmd.info "pb_client" ~version:"1.0.0"

@@ -104,6 +104,29 @@ let metrics_port_arg =
            tree as JSON) over plain HTTP/1.1 on this port; 0 picks an \
            ephemeral one (printed on startup). Disabled when absent.")
 
+let serve_mode_arg =
+  Arg.(
+    value
+    & opt (enum [ ("event", Pb_net.Server.Event); ("threads", Pb_net.Server.Threads) ])
+        Pb_net.Server.Event
+    & info [ "serve-mode" ] ~docv:"MODE"
+        ~doc:
+          "Connection handling: $(b,event) (default) multiplexes all \
+           connections on one readiness loop with a bounded worker pool — \
+           an idle connection costs a buffer, not a thread; $(b,threads) \
+           is the legacy thread-per-connection loop.")
+
+let shard_arg =
+  Arg.(
+    value & opt (some string) None
+    & info [ "shard" ] ~docv:"I/N"
+        ~doc:
+          "Run as shard $(i,I) of $(i,N) (0-based): after loading, every \
+           table is filtered to the rows whose stable hash maps to this \
+           shard, so $(i,N) servers started with the same data and \
+           $(b,--shard) 0/N .. (N-1)/N hold a disjoint partition of it. \
+           Front them with $(b,pb_router).")
+
 let trace_capacity_arg =
   Arg.(
     value & opt int 256
@@ -139,9 +162,32 @@ let load_db tables size seed db_dir =
           tables;
       db
 
+let parse_shard_spec spec =
+  match String.index_opt spec '/' with
+  | Some i -> (
+      let shard = String.sub spec 0 i in
+      let shards = String.sub spec (i + 1) (String.length spec - i - 1) in
+      match (int_of_string_opt shard, int_of_string_opt shards) with
+      | Some shard, Some shards when shards >= 1 && shard >= 0 && shard < shards
+        ->
+          (shard, shards)
+      | _ -> failwith (Printf.sprintf "--shard expects I/N with 0 <= I < N, got %S" spec))
+  | None -> failwith (Printf.sprintf "--shard expects I/N, got %S" spec)
+
+let apply_shard db (shard, shards) =
+  List.iter
+    (fun name ->
+      let rel = Pb_sql.Database.find_exn db name in
+      Pb_sql.Database.put db name
+        (Pb_shard.Hash.filter_shard ~shards ~shard rel))
+    (Pb_sql.Database.table_names db)
+
 let serve host port max_conns max_inflight max_queue deadline tables size
-    seed db_dir slowlog plan_cache metrics_port trace_capacity =
+    seed db_dir slowlog plan_cache metrics_port serve_mode shard_spec
+    trace_capacity =
   let db = load_db tables size seed db_dir in
+  let shard = Option.map parse_shard_spec shard_spec in
+  Option.iter (apply_shard db) shard;
   if slowlog > 0.0 then Pb_obs.Slow_log.set_threshold (Some slowlog);
   let config =
     {
@@ -154,6 +200,7 @@ let serve host port max_conns max_inflight max_queue deadline tables size
       default_deadline = (if deadline > 0.0 then Some deadline else None);
       plan_cache_capacity = max 0 plan_cache;
       trace_capacity = max 0 trace_capacity;
+      serve_mode;
     }
   in
   let server = Pb_net.Server.start ~config db in
@@ -165,6 +212,9 @@ let serve host port max_conns max_inflight max_queue deadline tables size
     (List.length (Pb_sql.Database.table_names db))
     max_conns
     (if deadline > 0.0 then Printf.sprintf ", deadline %gs" deadline else "");
+  (match shard with
+  | Some (i, n) -> Printf.printf "pb_server shard %d/%d\n" i n
+  | None -> ());
   let http =
     match metrics_port with
     | Some p ->
@@ -194,7 +244,7 @@ let cmd =
       const serve $ host_arg $ port_arg $ max_conns_arg $ max_inflight_arg
       $ max_queue_arg $ deadline_arg $ tables_arg $ size_arg $ seed_arg
       $ db_dir_arg $ slowlog_arg $ plan_cache_arg $ metrics_port_arg
-      $ trace_capacity_arg)
+      $ serve_mode_arg $ shard_arg $ trace_capacity_arg)
   in
   Cmd.v
     (Cmd.info "pb_server" ~version:"1.0.0"

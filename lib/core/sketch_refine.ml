@@ -8,9 +8,82 @@ module Pool = Pb_par.Pool
 module Progress = Pb_obs.Progress
 module Trace = Pb_obs.Trace
 
-type params = { partitions : int option; fanout : int }
+type params = {
+  partitions : int option;
+  fanout : int;
+  prepartition : int array array option;
+}
 
-let default_params = { partitions = None; fanout = 4 }
+let default_params = { partitions = None; fanout = 4; prepartition = None }
+
+(* Partitioning constrained to caller-supplied groups (the shard
+   router's hash partitions): each prepartition group is sub-split by
+   the usual median-split build over its own members — so refine legs
+   never straddle a shard boundary — then the pieces are re-canonicalised
+   (ascending members, groups ordered by smallest member) and centroids
+   recomputed over the original features, restoring every Partition.build
+   invariant. Indices out of range or repeated are dropped; candidates
+   the prepartition misses form one extra group, so the result always
+   covers [0, n) exactly. *)
+let partition_within ~target ~features ~n (pre : int array array) =
+  let seen = Array.make (max n 1) false in
+  let clean =
+    Array.to_list pre
+    |> List.filter_map (fun g ->
+           let members =
+             Array.to_list g
+             |> List.filter_map (fun i ->
+                    if i >= 0 && i < n && not seen.(i) then begin
+                      seen.(i) <- true;
+                      Some i
+                    end
+                    else None)
+           in
+           if members = [] then None else Some (Array.of_list members))
+  in
+  let leftover =
+    List.init n Fun.id |> List.filter (fun i -> not seen.(i))
+  in
+  let clean =
+    match leftover with
+    | [] -> clean
+    | l -> clean @ [ Array.of_list l ]
+  in
+  let total = List.fold_left (fun acc g -> acc + Array.length g) 0 clean in
+  let groups =
+    List.concat_map
+      (fun g ->
+        let m = Array.length g in
+        let sub_target =
+          max 1
+            (int_of_float
+               (Float.round (float_of_int (target * m) /. float_of_int (max total 1))))
+        in
+        let sub_features =
+          Array.map (fun f -> Array.map (fun i -> f.(i)) g) features
+        in
+        let sub = Partition.build ~target:sub_target ~features:sub_features ~n:m in
+        Array.to_list sub.Partition.groups
+        |> List.map (fun sg ->
+               let mapped = Array.map (fun j -> g.(j)) sg in
+               Array.sort compare mapped;
+               mapped))
+      clean
+  in
+  let groups =
+    List.sort (fun a b -> compare a.(0) b.(0)) groups |> Array.of_list
+  in
+  let nfeat = Array.length features in
+  let centroids =
+    Array.map
+      (fun g ->
+        Array.init nfeat (fun d ->
+            let acc = ref 0.0 in
+            Array.iter (fun i -> acc := !acc +. features.(d).(i)) g;
+            !acc /. float_of_int (Array.length g)))
+      groups
+  in
+  { Partition.groups; centroids }
 
 type outcome = {
   best : Package.t option;
@@ -176,7 +249,12 @@ let search ~params ~pool ~gov (c : Coeffs.t) : outcome =
               | Some k -> k
               | None -> int_of_float (Float.round (sqrt (float_of_int n)))
             in
-            (Partition.build ~target ~features ~n, features))
+            let part =
+              match params.prepartition with
+              | None -> Partition.build ~target ~features ~n
+              | Some pre -> partition_within ~target ~features ~n pre
+            in
+            (part, features))
       in
       let groups = part.groups in
       let k = Array.length groups in

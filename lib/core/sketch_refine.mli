@@ -52,10 +52,18 @@ type params = {
   partitions : int option;
       (** partition count; [None] = ~sqrt of the candidate count *)
   fanout : int;  (** refine legs per round (deterministic, pool-independent) *)
+  prepartition : int array array option;
+      (** caller-imposed coarse grouping of the candidate indices (the
+          shard router passes its hash partitions): each group is
+          sub-split by the usual median-split build over its own members,
+          so no refine leg straddles a group boundary. The bound sketch
+          relaxes {e any} partitioning, so proof semantics are unchanged.
+          Unknown/duplicate indices are dropped and uncovered candidates
+          form one extra group; [None] = unconstrained build. *)
 }
 
 val default_params : params
-(** [{ partitions = None; fanout = 4 }] *)
+(** [{ partitions = None; fanout = 4; prepartition = None }] *)
 
 type outcome = {
   best : Pb_paql.Package.t option;

@@ -1,4 +1,4 @@
-type t = { ic : in_channel; oc : out_channel }
+type t = { fd : Unix.file_descr; ic : in_channel }
 
 exception Net_error of string
 exception Rejected of Protocol.status * string
@@ -13,14 +13,40 @@ let resolve_host host =
       | { Unix.h_addr_list; _ } -> h_addr_list.(0)
       | exception Not_found -> raise (Net_error ("cannot resolve host " ^ host)))
 
+(* Write the whole string even when the kernel takes it in pieces: a
+   short write is resumed, EINTR retries, and EAGAIN (the socket may be
+   non-blocking, e.g. the load generator's connections) parks in select
+   until the send buffer drains. The old channel-based sender silently
+   assumed completion — wrong exactly when a large request races a full
+   send buffer. *)
+let write_all fd s =
+  let n = String.length s in
+  let rec go off =
+    if off < n then
+      match Unix.write_substring fd s off (n - off) with
+      | k -> go (off + k)
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> go off
+      | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) ->
+          (match Unix.select [] [ fd ] [] 5.0 with
+          | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+          | _ -> ());
+          go off
+  in
+  go 0
+
+let send_frame t payload =
+  let header = string_of_int (String.length payload) ^ "\n" in
+  try write_all t.fd (header ^ payload)
+  with Unix.Unix_error (e, _, _) ->
+    raise (Net_error ("send failed: " ^ Unix.error_message e))
+
 (* Version negotiation: send our hello, require the server's hello with
    the same version back. A server that rejects the connection outright
    (busy / shutting down) answers the hello with an error response
    instead — surface that as [Rejected] so callers can back off and
    retry rather than treating it as protocol damage. *)
 let handshake t =
-  (try Protocol.write_frame t.oc (Protocol.encode_hello Protocol.version)
-   with Sys_error msg -> raise (Net_error ("handshake send failed: " ^ msg)));
+  send_frame t (Protocol.encode_hello Protocol.version);
   match Protocol.read_frame t.ic with
   | Protocol.Eof -> raise (Net_error "server closed during handshake")
   | Protocol.Bad msg -> raise (Net_error ("handshake framing error: " ^ msg))
@@ -41,27 +67,45 @@ let handshake t =
           | Ok _ | Error _ ->
               raise (Net_error ("bad handshake reply: " ^ hello_err))))
 
-let connect ?(host = "127.0.0.1") ~port () =
+(* Bounded connect: non-blocking connect, wait for writability, then
+   read the socket error. Without this a dead-but-routing host makes the
+   load generator hang for the kernel's multi-minute TCP timeout with no
+   diagnosis. *)
+let connect_within fd addr timeout =
+  Unix.set_nonblock fd;
+  let finish_ok () = Unix.clear_nonblock fd in
+  match Unix.connect fd addr with
+  | () -> finish_ok ()
+  | exception Unix.Unix_error ((Unix.EINPROGRESS | Unix.EWOULDBLOCK), _, _) -> (
+      match Unix.select [] [ fd ] [] timeout with
+      | [], [], [] ->
+          raise
+            (Net_error (Printf.sprintf "connect timed out after %gs" timeout))
+      | _ -> (
+          match Unix.getsockopt_error fd with
+          | None -> finish_ok ()
+          | Some err -> raise (Unix.Unix_error (err, "connect", ""))))
+
+let connect ?(host = "127.0.0.1") ?connect_timeout ~port () =
   Sys.set_signal Sys.sigpipe Sys.Signal_ignore;
   let fd = Unix.socket ~cloexec:true Unix.PF_INET Unix.SOCK_STREAM 0 in
-  (try Unix.connect fd (Unix.ADDR_INET (resolve_host host, port))
+  let addr = Unix.ADDR_INET (resolve_host host, port) in
+  (try
+     match connect_timeout with
+     | None -> Unix.connect fd addr
+     | Some timeout -> connect_within fd addr timeout
    with e ->
      (try Unix.close fd with Unix.Unix_error _ -> ());
      raise e);
-  let t =
-    { ic = Unix.in_channel_of_descr fd; oc = Unix.out_channel_of_descr fd }
-  in
+  let t = { fd; ic = Unix.in_channel_of_descr fd } in
   (try handshake t
    with e ->
-     close_out_noerr t.oc;
+     close_in_noerr t.ic;
      raise e);
   t
 
-let request ?deadline ?trace t text =
-  (try
-     Protocol.write_frame t.oc
-       (Protocol.encode_request { Protocol.text; deadline; trace })
-   with Sys_error msg -> raise (Net_error ("send failed: " ^ msg)));
+let request ?deadline ?trace ?(data = false) t text =
+  send_frame t (Protocol.encode_request { Protocol.text; deadline; trace; data });
   match Protocol.read_frame t.ic with
   | Protocol.Frame payload -> (
       match Protocol.decode_response payload with
@@ -71,10 +115,9 @@ let request ?deadline ?trace t text =
   | Protocol.Bad msg -> raise (Net_error ("framing error: " ^ msg))
 
 let close t =
-  (* closing the out channel closes the shared fd; the in channel is
-     just a buffer over the same fd and must not be closed again *)
-  close_out_noerr t.oc
+  (* closing the in channel closes the shared fd; nothing else holds it *)
+  close_in_noerr t.ic
 
-let with_connection ?host ~port f =
-  let t = connect ?host ~port () in
+let with_connection ?host ?connect_timeout ~port f =
+  let t = connect ?host ?connect_timeout ~port () in
   Fun.protect ~finally:(fun () -> close t) (fun () -> f t)

@@ -1,0 +1,51 @@
+type t
+
+type event = {
+  fd : Unix.file_descr;
+  readable : bool;
+  writable : bool;
+  error : bool;
+}
+
+(* event bits shared with poller_stubs.c *)
+let ev_in = 1
+let ev_out = 2
+let ev_err = 4
+
+external stub_create : unit -> t = "pb_poller_create"
+
+external stub_ctl : t -> int -> Unix.file_descr -> int -> unit
+  = "pb_poller_ctl"
+
+external stub_wait : t -> int -> (Unix.file_descr * int) array
+  = "pb_poller_wait"
+
+external stub_close : t -> unit = "pb_poller_close"
+
+let create = stub_create
+
+let bits ~read ~write =
+  (if read then ev_in else 0) lor if write then ev_out else 0
+
+let add t fd ~read ~write = stub_ctl t 0 fd (bits ~read ~write)
+let modify t fd ~read ~write = stub_ctl t 1 fd (bits ~read ~write)
+let remove t fd = stub_ctl t 2 fd 0
+
+let wait t ~timeout =
+  let ms =
+    if timeout < 0.0 then -1
+    else
+      (* round up so a tiny positive timeout still sleeps *)
+      int_of_float (Float.round (timeout *. 1000.0)) |> max (if timeout > 0.0 then 1 else 0)
+  in
+  stub_wait t ms
+  |> Array.to_list
+  |> List.map (fun (fd, b) ->
+         {
+           fd;
+           readable = b land ev_in <> 0;
+           writable = b land ev_out <> 0;
+           error = b land ev_err <> 0;
+         })
+
+let close = stub_close

@@ -1,0 +1,44 @@
+(** Scalable readiness polling for the event-driven server core.
+
+    A thin wrapper over epoll (Linux) or poll(2) (elsewhere) via C
+    stubs, replacing [Unix.select] whose [FD_SETSIZE] cap (~1024
+    descriptors) rules it out for the 5k–10k-connection target. One
+    poller instance belongs to one event-loop thread; registering and
+    waiting from different threads concurrently is not supported
+    (the server's workers never touch the poller — they signal it
+    through a self-pipe that is itself registered for readability).
+
+    [wait] releases the OCaml runtime lock while blocked, so worker
+    threads keep running underneath it. *)
+
+type t
+
+type event = {
+  fd : Unix.file_descr;
+  readable : bool;
+  writable : bool;
+  error : bool;  (** error/hangup: the fd needs attention regardless of
+                     the registered interest *)
+}
+
+val create : unit -> t
+
+val add : t -> Unix.file_descr -> read:bool -> write:bool -> unit
+(** Register a descriptor. Raises [Unix.Unix_error] if already
+    registered. *)
+
+val modify : t -> Unix.file_descr -> read:bool -> write:bool -> unit
+(** Change a registered descriptor's interest set. *)
+
+val remove : t -> Unix.file_descr -> unit
+(** Deregister; must be called before closing the fd. *)
+
+val wait : t -> timeout:float -> event list
+(** Ready descriptors, blocking at most [timeout] seconds (negative =
+    forever, [0.] = non-blocking). At most 1024 events are reported per
+    call; further ready descriptors surface on the next call
+    (level-triggered). An interrupted wait ([EINTR]) reports no
+    events. *)
+
+val close : t -> unit
+(** Release the kernel handle. The poller must not be used after. *)

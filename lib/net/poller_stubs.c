@@ -1,0 +1,250 @@
+/* Readiness-polling stubs for Pb_net.Poller.
+ *
+ * On Linux the handle wraps an epoll instance: add/modify/remove are
+ * O(1) kernel calls and wait returns only ready descriptors, so the
+ * per-wakeup cost is O(ready), not O(open connections).  Elsewhere the
+ * handle keeps its own interest table and waits with poll(2) — same
+ * semantics, O(open) per wait — so the OCaml side never branches on
+ * the platform.
+ *
+ * Event bits shared with poller.ml: 1 = readable, 2 = writable,
+ * 4 = error/hangup.  The wait stub releases the OCaml runtime lock,
+ * letting worker threads run while the event loop blocks.
+ */
+
+#include <caml/alloc.h>
+#include <caml/custom.h>
+#include <caml/fail.h>
+#include <caml/memory.h>
+#include <caml/mlvalues.h>
+#include <caml/threads.h>
+#include <caml/unixsupport.h>
+
+#include <errno.h>
+#include <stdlib.h>
+#include <string.h>
+#include <unistd.h>
+
+#define PB_EV_IN 1
+#define PB_EV_OUT 2
+#define PB_EV_ERR 4
+
+/* Ready events are staged here between wait() returning and the OCaml
+   wrapper copying them out; bounded per wait call. */
+#define PB_MAX_EVENTS 1024
+
+#ifdef __linux__
+#include <sys/epoll.h>
+
+typedef struct {
+  int epfd;
+  struct epoll_event ready[PB_MAX_EVENTS];
+} pb_poller;
+
+static void pb_poller_finalize(value v) {
+  pb_poller *p = (pb_poller *)Data_custom_val(v);
+  if (p->epfd >= 0) close(p->epfd);
+  p->epfd = -1;
+}
+
+static struct custom_operations pb_poller_ops = {
+    "pb_net.poller",          pb_poller_finalize,
+    custom_compare_default,   custom_hash_default,
+    custom_serialize_default, custom_deserialize_default,
+    custom_compare_ext_default, custom_fixed_length_default};
+
+CAMLprim value pb_poller_create(value unit) {
+  CAMLparam1(unit);
+  CAMLlocal1(res);
+  int epfd = epoll_create1(EPOLL_CLOEXEC);
+  if (epfd < 0) uerror("epoll_create1", Nothing);
+  res = caml_alloc_custom(&pb_poller_ops, sizeof(pb_poller), 0, 1);
+  ((pb_poller *)Data_custom_val(res))->epfd = epfd;
+  CAMLreturn(res);
+}
+
+static uint32_t pb_to_epoll(int bits) {
+  uint32_t ev = 0;
+  if (bits & PB_EV_IN) ev |= EPOLLIN;
+  if (bits & PB_EV_OUT) ev |= EPOLLOUT;
+  return ev;
+}
+
+/* op: 0 = add, 1 = modify, 2 = remove */
+CAMLprim value pb_poller_ctl(value vp, value vop, value vfd, value vbits) {
+  CAMLparam4(vp, vop, vfd, vbits);
+  pb_poller *p = (pb_poller *)Data_custom_val(vp);
+  int op = Int_val(vop) == 0 ? EPOLL_CTL_ADD
+           : Int_val(vop) == 1 ? EPOLL_CTL_MOD
+                               : EPOLL_CTL_DEL;
+  struct epoll_event ev;
+  memset(&ev, 0, sizeof ev);
+  ev.events = pb_to_epoll(Int_val(vbits));
+  ev.data.fd = Int_val(vfd);
+  if (epoll_ctl(p->epfd, op, Int_val(vfd), &ev) < 0)
+    uerror("epoll_ctl", Nothing);
+  CAMLreturn(Val_unit);
+}
+
+CAMLprim value pb_poller_wait(value vp, value vtimeout_ms) {
+  CAMLparam2(vp, vtimeout_ms);
+  CAMLlocal2(arr, pair);
+  pb_poller *p = (pb_poller *)Data_custom_val(vp);
+  int timeout = Int_val(vtimeout_ms);
+  int n;
+  caml_release_runtime_system();
+  n = epoll_wait(p->epfd, p->ready, PB_MAX_EVENTS, timeout);
+  caml_acquire_runtime_system();
+  if (n < 0) {
+    if (errno == EINTR) n = 0;
+    else uerror("epoll_wait", Nothing);
+  }
+  if (n == 0) CAMLreturn(caml_alloc(0, 0)); /* the empty array atom */
+  arr = caml_alloc(n, 0);
+  for (int i = 0; i < n; i++) {
+    int bits = 0;
+    uint32_t ev = p->ready[i].events;
+    if (ev & (EPOLLIN | EPOLLRDHUP | EPOLLPRI)) bits |= PB_EV_IN;
+    if (ev & EPOLLOUT) bits |= PB_EV_OUT;
+    if (ev & (EPOLLERR | EPOLLHUP)) bits |= PB_EV_ERR;
+    pair = caml_alloc_tuple(2);
+    Field(pair, 0) = Val_int(p->ready[i].data.fd);
+    Field(pair, 1) = Val_int(bits);
+    Store_field(arr, i, pair);
+  }
+  CAMLreturn(arr);
+}
+
+CAMLprim value pb_poller_close(value vp) {
+  CAMLparam1(vp);
+  pb_poller *p = (pb_poller *)Data_custom_val(vp);
+  if (p->epfd >= 0) close(p->epfd);
+  p->epfd = -1;
+  CAMLreturn(Val_unit);
+}
+
+#else /* !__linux__: portable poll(2) backend with an interest table */
+
+#include <poll.h>
+
+typedef struct {
+  struct pollfd *fds; /* interest table, compacted */
+  int n;
+  int cap;
+  int closed;
+} pb_poller;
+
+static void pb_poller_finalize(value v) {
+  pb_poller *p = (pb_poller *)Data_custom_val(v);
+  free(p->fds);
+  p->fds = NULL;
+}
+
+static struct custom_operations pb_poller_ops = {
+    "pb_net.poller",          pb_poller_finalize,
+    custom_compare_default,   custom_hash_default,
+    custom_serialize_default, custom_deserialize_default,
+    custom_compare_ext_default, custom_fixed_length_default};
+
+CAMLprim value pb_poller_create(value unit) {
+  CAMLparam1(unit);
+  CAMLlocal1(res);
+  res = caml_alloc_custom(&pb_poller_ops, sizeof(pb_poller), 0, 1);
+  pb_poller *p = (pb_poller *)Data_custom_val(res);
+  p->cap = 64;
+  p->n = 0;
+  p->closed = 0;
+  p->fds = malloc(p->cap * sizeof(struct pollfd));
+  if (!p->fds) caml_raise_out_of_memory();
+  CAMLreturn(res);
+}
+
+static short pb_to_poll(int bits) {
+  short ev = 0;
+  if (bits & PB_EV_IN) ev |= POLLIN;
+  if (bits & PB_EV_OUT) ev |= POLLOUT;
+  return ev;
+}
+
+CAMLprim value pb_poller_ctl(value vp, value vop, value vfd, value vbits) {
+  CAMLparam4(vp, vop, vfd, vbits);
+  pb_poller *p = (pb_poller *)Data_custom_val(vp);
+  int fd = Int_val(vfd), op = Int_val(vop);
+  int idx = -1;
+  for (int i = 0; i < p->n; i++)
+    if (p->fds[i].fd == fd) { idx = i; break; }
+  if (op == 0) { /* add */
+    if (idx >= 0) unix_error(EEXIST, "poller_add", Nothing);
+    if (p->n == p->cap) {
+      p->cap *= 2;
+      struct pollfd *nf = realloc(p->fds, p->cap * sizeof(struct pollfd));
+      if (!nf) caml_raise_out_of_memory();
+      p->fds = nf;
+    }
+    p->fds[p->n].fd = fd;
+    p->fds[p->n].events = pb_to_poll(Int_val(vbits));
+    p->n++;
+  } else if (op == 1) { /* modify */
+    if (idx < 0) unix_error(ENOENT, "poller_modify", Nothing);
+    p->fds[idx].events = pb_to_poll(Int_val(vbits));
+  } else { /* remove */
+    if (idx < 0) unix_error(ENOENT, "poller_remove", Nothing);
+    p->fds[idx] = p->fds[p->n - 1];
+    p->n--;
+  }
+  CAMLreturn(Val_unit);
+}
+
+CAMLprim value pb_poller_wait(value vp, value vtimeout_ms) {
+  CAMLparam2(vp, vtimeout_ms);
+  CAMLlocal2(arr, pair);
+  pb_poller *p = (pb_poller *)Data_custom_val(vp);
+  int timeout = Int_val(vtimeout_ms);
+  /* snapshot so the table can't move under the released lock */
+  int n = p->n;
+  struct pollfd *snap = malloc((n > 0 ? n : 1) * sizeof(struct pollfd));
+  if (!snap) caml_raise_out_of_memory();
+  memcpy(snap, p->fds, n * sizeof(struct pollfd));
+  int r;
+  caml_release_runtime_system();
+  r = poll(snap, n, timeout);
+  caml_acquire_runtime_system();
+  if (r < 0 && errno != EINTR) {
+    free(snap);
+    uerror("poll", Nothing);
+  }
+  int ready = 0;
+  if (r > 0)
+    for (int i = 0; i < n; i++)
+      if (snap[i].revents) ready++;
+  if (ready > PB_MAX_EVENTS) ready = PB_MAX_EVENTS;
+  if (ready == 0) {
+    free(snap);
+    CAMLreturn(caml_alloc(0, 0)); /* the empty array atom */
+  }
+  arr = caml_alloc(ready, 0);
+  int k = 0;
+  for (int i = 0; i < n && k < ready; i++) {
+    if (!snap[i].revents) continue;
+    int bits = 0;
+    if (snap[i].revents & (POLLIN | POLLPRI)) bits |= PB_EV_IN;
+    if (snap[i].revents & POLLOUT) bits |= PB_EV_OUT;
+    if (snap[i].revents & (POLLERR | POLLHUP | POLLNVAL)) bits |= PB_EV_ERR;
+    pair = caml_alloc_tuple(2);
+    Field(pair, 0) = Val_int(snap[i].fd);
+    Field(pair, 1) = Val_int(bits);
+    Store_field(arr, k++, pair);
+  }
+  free(snap);
+  CAMLreturn(arr);
+}
+
+CAMLprim value pb_poller_close(value vp) {
+  CAMLparam1(vp);
+  pb_poller *p = (pb_poller *)Data_custom_val(vp);
+  p->n = 0;
+  p->closed = 1;
+  CAMLreturn(Val_unit);
+}
+
+#endif

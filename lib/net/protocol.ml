@@ -2,7 +2,12 @@ let max_frame = 8 * 1024 * 1024
 let version = 2
 let magic = "PB2"
 
-type request = { text : string; deadline : float option; trace : string option }
+type request = {
+  text : string;
+  deadline : float option;
+  trace : string option;
+  data : bool;
+}
 
 (* Trace ids are 16 bytes as 32 lowercase hex chars, client-generated.
    Validation is strict so the id can be embedded verbatim in shell
@@ -138,22 +143,27 @@ let decode_hello payload =
       | None -> Stdlib.Error (Printf.sprintf "bad hello version %S" v))
   | _ -> Stdlib.Error (version_mismatch header)
 
-let encode_request { text; deadline; trace } =
+let encode_request { text; deadline; trace; data } =
   let header =
     String.concat " "
       (magic :: "REQ"
       :: ((match deadline with Some d -> [ Printf.sprintf "%g" d ] | None -> [])
-         @ match trace with Some id -> [ "trace=" ^ id ] | None -> []))
+         @ (match trace with Some id -> [ "trace=" ^ id ] | None -> [])
+         @ if data then [ "mode=data" ] else []))
   in
   header ^ "\n" ^ text
 
 (* REQ header fields after the verb, in any order: a bare positive float
-   is the deadline, [trace=<32 lowercase hex>] the trace context. Both
-   are optional (a v2 peer predating the trace field simply omits it);
-   duplicates and malformed values reject the frame. *)
+   is the deadline, [trace=<32 lowercase hex>] the trace context,
+   [mode=data] the machine-readable single-statement mode. All are
+   optional (a v2 peer predating a field simply omits it); duplicates
+   and malformed values reject the frame. *)
 let decode_req_fields text fields =
-  let rec go deadline trace = function
-    | [] -> Stdlib.Ok (Req { text; deadline; trace })
+  let rec go deadline trace data = function
+    | [] -> Stdlib.Ok (Req { text; deadline; trace; data })
+    | "mode=data" :: rest ->
+        if data then Stdlib.Error "duplicate mode field in request header"
+        else go deadline trace true rest
     | tok :: rest ->
         let n = String.length tok in
         if n > 6 && String.sub tok 0 6 = "trace=" then
@@ -162,16 +172,16 @@ let decode_req_fields text fields =
             Stdlib.Error "duplicate trace field in request header"
           else if not (valid_trace_id id) then
             Stdlib.Error (Printf.sprintf "bad trace id %S" id)
-          else go deadline (Some id) rest
+          else go deadline (Some id) data rest
         else if deadline <> None then
           Stdlib.Error (Printf.sprintf "bad request field %S" tok)
         else
           match float_of_string_opt tok with
-          | Some d when d > 0.0 && Float.is_finite d -> go (Some d) trace rest
+          | Some d when d > 0.0 && Float.is_finite d -> go (Some d) trace data rest
           | Some _ | None ->
               Stdlib.Error (Printf.sprintf "bad deadline %S" tok)
   in
-  go None None fields
+  go None None false fields
 
 let decode_client_frame payload =
   let header, text = split_first_line payload in

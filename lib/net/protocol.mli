@@ -57,6 +57,10 @@
 val max_frame : int
 (** Maximum accepted payload size in bytes (8 MiB). *)
 
+val max_header_digits : int
+(** Maximum digits in a frame-length header (8; [max_frame < 10^8]) —
+    shared with {!Assembler} so both readers reject the same prefixes. *)
+
 val version : int
 (** Protocol version spoken by this build (2). *)
 
@@ -70,6 +74,12 @@ type request = {
   trace : string option;
       (** client-generated trace id ({!valid_trace_id}); [None] lets the
           server generate one *)
+  data : bool;
+      (** [mode=data] header field: [text] is one SQL statement, executed
+          directly (no REPL session) with the result encoded by
+          {!Wire_data} — the machine-readable path the shard router uses
+          to pull rows and partial aggregates. Omitted on the wire when
+          false, so plain clients are unchanged. *)
 }
 
 val valid_trace_id : string -> bool
@@ -124,6 +134,10 @@ val read_frame_gen :
     channel buffer the poll loop cannot see. *)
 
 (** {1 Payload codecs} *)
+
+val split_first_line : string -> string * string
+(** [(header, rest)] at the first newline; no newline means
+    [(s, "")]. *)
 
 val encode_hello : int -> string
 (** Hello payload, sent by both sides during the handshake. *)

@@ -7,6 +7,8 @@ module Progress = Pb_obs.Progress
 module Http = Pb_obs.Http
 module Gov = Pb_util.Gov
 
+type serve_mode = Threads | Event
+
 type config = {
   host : string;
   port : int;
@@ -17,6 +19,7 @@ type config = {
   poll_interval : float;
   plan_cache_capacity : int;
   trace_capacity : int;
+  serve_mode : serve_mode;
 }
 
 let default_config =
@@ -30,16 +33,20 @@ let default_config =
     poll_interval = 0.05;
     plan_cache_capacity = 128;
     trace_capacity = 256;
+    serve_mode = Event;
   }
 
-(* ---- request admission ------------------------------------------------ *)
+type session_handler = gov:Gov.t -> string -> Repl.reaction
+
+(* ---- request admission (threads mode) --------------------------------- *)
 
 (* Bounded two-stage admission: at most [max_inflight] requests evaluate
    concurrently; up to [max_queue] more wait on a condition variable;
    past that, the request is rejected with [busy] immediately
    (backpressure, not unbounded buffering). Connection threads block
    here, so the queue costs one parked thread per waiter — bounded by
-   [max_connections]. *)
+   [max_connections]. Event mode enforces the same two limits without
+   parking: its bounded job queue is the admission queue. *)
 type admission = {
   adm_mu : Mutex.t;
   adm_nonfull : Condition.t;
@@ -67,6 +74,7 @@ type t = {
      connection, but the cache (and the memos inside it) is thread-safe,
      so every connection benefits from statements any of them prepared. *)
   plan_cache : Pb_sql.Plan_cache.t;
+  session_factory : t -> session_handler;
   listen : Unix.file_descr;
   bound_port : int;
   stop : bool Atomic.t;
@@ -110,6 +118,16 @@ let m_errors =
 let m_active =
   Metrics.gauge ~help:"currently admitted connections"
     "pb_net_active_connections"
+
+let m_open =
+  Metrics.gauge
+    ~help:"connections registered with the event loop (admitted plus \
+           rejects still flushing)"
+    "pb_net_open_connections"
+
+let m_wakeups =
+  Metrics.counter ~help:"event-loop readiness wakeups"
+    "pb_net_eventloop_wakeups_total"
 
 let m_inflight =
   Metrics.gauge ~help:"requests currently evaluating"
@@ -183,19 +201,51 @@ let release a =
   Condition.signal a.adm_nonfull;
   Mutex.unlock a.adm_mu
 
+let busy_text t =
+  Printf.sprintf
+    "server busy: %d requests in flight and %d queued; retry later"
+    t.admission.adm_max_inflight t.admission.adm_max_queue
+
 (* ---- request handling ------------------------------------------------- *)
 
-(* Deadlines are enforced cooperatively: each request evaluates on its
-   connection thread under a fresh governance token carrying the
-   deadline. Every engine and SQL loop polls the token, so an overrun
-   request stops within a few hundred loop iterations of the deadline —
-   it is cancelled, not abandoned: no worker thread keeps burning CPU
-   behind the client's back (the v1 watchdog did exactly that), and the
-   connection slot frees as soon as the cancelled evaluation returns
-   its best incumbent. *)
+(* Deadlines are enforced cooperatively: each request evaluates under a
+   fresh governance token carrying the deadline. Every engine and SQL
+   loop polls the token, so an overrun request stops within a few
+   hundred loop iterations of the deadline — it is cancelled, not
+   abandoned: no worker thread keeps burning CPU behind the client's
+   back (the v1 watchdog did exactly that), and the slot frees as soon
+   as the cancelled evaluation returns its best incumbent. *)
+
+(* Data mode: one SQL statement, executed straight against the shared
+   database (no REPL session, no rendering) with the result encoded for
+   the shard router. Uses the shared plan cache, so a router fanning
+   the same rewritten statement out repeatedly hits prepared plans. *)
+let run_data t ~gov text =
+  let reaction output = Stdlib.Ok { Repl.output; quit = false } in
+  match
+    Pb_sql.Plan_cache.lookup t.plan_cache t.db
+      ~parse:Pb_sql.Parser.parse_script text
+  with
+  | exception Pb_sql.Parser.Parse_error msg ->
+      reaction (Wire_data.encode_error ~kind:"parse" msg)
+  | statements, memo -> (
+      match
+        List.fold_left
+          (fun _ stmt -> Some (Pb_sql.Executor.execute ~memo ~gov t.db stmt))
+          None statements
+      with
+      | None -> reaction (Wire_data.encode_error ~kind:"parse" "empty statement")
+      | Some result -> reaction (Wire_data.encode_result result)
+      | exception Pb_sql.Executor.Eval_error msg ->
+          reaction (Wire_data.encode_error ~kind:"eval" msg)
+      | exception Failure msg -> reaction (Wire_data.encode_error ~kind:"eval" msg)
+      | exception Gov.Interrupted _ ->
+          (* the fate latched on the token downgrades the status below *)
+          reaction ""
+      | exception e -> Stdlib.Error e)
 
 (* Returns (response, close_connection_after). *)
-let handle_request t session (req : Protocol.request) =
+let handle_request t (session : session_handler) (req : Protocol.request) =
   Metrics.incr m_requests;
   let deadline =
     match req.Protocol.deadline with
@@ -217,9 +267,11 @@ let handle_request t session (req : Protocol.request) =
     | None -> Protocol.fresh_trace_id ()
   in
   let run () =
-    match Repl.handle ~gov session req.Protocol.text with
-    | reaction -> Ok reaction
-    | exception e -> Error e
+    if req.Protocol.data then run_data t ~gov req.Protocol.text
+    else
+      match session ~gov req.Protocol.text with
+      | reaction -> Ok reaction
+      | exception e -> Error e
   in
   let outcome, spans, progress =
     if tracing then
@@ -278,7 +330,33 @@ let handle_request t session (req : Protocol.request) =
       };
   (resp, close_after)
 
-(* ---- connection lifecycle --------------------------------------------- *)
+(* ---- health ----------------------------------------------------------- *)
+
+let health_json t =
+  let a = t.admission in
+  Mutex.lock a.adm_mu;
+  let inflight = a.adm_inflight and queued = a.adm_queued in
+  Mutex.unlock a.adm_mu;
+  let active = Atomic.get t.active in
+  let status =
+    if Atomic.get t.stop then "draining"
+    else if queued >= a.adm_max_queue || active >= t.config.max_connections
+    then "saturated"
+    else "ok"
+  in
+  Printf.sprintf
+    "{\"status\":%S,\"inflight\":%d,\"max_inflight\":%d,\"queued\":%d,\
+     \"max_queue\":%d,\"active_connections\":%d,\"max_connections\":%d}"
+    status inflight a.adm_max_inflight queued a.adm_max_queue active
+    t.config.max_connections
+
+(* The server-level health command: answered before admission (a
+   saturated server must still report itself saturated) and invisible to
+   the REPL — the router uses it to aggregate per-shard health over the
+   query wire without an HTTP hop. *)
+let is_health_command text = String.trim text = "\\healthz"
+
+(* ---- connection lifecycle (threads mode) ------------------------------ *)
 
 (* Read one request frame straight off the fd. The stop flag is polled
    only while waiting for a frame to BEGIN: once the first byte is in,
@@ -335,7 +413,7 @@ let read_request_frame t fd =
 
 let conn_main t fd =
   let oc = Unix.out_channel_of_descr fd in
-  let session = Repl.create ~cache:t.plan_cache t.db in
+  let session = lazy (t.session_factory t) in
   let respond resp =
     match Protocol.write_frame oc (Protocol.encode_response resp) with
     | () -> true
@@ -378,27 +456,23 @@ let conn_main t fd =
                    client refuses to proceed, so hang up after telling
                    it who we are. *)
                 if send_hello () && v = Protocol.version then loop ()
+            | Ok (Protocol.Req req) when is_health_command req.Protocol.text ->
+                if respond { Protocol.status = Protocol.Ok; body = health_json t }
+                then loop ()
             | Ok (Protocol.Req req) -> (
                 match admit t.admission with
                 | `Busy ->
                     Metrics.incr m_busy;
                     if
                       respond
-                        {
-                          Protocol.status = Protocol.Busy;
-                          body =
-                            Printf.sprintf
-                              "server busy: %d requests in flight and %d \
-                               queued; retry later"
-                              t.admission.adm_max_inflight
-                              t.admission.adm_max_queue;
-                        }
+                        { Protocol.status = Protocol.Busy; body = busy_text t }
                     then loop ()
                 | `Admitted ->
                     let resp, close_after =
                       Fun.protect
                         ~finally:(fun () -> release t.admission)
-                        (fun () -> handle_request t session req)
+                        (fun () ->
+                          handle_request t (Lazy.force session) req)
                     in
                     if respond resp && not close_after then loop ()))
       in
@@ -412,7 +486,7 @@ let reject fd status msg =
    with Sys_error _ -> ());
   close_out_noerr oc
 
-(* ---- accept loop ------------------------------------------------------ *)
+(* ---- accept loop (threads mode) --------------------------------------- *)
 
 let accept_loop t =
   let rec loop () =
@@ -443,6 +517,439 @@ let accept_loop t =
   in
   loop ()
 
+(* ---- event-driven serving core ---------------------------------------- *)
+
+(* One event-loop thread multiplexes every connection over a Poller:
+   per-connection read bytes feed an incremental Assembler, complete
+   requests go to a bounded job queue executed by [max_inflight] worker
+   threads, and responses come back through a completion queue drained
+   when a worker tickles the self-pipe. An idle connection costs its
+   buffers — no thread, no stack.
+
+   Invariants:
+   - only the event-loop thread touches fds, the poller, the conn table
+     and conn mutable state (workers see a conn only as an opaque handle
+     carried through the queues; they read nothing from it);
+   - at most one request per connection is queued or executing
+     ([c_busy]); while busy the connection's read interest is dropped,
+     so pipelined frames wait in the assembler/kernel exactly like the
+     blocking reader left them in the socket buffer;
+   - write interest is registered exactly while the write buffer is
+     nonempty; a connection closes only with an empty buffer (or on
+     error), so responses are never truncated by a local close. *)
+module Event_loop = struct
+  type conn = {
+    c_fd : Unix.file_descr;
+    c_asm : Assembler.t;
+    c_wbuf : Buffer.t;
+    mutable c_woff : int;  (* bytes of c_wbuf already written *)
+    mutable c_busy : bool;
+    mutable c_close_after_flush : bool;
+    mutable c_closed : bool;
+    c_counted : bool;  (* admitted (vs a reject still flushing) *)
+    c_session : session_handler Lazy.t;
+    (* interest bits currently registered with the poller *)
+    mutable c_reg_read : bool;
+    mutable c_reg_write : bool;
+    (* interest bits wanted now *)
+    mutable c_want_read : bool;
+  }
+
+  type es = {
+    t : t;
+    poller : Poller.t;
+    conns : (Unix.file_descr, conn) Hashtbl.t;
+    wake_r : Unix.file_descr;
+    wake_w : Unix.file_descr;
+    jobs : (conn * Protocol.request) Queue.t;
+    mutable jobs_len : int;
+    mutable executing : int;
+    jobs_mu : Mutex.t;
+    jobs_nonempty : Condition.t;
+    mutable workers_stop : bool;
+    completions : (conn * Protocol.response * bool) Queue.t;
+    comp_mu : Mutex.t;
+    scratch : Bytes.t;
+  }
+
+  let job_gauges es =
+    Metrics.set m_inflight (float_of_int es.executing);
+    Metrics.set m_queue_depth (float_of_int es.jobs_len)
+
+  let wake es =
+    try ignore (Unix.write_substring es.wake_w "x" 0 1)
+    with
+    | Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.EPIPE), _, _) ->
+      ()
+
+  let worker es () =
+    let rec loop () =
+      Mutex.lock es.jobs_mu;
+      while Queue.is_empty es.jobs && not es.workers_stop do
+        Condition.wait es.jobs_nonempty es.jobs_mu
+      done;
+      if Queue.is_empty es.jobs then Mutex.unlock es.jobs_mu
+      else begin
+        let conn, req = Queue.pop es.jobs in
+        es.jobs_len <- es.jobs_len - 1;
+        es.executing <- es.executing + 1;
+        job_gauges es;
+        Mutex.unlock es.jobs_mu;
+        let resp, close_after =
+          try handle_request es.t (Lazy.force conn.c_session) req
+          with e ->
+            Metrics.incr m_errors;
+            ( { Protocol.status = Protocol.Internal; body = Printexc.to_string e },
+              false )
+        in
+        Mutex.lock es.jobs_mu;
+        es.executing <- es.executing - 1;
+        job_gauges es;
+        Mutex.unlock es.jobs_mu;
+        Mutex.lock es.comp_mu;
+        Queue.add (conn, resp, close_after) es.completions;
+        Mutex.unlock es.comp_mu;
+        wake es;
+        loop ()
+      end
+    in
+    loop ()
+
+  let set_open_gauge es =
+    Metrics.set m_open (float_of_int (Hashtbl.length es.conns))
+
+  let update_interest es conn =
+    if not conn.c_closed then begin
+      let want_read = conn.c_want_read && not conn.c_close_after_flush in
+      let want_write = Buffer.length conn.c_wbuf > conn.c_woff in
+      if want_read <> conn.c_reg_read || want_write <> conn.c_reg_write then begin
+        (try Poller.modify es.poller conn.c_fd ~read:want_read ~write:want_write
+         with Unix.Unix_error _ -> ());
+        conn.c_reg_read <- want_read;
+        conn.c_reg_write <- want_write
+      end
+    end
+
+  let close_conn es conn =
+    if not conn.c_closed then begin
+      conn.c_closed <- true;
+      Hashtbl.remove es.conns conn.c_fd;
+      (try Poller.remove es.poller conn.c_fd with Unix.Unix_error _ -> ());
+      (try Unix.close conn.c_fd with Unix.Unix_error _ -> ());
+      if conn.c_counted then begin
+        Atomic.decr es.t.active;
+        set_active_gauge es.t
+      end;
+      set_open_gauge es
+    end
+
+  (* Queue bytes; actual writing happens on writability (plus one
+     immediate attempt to save a round trip through the poller). *)
+  let send es conn payload =
+    if not conn.c_closed then begin
+      Buffer.add_string conn.c_wbuf (string_of_int (String.length payload));
+      Buffer.add_char conn.c_wbuf '\n';
+      Buffer.add_string conn.c_wbuf payload
+    end;
+    ignore es
+
+  let respond es conn resp = send es conn (Protocol.encode_response resp)
+
+  let flush_writes es conn =
+    if (not conn.c_closed) && Buffer.length conn.c_wbuf > conn.c_woff then begin
+      let s = Buffer.contents conn.c_wbuf in
+      let n = String.length s in
+      let rec go off =
+        if off >= n then off
+        else
+          match Unix.write_substring conn.c_fd s off (n - off) with
+          | k -> go (off + k)
+          | exception Unix.Unix_error (Unix.EINTR, _, _) -> go off
+          | exception
+              Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) ->
+              off
+          | exception Unix.Unix_error _ ->
+              (* peer is gone; drop the rest *)
+              conn.c_close_after_flush <- true;
+              n
+      in
+      let off = go conn.c_woff in
+      if off >= n then begin
+        Buffer.clear conn.c_wbuf;
+        conn.c_woff <- 0
+      end
+      else conn.c_woff <- off
+    end;
+    if
+      (not conn.c_closed)
+      && conn.c_close_after_flush
+      && Buffer.length conn.c_wbuf <= conn.c_woff
+    then close_conn es conn
+
+  (* Decode and dispatch every complete frame the assembler holds,
+     stopping as soon as a request goes in flight (strictly one at a
+     time per connection, same as the blocking server). *)
+  let rec drain_frames es conn =
+    if (not conn.c_closed) && (not conn.c_busy) && not conn.c_close_after_flush
+    then
+      match Assembler.next conn.c_asm with
+      | `Awaiting -> ()
+      | `Bad msg ->
+          Metrics.incr m_errors;
+          respond es conn
+            { Protocol.status = Protocol.Bad_request;
+              body = "framing error: " ^ msg;
+            };
+          conn.c_close_after_flush <- true
+      | `Frame payload ->
+          (match Protocol.decode_client_frame payload with
+          | Error msg ->
+              Metrics.incr m_errors;
+              respond es conn { Protocol.status = Protocol.Bad_request; body = msg }
+          | Ok (Protocol.Hello v) ->
+              send es conn (Protocol.encode_hello Protocol.version);
+              if v <> Protocol.version then conn.c_close_after_flush <- true
+          | Ok (Protocol.Req req) when is_health_command req.Protocol.text ->
+              respond es conn
+                { Protocol.status = Protocol.Ok; body = health_json es.t }
+          | Ok (Protocol.Req req) ->
+              let admitted =
+                Mutex.lock es.jobs_mu;
+                let room =
+                  es.executing + es.jobs_len
+                  < es.t.admission.adm_max_inflight
+                    + es.t.admission.adm_max_queue
+                in
+                if room then begin
+                  Queue.add (conn, req) es.jobs;
+                  es.jobs_len <- es.jobs_len + 1;
+                  job_gauges es;
+                  Condition.signal es.jobs_nonempty
+                end;
+                Mutex.unlock es.jobs_mu;
+                room
+              in
+              if admitted then conn.c_busy <- true
+              else begin
+                Metrics.incr m_busy;
+                respond es conn
+                  { Protocol.status = Protocol.Busy; body = busy_text es.t }
+              end);
+          drain_frames es conn
+
+  let on_readable es conn =
+    match Unix.read conn.c_fd es.scratch 0 (Bytes.length es.scratch) with
+    | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.EINTR), _, _)
+      ->
+        ()
+    | exception Unix.Unix_error _ -> close_conn es conn
+    | 0 ->
+        (* EOF. A busy connection finishes its request first (drain
+           semantics); its completion path will notice the flag. *)
+        if conn.c_busy then conn.c_close_after_flush <- true
+        else close_conn es conn
+    | n ->
+        Assembler.feed conn.c_asm ~len:n (Bytes.unsafe_to_string es.scratch);
+        drain_frames es conn
+
+  let drain_completions es =
+    let batch =
+      Mutex.lock es.comp_mu;
+      let b = List.of_seq (Queue.to_seq es.completions) in
+      Queue.clear es.completions;
+      Mutex.unlock es.comp_mu;
+      b
+    in
+    List.iter
+      (fun (conn, resp, close_after) ->
+        if not conn.c_closed then begin
+          respond es conn resp;
+          conn.c_busy <- false;
+          if close_after then conn.c_close_after_flush <- true;
+          if Atomic.get es.t.stop then
+            (* drain: one response per in-flight request, then close *)
+            conn.c_close_after_flush <- true;
+          if not conn.c_close_after_flush then drain_frames es conn;
+          flush_writes es conn;
+          update_interest es conn
+        end)
+      batch
+
+  let on_acceptable es =
+    let rec loop () =
+      match Unix.accept ~cloexec:true es.t.listen with
+      | exception
+          Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.EINTR), _, _)
+        ->
+          ()
+      | exception Unix.Unix_error _ -> ()
+      | fd, _ ->
+          Unix.set_nonblock fd;
+          let counted, rejection =
+            if Atomic.get es.t.stop then
+              (false, Some (Protocol.Shutting_down, "server is shutting down"))
+            else if Atomic.get es.t.active >= es.t.config.max_connections then begin
+              Metrics.incr m_busy;
+              ( false,
+                Some
+                  ( Protocol.Busy,
+                    Printf.sprintf "server busy: %d connections are live"
+                      es.t.config.max_connections ) )
+            end
+            else (true, None)
+          in
+          let conn =
+            {
+              c_fd = fd;
+              c_asm = Assembler.create ();
+              c_wbuf = Buffer.create 256;
+              c_woff = 0;
+              c_busy = false;
+              c_close_after_flush = rejection <> None;
+              c_closed = false;
+              c_counted = counted;
+              c_session = lazy (es.t.session_factory es.t);
+              c_reg_read = counted;
+              c_reg_write = false;
+              c_want_read = counted;
+            }
+          in
+          Hashtbl.replace es.conns fd conn;
+          (try Poller.add es.poller fd ~read:counted ~write:false
+           with Unix.Unix_error _ -> ());
+          if counted then begin
+            Atomic.incr es.t.active;
+            set_active_gauge es.t;
+            Metrics.incr m_connections
+          end
+          else begin
+            (match rejection with
+            | Some (status, msg) ->
+                respond es conn { Protocol.status; body = msg }
+            | None -> ());
+            flush_writes es conn;
+            if not conn.c_closed then update_interest es conn
+          end;
+          set_open_gauge es;
+          loop ()
+    in
+    loop ()
+
+  let run t =
+    let poller = Poller.create () in
+    let wake_r, wake_w = Unix.pipe ~cloexec:true () in
+    Unix.set_nonblock wake_r;
+    Unix.set_nonblock wake_w;
+    Unix.set_nonblock t.listen;
+    let es =
+      {
+        t;
+        poller;
+        conns = Hashtbl.create 1024;
+        wake_r;
+        wake_w;
+        jobs = Queue.create ();
+        jobs_len = 0;
+        executing = 0;
+        jobs_mu = Mutex.create ();
+        jobs_nonempty = Condition.create ();
+        workers_stop = false;
+        completions = Queue.create ();
+        comp_mu = Mutex.create ();
+        scratch = Bytes.create 65536;
+      }
+    in
+    Poller.add poller t.listen ~read:true ~write:false;
+    Poller.add poller wake_r ~read:true ~write:false;
+    let workers =
+      List.init t.admission.adm_max_inflight (fun _ ->
+          Thread.create (worker es) ())
+    in
+    let stopping = ref false in
+    let drain_wake_pipe () =
+      let b = Bytes.create 256 in
+      let rec go () =
+        match Unix.read wake_r b 0 256 with
+        | exception Unix.Unix_error _ -> ()
+        | 0 -> ()
+        | 256 -> go ()
+        | _ -> ()
+      in
+      go ()
+    in
+    let begin_stop () =
+      stopping := true;
+      (try Poller.remove poller t.listen with Unix.Unix_error _ -> ());
+      (* close idle connections now; busy ones drain their request *)
+      let idle =
+        Hashtbl.fold
+          (fun _ c acc ->
+            if (not c.c_busy) && Buffer.length c.c_wbuf <= c.c_woff then
+              c :: acc
+            else acc)
+          es.conns []
+      in
+      List.iter (close_conn es) idle;
+      Hashtbl.iter (fun _ c -> c.c_close_after_flush <- true) es.conns
+    in
+    let rec loop () =
+      if Atomic.get t.stop && not !stopping then begin_stop ();
+      let done_ =
+        !stopping
+        && Hashtbl.length es.conns = 0
+        &&
+        (Mutex.lock es.jobs_mu;
+         let d = es.jobs_len = 0 && es.executing = 0 in
+         Mutex.unlock es.jobs_mu;
+         d)
+      in
+      if not done_ then begin
+        let events = Poller.wait poller ~timeout:t.config.poll_interval in
+        Metrics.incr m_wakeups;
+        List.iter
+          (fun { Poller.fd; readable; writable; error } ->
+            if fd = t.listen then (if readable then on_acceptable es)
+            else if fd = wake_r then begin
+              drain_wake_pipe ();
+              drain_completions es
+            end
+            else
+              match Hashtbl.find_opt es.conns fd with
+              | None -> ()
+              | Some conn ->
+                  if error then
+                    if conn.c_busy then conn.c_close_after_flush <- true
+                    else close_conn es conn
+                  else begin
+                    if readable then on_readable es conn;
+                    if writable && not conn.c_closed then flush_writes es conn;
+                    if not conn.c_closed then begin
+                      flush_writes es conn;
+                      update_interest es conn
+                    end
+                  end)
+          events;
+        (* completions may land while we were handling events *)
+        drain_completions es;
+        loop ()
+      end
+    in
+    Fun.protect
+      ~finally:(fun () ->
+        Mutex.lock es.jobs_mu;
+        es.workers_stop <- true;
+        Condition.broadcast es.jobs_nonempty;
+        Mutex.unlock es.jobs_mu;
+        List.iter Thread.join workers;
+        Hashtbl.iter (fun _ c -> try Unix.close c.c_fd with Unix.Unix_error _ -> ()) es.conns;
+        Hashtbl.reset es.conns;
+        (try Unix.close wake_r with Unix.Unix_error _ -> ());
+        (try Unix.close wake_w with Unix.Unix_error _ -> ());
+        Poller.close poller;
+        Metrics.set m_open 0.0)
+      loop
+end
+
 (* ---- lifecycle -------------------------------------------------------- *)
 
 let resolve_host host =
@@ -455,13 +962,17 @@ let resolve_host host =
       | { Unix.h_addr_list; _ } -> h_addr_list.(0)
       | exception Not_found -> failwith ("Server: cannot resolve host " ^ host))
 
-let start ?(config = default_config) db =
+let default_session_factory t =
+  let session = Repl.create ~cache:t.plan_cache t.db in
+  fun ~gov text -> Repl.handle ~gov session text
+
+let start ?(config = default_config) ?session_factory db =
   Sys.set_signal Sys.sigpipe Sys.Signal_ignore;
   let listen = Unix.socket ~cloexec:true Unix.PF_INET Unix.SOCK_STREAM 0 in
   (try
      Unix.setsockopt listen Unix.SO_REUSEADDR true;
      Unix.bind listen (Unix.ADDR_INET (resolve_host config.host, config.port));
-     Unix.listen listen 64
+     Unix.listen listen 1024
    with e ->
      (try Unix.close listen with Unix.Unix_error _ -> ());
      raise e);
@@ -469,6 +980,11 @@ let start ?(config = default_config) db =
     match Unix.getsockname listen with
     | Unix.ADDR_INET (_, p) -> p
     | _ -> config.port
+  in
+  let factory =
+    match session_factory with
+    | Some f -> f
+    | None -> fun t -> default_session_factory t
   in
   let t =
     {
@@ -478,6 +994,7 @@ let start ?(config = default_config) db =
           ~max_queue:config.max_queue;
       db;
       plan_cache = Pb_sql.Plan_cache.create ~capacity:config.plan_cache_capacity ();
+      session_factory = factory;
       listen;
       bound_port;
       stop = Atomic.make false;
@@ -488,30 +1005,17 @@ let start ?(config = default_config) db =
     }
   in
   Trace_store.set_capacity Trace_store.default config.trace_capacity;
-  t.accept_thread <- Some (Thread.create accept_loop t);
+  let main =
+    match config.serve_mode with
+    | Threads -> accept_loop
+    | Event -> Event_loop.run
+  in
+  t.accept_thread <- Some (Thread.create main t);
   t
 
 let port t = t.bound_port
 
 (* ---- pull-based exposition -------------------------------------------- *)
-
-let health_json t =
-  let a = t.admission in
-  Mutex.lock a.adm_mu;
-  let inflight = a.adm_inflight and queued = a.adm_queued in
-  Mutex.unlock a.adm_mu;
-  let active = Atomic.get t.active in
-  let status =
-    if Atomic.get t.stop then "draining"
-    else if queued >= a.adm_max_queue || active >= t.config.max_connections
-    then "saturated"
-    else "ok"
-  in
-  Printf.sprintf
-    "{\"status\":%S,\"inflight\":%d,\"max_inflight\":%d,\"queued\":%d,\
-     \"max_queue\":%d,\"active_connections\":%d,\"max_connections\":%d}"
-    status inflight a.adm_max_inflight queued a.adm_max_queue active
-    t.config.max_connections
 
 let traces_prefix = "/traces/"
 
@@ -568,7 +1072,9 @@ let join t =
         | Some th -> Thread.join th
         | None -> ());
         (* Drain: every connection closes right after the request it is
-           serving; idle ones notice the flag within poll_interval. *)
+           serving; idle ones notice the flag within poll_interval. The
+           event loop drains before its thread exits, so this only spins
+           in threads mode. *)
         while Atomic.get t.active > 0 do
           Thread.delay 0.01
         done;
@@ -585,6 +1091,6 @@ let install_signal_handlers t =
   Sys.set_signal Sys.sigint handle;
   Sys.set_signal Sys.sigterm handle
 
-let with_server ?config db f =
-  let t = start ?config db in
+let with_server ?config ?session_factory db f =
+  let t = start ?config ?session_factory db in
   Fun.protect ~finally:(fun () -> shutdown t) (fun () -> f t)

@@ -4,53 +4,76 @@
 
     One {!Pb_sql.Database.t} is shared by every connection (it is
     internally thread-safe); each connection gets its own private
-    [Repl.state] session, so [\save]/[\packages] bookkeeping like "the
-    last query's package" is per-client while the data itself is shared
-    — exactly the shared-DBMS, per-session model of the paper.
+    session, so [\save]/[\packages] bookkeeping like "the last query's
+    package" is per-client while the data itself is shared — exactly
+    the shared-DBMS, per-session model of the paper.
 
-    Concurrency model: one accept thread plus one thread per live
-    connection ([unix] + [threads]; query evaluation inside a request
-    still fans out over the {!Pb_par} default domain pool). Admission is
-    bounded at two levels: when [max_connections] sessions are live,
-    further clients are sent one [busy] frame and closed immediately;
-    and at most [max_inflight] requests evaluate concurrently, with up
-    to [max_queue] more parked in a bounded admission queue — a request
-    arriving past both limits is answered [busy] at once and the
-    connection stays usable (backpressure, not unbounded buffering).
-    Queue depth and in-flight count are exported as the
-    [pb_net_queue_depth] and [pb_net_inflight_requests] gauges.
+    {2 Serving modes}
+
+    [Event] (the default): one event-loop thread multiplexes every
+    connection over an epoll/poll readiness {!Poller}. Connections are
+    non-blocking; incoming bytes feed a per-connection incremental
+    {!Assembler}, complete requests go to a bounded job queue served by
+    a pool of [max_inflight] worker threads, and responses flow back
+    through per-connection write buffers flushed on writability. An
+    idle connection costs its buffers — no thread, no stack — so
+    thousands of mostly-idle clients are cheap.
+
+    [Threads]: the v2 baseline — one accept thread plus one blocking
+    thread per live connection. Kept for comparison benchmarks
+    ([--serve-mode threads]) and as the reference semantics.
+
+    Both modes share the same admission limits: when [max_connections]
+    sessions are live, further clients are sent one [busy] frame and
+    closed immediately; and at most [max_inflight] requests evaluate
+    concurrently, with up to [max_queue] more parked (blocked threads in
+    [Threads] mode, queued jobs in [Event] mode) — a request arriving
+    past both limits is answered [busy] at once and the connection stays
+    usable (backpressure, not unbounded buffering). Queue depth and
+    in-flight count are exported as the [pb_net_queue_depth] and
+    [pb_net_inflight_requests] gauges; the event loop additionally
+    exports [pb_net_open_connections] and
+    [pb_net_eventloop_wakeups_total].
 
     Deadlines: a request carrying a deadline (or inheriting
-    [default_deadline]) evaluates on its connection thread under a
-    per-request {!Pb_util.Gov} token carrying that deadline. Every
-    engine and SQL loop polls the token, so an overrun request is
-    {e cancelled cooperatively} — it stops consuming CPU within a few
-    hundred loop iterations, frees its connection slot, and the client
-    gets a [deadline] response carrying the evaluation's best partial
-    output. (Protocol v1 instead abandoned a watchdogged worker thread
-    that kept burning CPU to completion.) Cancelled requests are counted
-    by [pb_net_cancelled_total].
+    [default_deadline]) evaluates under a per-request {!Pb_util.Gov}
+    token carrying that deadline. Every engine and SQL loop polls the
+    token, so an overrun request is {e cancelled cooperatively} — it
+    stops consuming CPU within a few hundred loop iterations, frees its
+    slot, and the client gets a [deadline] response carrying the
+    evaluation's best partial output. Cancelled requests are counted by
+    [pb_net_cancelled_total].
+
+    The server-level [\healthz] command is answered with {!health_json}
+    {e before} admission in both modes, so a saturated or draining
+    server still reports its state over the query wire — the shard
+    router's health aggregation relies on this.
 
     Shutdown: {!request_stop} (async-signal-safe: it only flips an
-    atomic) makes the accept loop exit and every connection close after
-    the request it is currently serving — in-flight requests drain,
-    idle connections close within one poll interval, no new connections
-    are admitted. {!join} blocks until the drain completes. *)
+    atomic) stops accepting and makes every connection close after the
+    request it is currently serving — in-flight requests drain, idle
+    connections close within one poll interval. {!join} blocks until
+    the drain completes. *)
+
+type serve_mode =
+  | Threads  (** thread per connection (v2 baseline) *)
+  | Event  (** event-driven readiness loop + bounded worker pool *)
 
 type config = {
   host : string;  (** bind address, default ["127.0.0.1"] *)
   port : int;  (** TCP port; [0] picks an ephemeral port (see {!port}) *)
   max_connections : int;  (** live-session cap; excess get [busy] *)
   max_inflight : int;
-      (** requests evaluating concurrently; clamped to >= 1 *)
+      (** requests evaluating concurrently (the worker-pool size in
+          [Event] mode); clamped to >= 1 *)
   max_queue : int;
       (** requests parked waiting for an in-flight slot; a request
           arriving when the queue is full is answered [busy] *)
   default_deadline : float option;
       (** applied to requests that carry no deadline; [None] = unlimited *)
   poll_interval : float;
-      (** seconds between stop-flag checks while idle (accept loop and
-          idle connections); bounds shutdown latency *)
+      (** seconds between stop-flag checks while idle; bounds shutdown
+          latency in both modes *)
   plan_cache_capacity : int;
       (** entries in the shared prepared-plan cache; [0] disables caching
           (every request re-parses — the benchmark baseline) *)
@@ -60,20 +83,33 @@ type config = {
           tracing entirely — requests evaluate without a span context or
           progress recorder, leaving span creation on its disabled fast
           path *)
+  serve_mode : serve_mode;  (** default [Event] *)
 }
 
 val default_config : config
 (** [127.0.0.1:7878], 64 connections, 64 in-flight requests with a
     128-deep admission queue, no default deadline, 50ms poll, 128 cached
-    plans, 256 retained traces. *)
+    plans, 256 retained traces, event mode. *)
 
 type t
 
-val start : ?config:config -> Pb_sql.Database.t -> t
-(** Bind, listen, and spawn the accept thread; returns immediately.
-    Ignores [SIGPIPE] process-wide (a client hanging up mid-response
-    must not kill the server). Raises [Unix.Unix_error] if the port is
-    taken. *)
+type session_handler = gov:Pb_util.Gov.t -> string -> Pb_shell.Repl.reaction
+(** One connection's session: maps an input line to its reaction under
+    the request's governance token. The default factory wraps a private
+    {!Pb_shell.Repl} per connection; the shard router substitutes its
+    fan-out session here and inherits the whole serving stack
+    (framing, admission, deadlines, tracing, metrics) unchanged. *)
+
+val start :
+  ?config:config ->
+  ?session_factory:(t -> session_handler) ->
+  Pb_sql.Database.t ->
+  t
+(** Bind, listen, and spawn the serving thread; returns immediately.
+    [session_factory] is called once per connection, lazily at its first
+    request. Ignores [SIGPIPE] process-wide (a client hanging up
+    mid-response must not kill the server). Raises [Unix.Unix_error] if
+    the port is taken. *)
 
 val port : t -> int
 (** The actual bound port — useful with [config.port = 0]. *)
@@ -95,7 +131,7 @@ val request_stop : t -> unit
 (** Begin graceful shutdown. Async-signal-safe; returns immediately. *)
 
 val join : t -> unit
-(** Block until the server has fully stopped: accept loop exited, all
+(** Block until the server has fully stopped: serving thread exited, all
     connections drained, listen socket closed. Does {e not} itself
     initiate shutdown. Safe to call from several threads. *)
 
@@ -108,6 +144,10 @@ val install_signal_handlers : t -> unit
     main loop with graceful termination. *)
 
 val with_server :
-  ?config:config -> Pb_sql.Database.t -> (t -> 'a) -> 'a
+  ?config:config ->
+  ?session_factory:(t -> session_handler) ->
+  Pb_sql.Database.t ->
+  (t -> 'a) ->
+  'a
 (** Run [f server] and always {!shutdown}, even on exceptions — the
     test harness's entry point. *)

@@ -1,0 +1,174 @@
+module Value = Pb_relation.Value
+module Schema = Pb_relation.Schema
+module Relation = Pb_relation.Relation
+
+let escape s =
+  let buf = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let unescape s =
+  let buf = Buffer.create (String.length s) in
+  let n = String.length s in
+  let rec go i =
+    if i < n then
+      if s.[i] = '\\' && i + 1 < n then begin
+        (match s.[i + 1] with
+        | 't' -> Buffer.add_char buf '\t'
+        | 'n' -> Buffer.add_char buf '\n'
+        | c -> Buffer.add_char buf c);
+        go (i + 2)
+      end
+      else begin
+        Buffer.add_char buf s.[i];
+        go (i + 1)
+      end
+  in
+  go 0;
+  Buffer.contents buf
+
+let encode_value = function
+  | Value.Null -> "N"
+  | Value.Bool b -> if b then "B:true" else "B:false"
+  | Value.Int i -> "I:" ^ string_of_int i
+  | Value.Float f -> Printf.sprintf "F:%h" f
+  | Value.Str s -> "S:" ^ escape s
+
+let decode_value tok =
+  if tok = "N" then Ok Value.Null
+  else if String.length tok >= 2 && tok.[1] = ':' then
+    let rest = String.sub tok 2 (String.length tok - 2) in
+    match tok.[0] with
+    | 'B' -> (
+        match rest with
+        | "true" -> Ok (Value.Bool true)
+        | "false" -> Ok (Value.Bool false)
+        | _ -> Error (Printf.sprintf "bad bool %S" tok))
+    | 'I' -> (
+        match int_of_string_opt rest with
+        | Some i -> Ok (Value.Int i)
+        | None -> Error (Printf.sprintf "bad int %S" tok))
+    | 'F' -> (
+        match float_of_string_opt rest with
+        | Some f -> Ok (Value.Float f)
+        | None -> Error (Printf.sprintf "bad float %S" tok))
+    | 'S' -> Ok (Value.Str (unescape rest))
+    | _ -> Error (Printf.sprintf "unknown value tag %S" tok)
+  else Error (Printf.sprintf "bad value token %S" tok)
+
+let ty_to_string = function
+  | Value.T_bool -> "bool"
+  | Value.T_int -> "int"
+  | Value.T_float -> "float"
+  | Value.T_str -> "str"
+
+let ty_of_string = function
+  | "bool" -> Some Value.T_bool
+  | "int" -> Some Value.T_int
+  | "float" -> Some Value.T_float
+  | "str" -> Some Value.T_str
+  | _ -> None
+
+let encode_result = function
+  | Pb_sql.Executor.Created -> "created"
+  | Pb_sql.Executor.Affected n -> Printf.sprintf "affected %d" n
+  | Pb_sql.Executor.Rows rel ->
+      let buf = Buffer.create 4096 in
+      Buffer.add_string buf
+        (Printf.sprintf "rel %d\n" (Relation.cardinality rel));
+      Buffer.add_string buf
+        (String.concat "\t"
+           (List.map
+              (fun { Schema.name; ty } ->
+                escape name ^ ":" ^ ty_to_string ty)
+              (Schema.columns (Relation.schema rel))));
+      Array.iter
+        (fun row ->
+          Buffer.add_char buf '\n';
+          Array.iteri
+            (fun i v ->
+              if i > 0 then Buffer.add_char buf '\t';
+              Buffer.add_string buf (encode_value v))
+            row)
+        (Relation.rows rel);
+      Buffer.contents buf
+
+let encode_error ~kind msg = Printf.sprintf "err %s\n%s" kind msg
+
+let decode_error body =
+  let header, rest = Protocol.split_first_line body in
+  match String.split_on_char ' ' header with
+  | [ "err"; kind ] -> Some (kind, rest)
+  | _ -> None
+
+let decode_result body =
+  let header, rest = Protocol.split_first_line body in
+  match String.split_on_char ' ' header with
+  | [ "created" ] -> Ok Pb_sql.Executor.Created
+  | [ "affected"; n ] -> (
+      match int_of_string_opt n with
+      | Some n -> Ok (Pb_sql.Executor.Affected n)
+      | None -> Error (Printf.sprintf "bad affected count %S" n))
+  | [ "rel"; n ] -> (
+      match int_of_string_opt n with
+      | None -> Error (Printf.sprintf "bad row count %S" n)
+      | Some nrows -> (
+          let schema_line, rows_text = Protocol.split_first_line rest in
+          let col_of tok =
+            match String.rindex_opt tok ':' with
+            | None -> Error (Printf.sprintf "bad column %S" tok)
+            | Some i -> (
+                let name = unescape (String.sub tok 0 i) in
+                let ty = String.sub tok (i + 1) (String.length tok - i - 1) in
+                match ty_of_string ty with
+                | Some ty -> Ok { Schema.name; ty }
+                | None -> Error (Printf.sprintf "bad column type %S" tok))
+          in
+          let rec map_result f = function
+            | [] -> Ok []
+            | x :: xs -> (
+                match f x with
+                | Error _ as e -> e
+                | Ok y -> Result.map (fun ys -> y :: ys) (map_result f xs))
+          in
+          match map_result col_of (String.split_on_char '\t' schema_line) with
+          | Error msg -> Error msg
+          | Ok cols -> (
+              let schema =
+                try Ok (Schema.make cols)
+                with Invalid_argument msg -> Error msg
+              in
+              match schema with
+              | Error msg -> Error msg
+              | Ok schema -> (
+                  let lines =
+                    if rows_text = "" then []
+                    else String.split_on_char '\n' rows_text
+                  in
+                  if List.length lines <> nrows then
+                    Error
+                      (Printf.sprintf "expected %d rows, got %d" nrows
+                         (List.length lines))
+                  else
+                    let row_of line =
+                      let toks = String.split_on_char '\t' line in
+                      if List.length toks <> List.length cols then
+                        Error
+                          (Printf.sprintf "row arity %d, schema arity %d"
+                             (List.length toks) (List.length cols))
+                      else
+                        Result.map Array.of_list (map_result decode_value toks)
+                    in
+                    match map_result row_of lines with
+                    | Error msg -> Error msg
+                    | Ok rows -> (
+                        try Ok (Pb_sql.Executor.Rows (Relation.create schema rows))
+                        with Invalid_argument msg -> Error msg)))))
+  | _ -> Error (Printf.sprintf "bad data-mode result header %S" header)

@@ -1,0 +1,33 @@
+(** Machine-readable result codec for [mode=data] requests.
+
+    The shard router needs exact values back from shards — the REPL's
+    rendered tables truncate at 40 rows and lose types — so a data-mode
+    response body carries the {!Pb_sql.Executor.result} itself:
+
+    {v
+    rel <nrows>
+    <name>:<ty>\t<name>:<ty>...        (schema line, tab-separated)
+    <value>\t<value>...                (one line per row)
+    v}
+
+    or [affected <n>] / [created]. Values are tagged so NULL, type and
+    content survive the trip: [N] (null), [B:true]/[B:false],
+    [I:<int>], [F:<hex float>] ([%h] — bit-exact round trip, so a
+    router-side rendering prints the same [%g] digits as the shard
+    would), [S:<text>] with [\\]/[\t]/[\n] escaped. *)
+
+val encode_result : Pb_sql.Executor.result -> string
+
+val encode_error : kind:string -> string -> string
+(** SQL-level failure body, [err <kind>\n<message>] with [kind] one of
+    ["parse"] or ["eval"]. Carried under the wire status [ok] — wire
+    statuses stay reserved for transport/admission outcomes, exactly as
+    the REPL renders SQL errors as ordinary output. *)
+
+val decode_error : string -> (string * string) option
+(** [(kind, message)] when the body is an {!encode_error} frame. Check
+    before {!decode_result}. *)
+
+val decode_result : string -> (Pb_sql.Executor.result, string) result
+(** Inverse of {!encode_result}; [Error] describes the first malformed
+    line. *)

@@ -1,0 +1,36 @@
+module Value = Pb_relation.Value
+module Relation = Pb_relation.Relation
+
+(* FNV-1a, 64-bit. *)
+let fnv_offset = 0xcbf29ce484222325L
+let fnv_prime = 0x100000001b3L
+
+let fold_byte h c =
+  Int64.mul (Int64.logxor h (Int64.of_int (Char.code c))) fnv_prime
+
+let fold_string h s = String.fold_left fold_byte h s
+
+(* Canonical tagged rendering: every value maps to one byte string, with
+   type tags and a length prefix on strings so distinct rows cannot
+   collide by concatenation ("ab","c" vs "a","bc"). Floats hash their
+   IEEE bits — the data-mode codec round-trips floats bit-exactly, so a
+   row pulled from a shard hashes identically to the row the shard
+   stored. *)
+let fold_value h v =
+  match v with
+  | Value.Null -> fold_string h "N"
+  | Value.Bool b -> fold_string h (if b then "B1" else "B0")
+  | Value.Int i -> fold_string h ("I" ^ string_of_int i)
+  | Value.Float f ->
+      fold_string h ("F" ^ Int64.to_string (Int64.bits_of_float f))
+  | Value.Str s ->
+      fold_string h ("S" ^ string_of_int (String.length s) ^ ":" ^ s)
+
+let hash_row row = Array.fold_left fold_value fnv_offset row
+
+let shard_of_row ~shards row =
+  if shards <= 1 then 0
+  else Int64.to_int (Int64.unsigned_rem (hash_row row) (Int64.of_int shards))
+
+let filter_shard ~shards ~shard rel =
+  Relation.filter (fun row -> shard_of_row ~shards row = shard) rel

@@ -1,0 +1,23 @@
+(** Stable row-to-shard hash partitioning.
+
+    The whole shared-nothing deployment hangs off one contract: {e every
+    participant computes the same shard for the same row, forever}. The
+    router routes INSERTs with it, [pb_server --shard i/N] filters its
+    tables with it at load, and the PaQL path regroups pulled candidate
+    rows with it to rebuild shard-local refine legs — three independent
+    computations that must agree. Hence a fixed, self-contained FNV-1a
+    (64-bit) over a canonical tagged rendering of the row's values:
+    no dependence on [Hashtbl.hash] (whose output may change across
+    compiler versions), column names, or schema order beyond the row's
+    own value order. Floats hash their IEEE-754 bits, matching the
+    data-mode codec's bit-exact float round trip. *)
+
+val hash_row : Pb_relation.Value.t array -> int64
+
+val shard_of_row : shards:int -> Pb_relation.Value.t array -> int
+(** Unsigned remainder of {!hash_row} by [shards]; 0 when [shards <= 1]. *)
+
+val filter_shard :
+  shards:int -> shard:int -> Pb_relation.Relation.t -> Pb_relation.Relation.t
+(** Keep exactly the rows this shard owns. Applying it for every [shard]
+    in [0, shards) partitions the relation. *)

@@ -24,5 +24,6 @@ let () =
       ("partition", Test_partition.suite);
       ("par", Test_par.suite);
       ("net", Test_net.suite);
+      ("shard", Test_shard.suite);
       ("columnar", Test_columnar.suite);
     ]

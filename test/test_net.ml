@@ -115,18 +115,25 @@ let test_request_codec () =
       | Ok (Protocol.Hello _) -> Alcotest.fail "request decoded as hello"
       | Error e -> Alcotest.fail e)
     [
-      { Protocol.text = "\\tables"; deadline = None; trace = None };
-      { Protocol.text = "SELECT 1"; deadline = Some 2.5; trace = None };
+      { Protocol.text = "\\tables"; deadline = None; trace = None; data = false };
+      {
+        Protocol.text = "SELECT 1";
+        deadline = Some 2.5;
+        trace = None;
+        data = false;
+      };
       {
         Protocol.text = "line one\nline two";
         deadline = Some 0.125;
         trace = Some (String.make 32 'a');
+        data = false;
       };
-      { Protocol.text = ""; deadline = None; trace = None };
+      { Protocol.text = ""; deadline = None; trace = None; data = false };
       {
         Protocol.text = "SELECT 1";
         deadline = None;
         trace = Some "0123456789abcdef0123456789abcdef";
+        data = true;
       };
     ];
   (match Protocol.decode_client_frame "PB2 REQ -1\nx" with
@@ -245,6 +252,164 @@ let ok_or_fail (r : Protocol.response) =
       Alcotest.fail
         (Printf.sprintf "unexpected status %s: %s" (Protocol.status_to_string s)
            r.Protocol.body)
+
+(* ---- assembler vs blocking reader, property-checked ------------------- *)
+
+(* Decode a whole byte string with the blocking reader: the frame list
+   plus how the stream ended. *)
+let blocking_decode s =
+  let next = read_frames_of_string s in
+  let rec go acc =
+    match next () with
+    | Protocol.Frame p -> go (p :: acc)
+    | Protocol.Eof -> (List.rev acc, `End)
+    | Protocol.Bad m -> (List.rev acc, `Bad m)
+  in
+  go []
+
+(* Decode the same bytes through the assembler, fed in arbitrary slices.
+   [`End] here means "awaiting more input", which at end-of-feed is the
+   push-style reading of a clean EOF. *)
+let assembler_decode slices =
+  let asm = Pb_net.Assembler.create () in
+  List.iter (fun sl -> Pb_net.Assembler.feed asm sl) slices;
+  let rec go acc =
+    match Pb_net.Assembler.next asm with
+    | `Frame p -> go (p :: acc)
+    | `Awaiting -> (List.rev acc, `End)
+    | `Bad m -> (List.rev acc, `Bad m)
+  in
+  go []
+
+(* Cut a string into slices at arbitrary positions derived from [cuts]. *)
+let slices_of_cuts s cuts =
+  let n = String.length s in
+  let positions =
+    List.sort_uniq compare
+      (0 :: n :: List.map (fun c -> if n = 0 then 0 else c mod (n + 1)) cuts)
+  in
+  let rec pair = function
+    | a :: (b :: _ as rest) -> String.sub s a (b - a) :: pair rest
+    | _ -> []
+  in
+  pair positions
+
+let frame_bytes payload =
+  Printf.sprintf "%d\n%s" (String.length payload) payload
+
+let qcheck_assembler_valid_stream =
+  QCheck.Test.make ~count:300
+    ~name:"assembler: any split of a valid stream = blocking reader"
+    QCheck.(
+      pair
+        (small_list (string_of_size (QCheck.Gen.int_bound 50)))
+        (small_list small_nat))
+    (fun (payloads, cuts) ->
+      let stream = String.concat "" (List.map frame_bytes payloads) in
+      let expected = (payloads, `End) in
+      blocking_decode stream = expected
+      && assembler_decode (slices_of_cuts stream cuts) = expected)
+
+let qcheck_assembler_malformed_stream =
+  (* malformed at the header (bad digit, too many digits, empty line):
+     the error is visible without end-of-stream, so the push and pull
+     readers must agree on the frames before it AND on the message *)
+  QCheck.Test.make ~count:300
+    ~name:"assembler: malformed header = blocking reader, same message"
+    QCheck.(
+      quad
+        (small_list (string_of_size (QCheck.Gen.int_bound 20)))
+        (oneofl [ "x"; "12a"; "123456789"; "-1"; ""; ":"; "7 " ])
+        (string_of_size (QCheck.Gen.int_bound 20))
+        (small_list small_nat))
+    (fun (payloads, bad_header, tail, cuts) ->
+      let stream =
+        String.concat "" (List.map frame_bytes payloads)
+        ^ bad_header ^ "\n" ^ tail
+      in
+      let b = blocking_decode stream in
+      let a = assembler_decode (slices_of_cuts stream cuts) in
+      (match snd b with `Bad _ -> true | `End -> false) && a = b)
+
+(* ---- serve modes ------------------------------------------------------ *)
+
+(* The default config exercises the event loop everywhere else in this
+   file; this is the regression net for the legacy thread-per-connection
+   path, which stays selectable via --serve-mode threads. *)
+let test_threads_mode_loopback () =
+  let config = { test_config with Server.serve_mode = Server.Threads } in
+  Server.with_server ~config (make_db 40) (fun server ->
+      let port = Server.port server in
+      Client.with_connection ~port (fun c ->
+          let count = ok_or_fail (Client.request c "SELECT COUNT(*) FROM recipes") in
+          Alcotest.(check bool) "sql counts" true (contains count "40");
+          let health = ok_or_fail (Client.request c "\\healthz") in
+          Alcotest.(check bool) "healthz answers" true
+            (contains health "\"status\":\"ok\""));
+      (* concurrent sessions still isolated *)
+      let results = Array.make 4 "" in
+      let worker i () =
+        Client.with_connection ~port (fun c ->
+            results.(i) <- ok_or_fail (Client.request c "SELECT COUNT(*) FROM recipes"))
+      in
+      let threads = List.init 4 (fun i -> Thread.create (worker i) ()) in
+      List.iter Thread.join threads;
+      Array.iter
+        (fun r -> Alcotest.(check bool) "each client served" true (contains r "40"))
+        results)
+
+(* ---- connect timeout --------------------------------------------------- *)
+
+let test_connect_timeout () =
+  (* a listener whose accept backlog is saturated never completes the
+     client's handshake: without a timeout, connect blocks for the
+     kernel's SYN-retry schedule (minutes) *)
+  let srv = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  Fun.protect
+    ~finally:(fun () -> try Unix.close srv with _ -> ())
+    (fun () ->
+      Unix.bind srv (Unix.ADDR_INET (Unix.inet_addr_loopback, 0));
+      Unix.listen srv 1;
+      let port =
+        match Unix.getsockname srv with
+        | Unix.ADDR_INET (_, p) -> p
+        | _ -> assert false
+      in
+      (* saturate the backlog with connections nobody accepts *)
+      let fillers =
+        List.filter_map
+          (fun _ ->
+            let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+            Unix.set_nonblock fd;
+            match
+              Unix.connect fd (Unix.ADDR_INET (Unix.inet_addr_loopback, port))
+            with
+            | () -> Some fd
+            | exception Unix.Unix_error (Unix.EINPROGRESS, _, _) -> Some fd
+            | exception _ ->
+                (try Unix.close fd with _ -> ());
+                None)
+          (List.init 8 (fun i -> i))
+      in
+      Fun.protect
+        ~finally:(fun () ->
+          List.iter (fun fd -> try Unix.close fd with _ -> ()) fillers)
+        (fun () ->
+          Thread.delay 0.05;
+          let t0 = Unix.gettimeofday () in
+          (match Client.connect ~connect_timeout:0.4 ~port () with
+          | c ->
+              (* platform admitted it to the SYN queue anyway: only the
+                 bounded-time property is observable *)
+              Client.close c
+          | exception Client.Net_error msg ->
+              Alcotest.(check bool) "reports the timeout" true
+                (contains msg "timed out")
+          | exception Unix.Unix_error _ -> ());
+          let elapsed = Unix.gettimeofday () -. t0 in
+          Alcotest.(check bool)
+            (Printf.sprintf "bounded: %.2fs" elapsed)
+            true (elapsed < 5.0)))
 
 let test_loopback_basic () =
   Server.with_server ~config:test_config (make_db 40) (fun server ->
@@ -673,7 +838,12 @@ let test_gauges_zero_after_disconnect () =
       | _ -> Alcotest.fail "no hello reply");
       Protocol.write_frame oc
         (Protocol.encode_request
-           { Protocol.text = slow_sql; deadline = Some 0.3; trace = None });
+           {
+             Protocol.text = slow_sql;
+             deadline = Some 0.3;
+             trace = None;
+             data = false;
+           });
       (* hang up while the request is evaluating *)
       Thread.delay 0.05;
       close_out_noerr oc;
@@ -758,4 +928,9 @@ let suite =
       `Quick test_gauges_zero_after_disconnect;
     Alcotest.test_case "http handler endpoints" `Quick
       test_http_handler_endpoints;
+    Alcotest.test_case "threads serve-mode loopback" `Quick
+      test_threads_mode_loopback;
+    Alcotest.test_case "connect timeout is bounded" `Quick test_connect_timeout;
+    QCheck_alcotest.to_alcotest qcheck_assembler_valid_stream;
+    QCheck_alcotest.to_alcotest qcheck_assembler_malformed_stream;
   ]

@@ -179,7 +179,7 @@ let test_pool_determinism () =
         Engine.run ~pool ~gov:(Gov.unlimited ())
           ~strategy:
             (Engine.Sketch_refine
-               { Pb_core.Sketch_refine.partitions = Some 20; fanout = 4 })
+               { Pb_core.Sketch_refine.partitions = Some 20; fanout = 4; prepartition = None })
           db q)
   in
   let r1 = run 1 and r8 = run 8 in
@@ -222,7 +222,7 @@ let test_deadline_mid_refine () =
     Engine.run_coeffs ~gov
       ~strategy:
         (Engine.Sketch_refine
-           { Pb_core.Sketch_refine.partitions = Some 2000; fanout = 4 })
+           { Pb_core.Sketch_refine.partitions = Some 2000; fanout = 4; prepartition = None })
       db c
   in
   let stopped (r : Engine.result) =
