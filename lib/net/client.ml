@@ -18,21 +18,37 @@ let resolve_host host =
    non-blocking, e.g. the load generator's connections) parks in select
    until the send buffer drains. The old channel-based sender silently
    assumed completion — wrong exactly when a large request races a full
-   send buffer. *)
+   send buffer. The wait is bounded: a peer that never drains its
+   receive buffer (wedged server, half-dead connection) yields
+   consecutive EAGAIN rounds with zero bytes accepted, and after
+   [max_stalls] of those we raise Net_error instead of blocking the
+   caller forever. Any successful write resets the stall count, so a
+   merely slow peer is never cut off. *)
 let write_all fd s =
   let n = String.length s in
-  let rec go off =
+  let stall_wait = 5.0 and max_stalls = 6 in
+  let rec go off stalls =
     if off < n then
       match Unix.write_substring fd s off (n - off) with
-      | k -> go (off + k)
-      | exception Unix.Unix_error (Unix.EINTR, _, _) -> go off
+      | k -> go (off + k) 0
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> go off stalls
       | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) ->
-          (match Unix.select [] [ fd ] [] 5.0 with
-          | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
-          | _ -> ());
-          go off
+          if stalls >= max_stalls then
+            raise
+              (Net_error
+                 (Printf.sprintf
+                    "send stalled: peer accepted no bytes for %gs (%d of %d \
+                     bytes unsent)"
+                    (float_of_int max_stalls *. stall_wait)
+                    (n - off) n))
+          else begin
+            (match Unix.select [] [ fd ] [] stall_wait with
+            | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+            | _ -> ());
+            go off (stalls + 1)
+          end
   in
-  go 0
+  go 0 0
 
 let send_frame t payload =
   let header = string_of_int (String.length payload) ^ "\n" in

@@ -38,13 +38,18 @@
 
 typedef struct {
   int epfd;
-  struct epoll_event ready[PB_MAX_EVENTS];
+  /* malloc'd, NOT inline: epoll_wait fills this while the runtime lock
+     is released, during which a GC compaction may move the custom
+     block.  The kernel must write into memory that cannot move. */
+  struct epoll_event *ready;
 } pb_poller;
 
 static void pb_poller_finalize(value v) {
   pb_poller *p = (pb_poller *)Data_custom_val(v);
   if (p->epfd >= 0) close(p->epfd);
   p->epfd = -1;
+  free(p->ready);
+  p->ready = NULL;
 }
 
 static struct custom_operations pb_poller_ops = {
@@ -58,8 +63,15 @@ CAMLprim value pb_poller_create(value unit) {
   CAMLlocal1(res);
   int epfd = epoll_create1(EPOLL_CLOEXEC);
   if (epfd < 0) uerror("epoll_create1", Nothing);
+  struct epoll_event *ready = malloc(PB_MAX_EVENTS * sizeof(struct epoll_event));
+  if (!ready) {
+    close(epfd);
+    caml_raise_out_of_memory();
+  }
   res = caml_alloc_custom(&pb_poller_ops, sizeof(pb_poller), 0, 1);
-  ((pb_poller *)Data_custom_val(res))->epfd = epfd;
+  pb_poller *p = (pb_poller *)Data_custom_val(res);
+  p->epfd = epfd;
+  p->ready = ready;
   CAMLreturn(res);
 }
 
@@ -90,10 +102,16 @@ CAMLprim value pb_poller_wait(value vp, value vtimeout_ms) {
   CAMLparam2(vp, vtimeout_ms);
   CAMLlocal2(arr, pair);
   pb_poller *p = (pb_poller *)Data_custom_val(vp);
+  /* Copy out of the custom block before releasing the lock: a GC
+     compaction may move the block while we wait, so neither p nor
+     &p->ready may be used until the lock is re-held (and even then p
+     is stale).  epfd and the malloc'd buffer themselves never move. */
+  int epfd = p->epfd;
+  struct epoll_event *ready = p->ready;
   int timeout = Int_val(vtimeout_ms);
   int n;
   caml_release_runtime_system();
-  n = epoll_wait(p->epfd, p->ready, PB_MAX_EVENTS, timeout);
+  n = epoll_wait(epfd, ready, PB_MAX_EVENTS, timeout);
   caml_acquire_runtime_system();
   if (n < 0) {
     if (errno == EINTR) n = 0;
@@ -103,12 +121,12 @@ CAMLprim value pb_poller_wait(value vp, value vtimeout_ms) {
   arr = caml_alloc(n, 0);
   for (int i = 0; i < n; i++) {
     int bits = 0;
-    uint32_t ev = p->ready[i].events;
+    uint32_t ev = ready[i].events;
     if (ev & (EPOLLIN | EPOLLRDHUP | EPOLLPRI)) bits |= PB_EV_IN;
     if (ev & EPOLLOUT) bits |= PB_EV_OUT;
     if (ev & (EPOLLERR | EPOLLHUP)) bits |= PB_EV_ERR;
     pair = caml_alloc_tuple(2);
-    Field(pair, 0) = Val_int(p->ready[i].data.fd);
+    Field(pair, 0) = Val_int(ready[i].data.fd);
     Field(pair, 1) = Val_int(bits);
     Store_field(arr, i, pair);
   }

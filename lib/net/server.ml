@@ -332,6 +332,13 @@ let handle_request t (session : session_handler) (req : Protocol.request) =
 
 (* ---- health ----------------------------------------------------------- *)
 
+(* Both serve modes keep the admission counters current: threads mode
+   maintains them in admit/release, the event loop mirrors its
+   executing/queued counts into them (see [job_gauges]), so this reads
+   real load either way. The saturation test is mode-agnostic: threads
+   mode only queues while inflight is full, and the event loop bounds
+   the two jointly, so "no room left" is inflight + queued at the
+   combined limit in both. *)
 let health_json t =
   let a = t.admission in
   Mutex.lock a.adm_mu;
@@ -340,7 +347,9 @@ let health_json t =
   let active = Atomic.get t.active in
   let status =
     if Atomic.get t.stop then "draining"
-    else if queued >= a.adm_max_queue || active >= t.config.max_connections
+    else if
+      inflight + queued >= a.adm_max_inflight + a.adm_max_queue
+      || active >= t.config.max_connections
     then "saturated"
     else "ok"
   in
@@ -572,9 +581,19 @@ module Event_loop = struct
     scratch : Bytes.t;
   }
 
+  (* Called with jobs_mu held at every queue/executing transition.
+     Besides the gauges, mirror the counts into the admission struct
+     (its mutex nests inside jobs_mu; nothing takes them in the other
+     order) so health_json reports event-mode load — otherwise \healthz
+     would claim inflight=0 forever and saturation could never show. *)
   let job_gauges es =
     Metrics.set m_inflight (float_of_int es.executing);
-    Metrics.set m_queue_depth (float_of_int es.jobs_len)
+    Metrics.set m_queue_depth (float_of_int es.jobs_len);
+    let a = es.t.admission in
+    Mutex.lock a.adm_mu;
+    a.adm_inflight <- es.executing;
+    a.adm_queued <- es.jobs_len;
+    Mutex.unlock a.adm_mu
 
   let wake es =
     try ignore (Unix.write_substring es.wake_w "x" 0 1)
@@ -729,7 +748,15 @@ module Event_loop = struct
                 Mutex.unlock es.jobs_mu;
                 room
               in
-              if admitted then conn.c_busy <- true
+              if admitted then begin
+                conn.c_busy <- true;
+                (* Drop read interest while the request is in flight so
+                   a pipelining client's bytes stay in the kernel socket
+                   buffer (backpressure) instead of accumulating
+                   unboundedly in the assembler. Restored on
+                   completion in drain_completions. *)
+                conn.c_want_read <- false
+              end
               else begin
                 Metrics.incr m_busy;
                 respond es conn
@@ -765,6 +792,9 @@ module Event_loop = struct
         if not conn.c_closed then begin
           respond es conn resp;
           conn.c_busy <- false;
+          (* re-arm reads dropped at admission; drain_frames below may
+             drop them again if a buffered frame goes straight in flight *)
+          conn.c_want_read <- true;
           if close_after then conn.c_close_after_flush <- true;
           if Atomic.get es.t.stop then
             (* drain: one response per in-flight request, then close *)

@@ -256,11 +256,49 @@ let run_select t ~gov q =
 let sharded_schema t ~gov name =
   Relation.schema (shard_exec_rows t ~gov 0 ("SELECT * FROM " ^ name ^ " LIMIT 0"))
 
+(* Multi-shard DML is NOT atomic: statements apply shard-by-shard with
+   no two-phase commit, so a failure (or deadline) at shard k leaves
+   the shards that already ran the statement applied while the client
+   sees only an error. We cannot undo that without 2PC — out of scope —
+   but we make it diagnosable: the error is annotated with exactly
+   which shards applied the statement, so an operator can reconcile or
+   re-run idempotently. See DESIGN.md, "Serving architecture". *)
+let partial_dml_note applied =
+  match List.rev applied with
+  | [] -> ""
+  | l ->
+      Printf.sprintf
+        " [multi-shard DML is not atomic: shard(s) %s already applied this \
+         statement]"
+        (String.concat "," (List.map string_of_int l))
+
+let with_partial_dml_note applied f =
+  try f () with
+  | Shard_error msg -> raise (Shard_error (msg ^ partial_dml_note !applied))
+  | Executor.Eval_error msg ->
+      raise (Executor.Eval_error (msg ^ partial_dml_note !applied))
+  | Gov.Interrupted r when !applied <> [] ->
+      (* the fate stays latched on the token, so the response status is
+         still deadline/cancelled; this only improves the body *)
+      raise
+        (Shard_error
+           (Printf.sprintf "cancelled (%s)%s" (Gov.reason_to_string r)
+              (partial_dml_note !applied)))
+
 let broadcast_statement t ~gov stmt =
   let sql = Ast.statement_to_string stmt in
-  let results =
-    List.init (shard_count t) (fun i -> shard_exec t ~gov i sql)
+  let applied = ref [] in
+  (* explicit ascending recursion: shard order is part of the error
+     contract above, so don't rely on List.init's evaluation order *)
+  let rec fan i acc =
+    if i = shard_count t then List.rev acc
+    else begin
+      let r = shard_exec t ~gov i sql in
+      applied := i :: !applied;
+      fan (i + 1) (r :: acc)
+    end
   in
+  let results = with_partial_dml_note applied (fun () -> fan 0 []) in
   let affected =
     List.fold_left
       (fun acc r -> match r with Executor.Affected n -> acc + n | _ -> acc)
@@ -309,16 +347,22 @@ let route_insert t ~gov name cols rows =
       buckets.(s) <- exprs :: buckets.(s))
     rows;
   let total = ref 0 in
-  Array.iteri
-    (fun i bucket ->
-      match List.rev bucket with
-      | [] -> ()
-      | rows_i -> (
-          let sql = Ast.statement_to_string (Ast.Insert (name, cols, rows_i)) in
-          match shard_exec t ~gov i sql with
-          | Executor.Affected n -> total := !total + n
-          | _ -> ()))
-    buckets;
+  let applied = ref [] in
+  with_partial_dml_note applied (fun () ->
+      Array.iteri
+        (fun i bucket ->
+          match List.rev bucket with
+          | [] -> ()
+          | rows_i ->
+              let sql =
+                Ast.statement_to_string (Ast.Insert (name, cols, rows_i))
+              in
+              let r = shard_exec t ~gov i sql in
+              applied := i :: !applied;
+              (match r with
+              | Executor.Affected n -> total := !total + n
+              | _ -> ()))
+        buckets);
   Executor.Affected !total
 
 let run_statement t ~gov stmt =

@@ -358,6 +358,67 @@ let test_threads_mode_loopback () =
         (fun r -> Alcotest.(check bool) "each client served" true (contains r "40"))
         results)
 
+(* Pipelining backpressure regression: a client that writes many request
+   frames in one burst must get every response, in order. The event loop
+   drops read interest while a request is in flight, so the burst drains
+   frame-by-frame — one admission per completion — instead of being
+   slurped whole into the assembler. *)
+let test_event_pipelined_burst () =
+  Server.with_server ~config:test_config (make_db 40) (fun server ->
+      let fd = Unix.socket ~cloexec:true Unix.PF_INET Unix.SOCK_STREAM 0 in
+      Fun.protect
+        ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+        (fun () ->
+          Unix.connect fd
+            (Unix.ADDR_INET (Unix.inet_addr_loopback, Server.port server));
+          let ic = Unix.in_channel_of_descr fd in
+          let framed payload =
+            Printf.sprintf "%d\n%s" (String.length payload) payload
+          in
+          let write_all s =
+            let n = String.length s in
+            let rec wr off =
+              if off < n then wr (off + Unix.write_substring fd s off (n - off))
+            in
+            wr 0
+          in
+          write_all (framed (Protocol.encode_hello Protocol.version));
+          (match Protocol.read_frame ic with
+          | Protocol.Frame p -> (
+              match Protocol.decode_hello p with
+              | Ok v -> Alcotest.(check int) "hello version" Protocol.version v
+              | Error e -> Alcotest.fail ("bad hello: " ^ e))
+          | _ -> Alcotest.fail "no hello frame");
+          let reqs = 8 in
+          let burst = Buffer.create 256 in
+          for _ = 1 to reqs do
+            Buffer.add_string burst
+              (framed
+                 (Protocol.encode_request
+                    {
+                      Protocol.text = "SELECT COUNT(*) FROM recipes";
+                      deadline = None;
+                      trace = None;
+                      data = false;
+                    }))
+          done;
+          (* the whole burst goes out before any response is read *)
+          write_all (Buffer.contents burst);
+          for i = 1 to reqs do
+            match Protocol.read_frame ic with
+            | Protocol.Frame p -> (
+                match Protocol.decode_response p with
+                | Ok r ->
+                    Alcotest.(check bool)
+                      (Printf.sprintf "response %d ok" i)
+                      true
+                      (r.Protocol.status = Protocol.Ok
+                      && contains r.Protocol.body "40")
+                | Error e -> Alcotest.fail ("bad response: " ^ e))
+            | Protocol.Eof -> Alcotest.fail "server closed mid-burst"
+            | Protocol.Bad m -> Alcotest.fail ("framing error: " ^ m)
+          done))
+
 (* ---- connect timeout --------------------------------------------------- *)
 
 let test_connect_timeout () =
@@ -930,6 +991,8 @@ let suite =
       test_http_handler_endpoints;
     Alcotest.test_case "threads serve-mode loopback" `Quick
       test_threads_mode_loopback;
+    Alcotest.test_case "event loop serves a pipelined burst" `Quick
+      test_event_pipelined_burst;
     Alcotest.test_case "connect timeout is bounded" `Quick test_connect_timeout;
     QCheck_alcotest.to_alcotest qcheck_assembler_valid_stream;
     QCheck_alcotest.to_alcotest qcheck_assembler_malformed_stream;

@@ -228,15 +228,31 @@ let test_deadline_mid_refine () =
   let stopped (r : Engine.result) =
     List.mem ("stopped", "deadline") r.stats
   in
+  let debug = Sys.getenv_opt "PB_TEST_DEBUG" <> None in
   let rec find = function
     | [] -> None
     | d :: rest -> (
         let r = attempt d in
+        if debug then
+          Printf.eprintf "attempt d=%g stopped=%b package=%b proof=%s stats=[%s]\n%!"
+            d (stopped r) (Option.is_some r.package)
+            (Engine.proof_to_string r.proof)
+            (String.concat ";" (List.map (fun (k, v) -> k ^ "=" ^ v) r.stats));
         match (stopped r, r.package) with
         | true, Some _ -> Some r
         | _ -> find rest)
   in
-  match find [ 0.2; 0.12; 0.25; 0.06; 0.35; 0.03 ] with
+  (* The stop window — after the sketch seeds an incumbent, before the
+     last refine leg lands — shifts with pool size and machine load: a
+     bigger domain pool makes the sketch phase *slower* (pool sync
+     overhead on one LP), while full refinement of 2000 partitions
+     stays tens of seconds at any size. So the ladder must reach well
+     past the sketch time of the slowest configuration; the larger
+     rungs are still deadline-stopped long before refinement ends. *)
+  let ladder =
+    [ 0.2; 0.12; 0.25; 0.06; 0.35; 0.03; 0.5; 0.7; 1.0; 1.5; 2.0; 3.0 ]
+  in
+  match find ladder with
   | None ->
       Alcotest.fail
         "no attempt was deadline-stopped mid-refine with an incumbent in hand"
